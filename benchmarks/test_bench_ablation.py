@@ -1,0 +1,93 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* **Child-axis frontier removal** (lines 10-11 of the paper's ``startElement``): the
+  optimization is what makes the frontier track FS(Q) rather than the query's depth.
+  The ablation runs the filter with and without it on deep nested-predicate queries.
+
+* **Lazy vs. eager determinization** for the automata baseline: lazy DFAs only pay for
+  the subsets a document actually visits — the trade-off Green et al. exploit — while
+  the eager table shows the worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EagerDFAFilter, LazyDFAFilter
+from repro.core import StreamingFilter
+from repro.workloads import alternating_path_query, deep_nested_predicate_query, nested_sections
+from repro.xmlstream import XMLDocument, XMLNode
+
+from .conftest import print_table
+
+_removal_rows = []
+_dfa_rows = []
+
+
+def _chain_document(depth: int) -> XMLDocument:
+    top = XMLNode.element("d0")
+    current = top
+    for index in range(1, depth):
+        current = current.append_child(XMLNode.element(f"d{index}"))
+    return XMLDocument.from_top_element(top)
+
+
+@pytest.mark.parametrize("depth", [4, 8, 16, 32])
+def test_child_axis_removal_ablation(benchmark, depth):
+    query = deep_nested_predicate_query(depth)
+    document = _chain_document(depth)
+
+    def run_both():
+        optimized = StreamingFilter(query)
+        unoptimized = StreamingFilter(query, remove_child_axis_records=False)
+        return (optimized.run_document(document), optimized.stats,
+                unoptimized.run_document(document), unoptimized.stats)
+
+    opt_result, opt_stats, unopt_result, unopt_stats = benchmark(run_both)
+    assert opt_result == unopt_result is True
+    assert opt_stats.peak_frontier_records <= unopt_stats.peak_frontier_records
+    benchmark.extra_info.update({
+        "query_depth": depth,
+        "peak_tuples_with_removal": opt_stats.peak_frontier_records,
+        "peak_tuples_without_removal": unopt_stats.peak_frontier_records,
+    })
+    _removal_rows.append((depth, opt_stats.peak_frontier_records,
+                          unopt_stats.peak_frontier_records))
+
+
+@pytest.mark.parametrize("steps", [6, 10, 14])
+def test_lazy_vs_eager_dfa(benchmark, steps):
+    query = alternating_path_query(steps)
+    document = nested_sections(5)
+
+    def run_both():
+        lazy = LazyDFAFilter(query)
+        eager = EagerDFAFilter(query)
+        return lazy.run_document(document), lazy, eager.run_document(document), eager
+
+    lazy_result, lazy, eager_result, eager = benchmark(run_both)
+    assert lazy_result == eager_result
+    assert lazy.dfa.state_count <= eager.dfa.state_count
+    benchmark.extra_info.update({
+        "steps": steps,
+        "lazy_states": lazy.dfa.state_count,
+        "eager_states": eager.dfa.state_count,
+    })
+    _dfa_rows.append((steps, lazy.dfa.state_count, eager.dfa.state_count,
+                      lazy.memory_report().total_bits,
+                      eager.memory_report().total_bits))
+
+
+def teardown_module(module):  # noqa: D103
+    if _removal_rows:
+        print_table(
+            "Ablation A1 - child-axis frontier removal (peak tuples, deep predicate chains)",
+            ["query depth", "with removal", "without removal"],
+            sorted(_removal_rows),
+        )
+    if _dfa_rows:
+        print_table(
+            "Ablation A2 - lazy vs. eager determinization",
+            ["steps", "lazy states", "eager states", "lazy bits", "eager bits"],
+            sorted(_dfa_rows),
+        )

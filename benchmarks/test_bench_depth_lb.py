@@ -1,0 +1,96 @@
+"""Experiments E05/E10: the document-depth lower bound (Theorems 4.6 / 7.14).
+
+The harness builds the depth fooling families for increasing depth budgets d, verifies
+the fooling-set property, and measures the filter's cut state.  The regenerated series is
+
+    d, certified lower bound (~ (log2 d)/2 bits), filter cut bits
+
+The paper's claim to check: the required state grows like log d (the level counter),
+i.e. doubling d adds a constant number of bits, not a constant factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lowerbounds import (
+    build_depth_family,
+    build_simple_depth_family,
+    measure_filter_cut_state,
+    verify_depth_family,
+)
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_simple_results = []
+_general_results = []
+
+
+class _CutPair:
+    """Adapter exposing a three-way split as a (prefix, suffix) pair for measurement."""
+
+    def __init__(self, instance):
+        self.alpha = list(instance.alpha)
+        self.beta = list(instance.beta) + list(instance.gamma)
+
+
+@pytest.mark.parametrize("depth", [8, 32, 128, 512])
+def test_simple_depth_bound(benchmark, depth):
+    """Theorem 4.6 family for /a/b."""
+    family = build_simple_depth_family(depth)
+    check = verify_depth_family(family, max_cross_checks=60)
+    assert check.valid, check.violations[:3]
+    query = family.query
+    pairs = [_CutPair(i) for i in family.instances]
+
+    measurement = benchmark(lambda: measure_filter_cut_state(query, pairs))
+    lower_bound = family.expected_bound_bits
+    assert measurement.max_state_bits >= lower_bound
+    benchmark.extra_info.update({
+        "depth": depth,
+        "lower_bound_bits": round(lower_bound, 2),
+        "filter_cut_bits": measurement.max_state_bits,
+    })
+    _simple_results.append((depth, round(lower_bound, 2), measurement.max_state_bits))
+
+
+@pytest.mark.parametrize("name,query_text", [
+    ("thm42", "/a[c[.//e and f] and b > 5]"),
+    ("a-b-c", "/a[b > 5]/c"),
+])
+def test_general_depth_bound(benchmark, name, query_text):
+    """Theorem 7.14 family built around canonical documents."""
+    query = parse_query(query_text)
+    family = build_depth_family(query, 64)
+    check = verify_depth_family(family, max_cross_checks=60)
+    assert check.valid, check.violations[:3]
+    pairs = [_CutPair(i) for i in family.instances]
+
+    measurement = benchmark(lambda: measure_filter_cut_state(query, pairs))
+    benchmark.extra_info.update({
+        "query": query_text,
+        "instances": len(family.instances),
+        "lower_bound_bits": round(family.expected_bound_bits, 2),
+        "filter_cut_bits": measurement.max_state_bits,
+    })
+    _general_results.append((name, len(family.instances),
+                             round(family.expected_bound_bits, 2),
+                             measurement.max_state_bits))
+
+
+def teardown_module(module):  # noqa: D103
+    if _simple_results:
+        print_table(
+            "E05 - document-depth bound, /a/b (Theorem 4.6)",
+            ["max depth d", "LB bits (log d / 2)", "filter cut bits"],
+            sorted(_simple_results),
+        )
+    if _general_results:
+        print_table(
+            "E10 - document-depth bound, general queries (Theorem 7.14)",
+            ["query", "instances", "LB bits", "filter cut bits"],
+            sorted(_general_results),
+        )

@@ -1,0 +1,93 @@
+"""Extension experiment: multi-subscription filtering (the dissemination front end).
+
+The paper's motivating application (selective dissemination of information) registers
+many XPath subscriptions and filters every incoming document against all of them.  The
+sweep measures how the filter bank's time and aggregate memory scale with the number of
+subscriptions, and compares the memory against buffering the document once (DOM).
+
+Expected shape: time and memory grow linearly with the number of subscriptions and stay
+independent of the document size, while the DOM cost is independent of the subscription
+count but linear in the document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import NaiveDOMFilter
+from repro.core import FilterBank
+from repro.workloads import book_catalog, frontier_sweep_queries
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_rows = []
+
+
+def _subscriptions(count: int):
+    """A pool of `count` distinct catalog subscriptions."""
+    templates = [
+        "/catalog/book[price < {v}]",
+        "/catalog/book[year > {y}]",
+        '/catalog/book[genre = "{g}" and price < {v}]',
+        "//book[price > {v} and year < {y}]",
+    ]
+    genres = ("fiction", "reference", "biography", "science", "poetry")
+    queries = []
+    for index in range(count):
+        template = templates[index % len(templates)]
+        text = template.format(v=10 + index, y=1995 + (index % 10), g=genres[index % 5])
+        queries.append((f"sub{index}", parse_query(text)))
+    return queries
+
+
+@pytest.mark.parametrize("subscriptions", [4, 16, 64])
+def test_filterbank_scaling(benchmark, subscriptions):
+    bank = FilterBank()
+    for name, query in _subscriptions(subscriptions):
+        bank.register(name, query)
+    document = book_catalog(100, seed=31)
+
+    result = benchmark(lambda: bank.filter_document(document))
+    dom = NaiveDOMFilter(parse_query("/catalog"))
+    dom.run_document(document)
+    dom_bits = dom.memory_report().total_bits
+    benchmark.extra_info.update({
+        "subscriptions": subscriptions,
+        "matched": len(result.matched),
+        "bank_bits": result.total_peak_memory_bits,
+        "dom_bits": dom_bits,
+    })
+    _rows.append((subscriptions, len(result.matched), result.total_peak_memory_bits,
+                  dom_bits))
+
+
+@pytest.mark.parametrize("width", [4, 16])
+def test_filterbank_memory_independent_of_document_size(benchmark, width):
+    bank = FilterBank()
+    for size, query in frontier_sweep_queries([width]).items():
+        bank.register(f"flat{size}", query)
+    small = book_catalog(10, seed=7)
+    large = book_catalog(500, seed=7)
+
+    def run():
+        return bank.filter_document(small), bank.filter_document(large)
+
+    small_result, large_result = benchmark(run)
+    # neither document matches the synthetic flat query, but the memory comparison is
+    # the point: the bank's state does not grow with the document
+    assert large_result.total_peak_memory_bits <= small_result.total_peak_memory_bits * 2
+    benchmark.extra_info.update({
+        "width": width,
+        "small_doc_bits": small_result.total_peak_memory_bits,
+        "large_doc_bits": large_result.total_peak_memory_bits,
+    })
+
+
+def teardown_module(module):  # noqa: D103
+    if _rows:
+        print_table(
+            "Extension - filter-bank scaling with the number of subscriptions",
+            ["subscriptions", "matched", "bank peak bits", "DOM bits (one buffer)"],
+            sorted(_rows),
+        )

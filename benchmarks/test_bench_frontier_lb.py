@@ -1,0 +1,72 @@
+"""Experiments E02/E03/E08: the query-frontier-size lower bound (Theorems 4.2 / 7.1).
+
+For each query the harness builds the 2^FS(Q) fooling-set family, verifies the
+fooling-set property against the reference evaluator, and measures the state our
+streaming filter must carry across the prefix/suffix cut.  The regenerated series is
+
+    query, FS(Q) (= certified lower bound, bits), filter tuples at the cut,
+    filter state bits at the cut
+
+The paper's claim to check: the lower bound holds (the filter can never use fewer than
+FS(Q) tuples on this family) and the algorithm is close to it (tuples ~ FS(Q)).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import query_frontier_size
+from repro.lowerbounds import (
+    build_frontier_family,
+    measure_filter_cut_state,
+    verify_frontier_family,
+)
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+FRONTIER_QUERIES = {
+    "thm42": "/a[c[.//e and f] and b > 5]",
+    "flat-4": "/r[c0 and c1 and c2 and c3]",
+    "flat-6": "/r[c0 and c1 and c2 and c3 and c4 and c5]",
+    "fig9": "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+    "balanced-2x3": "/n0[n1[n2 and n3] and n4[n5 and n6]]",
+}
+
+_results = []
+
+
+@pytest.mark.parametrize("name,query_text", sorted(FRONTIER_QUERIES.items()))
+def test_frontier_lower_bound(benchmark, name, query_text):
+    query = parse_query(query_text)
+    family = build_frontier_family(query, max_subsets=64)
+    check = verify_frontier_family(family, max_cross_checks=128)
+    assert check.valid, check.violations[:3]
+
+    def run():
+        return measure_filter_cut_state(query, family.pairs,
+                                        [True] * len(family.pairs))
+
+    measurement = benchmark(run)
+    fs = query_frontier_size(query)
+    assert measurement.decisions_correct
+    assert measurement.max_frontier_tuples >= fs
+    benchmark.extra_info.update({
+        "query": query_text,
+        "FS(Q)": fs,
+        "fooling_set_size": len(family.pairs),
+        "lower_bound_bits": family.expected_bound_bits,
+        "filter_cut_tuples": measurement.max_frontier_tuples,
+        "filter_cut_bits": measurement.max_state_bits,
+    })
+    _results.append((name, fs, len(family.pairs), measurement.max_frontier_tuples,
+                     measurement.max_state_bits))
+
+
+def teardown_module(module):  # noqa: D103 - prints the regenerated series
+    if _results:
+        print_table(
+            "E03/E08 - frontier-size lower bound vs. filter state at the cut",
+            ["query", "FS(Q)=LB bits", "fooling pairs", "filter tuples", "filter bits"],
+            sorted(_results),
+        )

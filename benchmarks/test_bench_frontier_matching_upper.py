@@ -1,0 +1,79 @@
+"""Experiment E13: the FS(Q)-matching upper bound (Theorem 8.8, second part).
+
+For path-consistency-free, closure-free queries on non-recursive documents the filter's
+frontier never holds more than FS(Q) tuples (plus the permanent root tuple in our
+variant).  The sweep regenerates the series
+
+    query, |Q|, FS(Q), measured peak tuples
+
+showing that the measured value tracks FS(Q), not |Q| — the sense in which the algorithm
+matches the main lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import classify, filter_with_statistics, query_frontier_size
+from repro.semantics import bool_eval
+from repro.workloads import balanced_query, deep_nested_predicate_query
+from repro.xmlstream import XMLDocument, XMLNode
+from repro.xpath import Query
+
+from .conftest import print_table
+
+_rows = []
+
+
+def _matching_document(query: Query) -> XMLDocument:
+    """A document mirroring the query tree exactly (child axes only, distinct names)."""
+
+    def build(query_node) -> XMLNode:
+        element = XMLNode.element(query_node.ntest)
+        for child in query_node.children:
+            element.append_child(build(child))
+        return element
+
+    root = XMLNode.root()
+    for child in query.root.children:
+        root.append_child(build(child))
+    return XMLDocument(root)
+
+
+CASES = {
+    "balanced-2x2": balanced_query(2, 2),
+    "balanced-2x4": balanced_query(2, 4),
+    "balanced-3x3": balanced_query(3, 3),
+    "chain-8": deep_nested_predicate_query(8),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_frontier_matching_upper_bound(benchmark, name):
+    query = CASES[name]
+    info = classify(query)
+    assert info.closure_free and info.path_consistency_free
+    document = _matching_document(query)
+    assert bool_eval(query, document)
+
+    decision, stats = benchmark(lambda: filter_with_statistics(query, document))
+    assert decision
+    fs = query_frontier_size(query)
+    # Theorem 8.8 part 2: peak tuples bounded by FS(Q) (+ the permanent root tuple)
+    assert stats.peak_frontier_records <= fs + 1
+    benchmark.extra_info.update({
+        "query_size": query.size(),
+        "FS(Q)": fs,
+        "peak_tuples": stats.peak_frontier_records,
+    })
+    _rows.append((name, query.size(), fs, stats.peak_frontier_records))
+
+
+def teardown_module(module):  # noqa: D103
+    if _rows:
+        print_table(
+            "E13 - peak frontier tuples vs. FS(Q) for path-consistency-free "
+            "closure-free queries",
+            ["query", "|Q|", "FS(Q)", "peak tuples"],
+            sorted(_rows),
+        )

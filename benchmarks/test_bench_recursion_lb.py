@@ -1,0 +1,93 @@
+"""Experiments E04/E09: the recursion-depth lower bound (Theorems 4.5 / 7.4).
+
+The harness builds set-disjointness document families for increasing recursion depth r,
+verifies the match <=> intersect correspondence, and measures the filter's state at the
+Alice/Bob cut.  The regenerated series is
+
+    r, certified lower bound (r bits), filter tuples at the cut, filter bits at the cut
+
+The paper's claim to check: the state grows linearly with r (Omega(r)), and the filter's
+usage is O(|Q| * r) — the same shape, a small constant factor above the bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbounds import (
+    build_recursion_family,
+    build_simple_recursion_family,
+    measure_filter_cut_state,
+    verify_recursion_family,
+)
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_simple_results = []
+_general_results = []
+
+
+@pytest.mark.parametrize("r", [2, 4, 8, 16, 32])
+def test_simple_recursion_bound(benchmark, r):
+    """Theorem 4.5 family for //a[b and c]."""
+    family = build_simple_recursion_family(r, max_instances=16, seed=5)
+    check = verify_recursion_family(family, check_depth=False)
+    assert check.valid, check.violations[:3]
+    query = family.query
+    expected = [i.intersecting for i in family.instances]
+
+    measurement = benchmark(
+        lambda: measure_filter_cut_state(query, family.instances, expected)
+    )
+    assert measurement.decisions_correct
+    assert measurement.max_frontier_tuples >= r
+    benchmark.extra_info.update({
+        "r": r,
+        "lower_bound_bits": family.expected_bound_bits,
+        "filter_cut_tuples": measurement.max_frontier_tuples,
+        "filter_cut_bits": measurement.max_state_bits,
+    })
+    _simple_results.append((r, family.expected_bound_bits,
+                            measurement.max_frontier_tuples,
+                            measurement.max_state_bits))
+
+
+@pytest.mark.parametrize("r", [2, 4, 8])
+def test_general_recursion_bound(benchmark, r):
+    """Theorem 7.4 family for the paper's worked example //d[f and a[b and c]]."""
+    query = parse_query("//d[f and a[b and c]]")
+    family = build_recursion_family(query, r, max_instances=12, seed=7)
+    check = verify_recursion_family(family, check_depth=False)
+    assert check.valid, check.violations[:3]
+    expected = [i.intersecting for i in family.instances]
+
+    measurement = benchmark(
+        lambda: measure_filter_cut_state(query, family.instances, expected)
+    )
+    assert measurement.decisions_correct
+    assert measurement.max_frontier_tuples >= r
+    benchmark.extra_info.update({
+        "r": r,
+        "lower_bound_bits": family.expected_bound_bits,
+        "filter_cut_tuples": measurement.max_frontier_tuples,
+        "filter_cut_bits": measurement.max_state_bits,
+    })
+    _general_results.append((r, family.expected_bound_bits,
+                             measurement.max_frontier_tuples,
+                             measurement.max_state_bits))
+
+
+def teardown_module(module):  # noqa: D103
+    if _simple_results:
+        print_table(
+            "E04 - recursion-depth bound, //a[b and c] (Theorem 4.5)",
+            ["r", "LB bits", "filter tuples", "filter bits"],
+            sorted(_simple_results),
+        )
+    if _general_results:
+        print_table(
+            "E09 - recursion-depth bound, //d[f and a[b and c]] (Theorem 7.4)",
+            ["r", "LB bits", "filter tuples", "filter bits"],
+            sorted(_general_results),
+        )

@@ -1,0 +1,115 @@
+"""Experiment E12 (space): the Theorem 8.8 upper bound, measured.
+
+Theorem 8.8 states the filter uses O(|Q| * r * (log|Q| + log d + log w) + w) bits.  The
+sweeps below vary one parameter at a time and record the filter's measured peak memory:
+
+* recursion depth r     (recursive //r[b...] query over nested documents)
+* document depth d      (fixed query, growing padding depth)
+* text width w          (fixed query, growing leaf string value)
+* query size |Q|        (growing conjunction width)
+
+The claim to check is the *shape*: linear in r, w and |Q|; logarithmic in d.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import filter_with_statistics, query_frontier_size
+from repro.workloads import (
+    deep_padded_document,
+    descendant_branch_query,
+    frontier_sweep_queries,
+    long_text_document,
+    matching_document_for_frontier_query,
+    recursive_branch_document,
+)
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_recursion_rows = []
+_depth_rows = []
+_width_rows = []
+_size_rows = []
+
+
+@pytest.mark.parametrize("r", [1, 2, 4, 8, 16, 32])
+def test_space_vs_recursion_depth(benchmark, r):
+    query = descendant_branch_query(3)
+    names = [f"b{i}" for i in range(3)]
+    document = recursive_branch_document(names, r, match_at=r)
+
+    decision, stats = benchmark(lambda: filter_with_statistics(query, document))
+    assert decision
+    benchmark.extra_info.update({
+        "r": r,
+        "peak_tuples": stats.peak_frontier_records,
+        "peak_bits": stats.peak_memory_bits,
+    })
+    _recursion_rows.append((r, stats.peak_frontier_records, stats.peak_memory_bits))
+
+
+@pytest.mark.parametrize("padding", [1, 8, 64, 512])
+def test_space_vs_document_depth(benchmark, padding):
+    query = parse_query("/a//b[c]")
+    document = deep_padded_document(["b", "c"], padding)
+
+    decision, stats = benchmark(lambda: filter_with_statistics(query, document))
+    assert decision
+    benchmark.extra_info.update({
+        "depth": document.depth(),
+        "peak_tuples": stats.peak_frontier_records,
+        "peak_bits": stats.peak_memory_bits,
+    })
+    _depth_rows.append((document.depth(), stats.peak_frontier_records,
+                        stats.peak_memory_bits))
+
+
+@pytest.mark.parametrize("width", [4, 64, 1024, 8192])
+def test_space_vs_text_width(benchmark, width):
+    query = parse_query("/a[b > 5]")
+    document = long_text_document(width)
+
+    decision, stats = benchmark(lambda: filter_with_statistics(query, document))
+    assert decision
+    benchmark.extra_info.update({
+        "text_width": width,
+        "peak_buffer_chars": stats.peak_buffer_chars,
+        "peak_bits": stats.peak_memory_bits,
+    })
+    _width_rows.append((width, stats.peak_buffer_chars, stats.peak_memory_bits))
+
+
+@pytest.mark.parametrize("size", [2, 4, 8, 16, 32])
+def test_space_vs_query_size(benchmark, size):
+    query = frontier_sweep_queries([size])[size]
+    names = [f"c{i}" for i in range(size)]
+    document = matching_document_for_frontier_query(names)
+
+    decision, stats = benchmark(lambda: filter_with_statistics(query, document))
+    assert decision
+    assert stats.peak_frontier_records <= query_frontier_size(query) + 1
+    benchmark.extra_info.update({
+        "query_size": query.size(),
+        "FS(Q)": query_frontier_size(query),
+        "peak_tuples": stats.peak_frontier_records,
+        "peak_bits": stats.peak_memory_bits,
+    })
+    _size_rows.append((query.size(), query_frontier_size(query),
+                       stats.peak_frontier_records, stats.peak_memory_bits))
+
+
+def teardown_module(module):  # noqa: D103
+    if _recursion_rows:
+        print_table("E12a - filter space vs. recursion depth r (expected: linear)",
+                    ["r", "peak tuples", "peak bits"], sorted(_recursion_rows))
+    if _depth_rows:
+        print_table("E12b - filter space vs. document depth d (expected: logarithmic)",
+                    ["depth", "peak tuples", "peak bits"], sorted(_depth_rows))
+    if _width_rows:
+        print_table("E12c - filter space vs. text width w (expected: linear in w)",
+                    ["w", "peak buffer chars", "peak bits"], sorted(_width_rows))
+    if _size_rows:
+        print_table("E12d - filter space vs. query size (expected: ~FS(Q) tuples)",
+                    ["|Q|", "FS(Q)", "peak tuples", "peak bits"], sorted(_size_rows))

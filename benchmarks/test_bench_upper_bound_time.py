@@ -1,0 +1,60 @@
+"""Experiment E12 (time): the filter's running time is near-linear in the document size.
+
+Theorem 8.8 gives a running time of O~(|D| * |Q| * r).  The sweep filters book catalogs
+of growing size with a fixed dissemination query and reports events/second; the claim to
+check is that time per event stays roughly constant as |D| grows (linear total time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StreamingFilter
+from repro.workloads import book_catalog
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_rows = []
+
+
+@pytest.mark.parametrize("books", [10, 50, 250, 1000])
+def test_time_vs_document_size(benchmark, books):
+    query = parse_query('/catalog/book[price < 20 and genre = "fiction"]')
+    document = book_catalog(books, seed=13)
+    events = document.events()
+    streaming_filter = StreamingFilter(query)
+
+    result = benchmark(lambda: streaming_filter.run(events))
+    assert isinstance(result, bool)
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info.update({
+        "books": books,
+        "events": len(events),
+        "microseconds_per_event": round(mean / len(events) * 1e6, 3),
+    })
+    _rows.append((books, len(events), round(mean * 1e3, 3),
+                  round(mean / len(events) * 1e6, 3)))
+
+
+@pytest.mark.parametrize("query_size", [2, 8, 24])
+def test_time_vs_query_size(benchmark, query_size):
+    from repro.workloads import frontier_sweep_queries, matching_document_for_frontier_query
+
+    query = frontier_sweep_queries([query_size])[query_size]
+    names = [f"c{i}" for i in range(query_size)]
+    document = matching_document_for_frontier_query(names)
+    events = document.events()
+    streaming_filter = StreamingFilter(query)
+
+    benchmark(lambda: streaming_filter.run(events))
+    benchmark.extra_info.update({"query_size": query_size})
+
+
+def teardown_module(module):  # noqa: D103
+    if _rows:
+        print_table(
+            "E12e - filter time vs. document size (expected: ~constant us/event)",
+            ["books", "events", "mean ms/run", "us/event"],
+            sorted(_rows),
+        )

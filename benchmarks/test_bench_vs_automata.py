@@ -1,0 +1,102 @@
+"""Experiment E14: the paper's motivating comparison against automata and buffering.
+
+Section 1.2 / Section 2: automata-based streaming evaluators pay for transition tables
+that are exponential in the query in the worst case, and naive evaluation pays for
+buffering the document; the paper's algorithm avoids both.  Two regenerated series:
+
+* transition-table size (eager DFA) vs. filter memory as the number of //-alternations
+  in a linear query grows — the blow-up curve;
+* total memory of naive DOM buffering vs. the filter on growing documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import EagerDFAFilter, LazyDFAFilter, NaiveDOMFilter, PathNFAFilter
+from repro.core import filter_with_statistics
+from repro.semantics import bool_eval
+from repro.workloads import alternating_path_query, book_catalog, nested_sections
+from repro.xpath import parse_query
+
+from .conftest import print_table
+
+_blowup_rows = []
+_buffering_rows = []
+
+
+@pytest.mark.parametrize("steps", [4, 8, 12, 16])
+def test_automata_blowup_vs_filter(benchmark, steps):
+    query = alternating_path_query(steps)
+    document = nested_sections(5)
+
+    def run_all():
+        eager = EagerDFAFilter(query)
+        lazy = LazyDFAFilter(query)
+        nfa = PathNFAFilter(query)
+        answers = {
+            "eager": eager.run_document(document),
+            "lazy": lazy.run_document(document),
+            "nfa": nfa.run_document(document),
+        }
+        return eager, lazy, nfa, answers
+
+    eager, lazy, nfa, answers = benchmark(run_all)
+    reference = bool_eval(query, document)
+    assert all(answer == reference for answer in answers.values())
+    decision, stats = filter_with_statistics(query, document)
+    assert decision == reference
+
+    eager_bits = eager.memory_report().total_bits
+    lazy_bits = lazy.memory_report().total_bits
+    nfa_bits = nfa.memory_report().total_bits
+    benchmark.extra_info.update({
+        "query_steps": steps,
+        "eager_dfa_states": eager.dfa.state_count,
+        "eager_dfa_bits": eager_bits,
+        "lazy_dfa_bits": lazy_bits,
+        "nfa_bits": nfa_bits,
+        "filter_bits": stats.peak_memory_bits,
+    })
+    _blowup_rows.append((steps, eager.dfa.state_count, eager_bits, lazy_bits,
+                         nfa_bits, stats.peak_memory_bits))
+
+
+@pytest.mark.parametrize("books", [20, 100, 500])
+def test_buffering_vs_filter(benchmark, books):
+    query = parse_query("/catalog/book[price < 20]")
+    document = book_catalog(books, seed=11)
+
+    def run_dom():
+        baseline = NaiveDOMFilter(query)
+        baseline.run_document(document)
+        return baseline
+
+    baseline = benchmark(run_dom)
+    dom_bits = baseline.memory_report().total_bits
+    decision, stats = filter_with_statistics(query, document)
+    assert decision == bool_eval(query, document)
+    benchmark.extra_info.update({
+        "books": books,
+        "dom_bits": dom_bits,
+        "filter_bits": stats.peak_memory_bits,
+        "ratio": round(dom_bits / max(stats.peak_memory_bits, 1), 1),
+    })
+    _buffering_rows.append((books, dom_bits, stats.peak_memory_bits,
+                            round(dom_bits / max(stats.peak_memory_bits, 1), 1)))
+
+
+def teardown_module(module):  # noqa: D103
+    if _blowup_rows:
+        print_table(
+            "E14a - automata transition tables vs. the filter (//-alternating queries)",
+            ["steps", "DFA states", "eager DFA bits", "lazy DFA bits", "NFA bits",
+             "filter bits"],
+            sorted(_blowup_rows),
+        )
+    if _buffering_rows:
+        print_table(
+            "E14b - DOM buffering vs. the filter (growing documents)",
+            ["books", "DOM bits", "filter bits", "ratio"],
+            sorted(_buffering_rows),
+        )

@@ -1,0 +1,53 @@
+"""Quickstart: parse a query, stream a document through the filter, inspect the result.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import (
+    bool_eval,
+    classify,
+    filter_with_statistics,
+    full_eval_values,
+    parse_document,
+    parse_query,
+    query_frontier_size,
+)
+
+
+def main() -> None:
+    # 1. A query and a document ------------------------------------------------------
+    query = parse_query("/catalog/book[price < 20 and genre = \"fiction\"]")
+    document = parse_document(
+        "<catalog>"
+        "<book><title>Streams</title><price>12</price><genre>fiction</genre></book>"
+        "<book><title>Automata</title><price>55</price><genre>fiction</genre></book>"
+        "<book><title>Bounds</title><price>9</price><genre>reference</genre></book>"
+        "</catalog>"
+    )
+
+    # 2. Streaming filtering (the paper's Section 8 algorithm) ------------------------
+    decision, stats = filter_with_statistics(query, document)
+    print(f"query:     {query.to_xpath()}")
+    print(f"matches:   {decision}")
+    print(f"memory:    {stats.peak_memory_bits} bits "
+          f"({stats.peak_frontier_records} frontier tuples, "
+          f"{stats.peak_buffer_chars} buffered characters)")
+
+    # 3. Cross-check with the reference (in-memory) evaluator -------------------------
+    print(f"reference: {bool_eval(query, document)}")
+    print(f"selected:  {full_eval_values(parse_query('/catalog/book/title'), document)}")
+
+    # 4. What the theory says about this query ----------------------------------------
+    info = classify(query)
+    print(f"redundancy-free: {info.redundancy_free}")
+    print(f"frontier size FS(Q) = {query_frontier_size(query)} "
+          "(the paper's lower bound on the memory any streaming algorithm needs)")
+
+
+if __name__ == "__main__":
+    main()

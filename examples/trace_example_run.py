@@ -1,0 +1,34 @@
+"""Reproduce the paper's example run of the filtering algorithm (Fig. 22).
+
+The query is /a[c[.//e and f] and b] and the document contains an irrelevant <d/>
+element, a second <c/> element that arrives after the first one already matched, and
+the frontier never holds more than FS(Q) = 3 tuples.
+
+Run with:  python examples/trace_example_run.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro import parse_document, parse_query, query_frontier_size, trace_run
+
+
+def main() -> None:
+    query = parse_query("/a[c[.//e and f] and b]")
+    document = parse_document("<a><c><d/><e/><f/></c><b/><c/></a>")
+
+    print(f"query:    {query.to_xpath()}")
+    print(f"document: {document.compact()}")
+    print(f"FS(Q) =   {query_frontier_size(query)}\n")
+
+    trace = trace_run(query, document)
+    print(trace.as_table())
+    print()
+    print(f"maximum frontier tuples observed: {trace.max_frontier_tuples()}")
+    print(f"document matches the query:       {trace.final_root_matched()}")
+
+
+if __name__ == "__main__":
+    main()

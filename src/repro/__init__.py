@@ -1,0 +1,64 @@
+"""repro: a reproduction of "On the Memory Requirements of XPath Evaluation over XML
+Streams" (Bar-Yossef, Fontoura, Josifovski; PODS 2004 / JCSS 2007).
+
+The package is organised as follows:
+
+* :mod:`repro.xmlstream`   -- XML data model, SAX event streams, parsing, generation
+* :mod:`repro.xpath`       -- Forward XPath parser, query trees, predicates, truth sets
+* :mod:`repro.semantics`   -- reference evaluator, matchings, homomorphisms
+* :mod:`repro.core`        -- Redundancy-free XPath, frontiers, canonical documents,
+                              and the streaming filtering algorithm (the paper's
+                              contribution)
+* :mod:`repro.lowerbounds` -- communication-complexity machinery and the three
+                              lower-bound document families
+* :mod:`repro.baselines`   -- DOM / NFA / DFA baselines for the memory comparison
+* :mod:`repro.workloads`   -- query and document workload generators
+* :mod:`repro.instrument`  -- bit-level memory accounting models
+
+Quick start::
+
+    from repro import parse_query, parse_document, filter_document
+
+    query = parse_query("/catalog/book[price < 20]")
+    document = parse_document("<catalog><book><price>12</price></book></catalog>")
+    assert filter_document(query, document)
+"""
+
+from .core import (
+    StreamingFilter,
+    build_canonical_document,
+    classify,
+    filter_document,
+    filter_events,
+    filter_with_statistics,
+    is_redundancy_free,
+    query_frontier_size,
+    trace_run,
+)
+from .semantics import bool_eval, full_eval, full_eval_values
+from .xmlstream import XMLDocument, XMLNode, parse_document, parse_events
+from .xpath import Query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Query",
+    "StreamingFilter",
+    "XMLDocument",
+    "XMLNode",
+    "__version__",
+    "bool_eval",
+    "build_canonical_document",
+    "classify",
+    "filter_document",
+    "filter_events",
+    "filter_with_statistics",
+    "full_eval",
+    "full_eval_values",
+    "is_redundancy_free",
+    "parse_document",
+    "parse_events",
+    "parse_query",
+    "query_frontier_size",
+    "trace_run",
+]

@@ -1,0 +1,23 @@
+"""Baseline filters: DOM buffering, NFA simulation, and lazy/eager DFA determinization."""
+
+from .automata import DFA, OTHER, PathNFA, PathStep, determinize, linear_steps, nfa_state_blowup
+from .base import BaselineFilter, MemoryReport
+from .dfa_filter import EagerDFAFilter, LazyDFAFilter
+from .naive_dom import NaiveDOMFilter
+from .nfa_filter import PathNFAFilter
+
+__all__ = [
+    "BaselineFilter",
+    "DFA",
+    "EagerDFAFilter",
+    "LazyDFAFilter",
+    "MemoryReport",
+    "NaiveDOMFilter",
+    "OTHER",
+    "PathNFA",
+    "PathNFAFilter",
+    "PathStep",
+    "determinize",
+    "linear_steps",
+    "nfa_state_blowup",
+]

@@ -1,0 +1,176 @@
+"""Automaton construction for linear (path) XPath queries.
+
+The automata-based streaming filters in the literature translate the query into a finite
+automaton over the alphabet of element names and simulate it along the document's
+root-to-node paths.  For the baseline comparison we only need the *linear* case (a
+single path of child/descendant steps without predicates): it already exhibits the
+exponential determinization blow-up the paper discusses, and it keeps the baseline
+honest (its answers are checked against the reference evaluator in the tests).
+
+``PathNFA`` builds the standard nondeterministic automaton:
+
+* one state per query step (state 0 is the initial state, state ``n`` accepts);
+* a child step ``/name`` gives a transition ``i --name--> i+1``;
+* a descendant step ``//name`` additionally lets the automaton wait: ``i --ANY--> i``;
+* a wildcard step matches every label.
+
+``determinize`` performs the subset construction, either eagerly (all reachable
+subsets) or lazily (on demand while a document is being filtered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import UnsupportedQueryError
+from ..xpath.query import CHILD, DESCENDANT, Query, WILDCARD
+
+#: pseudo-label standing for "any element name not mentioned in the query"
+OTHER = "#other"
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of a linear path query."""
+
+    axis: str
+    ntest: str
+
+
+def linear_steps(query: Query) -> List[PathStep]:
+    """Extract the steps of a linear query; raise if the query is not a single path."""
+    steps: List[PathStep] = []
+    node = query.root
+    while node is not None:
+        if node.predicate is not None or len(node.children) > (1 if node.successor else 0):
+            raise UnsupportedQueryError(
+                "automata baselines support linear path queries without predicates only"
+            )
+        next_node = node.successor
+        if next_node is None and node is not query.root:
+            break
+        if next_node is None:
+            raise UnsupportedQueryError("query has no steps")
+        if next_node.axis not in (CHILD, DESCENDANT):
+            raise UnsupportedQueryError(
+                f"unsupported axis {next_node.axis!r} in automata baseline"
+            )
+        steps.append(PathStep(axis=next_node.axis, ntest=next_node.ntest or WILDCARD))
+        node = next_node
+    return steps
+
+
+class PathNFA:
+    """The nondeterministic automaton of a linear path query."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.steps = linear_steps(query)
+        self.state_count = len(self.steps) + 1
+        self.accept_state = len(self.steps)
+        self.alphabet = sorted({s.ntest for s in self.steps if s.ntest != WILDCARD})
+
+    def initial(self) -> FrozenSet[int]:
+        return frozenset({0})
+
+    def step(self, states: FrozenSet[int], label: str) -> FrozenSet[int]:
+        """The set of states reachable after reading one more path element ``label``."""
+        out: Set[int] = set()
+        for state in states:
+            if state < len(self.steps):
+                step = self.steps[state]
+                if step.ntest == WILDCARD or step.ntest == label:
+                    out.add(state + 1)
+                if step.axis == DESCENDANT:
+                    out.add(state)
+            else:
+                # the accept state absorbs (a match deeper in the path stays a match)
+                out.add(state)
+        return frozenset(out)
+
+    def accepts(self, states: FrozenSet[int]) -> bool:
+        return self.accept_state in states
+
+
+@dataclass
+class DFA:
+    """A determinized path automaton (possibly partial, when built lazily)."""
+
+    nfa: PathNFA
+    alphabet: List[str]
+    states: Dict[FrozenSet[int], int] = field(default_factory=dict)
+    transitions: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    accepting: Set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            self._intern(self.nfa.initial())
+
+    @property
+    def initial_id(self) -> int:
+        return 0
+
+    def _intern(self, subset: FrozenSet[int]) -> int:
+        if subset not in self.states:
+            self.states[subset] = len(self.states)
+            if self.nfa.accepts(subset):
+                self.accepting.add(self.states[subset])
+        return self.states[subset]
+
+    def subset_of(self, state_id: int) -> FrozenSet[int]:
+        for subset, identifier in self.states.items():
+            if identifier == state_id:
+                return subset
+        raise KeyError(state_id)  # pragma: no cover - internal invariant
+
+    def transition(self, state_id: int, label: str) -> int:
+        """The successor state, computing and caching it on demand (lazy subset step)."""
+        key_label = label if label in self.alphabet else OTHER
+        key = (state_id, key_label)
+        cached = self.transitions.get(key)
+        if cached is not None:
+            return cached
+        subset = self.subset_of(state_id)
+        target = self._intern(self.nfa.step(subset, key_label))
+        self.transitions[key] = target
+        return target
+
+    def is_accepting(self, state_id: int) -> bool:
+        return state_id in self.accepting
+
+    # ------------------------------------------------------------------ statistics
+    @property
+    def state_count(self) -> int:
+        return len(self.states)
+
+    @property
+    def transition_count(self) -> int:
+        return len(self.transitions)
+
+    def full_table_size(self) -> int:
+        """Entries of a dense table over the query alphabet plus the OTHER label."""
+        return self.state_count * (len(self.alphabet) + 1)
+
+
+def determinize(nfa: PathNFA) -> DFA:
+    """Eager subset construction: materialize every reachable DFA state and transition."""
+    dfa = DFA(nfa=nfa, alphabet=list(nfa.alphabet))
+    labels = list(nfa.alphabet) + [OTHER]
+    worklist = [dfa.initial_id]
+    seen = {dfa.initial_id}
+    while worklist:
+        state_id = worklist.pop()
+        for label in labels:
+            target = dfa.transition(state_id, label)
+            if target not in seen:
+                seen.add(target)
+                worklist.append(target)
+    return dfa
+
+
+def nfa_state_blowup(query: Query) -> Tuple[int, int]:
+    """(NFA states, eager DFA states) for a linear query — the classic blow-up figure."""
+    nfa = PathNFA(query)
+    dfa = determinize(nfa)
+    return nfa.state_count, dfa.state_count

@@ -1,0 +1,50 @@
+"""Common interface for the baseline filtering algorithms.
+
+The baselines exist so the benchmark harness can reproduce the paper's motivating
+comparison (Sections 1.2 and 2): automata-based streaming filters pay for large
+transition tables (exponential in the query in the worst case), and naive approaches pay
+for buffering the document, while the paper's algorithm needs neither.
+
+Every baseline implements :class:`BaselineFilter`: a ``run`` method over a SAX event
+stream returning the boolean filtering decision, and a ``memory_report`` describing the
+bits of state it had to maintain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import Event
+
+
+@dataclass
+class MemoryReport:
+    """Bit-level memory accounting of one baseline run."""
+
+    algorithm: str
+    total_bits: int
+    components: Dict[str, int] = field(default_factory=dict)
+
+    def component(self, name: str) -> int:
+        return self.components.get(name, 0)
+
+
+class BaselineFilter:
+    """Abstract base class of baseline streaming filters."""
+
+    #: short identifier used in benchmark output
+    name = "baseline"
+
+    def run(self, events: Iterable[Event]) -> bool:
+        """Process a complete document stream and return the filtering decision."""
+        raise NotImplementedError
+
+    def run_document(self, document: XMLDocument) -> bool:
+        """Convenience wrapper feeding a materialized document's events."""
+        return self.run(document.events())
+
+    def memory_report(self) -> MemoryReport:
+        """The memory used by the most recent :meth:`run`."""
+        raise NotImplementedError

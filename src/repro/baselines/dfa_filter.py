@@ -1,0 +1,83 @@
+"""Baselines: lazy and eager DFA filtering of a linear path query.
+
+These model the deterministic-automaton approach (Green et al. style): the NFA of the
+query is determinized by the subset construction — either up front (*eager*), which pays
+for every reachable subset, or on demand while the stream is processed (*lazy*), which
+pays only for the subsets the document actually visits but keeps the growing transition
+table across documents.  In both cases the runtime state is a stack of DFA state ids
+(one per open element), and the dominant memory cost is the transition table, which is
+what the paper's Section 1.2 identifies as the first source of memory blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..instrument.memory import AutomatonMemoryModel, bits_for
+from ..xmlstream.events import EndElement, Event, StartDocument, StartElement
+from ..xpath.query import Query
+from .automata import DFA, OTHER, PathNFA, determinize
+from .base import BaselineFilter, MemoryReport
+
+
+class _DFAFilterBase(BaselineFilter):
+    """Shared stream-processing loop for the two DFA baselines."""
+
+    def __init__(self, query: Query, dfa: DFA) -> None:
+        self.query = query
+        self.dfa = dfa
+        self._model = AutomatonMemoryModel()
+        self._peak_stack_depth = 0
+
+    def run(self, events: Iterable[Event]) -> bool:
+        stack: List[int] = []
+        matched = False
+        self._peak_stack_depth = 0
+        for event in events:
+            if isinstance(event, StartDocument):
+                stack = [self.dfa.initial_id]
+                matched = matched or self.dfa.is_accepting(stack[-1])
+            elif isinstance(event, StartElement):
+                state = self.dfa.transition(stack[-1], event.name)
+                stack.append(state)
+                matched = matched or self.dfa.is_accepting(state)
+            elif isinstance(event, EndElement):
+                stack.pop()
+            self._peak_stack_depth = max(self._peak_stack_depth, len(stack))
+        return matched
+
+    def memory_report(self) -> MemoryReport:
+        table_bits = self._model.transition_table_bits(
+            self.dfa.state_count, len(self.dfa.alphabet) + 1
+        )
+        stack_bits = self._model.stack_bits(self._peak_stack_depth, self.dfa.state_count)
+        return MemoryReport(
+            algorithm=self.name,
+            total_bits=table_bits + stack_bits + bits_for(self._peak_stack_depth + 1),
+            components={
+                "dfa_states": self.dfa.state_count,
+                "transition_entries": self.dfa.transition_count,
+                "table_bits": table_bits,
+                "peak_stack_depth": self._peak_stack_depth,
+                "stack_bits": stack_bits,
+            },
+        )
+
+
+class LazyDFAFilter(_DFAFilterBase):
+    """Determinize on demand: only the subsets visited by the stream are materialized."""
+
+    name = "lazy-dfa"
+
+    def __init__(self, query: Query) -> None:
+        super().__init__(query, DFA(nfa=PathNFA(query), alphabet=list(PathNFA(query).alphabet)))
+
+
+class EagerDFAFilter(_DFAFilterBase):
+    """Full subset construction up front (the worst-case transition-table cost)."""
+
+    name = "eager-dfa"
+
+    def __init__(self, query: Query) -> None:
+        nfa = PathNFA(query)
+        super().__init__(query, determinize(nfa))

@@ -1,0 +1,60 @@
+"""Baseline: buffer the entire document and evaluate in memory.
+
+This is the trivial (non-streaming) approach: build the DOM tree from the event stream
+and run the reference evaluator on it.  It supports every query the reference evaluator
+supports, but its memory is proportional to the document size — exactly the cost the
+streaming algorithms are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..instrument.memory import DOMMemoryModel
+from ..semantics.evaluator import bool_eval
+from ..xmlstream.build import build_document
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import Event
+from ..xmlstream.node import TEXT
+from ..xpath.query import Query
+from .base import BaselineFilter, MemoryReport
+
+
+class NaiveDOMFilter(BaselineFilter):
+    """Materialize the document, then evaluate the query with the reference semantics."""
+
+    name = "naive-dom"
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self._model = DOMMemoryModel()
+        self._last_document: Optional[XMLDocument] = None
+
+    def run(self, events: Iterable[Event]) -> bool:
+        document = build_document(list(events))
+        self._last_document = document
+        return bool_eval(self.query, document)
+
+    def memory_report(self) -> MemoryReport:
+        document = self._last_document
+        if document is None:
+            return MemoryReport(algorithm=self.name, total_bits=0)
+        element_count = 0
+        text_chars = 0
+        name_chars = 0
+        for node in document.iter_nodes(include_root=False):
+            if node.kind == TEXT:
+                text_chars += len(node.text_content or "")
+            else:
+                element_count += 1
+                name_chars += len(node.name or "")
+        total = self._model.bits(element_count, text_chars, name_chars)
+        return MemoryReport(
+            algorithm=self.name,
+            total_bits=total,
+            components={
+                "elements": element_count,
+                "text_chars": text_chars,
+                "name_chars": name_chars,
+            },
+        )

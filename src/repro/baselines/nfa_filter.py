@@ -1,0 +1,62 @@
+"""Baseline: NFA simulation of a linear path query over the document stream.
+
+The filter keeps a stack of NFA state *sets*: on ``startElement`` the next set is
+computed from the set on top of the stack, on ``endElement`` the set is popped.  The
+document matches when an accepting set is ever reached.  Memory is the stack of state
+sets (one bit per NFA state per frame) — linear in the query size times the document
+depth, but without any transition table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..instrument.memory import AutomatonMemoryModel, bits_for
+from ..xmlstream.events import EndElement, Event, StartDocument, StartElement
+from ..xpath.query import Query
+from .automata import PathNFA
+from .base import BaselineFilter, MemoryReport
+
+
+class PathNFAFilter(BaselineFilter):
+    """Stack-based NFA simulation (the XFilter/YFilter-style baseline, single query)."""
+
+    name = "path-nfa"
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.nfa = PathNFA(query)
+        self._model = AutomatonMemoryModel()
+        self._peak_stack_depth = 0
+
+    def run(self, events: Iterable[Event]) -> bool:
+        stack: List = []
+        matched = False
+        self._peak_stack_depth = 0
+        for event in events:
+            if isinstance(event, StartDocument):
+                stack = [self.nfa.initial()]
+                matched = matched or self.nfa.accepts(stack[-1])
+            elif isinstance(event, StartElement):
+                label = event.name if event.name in self.nfa.alphabet else "#other"
+                next_states = self.nfa.step(stack[-1], label)
+                stack.append(next_states)
+                matched = matched or self.nfa.accepts(next_states)
+            elif isinstance(event, EndElement):
+                stack.pop()
+            self._peak_stack_depth = max(self._peak_stack_depth, len(stack))
+        return matched
+
+    def memory_report(self) -> MemoryReport:
+        stack_bits = self._model.nfa_state_set_bits(
+            self.nfa.state_count, self._peak_stack_depth
+        )
+        return MemoryReport(
+            algorithm=self.name,
+            total_bits=stack_bits + bits_for(self._peak_stack_depth + 1),
+            components={
+                "nfa_states": self.nfa.state_count,
+                "peak_stack_depth": self._peak_stack_depth,
+                "stack_bits": stack_bits,
+            },
+        )

@@ -1,0 +1,183 @@
+"""Canonical documents (Section 6.4) and the canonical matching.
+
+For every redundancy-free query the paper defines a canonical document that (a) matches
+the query, and (b) admits exactly one matching.  The construction mirrors the query
+tree:
+
+* each query node gets a *shadow* element whose name is the node test (or an auxiliary
+  name for wildcards);
+* a node with a descendant axis is separated from its parent's shadow by a chain of
+  ``h + 1`` *artificial* elements bearing the auxiliary name, where ``h`` is the longest
+  wildcard chain in the query;
+* each shadow receives a text value: for query leaves a sunflower witness (a member of
+  the leaf's truth set outside the truth sets of the leaves it structurally dominates),
+  for internal nodes a prefix-sunflower witness placed *before* the other children.
+
+Canonical documents are the backbone of the general lower-bound constructions
+(Theorems 7.1, 7.4 and 7.14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..semantics.matching import MatchingView, count_matchings, iter_matchings
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import XMLNode
+from ..xpath.query import DESCENDANT, Query, QueryNode
+from .errors import CanonicalDocumentError
+from .fragments import (
+    is_conjunctive,
+    is_leaf_only_value_restricted,
+    is_star_restricted,
+    is_univariate,
+    prefix_sunflower_witness,
+    sunflower_witness,
+)
+
+_AUXILIARY_CANDIDATES = ("Z", "Z0", "Z1", "Z2", "AUX", "AUX0")
+
+
+def auxiliary_name(query: Query) -> str:
+    """A name that does not occur as a node test in the query (``getAuxiliaryName``)."""
+    used = set(query.element_names())
+    for candidate in _AUXILIARY_CANDIDATES:
+        if candidate not in used:
+            return candidate
+    index = 0
+    while f"Zaux{index}" in used:  # pragma: no cover - exhausted fixed candidates
+        index += 1
+    return f"Zaux{index}"
+
+
+@dataclass
+class CanonicalDocument:
+    """The canonical document of a query together with its bookkeeping maps."""
+
+    query: Query
+    document: XMLDocument
+    aux_name: str
+    wildcard_chain: int
+    #: shadow map: id(query node) -> shadow element
+    shadows: Dict[int, XMLNode] = field(default_factory=dict)
+    #: ids of artificial document nodes
+    artificial_ids: set = field(default_factory=set)
+    #: the unique value assigned to each query node's shadow, id(query node) -> str
+    unique_values: Dict[int, str] = field(default_factory=dict)
+
+    def shadow(self, node: QueryNode) -> XMLNode:
+        """``SHADOW(u)``: the shadow element of a query node."""
+        return self.shadows[id(node)]
+
+    def shadow_of(self, doc_node: XMLNode) -> Optional[QueryNode]:
+        """``SHADOW^{-1}``: the query node whose shadow is ``doc_node`` (if any)."""
+        for query_node in self.query.nodes():
+            if self.shadows.get(id(query_node)) is doc_node:
+                return query_node
+        return None
+
+    def is_artificial(self, doc_node: XMLNode) -> bool:
+        """Whether a document node is one of the inserted artificial nodes."""
+        return id(doc_node) in self.artificial_ids
+
+    def canonical_matching(self) -> MatchingView:
+        """The canonical matching ``phi_c`` mapping every query node to its shadow."""
+        assignment = {id(node): self.shadow(node) for node in self.query.nodes()}
+        return MatchingView(self.query, assignment)
+
+    def matching_count(self, limit: int = 16) -> int:
+        """Number of matchings of the canonical document with the query (Lemma 6.15: 1)."""
+        return count_matchings(self.query, self.document, limit=limit)
+
+
+def build_canonical_document(query: Query) -> CanonicalDocument:
+    """Construct the canonical document of a redundancy-free query (Fig. 8).
+
+    Raises :class:`CanonicalDocumentError` when the query is outside the supported
+    fragment or when no sunflower / prefix-sunflower witness can be found.
+    """
+    _check_supported(query)
+    aux = auxiliary_name(query)
+    h = query.max_wildcard_chain()
+
+    root_element = XMLNode.root()
+    document = XMLDocument(root_element)
+    result = CanonicalDocument(
+        query=query,
+        document=document,
+        aux_name=aux,
+        wildcard_chain=h,
+    )
+    result.shadows[id(query.root)] = root_element
+
+    def process(query_node: QueryNode, parent_element: XMLNode) -> None:
+        attach_point = parent_element
+        if not query_node.is_root():
+            if query_node.axis == DESCENDANT:
+                for _ in range(h + 1):
+                    artificial = attach_point.append_child(XMLNode.element(aux))
+                    result.artificial_ids.add(id(artificial))
+                    attach_point = artificial
+            name = query_node.ntest if not query_node.is_wildcard() else aux
+            shadow = attach_point.append_child(XMLNode.element(name or aux))
+            result.shadows[id(query_node)] = shadow
+            value = _unique_value(query, query_node)
+            result.unique_values[id(query_node)] = value
+            if value:
+                # an empty witness leaves the string value "" without needing a text node
+                shadow.append_child(XMLNode.text(value))
+            attach_point = shadow
+        for child in query_node.children:
+            process(child, attach_point)
+
+    process(query.root, root_element)
+    return result
+
+
+def _check_supported(query: Query) -> None:
+    problems: List[str] = []
+    if not is_star_restricted(query):
+        problems.append("star-restricted")
+    if not is_conjunctive(query):
+        problems.append("conjunctive")
+    if not is_univariate(query):
+        problems.append("univariate")
+    if not is_leaf_only_value_restricted(query):
+        problems.append("leaf-only-value-restricted")
+    if problems:
+        raise CanonicalDocumentError(
+            "canonical documents require the query to be "
+            + ", ".join(problems)
+            + f"; query {query.to_xpath()!r} is not"
+        )
+
+
+def _unique_value(query: Query, node: QueryNode) -> str:
+    """``getUniqueValue(u)``: sunflower witness for leaves, prefix witness otherwise."""
+    if node.is_leaf():
+        witness = sunflower_witness(query, node)
+        if witness is None:
+            raise CanonicalDocumentError(
+                f"no sunflower witness for leaf {node.ntest!r} in {query.to_xpath()!r}: "
+                "the query is not strongly subsumption-free (or the witness search "
+                "could not separate the truth sets)"
+            )
+        return witness
+    witness = prefix_sunflower_witness(query, node)
+    if witness is None:
+        raise CanonicalDocumentError(
+            f"no prefix-sunflower witness for internal node {node.ntest!r} in "
+            f"{query.to_xpath()!r}: the query is not strongly subsumption-free"
+        )
+    return witness
+
+
+def canonical_matching_is_unique(canonical: CanonicalDocument) -> bool:
+    """Executable check of Lemma 6.15 (used by tests and the lower-bound verifiers)."""
+    matchings = list(iter_matchings(canonical.query, canonical.document))
+    if len(matchings) != 1:
+        return False
+    expected = canonical.canonical_matching()
+    found = matchings[0]
+    return all(found(node) is expected(node) for node in canonical.query.nodes())

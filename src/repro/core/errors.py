@@ -1,0 +1,16 @@
+"""Exceptions raised by the core package."""
+
+from __future__ import annotations
+
+
+class UnsupportedQueryError(ValueError):
+    """Raised when a query lies outside the fragment an algorithm supports."""
+
+
+class CanonicalDocumentError(ValueError):
+    """Raised when a canonical document cannot be constructed for a query.
+
+    This happens when the query is not strongly subsumption-free (no sunflower /
+    prefix-sunflower witnesses exist), or when the heuristic witness search cannot find
+    the separating values the construction needs.
+    """

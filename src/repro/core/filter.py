@@ -1,0 +1,376 @@
+"""The streaming XPath filtering algorithm of Section 8 (Figs. 20-21).
+
+Given a query ``Q`` and a document arriving as a stream of SAX events, the algorithm
+decides whether the document matches the query while holding only a small *frontier*
+table, a shared text buffer, and a level counter in memory — no automata or transition
+tables.  It gradually looks for a matching of the document with the query: an element
+whose start event arrives is a *candidate match* for a frontier entry when its name
+passes the node test and its level/ancestry satisfies the axis; whether it becomes a
+*real match* is decided at its end event, from its string value (for query leaves) or
+from the real matches found for the node's children (for internal query nodes).
+
+The implementation follows the paper's pseudo-code with three bookkeeping
+clarifications, documented in DESIGN.md (section "Algorithmic deviations"):
+
+1. the document root is processed as a virtual ``$`` element so the query root's
+   children enter the frontier at ``startDocument`` and the root's ``matched`` flag is
+   resolved at ``endDocument``;
+2. a node's ``matched`` flag accumulates with logical OR over its candidate matches
+   (an inner real match of a descendant-axis node must not be erased by an enclosing
+   candidate that fails);
+3. leaf entries keep a stack of open string-value start offsets (keyed by document
+   level) so nested candidate matches of the same descendant-axis leaf do not clobber
+   each other.
+
+Space accounting (Theorem 8.8) is exposed through :class:`FilterStatistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from ..instrument.memory import FrontierMemoryModel
+from ..semantics.evaluator import name_passes_node_test
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode
+from ..xpath.truthset import TruthSet, truth_set
+from .errors import UnsupportedQueryError
+from .fragments import is_conjunctive, is_leaf_only_value_restricted, is_univariate
+
+#: name of the virtual element representing the document root in the event handlers
+_DOCUMENT_ROOT_NAME = "$"
+
+
+@dataclass(eq=False)
+class FrontierRecord:
+    """One tuple of the frontier table.
+
+    Attributes mirror Fig. 20: a reference to the query node, the ``matched`` flag, and
+    the document level at which a candidate match (for a child-axis node) must appear.
+    ``open_values`` is the stack of (level, buffer offset) pairs for currently open
+    candidate matches of leaf nodes.
+    """
+
+    ref: QueryNode
+    matched: bool
+    level: int
+    open_values: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class _TextBuffer:
+    """The shared text buffer of Fig. 20 (``data``, ``size``, ``refCount``)."""
+
+    def __init__(self) -> None:
+        self.parts: List[str] = []
+        self.size = 0
+        self.ref_count = 0
+
+    def append(self, content: str) -> None:
+        self.parts.append(content)
+        self.size += len(content)
+
+    def slice_from(self, start: int) -> str:
+        return "".join(self.parts)[start:]
+
+    def increment(self) -> None:
+        self.ref_count += 1
+
+    def decrement(self) -> None:
+        self.ref_count -= 1
+        if self.ref_count <= 0:
+            self.ref_count = 0
+            self.parts = []
+            self.size = 0
+
+
+@dataclass
+class FilterStatistics:
+    """Observed resource usage of one run of the streaming filter."""
+
+    events: int = 0
+    peak_frontier_records: int = 0
+    peak_buffer_chars: int = 0
+    peak_memory_bits: int = 0
+    candidate_matches: int = 0
+    real_match_evaluations: int = 0
+    max_level: int = 0
+
+
+class StreamingFilter:
+    """The Section 8 filtering algorithm for one query.
+
+    The filter object is reusable: each call to :meth:`run` processes a complete
+    document stream and returns the boolean filtering decision.
+    """
+
+    def __init__(self, query: Query, *, trace: Optional["RunTrace"] = None,
+                 remove_child_axis_records: bool = True) -> None:
+        self.query = query
+        self._check_supported(query)
+        self.trace = trace
+        # lines 10-11 of the paper's startElement: a child-axis node is temporarily
+        # removed from the frontier while its candidate's subtree is processed.  The
+        # flag exists so the ablation benchmark can measure what the optimization buys
+        # (it never affects correctness, only the peak frontier size).
+        self.remove_child_axis_records = remove_child_axis_records
+        self._truth_sets: dict[int, TruthSet] = {
+            id(node): truth_set(node) for node in query.nodes()
+        }
+        self._memory_model = FrontierMemoryModel(query_size=max(query.size(), 1))
+        # run state (initialized by _start_document)
+        self.frontier: List[FrontierRecord] = []
+        self.buffer = _TextBuffer()
+        self.current_level = 0
+        self.stats = FilterStatistics()
+
+    # ------------------------------------------------------------------ public API
+    def run(self, events: Iterable[Event]) -> bool:
+        """Process a full document stream and return whether the document matches."""
+        result: Optional[bool] = None
+        for event in events:
+            result = self.process_event(event)
+        if result is None:
+            raise ValueError("event stream did not contain an endDocument event")
+        return result
+
+    def run_document(self, document: XMLDocument) -> bool:
+        """Convenience: stream a materialized document through the filter."""
+        return self.run(document.events())
+
+    def process_event(self, event: Event) -> Optional[bool]:
+        """Process a single event; returns the final decision on ``EndDocument``."""
+        self.stats.events += 1
+        outcome: Optional[bool] = None
+        if isinstance(event, StartDocument):
+            self._start_document()
+        elif isinstance(event, StartElement):
+            self._start_element(event.name)
+        elif isinstance(event, Text):
+            self._text(event.content)
+        elif isinstance(event, EndElement):
+            self._end_element(event.name)
+        elif isinstance(event, EndDocument):
+            outcome = self._end_document()
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event {event!r}")
+        self._observe(event)
+        return outcome
+
+    # ------------------------------------------------------------------ event handlers
+    def _start_document(self) -> None:
+        self.frontier = []
+        self.buffer = _TextBuffer()
+        self.current_level = 0
+        # a fresh run starts here; the StartDocument event being processed right now is
+        # the first event of the new document
+        self.stats = FilterStatistics(events=1)
+        root_record = FrontierRecord(ref=self.query.root, matched=False, level=0)
+        self.frontier.append(root_record)
+        # the document root is the (only) candidate match for the query root: insert the
+        # root's children exactly as _start_element would for an internal candidate
+        self._open_candidate_children(self.query.root)
+        self.current_level += 1
+
+    def _start_element(self, name: str) -> None:
+        to_remove: List[FrontierRecord] = []
+        to_insert: List[FrontierRecord] = []
+        for record in list(self.frontier):
+            if not self._is_candidate(record, name):
+                continue
+            self.stats.candidate_matches += 1
+            node = record.ref
+            if node.is_leaf():
+                self.buffer.increment()
+                record.open_values.append((self.current_level, self.buffer.size))
+            else:
+                if self.remove_child_axis_records and (node.axis == CHILD or node.axis is None):
+                    to_remove.append(record)
+                for child in node.children:
+                    to_insert.append(
+                        FrontierRecord(ref=child, matched=False,
+                                       level=self.current_level + 1)
+                    )
+        for record in to_remove:
+            self.frontier.remove(record)
+        self.frontier.extend(to_insert)
+        self.current_level += 1
+        self.stats.max_level = max(self.stats.max_level, self.current_level)
+
+    def _text(self, content: str) -> None:
+        if self.buffer.ref_count > 0:
+            self.buffer.append(content)
+
+    def _end_element(self, name: str) -> None:
+        self.current_level -= 1
+        # 1. resolve leaf candidates whose element just ended
+        for record in self.frontier:
+            if not record.ref.is_leaf():
+                continue
+            if not record.open_values or record.open_values[-1][0] != self.current_level:
+                continue
+            if not self._name_ok(record.ref, name):
+                continue
+            _, start = record.open_values.pop()
+            if not record.matched:
+                self.stats.real_match_evaluations += 1
+                value = self.buffer.slice_from(start)
+                record.matched = self._truth_sets[id(record.ref)].contains(value)
+            self.buffer.decrement()
+        # 2. resolve internal candidates: group the child records inserted at this
+        #    element's start event by their parent query node
+        self._resolve_children()
+
+    def _end_document(self) -> bool:
+        self.current_level -= 1
+        self._resolve_children()
+        root_record = self._find_record(self.query.root)
+        if root_record is None:  # pragma: no cover - the root record is never removed
+            return False
+        return root_record.matched
+
+    # ------------------------------------------------------------------ helpers
+    def _open_candidate_children(self, node: QueryNode) -> None:
+        for child in node.children:
+            self.frontier.append(
+                FrontierRecord(ref=child, matched=False, level=self.current_level + 1)
+            )
+
+    def _is_candidate(self, record: FrontierRecord, name: str) -> bool:
+        """The candidate-match test of ``startElement`` (name, axis/level, unmatched)."""
+        if record.matched:
+            return False
+        node = record.ref
+        if node.is_root():
+            return False
+        if not self._name_ok(node, name):
+            return False
+        if node.axis == DESCENDANT:
+            return True
+        return record.level == self.current_level
+
+    def _name_ok(self, node: QueryNode, name: str) -> bool:
+        return name_passes_node_test(name, node.ntest)
+
+    def _resolve_children(self) -> None:
+        """Lines 11-29 of ``endElement``: fold children records into parents' flags.
+
+        The just-ended element ``x`` (at depth ``current_level``) inserted the records
+        with ``level > current_level`` when it turned out to be a candidate match for
+        their parent query nodes.  ``x`` is a real match for such a parent ``u`` iff all
+        of ``u``'s children found real matches inside ``x``.  The result is recorded:
+
+        * for a descendant-axis ``u``, in *every* live record of ``u`` — every such
+          record was spawned by a still-open ancestor candidate, and ``x`` is a
+          descendant of all of them, so the real match is valid in each context;
+        * for a child-axis ``u``, in a freshly re-inserted record (the original was
+          removed at ``x``'s start event, as in the paper's line 10-11 optimization);
+        * for the query root, in the root's permanent record (only at ``endDocument``).
+        """
+        finished = [r for r in self.frontier
+                    if r.level > self.current_level and not r.ref.is_root()]
+        if not finished:
+            return
+        by_parent: dict[int, List[FrontierRecord]] = {}
+        parents: dict[int, QueryNode] = {}
+        for record in finished:
+            parent = record.ref.parent
+            if parent is None:  # pragma: no cover - children always have parents
+                continue
+            by_parent.setdefault(id(parent), []).append(record)
+            parents[id(parent)] = parent
+        for parent_id, records in by_parent.items():
+            parent = parents[parent_id]
+            all_matched = all(r.matched for r in records)
+            for record in records:
+                self.frontier.remove(record)
+            if parent.is_root() or parent.axis == DESCENDANT:
+                for parent_record in self._find_records(parent):
+                    parent_record.matched = parent_record.matched or all_matched
+            elif not self.remove_child_axis_records:
+                # ablation mode: the child-axis record was never removed, so update the
+                # live record for this level instead of re-inserting a fresh one
+                updated = False
+                for parent_record in self._find_records(parent):
+                    if parent_record.level == self.current_level:
+                        parent_record.matched = parent_record.matched or all_matched
+                        updated = True
+                if not updated:  # pragma: no cover - defensive
+                    self.frontier.append(
+                        FrontierRecord(ref=parent, matched=all_matched,
+                                       level=self.current_level)
+                    )
+            else:
+                self.frontier.append(
+                    FrontierRecord(ref=parent, matched=all_matched,
+                                   level=self.current_level)
+                )
+
+    def _find_records(self, node: QueryNode) -> List[FrontierRecord]:
+        return [record for record in self.frontier if record.ref is node]
+
+    def _find_record(self, node: QueryNode) -> Optional[FrontierRecord]:
+        records = self._find_records(node)
+        return records[0] if records else None
+
+    def _observe(self, event: Event) -> None:
+        self.stats.peak_frontier_records = max(
+            self.stats.peak_frontier_records, len(self.frontier)
+        )
+        self.stats.peak_buffer_chars = max(self.stats.peak_buffer_chars, self.buffer.size)
+        bits = self._memory_model.bits(
+            frontier_records=len(self.frontier),
+            buffer_chars=self.buffer.size,
+            current_level=self.current_level,
+        )
+        self.stats.peak_memory_bits = max(self.stats.peak_memory_bits, bits)
+        if self.trace is not None:
+            self.trace.record(event, self)
+
+    # ------------------------------------------------------------------ applicability
+    @staticmethod
+    def _check_supported(query: Query) -> None:
+        if not is_conjunctive(query):
+            raise UnsupportedQueryError(
+                "the streaming filter supports conjunctive queries only"
+            )
+        if not is_univariate(query):
+            raise UnsupportedQueryError(
+                "the streaming filter supports univariate queries only"
+            )
+        if not is_leaf_only_value_restricted(query):
+            raise UnsupportedQueryError(
+                "the streaming filter supports leaf-only-value-restricted queries only"
+            )
+
+
+def filter_events(query: Query, events: Iterable[Event],
+                  trace: Optional["RunTrace"] = None) -> bool:
+    """One-shot filtering of an event stream."""
+    return StreamingFilter(query, trace=trace).run(events)
+
+
+def filter_document(query: Query, document: XMLDocument,
+                    trace: Optional["RunTrace"] = None) -> bool:
+    """One-shot filtering of a materialized document."""
+    return StreamingFilter(query, trace=trace).run_document(document)
+
+
+def filter_with_statistics(query: Query, document: XMLDocument
+                           ) -> Tuple[bool, FilterStatistics]:
+    """Filter a document and return the decision together with the resource statistics."""
+    streaming_filter = StreamingFilter(query)
+    decision = streaming_filter.run_document(document)
+    return decision, streaming_filter.stats
+
+
+# imported late to avoid a cycle (trace depends on filter types for annotations only)
+from .trace import RunTrace  # noqa: E402  (documented import-at-end)

@@ -1,0 +1,95 @@
+"""A multi-subscription filter bank (the selective-dissemination front end).
+
+The paper's algorithm filters one query at a time; publish/subscribe systems (the
+XFilter/YFilter setting the paper cites as motivation) register many queries and route
+each incoming document to the subscriptions it matches.  :class:`FilterBank` provides
+that front end on top of :class:`~repro.core.filter.StreamingFilter`: it feeds every
+event of a document stream to each registered filter in one pass and reports the
+matching subscription identifiers together with aggregate memory statistics.
+
+The bank's memory is simply the sum of the per-query filter states — i.e. it inherits
+the per-query `O~(|Q|·r·log d)` bound, multiplied by the number of subscriptions, and it
+still never buffers the document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import EndDocument, Event
+from ..xpath.query import Query
+from .filter import FilterStatistics, StreamingFilter
+
+
+@dataclass
+class BankResult:
+    """Outcome of filtering one document against every registered subscription."""
+
+    matched: List[str]
+    per_query_stats: Dict[str, FilterStatistics]
+
+    @property
+    def total_peak_memory_bits(self) -> int:
+        """Sum of the per-query peak memory (the bank's working-set size in bits)."""
+        return sum(stats.peak_memory_bits for stats in self.per_query_stats.values())
+
+    @property
+    def total_peak_frontier_records(self) -> int:
+        return sum(stats.peak_frontier_records
+                   for stats in self.per_query_stats.values())
+
+
+class FilterBank:
+    """A set of named XPath subscriptions evaluated together over document streams."""
+
+    def __init__(self) -> None:
+        self._filters: Dict[str, StreamingFilter] = {}
+
+    # ------------------------------------------------------------------ registration
+    def register(self, name: str, query: Query) -> None:
+        """Register a subscription under a unique name.
+
+        Raises ``ValueError`` for duplicate names and
+        :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries.
+        """
+        if name in self._filters:
+            raise ValueError(f"a subscription named {name!r} is already registered")
+        self._filters[name] = StreamingFilter(query)
+
+    def unregister(self, name: str) -> None:
+        """Remove a subscription; unknown names raise ``KeyError``."""
+        del self._filters[name]
+
+    def subscriptions(self) -> List[str]:
+        """The registered subscription names, in registration order."""
+        return list(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def query(self, name: str) -> Query:
+        """The query registered under ``name``."""
+        return self._filters[name].query
+
+    # ------------------------------------------------------------------ filtering
+    def filter_events(self, events: Iterable[Event]) -> BankResult:
+        """Feed one document stream to every subscription (a single pass over events)."""
+        outcomes: Dict[str, Optional[bool]] = {name: None for name in self._filters}
+        saw_end = False
+        for event in events:
+            for name, streaming_filter in self._filters.items():
+                outcomes[name] = streaming_filter.process_event(event)
+            if isinstance(event, EndDocument):
+                saw_end = True
+        if not saw_end:
+            raise ValueError("event stream did not contain an endDocument event")
+        matched = [name for name, outcome in outcomes.items() if outcome]
+        stats = {name: streaming_filter.stats
+                 for name, streaming_filter in self._filters.items()}
+        return BankResult(matched=matched, per_query_stats=stats)
+
+    def filter_document(self, document: XMLDocument) -> BankResult:
+        """Convenience wrapper over :meth:`filter_events`."""
+        return self.filter_events(document.events())

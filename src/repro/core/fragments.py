@@ -1,0 +1,327 @@
+"""Classification of queries into the fragments defined in Section 5 of the paper.
+
+Redundancy-free XPath (Definition 5.1) consists of Forward XPath queries that are
+
+1. star-restricted         (Definition 5.2)
+2. conjunctive             (Definition 5.4)
+3. univariate              (Definition 5.5)
+4. leaf-only-value-restricted (Definition 5.7)
+5. strongly subsumption-free  (Definition 5.18: sunflower + prefix-sunflower)
+
+The lower bounds additionally use Recursive XPath (Section 7.2.1), and the upper bound
+of Theorem 8.8 uses closure-free (Definition 8.7) and path-consistency-free
+(Definition 8.6) queries.  Every classifier here returns a plain bool; ``classify``
+collects everything, and ``explain_redundancy_freeness`` reports the first violated
+requirement for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..semantics.automorphism import structural_domination_leaves
+from ..xpath.ast import Expr, conjuncts, is_atomic_predicate
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode, WILDCARD
+from ..xpath.truthset import find_prefix_witness, is_value_restricted, truth_set
+
+
+# --------------------------------------------------------------------------- 5.1 star-restricted
+def is_star_restricted(query: Query) -> bool:
+    """Definition 5.2: wildcard nodes are not leaves, do not carry a descendant axis and
+    have no child with a descendant axis."""
+    for node in query.non_root_nodes():
+        if not node.is_wildcard():
+            continue
+        if node.is_leaf():
+            return False
+        if node.axis == DESCENDANT:
+            return False
+        if any(child.axis == DESCENDANT for child in node.children):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- 5.2 conjunctive
+def is_conjunctive_predicate(predicate: Optional[Expr]) -> bool:
+    """Definition 5.4 for one predicate: an atomic predicate or a conjunction of them."""
+    if predicate is None:
+        return True
+    return all(is_atomic_predicate(conjunct) for conjunct in conjuncts(predicate))
+
+
+def is_conjunctive(query: Query) -> bool:
+    """Definition 5.4: all predicates of the query are conjunctive."""
+    return all(is_conjunctive_predicate(node.predicate) for node in query.nodes())
+
+
+# --------------------------------------------------------------------------- 5.3 univariate
+def is_univariate_predicate(predicate: Optional[Expr]) -> bool:
+    """Definition 5.5 for one (conjunctive) predicate: each conjunct has <= 1 variable."""
+    if predicate is None:
+        return True
+    return all(len(conjunct.node_refs()) <= 1 for conjunct in conjuncts(predicate))
+
+
+def is_univariate(query: Query) -> bool:
+    """Definition 5.5: all predicates are univariate."""
+    return all(is_univariate_predicate(node.predicate) for node in query.nodes())
+
+
+# --------------------------------------------------------------------------- 5.4 leaf-only-value-restricted
+def is_leaf_only_value_restricted(query: Query) -> bool:
+    """Definition 5.7: no internal node of the query is value-restricted."""
+    for node in query.non_root_nodes():
+        if not node.is_leaf() and is_value_restricted(node):
+            return False
+    return True
+
+
+# --------------------------------------------------------------------------- 5.5 strong subsumption-freeness
+def domination_leaves_excluding_self(query: Query, node: QueryNode) -> List[QueryNode]:
+    """``L_u``: leaf nodes in the structural domination set of ``u``, excluding ``u``.
+
+    The identity automorphism always puts ``u`` in its own domination set; the canonical
+    construction (and hence the sunflower definitions) only cares about the *other*
+    dominated leaves, so we exclude ``u`` itself.
+    """
+    return [v for v in structural_domination_leaves(query, node) if v is not node]
+
+
+def sunflower_witness(query: Query, leaf: QueryNode) -> Optional[str]:
+    """A value in ``TRUTH(leaf)`` outside the union of the dominated leaves' truth sets."""
+    others = [truth_set(v) for v in domination_leaves_excluding_self(query, leaf)]
+    return truth_set(leaf).find_member_excluding(others)
+
+
+def prefix_sunflower_witness(query: Query, internal: QueryNode) -> Optional[str]:
+    """A string that is not a prefix of any value in the dominated leaves' truth sets."""
+    others = [truth_set(v) for v in domination_leaves_excluding_self(query, internal)]
+    extra = [name + "-q" for name in query.element_names()]
+    return find_prefix_witness(others, extra_probes=extra)
+
+
+def has_sunflower_property(query: Query) -> bool:
+    """Definition 5.16 (checked constructively through witness search)."""
+    for node in query.non_root_nodes():
+        if node.is_leaf() and sunflower_witness(query, node) is None:
+            return False
+    return True
+
+
+def has_prefix_sunflower_property(query: Query) -> bool:
+    """Definition 5.17 (checked constructively through witness search)."""
+    for node in query.non_root_nodes():
+        if not node.is_leaf() and prefix_sunflower_witness(query, node) is None:
+            return False
+    return True
+
+
+def is_strongly_subsumption_free(query: Query) -> bool:
+    """Definition 5.18: sunflower + prefix-sunflower (for star-restricted,
+    leaf-only-value-restricted, univariate, conjunctive queries)."""
+    return has_sunflower_property(query) and has_prefix_sunflower_property(query)
+
+
+# --------------------------------------------------------------------------- 5 redundancy-free
+def is_redundancy_free(query: Query) -> bool:
+    """Definition 5.1: the conjunction of all five requirements."""
+    return (
+        is_star_restricted(query)
+        and is_conjunctive(query)
+        and is_univariate(query)
+        and is_leaf_only_value_restricted(query)
+        and is_strongly_subsumption_free(query)
+    )
+
+
+def explain_redundancy_freeness(query: Query) -> Optional[str]:
+    """Return ``None`` if the query is redundancy-free, else a human-readable reason."""
+    if not is_star_restricted(query):
+        return "not star-restricted (a wildcard node is a leaf, has a descendant axis, " \
+               "or has a child with a descendant axis)"
+    if not is_conjunctive(query):
+        return "not conjunctive (a predicate uses or/not or nests boolean sub-expressions)"
+    if not is_univariate(query):
+        return "not univariate (an atomic predicate references more than one query node)"
+    if not is_leaf_only_value_restricted(query):
+        return "not leaf-only-value-restricted (an internal node is value-restricted)"
+    if not has_sunflower_property(query):
+        return "no sunflower witness (a leaf's truth set is covered by dominated leaves)"
+    if not has_prefix_sunflower_property(query):
+        return "no prefix-sunflower witness (every probe string is a potential prefix of " \
+               "a dominated leaf's truth-set member)"
+    return None
+
+
+# --------------------------------------------------------------------------- 7.2.1 Recursive XPath
+def recursive_xpath_witness(query: Query) -> Optional[QueryNode]:
+    """The node ``v`` required by Recursive XPath (Section 7.2.1), if any.
+
+    ``v`` (or one of its ancestors) must carry a descendant axis and ``v`` must have at
+    least two children with a child axis.
+    """
+    for node in query.non_root_nodes():
+        has_descendant_above = any(
+            anc.axis == DESCENDANT
+            for anc in node.iter_ancestors(include_self=True)
+            if not anc.is_root()
+        )
+        if not has_descendant_above:
+            continue
+        child_axis_children = [c for c in node.children if c.axis == CHILD]
+        if len(child_axis_children) >= 2:
+            return node
+    return None
+
+
+def is_recursive_xpath(query: Query) -> bool:
+    """Whether the query belongs to Recursive XPath (given it is redundancy-free)."""
+    return recursive_xpath_witness(query) is not None
+
+
+# --------------------------------------------------------------------------- 7.3 depth-LB applicability
+def depth_lb_witness(query: Query) -> Optional[QueryNode]:
+    """The node ``u`` required by Theorem 7.14: child axis, and neither ``u`` nor its
+    parent is a wildcard."""
+    for node in query.non_root_nodes():
+        if node.axis != CHILD:
+            continue
+        if node.is_wildcard():
+            continue
+        parent = node.parent
+        if parent is None:
+            continue
+        if not parent.is_root() and parent.is_wildcard():
+            continue
+        return node
+    return None
+
+
+# --------------------------------------------------------------------------- 8 closure-free / path-consistency-free
+def is_closure_free(query: Query) -> bool:
+    """Definition 8.7: no node carries the descendant axis."""
+    return all(node.axis != DESCENDANT for node in query.non_root_nodes())
+
+
+def _path_pattern(node: QueryNode) -> List[Tuple[str, str]]:
+    """The (axis, node-test) sequence of the root-to-node path (root excluded)."""
+    return [(n.axis or CHILD, n.ntest or WILDCARD)
+            for n in node.path_from_root() if not n.is_root()]
+
+
+def are_path_consistent(u: QueryNode, v: QueryNode) -> bool:
+    """Definition 8.5: is there a document node path matching both ``u`` and ``v``?
+
+    Decided exactly by a product construction over the two path patterns: we imagine
+    building a root-to-x document path label by label and track how far each pattern has
+    been matched and whether its most recent image is the current document node.  Labels
+    are drawn from the concrete node tests of the two patterns plus one fresh label that
+    only wildcards can accept.
+    """
+    pattern_u = _path_pattern(u)
+    pattern_v = _path_pattern(v)
+    labels = sorted(
+        {ntest for _, ntest in pattern_u + pattern_v if ntest != WILDCARD}
+    ) + ["__fresh__"]
+
+    # state: (i, j, u_at_current, v_at_current); i/j = steps matched so far
+    start = (0, 0, True, True)
+    seen = {start}
+    stack = [start]
+    while stack:
+        i, j, u_here, v_here = stack.pop()
+        if i == len(pattern_u) and j == len(pattern_v) and u_here and v_here:
+            return True
+        for label in labels:
+            advances_u = _can_advance(pattern_u, i, u_here, label)
+            advances_v = _can_advance(pattern_v, j, v_here, label)
+            for take_u in advances_u:
+                for take_v in advances_v:
+                    ni = i + (1 if take_u else 0)
+                    nj = j + (1 if take_v else 0)
+                    state = (ni, nj, take_u, take_v)
+                    if state not in seen:
+                        seen.add(state)
+                        stack.append(state)
+    return False
+
+
+def _can_advance(pattern: List[Tuple[str, str]], index: int, at_current: bool,
+                 label: str) -> List[bool]:
+    """Whether the pattern may place its next step on a new document node with ``label``.
+
+    Returns the list of choices: ``False`` (do not place) is always allowed; ``True`` is
+    allowed when the node test passes and the axis constraint holds (a child step
+    requires the previous image to be the current node).
+    """
+    options = [False]
+    if index >= len(pattern):
+        return options
+    axis, ntest = pattern[index]
+    name_ok = (ntest == WILDCARD) or (ntest == label)
+    if not name_ok:
+        return options
+    if axis == DESCENDANT or at_current:
+        options.append(True)
+    return options
+
+
+def is_path_consistency_free(query: Query) -> bool:
+    """Definition 8.6: no two distinct query nodes are path consistent."""
+    nodes = query.non_root_nodes()
+    for index, u in enumerate(nodes):
+        for v in nodes[index + 1:]:
+            if are_path_consistent(u, v):
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------- summary
+@dataclass(frozen=True)
+class QueryClassification:
+    """The full fragment classification of one query."""
+
+    star_restricted: bool
+    conjunctive: bool
+    univariate: bool
+    leaf_only_value_restricted: bool
+    strongly_subsumption_free: bool
+    redundancy_free: bool
+    recursive_xpath: bool
+    closure_free: bool
+    path_consistency_free: bool
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "star_restricted": self.star_restricted,
+            "conjunctive": self.conjunctive,
+            "univariate": self.univariate,
+            "leaf_only_value_restricted": self.leaf_only_value_restricted,
+            "strongly_subsumption_free": self.strongly_subsumption_free,
+            "redundancy_free": self.redundancy_free,
+            "recursive_xpath": self.recursive_xpath,
+            "closure_free": self.closure_free,
+            "path_consistency_free": self.path_consistency_free,
+        }
+
+
+def classify(query: Query) -> QueryClassification:
+    """Classify a query against every fragment used in the paper."""
+    star = is_star_restricted(query)
+    conj = is_conjunctive(query)
+    univ = is_univariate(query)
+    leaf_only = is_leaf_only_value_restricted(query)
+    strong = (star and conj and univ and leaf_only and is_strongly_subsumption_free(query))
+    redundancy = star and conj and univ and leaf_only and strong
+    return QueryClassification(
+        star_restricted=star,
+        conjunctive=conj,
+        univariate=univ,
+        leaf_only_value_restricted=leaf_only,
+        strongly_subsumption_free=strong,
+        redundancy_free=redundancy,
+        recursive_xpath=redundancy and is_recursive_xpath(query),
+        closure_free=is_closure_free(query),
+        path_consistency_free=is_path_consistency_free(query),
+    )

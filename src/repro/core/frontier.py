@@ -1,0 +1,96 @@
+"""Query and document frontiers (Definition 4.1).
+
+A node ``y`` is a *super-sibling* of ``x`` if ``y`` is a sibling of ``x`` or of one of
+``x``'s ancestors.  The frontier at ``x`` is ``x`` together with its super-siblings, and
+the frontier size of a tree is the size of its largest frontier.  The query frontier size
+``FS(Q)`` is the paper's first lower bound (Theorems 4.2 and 7.1) and also the upper
+bound the filtering algorithm achieves for path-consistency-free closure-free queries
+(Theorem 8.8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import TEXT, XMLNode
+from ..xpath.query import Query, QueryNode
+
+NodeT = TypeVar("NodeT")
+
+
+def _frontier_generic(
+    node: NodeT,
+    parent_of: Callable[[NodeT], NodeT | None],
+    children_of: Callable[[NodeT], Sequence[NodeT]],
+) -> List[NodeT]:
+    """Frontier at ``node`` in an arbitrary rooted tree: node + super-siblings."""
+    frontier: List[NodeT] = [node]
+    current: NodeT | None = node
+    while current is not None:
+        parent = parent_of(current)
+        if parent is not None:
+            for sibling in children_of(parent):
+                if sibling is not current:
+                    frontier.append(sibling)
+        current = parent
+    return frontier
+
+
+# --------------------------------------------------------------------------- queries
+def query_frontier(node: QueryNode) -> List[QueryNode]:
+    """``F(u)`` for a query node: the node plus all of its super-siblings."""
+    return _frontier_generic(node, lambda n: n.parent, lambda n: n.children)
+
+
+def query_frontier_size(query: Query) -> int:
+    """``FS(Q)``: the size of the largest frontier over all query nodes.
+
+    The query root's trivial frontier (just the root) is included, so ``FS(Q) >= 1`` for
+    every non-empty query.
+    """
+    return max(len(query_frontier(node)) for node in query.nodes())
+
+
+def query_node_with_largest_frontier(query: Query) -> QueryNode:
+    """A query node whose frontier attains ``FS(Q)`` (ties broken by document order)."""
+    best_node = query.root
+    best_size = len(query_frontier(best_node))
+    for node in query.nodes():
+        size = len(query_frontier(node))
+        if size > best_size:
+            best_node, best_size = node, size
+    return best_node
+
+
+# --------------------------------------------------------------------------- documents
+def _element_children(node: XMLNode) -> List[XMLNode]:
+    return [c for c in node.children if c.kind != TEXT]
+
+
+def document_frontier(node: XMLNode) -> List[XMLNode]:
+    """``F(x)`` for a document node; text nodes are ignored (remark after Def. 4.1)."""
+    return _frontier_generic(node, lambda n: n.parent, _element_children)
+
+
+def document_frontier_size(document: XMLDocument) -> int:
+    """``FS(D)``: the largest frontier over all non-text document nodes."""
+    best = 0
+    for node in document.iter_nodes():
+        if node.kind == TEXT:
+            continue
+        best = max(best, len(document_frontier(node)))
+    return best
+
+
+def document_node_with_largest_frontier(document: XMLDocument) -> XMLNode:
+    """A document node whose frontier attains ``FS(D)``."""
+    best_node = document.root
+    best_size = len(document_frontier(best_node))
+    for node in document.iter_nodes():
+        if node.kind == TEXT:
+            continue
+        size = len(document_frontier(node))
+        if size > best_size:
+            best_node, best_size = node, size
+    return best_node

@@ -1,0 +1,106 @@
+"""Document metrics used by the bounds: depth, recursion depth, path recursion depth,
+text width.
+
+* **depth** (Section 4.3): length of the longest root-to-leaf path;
+* **recursion depth** w.r.t. a query node ``v`` (Section 4.2): the longest chain of
+  document nodes nested within each other, all of which *match* ``v``;
+* **path recursion depth** w.r.t. a query (Definition 8.3): as above but with *path
+  matching* and maximized over query nodes — this is the quantity that appears in the
+  upper bound of Theorem 8.8;
+* **text width** (Definition 8.4): the longest string value of a document node that path
+  matches a query leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import ELEMENT, XMLNode
+from ..xpath.query import Query, QueryNode
+from ..semantics.matching import iter_matchings, path_matches
+
+
+def document_depth(document: XMLDocument) -> int:
+    """Depth of the document (document root at depth 0)."""
+    return document.depth()
+
+
+def _longest_nested_chain(nodes: List[XMLNode]) -> int:
+    """Length of the longest chain of nodes from ``nodes`` nested within each other."""
+    if not nodes:
+        return 0
+    selected = {id(node) for node in nodes}
+    best = 0
+    depth_cache: Dict[int, int] = {}
+
+    def chain_length_ending_at(node: XMLNode) -> int:
+        cached = depth_cache.get(id(node))
+        if cached is not None:
+            return cached
+        length = 1
+        best_above = 0
+        for ancestor in node.iter_ancestors():
+            if id(ancestor) in selected:
+                best_above = max(best_above, chain_length_ending_at(ancestor))
+        length += best_above
+        depth_cache[id(node)] = length
+        return length
+
+    for node in nodes:
+        best = max(best, chain_length_ending_at(node))
+    return best
+
+
+def recursion_depth(query: Query, document: XMLDocument,
+                    query_node: Optional[QueryNode] = None) -> int:
+    """Recursion depth of the document w.r.t. ``query_node`` (Section 4.2).
+
+    When ``query_node`` is omitted the maximum over all query nodes is returned.  A node
+    of the document "matches" a query node in the sense of Definition 5.9 relative to the
+    root context, so the whole document must match the query for the recursion depth to
+    be non-zero.
+    """
+    targets = [query_node] if query_node is not None else query.non_root_nodes()
+    matched_nodes: Dict[int, List[XMLNode]] = {id(t): [] for t in targets}
+    seen: Dict[int, set] = {id(t): set() for t in targets}
+    for matching in iter_matchings(query, document):
+        for target in targets:
+            image = matching(target)
+            if id(image) not in seen[id(target)]:
+                seen[id(target)].add(id(image))
+                matched_nodes[id(target)].append(image)
+    return max((_longest_nested_chain(matched_nodes[id(t)]) for t in targets), default=0)
+
+
+def path_recursion_depth(query: Query, document: XMLDocument) -> int:
+    """Path recursion depth of the document w.r.t. the query (Definition 8.3)."""
+    best = 0
+    elements = [n for n in document.iter_nodes() if n.kind == ELEMENT]
+    for query_node in query.non_root_nodes():
+        matched = [x for x in elements if path_matches(query_node, x)]
+        best = max(best, _longest_nested_chain(matched))
+    return best
+
+
+def text_width(query: Query, document: XMLDocument) -> int:
+    """Text width of the document w.r.t. the query (Definition 8.4)."""
+    best = 0
+    elements = [n for n in document.iter_nodes() if n.kind == ELEMENT]
+    leaves = [u for u in query.non_root_nodes() if u.is_leaf()]
+    for leaf in leaves:
+        for x in elements:
+            if path_matches(leaf, x):
+                best = max(best, len(x.string_value()))
+    return best
+
+
+def metrics_summary(query: Query, document: XMLDocument) -> Dict[str, int]:
+    """All metrics at once (used by benchmarks to label measurements)."""
+    return {
+        "document_depth": document_depth(document),
+        "document_elements": document.node_count(),
+        "query_size": query.size(),
+        "path_recursion_depth": path_recursion_depth(query, document),
+        "text_width": text_width(query, document),
+    }

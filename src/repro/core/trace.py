@@ -1,0 +1,125 @@
+"""Run tracing for the streaming filter (reproduces the Fig. 22 example run table).
+
+A :class:`RunTrace` captures, after every processed event, a snapshot of the filter's
+frontier table: for each tuple its expected level, node test and matched flag.  The
+snapshots can be rendered as the event-by-event state table shown in the paper's
+example run figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .filter import StreamingFilter
+
+#: one frontier tuple snapshot: (level, node test, matched)
+TupleSnapshot = Tuple[int, str, bool]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """The filter state right after one event was processed."""
+
+    index: int
+    event_label: str
+    level: int
+    frontier: Tuple[TupleSnapshot, ...]
+    buffer_chars: int
+
+    def frontier_without_root(self) -> Tuple[TupleSnapshot, ...]:
+        """The frontier excluding the permanent query-root tuple (as drawn in Fig. 22)."""
+        return tuple(t for t in self.frontier if t[1] != "$")
+
+
+class RunTrace:
+    """Recorder attached to a :class:`~repro.core.filter.StreamingFilter`."""
+
+    def __init__(self) -> None:
+        self.entries: List[TraceEntry] = []
+
+    def record(self, event: Event, streaming_filter: "StreamingFilter") -> None:
+        """Capture the filter state after processing ``event``."""
+        snapshot = tuple(
+            (record.level, self._ntest_label(record.ref), record.matched)
+            for record in streaming_filter.frontier
+        )
+        self.entries.append(
+            TraceEntry(
+                index=len(self.entries),
+                event_label=self._event_label(event),
+                level=streaming_filter.current_level,
+                frontier=snapshot,
+                buffer_chars=streaming_filter.buffer.size,
+            )
+        )
+
+    # ------------------------------------------------------------------ rendering
+    def as_table(self, include_root: bool = False) -> str:
+        """Render the trace as a fixed-width text table (one row per event)."""
+        lines = [f"{'#':>3}  {'event':<22}{'lvl':>4}  frontier (level, ntest, matched)"]
+        for entry in self.entries:
+            tuples = entry.frontier if include_root else entry.frontier_without_root()
+            rendered = ", ".join(f"({lvl},{ntest},{int(matched)})"
+                                 for lvl, ntest, matched in tuples)
+            lines.append(
+                f"{entry.index:>3}  {entry.event_label:<22}{entry.level:>4}  [{rendered}]"
+            )
+        return "\n".join(lines)
+
+    def max_frontier_tuples(self, include_root: bool = False) -> int:
+        """The largest number of frontier tuples observed across the run."""
+        best = 0
+        for entry in self.entries:
+            tuples = entry.frontier if include_root else entry.frontier_without_root()
+            best = max(best, len(tuples))
+        return best
+
+    def final_root_matched(self) -> Optional[bool]:
+        """The matched flag of the query-root tuple in the last snapshot."""
+        if not self.entries:
+            return None
+        for level, ntest, matched in self.entries[-1].frontier:
+            if ntest == "$":
+                return matched
+        return None
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def _event_label(event: Event) -> str:
+        if isinstance(event, StartDocument):
+            return "startDocument()"
+        if isinstance(event, EndDocument):
+            return "endDocument()"
+        if isinstance(event, StartElement):
+            return f"startElement({event.name})"
+        if isinstance(event, EndElement):
+            return f"endElement({event.name})"
+        if isinstance(event, Text):
+            return f"text({event.content!r})"
+        return repr(event)  # pragma: no cover - defensive
+
+    @staticmethod
+    def _ntest_label(node) -> str:
+        if node.is_root():
+            return "$"
+        return node.ntest or "*"
+
+
+def trace_run(query, document) -> RunTrace:
+    """Filter ``document`` with ``query`` while recording a full trace."""
+    from .filter import StreamingFilter
+
+    trace = RunTrace()
+    StreamingFilter(query, trace=trace).run_document(document)
+    return trace

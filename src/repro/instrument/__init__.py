@@ -1,0 +1,10 @@
+"""Instrumentation: bit-level memory accounting models for all algorithms."""
+
+from .memory import AutomatonMemoryModel, DOMMemoryModel, FrontierMemoryModel, bits_for
+
+__all__ = [
+    "AutomatonMemoryModel",
+    "DOMMemoryModel",
+    "FrontierMemoryModel",
+    "bits_for",
+]

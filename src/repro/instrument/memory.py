@@ -1,0 +1,80 @@
+"""Bit-level memory accounting models.
+
+The paper's bounds are stated in *bits*, so the benchmark harness needs an explicit
+model of how many bits each data structure costs.  Two models are provided:
+
+* :class:`FrontierMemoryModel` — the Theorem 8.8 accounting for the streaming filter:
+  each frontier tuple stores a query-node reference (``log |Q|`` bits), a document level
+  (``log d`` bits), a string-value start offset (``log w`` bits) and the ``matched``
+  flag; the text buffer costs 8 bits per buffered character; plus the level counter.
+
+* :class:`AutomatonMemoryModel` — the accounting used for the automata baselines: the
+  transition table costs ``states * alphabet * log(states)`` bits, plus the runtime
+  stack of state identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def bits_for(count: int) -> int:
+    """Number of bits needed to address ``count`` distinct values (at least 1)."""
+    return max(1, math.ceil(math.log2(max(count, 2))))
+
+
+@dataclass
+class FrontierMemoryModel:
+    """Memory model for the Section 8 filter (Theorem 8.8 accounting)."""
+
+    query_size: int
+    char_bits: int = 8
+
+    def tuple_bits(self, current_level: int, buffer_chars: int) -> int:
+        """Bits for one frontier tuple: node reference + level + offset + flag."""
+        return (
+            bits_for(self.query_size + 1)
+            + bits_for(current_level + 2)
+            + bits_for(buffer_chars + 2)
+            + 1
+        )
+
+    def bits(self, frontier_records: int, buffer_chars: int, current_level: int) -> int:
+        """Total bits for the filter's live state."""
+        frontier_bits = frontier_records * self.tuple_bits(current_level, buffer_chars)
+        buffer_bits = buffer_chars * self.char_bits
+        counter_bits = bits_for(current_level + 2)
+        return frontier_bits + buffer_bits + counter_bits
+
+
+@dataclass
+class AutomatonMemoryModel:
+    """Memory model for automaton-based baselines."""
+
+    char_bits: int = 8
+
+    def transition_table_bits(self, states: int, alphabet_size: int) -> int:
+        """Bits for a dense transition table over the given alphabet."""
+        return states * max(alphabet_size, 1) * bits_for(states)
+
+    def stack_bits(self, stack_depth: int, states: int) -> int:
+        """Bits for a runtime stack of state identifiers."""
+        return stack_depth * bits_for(states)
+
+    def nfa_state_set_bits(self, nfa_states: int, stack_depth: int) -> int:
+        """Bits for a stack of NFA state *sets* (one bit per NFA state per frame)."""
+        return stack_depth * max(nfa_states, 1)
+
+
+@dataclass
+class DOMMemoryModel:
+    """Memory model for the buffering (DOM) baseline: the whole document is retained."""
+
+    char_bits: int = 8
+    pointer_bits: int = 32
+
+    def bits(self, element_count: int, text_chars: int, name_chars: int) -> int:
+        """Bits for a DOM tree with the given number of elements and characters."""
+        structural = element_count * 3 * self.pointer_bits  # parent/first-child/sibling
+        return structural + (text_chars + name_chars) * self.char_bits

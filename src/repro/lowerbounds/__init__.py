@@ -1,0 +1,60 @@
+"""Lower-bound machinery: communication complexity, fooling sets, and the three
+document-family constructions of the paper (frontier, recursion depth, document depth)."""
+
+from .communication import (
+    FoolingPair,
+    FoolingSetCheck,
+    ProtocolSimulation,
+    disjointness_instances,
+    disjointness_lower_bound_bits,
+    simulate_protocol,
+    verify_fooling_set,
+)
+from .depth_lb import DepthFamily, DepthInstance, build_depth_family, build_simple_depth_family
+from .frontier_lb import FrontierFamily, build_frontier_family
+from .recursion_lb import (
+    RecursionFamily,
+    RecursionInstance,
+    build_recursion_family,
+    build_simple_recursion_family,
+)
+from .streamsplit import event_spans, slice_between, split_around
+from .verify import (
+    CutStateMeasurement,
+    DepthFamilyCheck,
+    RecursionFamilyCheck,
+    measure_filter_cut_state,
+    verify_depth_family,
+    verify_frontier_family,
+    verify_recursion_family,
+)
+
+__all__ = [
+    "CutStateMeasurement",
+    "DepthFamily",
+    "DepthFamilyCheck",
+    "DepthInstance",
+    "FoolingPair",
+    "FoolingSetCheck",
+    "FrontierFamily",
+    "ProtocolSimulation",
+    "RecursionFamily",
+    "RecursionFamilyCheck",
+    "RecursionInstance",
+    "build_depth_family",
+    "build_frontier_family",
+    "build_recursion_family",
+    "build_simple_depth_family",
+    "build_simple_recursion_family",
+    "disjointness_instances",
+    "disjointness_lower_bound_bits",
+    "event_spans",
+    "measure_filter_cut_state",
+    "simulate_protocol",
+    "slice_between",
+    "split_around",
+    "verify_depth_family",
+    "verify_fooling_set",
+    "verify_frontier_family",
+    "verify_recursion_family",
+]

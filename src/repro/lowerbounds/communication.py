@@ -1,0 +1,183 @@
+"""Communication-complexity machinery (Section 3.2) in executable form.
+
+The lower bounds go through two tools:
+
+* the **reduction lemma** (Lemma 3.7): a streaming algorithm using ``S`` bits of state
+  yields a ``k``-round communication protocol with ``(k-1) * S + log|Z|`` bits of
+  communication, obtained by sending the algorithm's state at each cut of the stream;
+* the **fooling-set technique** (Theorem 3.9): a fooling set of size ``|S|`` forces any
+  protocol to use at least ``log |S|`` bits.
+
+We cannot, of course, quantify over "any algorithm" in code; instead this module makes
+the two tools executable for *given* algorithms and input families:
+
+* :func:`simulate_protocol` runs a streaming algorithm over a partitioned stream and
+  measures the state that must cross each cut (an upper bound witness for the protocol
+  cost of Lemma 3.7);
+* :class:`FoolingSet` + :func:`verify_fooling_set` check the combinatorial property a
+  candidate fooling set must satisfy (every constructed family in the package is checked
+  against the reference evaluator this way);
+* :func:`disjointness_instances` generates the set-disjointness instances used by the
+  recursion-depth bound together with their ground-truth answers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+InputT = TypeVar("InputT")
+OutputT = TypeVar("OutputT")
+
+
+# --------------------------------------------------------------------------- fooling sets
+@dataclass(frozen=True)
+class FoolingPair(Generic[InputT]):
+    """One (alpha, beta) element of a fooling set: a stream split into two halves."""
+
+    alpha: InputT
+    beta: InputT
+    label: str = ""
+
+
+@dataclass
+class FoolingSetCheck:
+    """Result of verifying a candidate fooling set."""
+
+    size: int
+    valid: bool
+    violations: List[str]
+
+    @property
+    def communication_bound_bits(self) -> float:
+        """The communication lower bound the set certifies: ``log2 |S|``."""
+        return math.log2(self.size) if self.size > 0 else 0.0
+
+
+def verify_fooling_set(
+    pairs: Sequence[FoolingPair[InputT]],
+    evaluate: Callable[[InputT, InputT], Optional[OutputT]],
+    expected_output: OutputT,
+    *,
+    max_cross_checks: Optional[int] = None,
+) -> FoolingSetCheck:
+    """Check the two fooling-set conditions of Definition 3.8.
+
+    ``evaluate(alpha, beta)`` must return the function value for the combined input, or
+    ``None`` when the combined input is not well formed.  Condition (1): every pair in
+    the set is well formed and evaluates to ``expected_output``.  Condition (2): for any
+    two distinct pairs, at least one of the two cross combinations is well formed and
+    evaluates to something different from ``expected_output``.
+
+    ``max_cross_checks`` bounds the number of cross pairs examined (useful for the
+    exponentially large frontier families); when it is hit the remaining pairs are
+    sampled deterministically.
+    """
+    violations: List[str] = []
+    for pair in pairs:
+        value = evaluate(pair.alpha, pair.beta)
+        if value is None or value != expected_output:
+            violations.append(
+                f"diagonal pair {pair.label or pair} does not evaluate to the expected output"
+            )
+    cross_pairs = list(itertools.combinations(range(len(pairs)), 2))
+    if max_cross_checks is not None and len(cross_pairs) > max_cross_checks:
+        rng = random.Random(20040613)
+        cross_pairs = rng.sample(cross_pairs, max_cross_checks)
+    for i, j in cross_pairs:
+        first, second = pairs[i], pairs[j]
+        cross_one = evaluate(first.alpha, second.beta)
+        cross_two = evaluate(second.alpha, first.beta)
+        ok_one = cross_one is not None and cross_one != expected_output
+        ok_two = cross_two is not None and cross_two != expected_output
+        if not (ok_one or ok_two):
+            violations.append(
+                f"pairs {first.label or i} / {second.label or j}: neither cross input "
+                "is well-formed-and-different"
+            )
+    return FoolingSetCheck(size=len(pairs), valid=not violations, violations=violations)
+
+
+# --------------------------------------------------------------------------- protocol simulation
+@dataclass
+class ProtocolSimulation:
+    """Outcome of simulating the Lemma 3.7 protocol on one partitioned input."""
+
+    output: object
+    rounds: int
+    state_bits_per_cut: List[int]
+
+    @property
+    def max_state_bits(self) -> int:
+        return max(self.state_bits_per_cut, default=0)
+
+    @property
+    def total_communication_bits(self) -> int:
+        return sum(self.state_bits_per_cut)
+
+
+def simulate_protocol(
+    make_algorithm: Callable[[], object],
+    segments: Sequence[Iterable[object]],
+    *,
+    feed: Callable[[object, object], None],
+    finish: Callable[[object], object],
+    state_bits: Callable[[object], int],
+) -> ProtocolSimulation:
+    """Run a streaming algorithm over ``segments`` and measure the state at each cut.
+
+    This is the executable form of the Lemma 3.7 reduction: Alice and Bob alternately
+    own the segments and exchange the algorithm's state at every boundary.  ``feed``
+    pushes one event into the algorithm, ``finish`` extracts the output, and
+    ``state_bits`` reports the size (in bits) of the algorithm's live state — which is
+    exactly what would be communicated.
+    """
+    algorithm = make_algorithm()
+    cuts: List[int] = []
+    for index, segment in enumerate(segments):
+        for event in segment:
+            feed(algorithm, event)
+        if index < len(segments) - 1:
+            cuts.append(state_bits(algorithm))
+    return ProtocolSimulation(
+        output=finish(algorithm),
+        rounds=len(segments),
+        state_bits_per_cut=cuts,
+    )
+
+
+# --------------------------------------------------------------------------- set disjointness
+def disjointness_instances(
+    r: int,
+    *,
+    count: Optional[int] = None,
+    seed: int = 7,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...], bool]]:
+    """Instances ``(s, t, intersecting)`` of the set-disjointness problem on r bits.
+
+    When ``count`` is None and ``r`` is small (<= 10) every pair of characteristic
+    vectors is produced, otherwise ``count`` random instances are sampled.
+    """
+    if count is None and r <= 10:
+        vectors = list(itertools.product((0, 1), repeat=r))
+        return [
+            (s, t, any(a and b for a, b in zip(s, t)))
+            for s in vectors
+            for t in vectors
+        ]
+    rng = random.Random(seed)
+    sample_count = count if count is not None else 200
+    out: List[Tuple[Tuple[int, ...], Tuple[int, ...], bool]] = []
+    for _ in range(sample_count):
+        s = tuple(rng.randint(0, 1) for _ in range(r))
+        t = tuple(rng.randint(0, 1) for _ in range(r))
+        out.append((s, t, any(a and b for a, b in zip(s, t))))
+    return out
+
+
+def disjointness_lower_bound_bits(r: int) -> int:
+    """The Omega(r) communication lower bound for set disjointness (here: exactly r)."""
+    return r

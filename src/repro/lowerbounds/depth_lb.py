@@ -1,0 +1,142 @@
+"""The document-depth lower-bound construction (Theorems 4.6 and 7.14).
+
+For a query containing a child-axis step whose node test and parent's node test are not
+wildcards, the construction produces a fooling set of ``Omega(d)`` three-way splits
+``(alpha_i, beta_i, gamma_i)`` of documents of depth at most ``d``: the distinguished
+element is pushed ``i`` levels down a fresh padding chain on both sides.  Combining the
+middle part of one document with the outer parts of a deeper one re-parents the
+distinguished element onto a padding node, so the crossing document is well formed but
+no longer matches — which forces any streaming algorithm to remember the current depth
+(``Omega(log d)`` bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.canonical import CanonicalDocument, build_canonical_document
+from ..core.errors import UnsupportedQueryError
+from ..core.fragments import depth_lb_witness
+from ..xmlstream.build import try_build_document
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import EndElement, Event, StartElement
+from ..xpath.query import Query, QueryNode
+from .streamsplit import split_around
+
+
+@dataclass
+class DepthInstance:
+    """One member of the depth fooling set: a three-way split of a document stream."""
+
+    index: int
+    alpha: Tuple[Event, ...]
+    beta: Tuple[Event, ...]
+    gamma: Tuple[Event, ...]
+
+    def document(self) -> Optional[XMLDocument]:
+        return try_build_document(list(self.alpha) + list(self.beta) + list(self.gamma))
+
+
+@dataclass
+class DepthFamily:
+    """The fooling-set family for the document-depth bound."""
+
+    query: Query
+    max_depth: int
+    witness: QueryNode
+    padding_name: str
+    canonical: Optional[CanonicalDocument]
+    instances: List[DepthInstance] = field(default_factory=list)
+
+    @property
+    def expected_bound_bits(self) -> float:
+        """``log2(t) / 2`` where ``t`` is the family size (the Theorem 4.6 bound)."""
+        import math
+
+        return math.log2(len(self.instances)) / 2 if self.instances else 0.0
+
+    def cross_document(self, outer: DepthInstance, inner: DepthInstance
+                       ) -> Optional[XMLDocument]:
+        """``alpha_i . beta_j . gamma_i`` — the cross combination used by the proof."""
+        return try_build_document(
+            list(outer.alpha) + list(inner.beta) + list(outer.gamma)
+        )
+
+
+def _fresh_padding_name(query: Query, avoid: Tuple[str, ...]) -> str:
+    used = set(query.element_names()) | set(avoid)
+    for candidate in ("Y", "Y0", "Y1", "PAD", "PAD0"):
+        if candidate not in used:
+            return candidate
+    index = 0
+    while f"Pad{index}" in used:  # pragma: no cover - fixed candidates exhausted
+        index += 1
+    return f"Pad{index}"
+
+
+def build_simple_depth_family(max_depth: int) -> DepthFamily:
+    """The Theorem 4.6 construction for the concrete query ``/a/b``.
+
+    ``D_i`` nests a padding chain of length ``i`` on each side of the ``b`` element, for
+    ``i = 0 .. max_depth - 1``.
+    """
+    query = Query.parse("/a/b")
+    witness = depth_lb_witness(query)
+    assert witness is not None
+    family = DepthFamily(query=query, max_depth=max_depth, witness=witness,
+                         padding_name="Z", canonical=None)
+    from ..xmlstream.events import EndDocument, StartDocument
+
+    for i in range(max_depth):
+        alpha: List[Event] = [StartDocument(), StartElement("a")]
+        alpha.extend(StartElement("Z") for _ in range(i))
+        beta: List[Event] = []
+        beta.extend(EndElement("Z") for _ in range(i))
+        beta.extend([StartElement("b"), EndElement("b")])
+        beta.extend(StartElement("Z") for _ in range(i))
+        gamma: List[Event] = []
+        gamma.extend(EndElement("Z") for _ in range(i))
+        gamma.extend([EndElement("a"), EndDocument()])
+        family.instances.append(
+            DepthInstance(index=i, alpha=tuple(alpha), beta=tuple(beta),
+                          gamma=tuple(gamma))
+        )
+    return family
+
+
+def build_depth_family(query: Query, max_depth: int) -> DepthFamily:
+    """The Theorem 7.14 construction for an arbitrary redundancy-free query.
+
+    The canonical document is split around the shadow of the witness node ``u``; each
+    instance pushes that shadow ``i`` levels down a fresh padding chain (and opens a
+    second chain of the same length after it, so the two halves stay balanced).
+    """
+    witness = depth_lb_witness(query)
+    if witness is None:
+        raise UnsupportedQueryError(
+            f"{query.to_xpath()!r} has no child-axis step with non-wildcard node tests; "
+            "the document-depth bound does not apply"
+        )
+    canonical = build_canonical_document(query)
+    padding = _fresh_padding_name(query, avoid=(canonical.aux_name,))
+    alpha_base, beta_base, gamma_base = split_around(
+        canonical.document, canonical.shadow(witness)
+    )
+    base_depth = canonical.document.depth()
+    available = max(max_depth - base_depth, 1)
+    family = DepthFamily(query=query, max_depth=max_depth, witness=witness,
+                         padding_name=padding, canonical=canonical)
+    for i in range(available):
+        alpha = list(alpha_base) + [StartElement(padding)] * i
+        beta = (
+            [EndElement(padding)] * i
+            + list(beta_base)
+            + [StartElement(padding)] * i
+        )
+        gamma = [EndElement(padding)] * i + list(gamma_base)
+        family.instances.append(
+            DepthInstance(index=i, alpha=tuple(alpha), beta=tuple(beta),
+                          gamma=tuple(gamma))
+        )
+    return family

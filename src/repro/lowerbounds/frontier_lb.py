@@ -1,0 +1,188 @@
+"""The query-frontier-size lower-bound construction (Theorems 4.2 and 7.1).
+
+For a redundancy-free query the construction builds a fooling set of ``2^{FS(Q)}``
+prefix/suffix pairs of XML streams: the canonical document's largest document frontier
+is partitioned into a subset ``T`` (streamed early, inside the prefix) and its
+complement (streamed late, inside the suffix).  All diagonal combinations form documents
+that match the query; crossing a prefix of ``T`` with a suffix of ``T' != T`` drops at
+least one frontier subtree, so the crossing document cannot match.  The fooling-set
+technique together with the reduction lemma then gives an ``FS(Q)``-bit memory lower
+bound for any streaming algorithm.
+
+This module builds the family; :mod:`repro.lowerbounds.verify` checks the fooling-set
+property against the reference evaluator, and the benchmark harness measures the state
+our own streaming filter must carry across the prefix/suffix cut.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.canonical import CanonicalDocument, build_canonical_document
+from ..core.frontier import document_frontier, query_frontier_size
+from ..xmlstream.build import try_build_document
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import EndDocument, EndElement, Event, StartDocument, StartElement
+from ..xmlstream.node import TEXT, XMLNode
+from ..xpath.query import Query
+from .communication import FoolingPair
+from .streamsplit import event_spans
+
+
+@dataclass
+class FrontierFamily:
+    """The fooling-set family for one query."""
+
+    query: Query
+    canonical: CanonicalDocument
+    frontier_node: XMLNode
+    frontier: List[XMLNode]
+    pairs: List[FoolingPair[Tuple[Event, ...]]] = field(default_factory=list)
+    subsets: List[Tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def frontier_size(self) -> int:
+        return len(self.frontier)
+
+    @property
+    def expected_bound_bits(self) -> int:
+        """The memory bound the family certifies: ``log2(2^FS) = FS`` bits."""
+        return self.frontier_size
+
+    def document_for(self, pair: FoolingPair[Tuple[Event, ...]]) -> Optional[XMLDocument]:
+        """The document formed by a (prefix, suffix) pair, or ``None`` if malformed."""
+        return try_build_document(list(pair.alpha) + list(pair.beta))
+
+    def cross_document(self, first: FoolingPair, second: FoolingPair
+                       ) -> Optional[XMLDocument]:
+        """The document ``alpha_T . beta_{T'}`` for two (possibly different) pairs."""
+        return try_build_document(list(first.alpha) + list(second.beta))
+
+
+def _largest_shadow_frontier_node(canonical: CanonicalDocument) -> XMLNode:
+    """The shadow node with the largest document frontier.
+
+    Artificial nodes are skipped: each has a shadow descendant whose frontier is at
+    least as large (they sit on sibling-less chains).
+    """
+    best_node: Optional[XMLNode] = None
+    best_size = -1
+    for node in canonical.document.iter_nodes():
+        if node.kind == TEXT or node is canonical.document.root:
+            continue
+        if canonical.is_artificial(node):
+            continue
+        size = len(document_frontier(node))
+        if size > best_size:
+            best_node, best_size = node, size
+    if best_node is None:  # pragma: no cover - canonical documents are never empty
+        raise ValueError("canonical document has no shadow nodes")
+    return best_node
+
+
+def _subtree_events(events: List[Event], spans: Dict[int, Tuple[int, int]],
+                    node: XMLNode) -> List[Event]:
+    start, end = spans[id(node)]
+    return events[start:end + 1]
+
+
+def build_frontier_family(query: Query, *, max_subsets: Optional[int] = None
+                          ) -> FrontierFamily:
+    """Build the ``2^{FS}`` fooling-set family for a redundancy-free query.
+
+    ``max_subsets`` truncates the family (keeping the empty and full subsets plus the
+    lexicographically first ones) so that benchmarks can work with queries whose
+    frontier would otherwise produce an impractically large family.
+    """
+    canonical = build_canonical_document(query)
+    document = canonical.document
+    events, spans = event_spans(document)
+    x = _largest_shadow_frontier_node(canonical)
+    frontier = document_frontier(x)
+    path = x.path_from_root()  # document root first, x last
+
+    family = FrontierFamily(
+        query=query,
+        canonical=canonical,
+        frontier_node=x,
+        frontier=frontier,
+    )
+
+    frontier_ids = {id(node) for node in frontier}
+    subsets: List[Tuple[int, ...]] = [
+        tuple(bits) for bits in itertools.product((0, 1), repeat=len(frontier))
+    ]
+    if max_subsets is not None and len(subsets) > max_subsets:
+        keep = [subsets[0], subsets[-1]]
+        keep.extend(s for s in subsets[1:-1][: max_subsets - 2])
+        subsets = keep
+
+    for bits in subsets:
+        chosen = {id(node) for node, bit in zip(frontier, bits) if bit}
+        alpha, beta = _pair_for_subset(events, spans, path, frontier_ids, chosen)
+        label = "T={" + ",".join(
+            (node.name or "?") for node, bit in zip(frontier, bits) if bit
+        ) + "}"
+        family.pairs.append(FoolingPair(alpha=tuple(alpha), beta=tuple(beta), label=label))
+        family.subsets.append(bits)
+    return family
+
+
+def _pair_for_subset(
+    events: List[Event],
+    spans: Dict[int, Tuple[int, int]],
+    path: Sequence[XMLNode],
+    frontier_ids: set,
+    chosen: set,
+) -> Tuple[List[Event], List[Event]]:
+    """Build the (alpha_T, beta_T) streams for one frontier subset.
+
+    Walking down the path ``x_1 .. x_l`` (``x_1`` is the document root, ``x_l = x``),
+    every path node except ``x`` acts as a wrapper: its start tag plus the subtrees of
+    its children that belong to ``T`` go into the prefix, and the subtrees of its
+    children in the complement plus its end tag go into the suffix (closing inner-most
+    first).  The frontier node ``x`` itself is a child of the last wrapper and its
+    subtree goes to whichever side the subset assigns it.  The document root contributes
+    the ``<$>``/``</$>`` envelope instead of element tags.
+    """
+    alpha: List[Event] = []
+    closing_segments: List[List[Event]] = []
+
+    wrappers = list(path[:-1])
+    for wrapper in wrappers:
+        if wrapper.kind == "root":
+            alpha.append(StartDocument())
+            end_tag: List[Event] = [EndDocument()]
+        else:
+            alpha.append(StartElement(wrapper.name or ""))
+            end_tag = [EndElement(wrapper.name or "")]
+        early: List[Event] = []
+        late: List[Event] = []
+        for child in wrapper.children:
+            if child.kind == TEXT:
+                # leading canonical text values stay with the start tag (prefix side)
+                early.append(_text_event(child))
+                continue
+            if id(child) not in frontier_ids:
+                # the next path node: emitted by the next loop iteration
+                continue
+            subtree = _subtree_events(events, spans, child)
+            if id(child) in chosen:
+                early.extend(subtree)
+            else:
+                late.extend(subtree)
+        alpha.extend(early)
+        closing_segments.append(late + end_tag)
+
+    beta: List[Event] = []
+    for segment in reversed(closing_segments):
+        beta.extend(segment)
+    return alpha, beta
+
+
+def _text_event(node: XMLNode):
+    from ..xmlstream.events import Text
+
+    return Text(node.text_content or "")

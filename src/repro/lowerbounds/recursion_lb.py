@@ -1,0 +1,211 @@
+"""The recursion-depth lower-bound construction (Theorems 4.5 and 7.4).
+
+The bound is a reduction from set disjointness: an instance ``(s, t)`` on ``r`` bits is
+turned into a document ``D_{s,t}`` whose recursion depth w.r.t. the distinguished query
+node is at most ``r`` and which matches the query iff the two sets intersect.  Alice's
+half of the stream depends only on ``s`` and Bob's only on ``t``, so a streaming
+algorithm with small state would give a cheap protocol for disjointness — contradicting
+its Omega(r) communication lower bound.
+
+Two builders are provided:
+
+* :func:`build_simple_recursion_family` — the Section 4.2 construction for the concrete
+  query ``//a[b and c]`` (nested ``a`` elements, a left ``b`` child when ``s_i = 1`` and
+  a right ``c`` child when ``t_i = 1``);
+* :func:`build_recursion_family` — the general Section 7.2 construction for any
+  Recursive-XPath query, which cuts the canonical document into the seven segments
+  ``gamma_prefix, gamma_y-beg, gamma_w1, gamma_y-mid, gamma_w2, gamma_y-end,
+  gamma_suffix`` and repeats the middle ones ``r`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.canonical import CanonicalDocument, build_canonical_document
+from ..core.fragments import recursive_xpath_witness
+from ..core.errors import UnsupportedQueryError
+from ..xmlstream.build import try_build_document
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+)
+from ..xmlstream.node import XMLNode
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode
+from .communication import disjointness_instances
+from .streamsplit import event_spans
+
+
+@dataclass
+class RecursionInstance:
+    """One set-disjointness instance mapped to a prefix/suffix pair of XML streams."""
+
+    s: Tuple[int, ...]
+    t: Tuple[int, ...]
+    intersecting: bool
+    alpha: Tuple[Event, ...]
+    beta: Tuple[Event, ...]
+
+    def document(self) -> Optional[XMLDocument]:
+        return try_build_document(list(self.alpha) + list(self.beta))
+
+
+@dataclass
+class RecursionFamily:
+    """The family of documents derived from set-disjointness instances."""
+
+    query: Query
+    r: int
+    recursive_node: Optional[QueryNode]
+    instances: List[RecursionInstance] = field(default_factory=list)
+    canonical: Optional[CanonicalDocument] = None
+
+    @property
+    def expected_bound_bits(self) -> int:
+        """The Omega(r) memory bound certified by the reduction (here: exactly r)."""
+        return self.r
+
+
+# --------------------------------------------------------------------------- simple version
+def build_simple_recursion_family(r: int, *, max_instances: Optional[int] = 64,
+                                  seed: int = 11) -> RecursionFamily:
+    """The Theorem 4.5 construction for ``//a[b and c]`` with recursion depth ``r``."""
+    query = Query.parse("//a[b and c]")
+    witness = recursive_xpath_witness(query)
+    family = RecursionFamily(query=query, r=r, recursive_node=witness)
+    for s, t, intersecting in disjointness_instances(r, count=max_instances, seed=seed):
+        alpha: List[Event] = [StartDocument()]
+        for bit in s:
+            alpha.append(StartElement("a"))
+            if bit:
+                alpha.extend([StartElement("b"), EndElement("b")])
+        family.instances.append(
+            RecursionInstance(s=tuple(s), t=tuple(t), intersecting=intersecting,
+                              alpha=tuple(alpha), beta=tuple(_simple_suffix(t)))
+        )
+    return family
+
+
+def _simple_suffix(t: Sequence[int]) -> List[Event]:
+    """Bob's suffix for ``//a[b and c]``.
+
+    Closing the nested ``a`` elements from the innermost (level ``r``) outwards; the
+    ``c`` child of level ``i`` is a *right* child, so it is emitted just before level
+    ``i``'s own end tag (Alice's prefix ends right after the innermost start tag).
+    """
+    beta: List[Event] = []
+    for index in range(len(t) - 1, -1, -1):
+        if t[index]:
+            beta.extend([StartElement("c"), EndElement("c")])
+        beta.append(EndElement("a"))
+    beta.append(EndDocument())
+    return beta
+
+
+# --------------------------------------------------------------------------- general version
+@dataclass
+class _Segments:
+    """The seven contiguous stream segments of the Section 7.2 construction."""
+
+    prefix: List[Event]
+    y_begin: List[Event]
+    w1: List[Event]
+    y_mid: List[Event]
+    w2: List[Event]
+    y_end: List[Event]
+    suffix: List[Event]
+
+
+def _pick_w_children(witness: QueryNode) -> Tuple[QueryNode, QueryNode]:
+    child_axis_children = [c for c in witness.children if c.axis == CHILD]
+    if len(child_axis_children) < 2:
+        raise UnsupportedQueryError(
+            "the recursion-depth construction needs a node with two child-axis children"
+        )
+    return child_axis_children[0], child_axis_children[1]
+
+
+def _chain_top_artificial(canonical: CanonicalDocument, v1: QueryNode) -> XMLNode:
+    """The node ``y``: the first artificial node of the chain leading to SHADOW(v1)."""
+    shadow = canonical.shadow(v1)
+    node = shadow
+    top = shadow
+    while node.parent is not None and canonical.is_artificial(node.parent):
+        node = node.parent
+        top = node
+    if top is shadow:  # pragma: no cover - v1 always has a descendant axis
+        raise UnsupportedQueryError("expected an artificial chain above the witness node")
+    return top
+
+
+def _segments_for(canonical: CanonicalDocument, witness: QueryNode) -> _Segments:
+    query = canonical.query
+    # v1: the witness itself if it has a descendant axis, else its lowest such ancestor
+    v1 = witness
+    if v1.axis != DESCENDANT:
+        for ancestor in witness.iter_ancestors():
+            if ancestor.is_root():
+                break
+            if ancestor.axis == DESCENDANT:
+                v1 = ancestor
+                break
+    if v1.axis != DESCENDANT:
+        raise UnsupportedQueryError(
+            "the general recursion construction requires a descendant axis on the "
+            "witness node or one of its ancestors"
+        )
+    w1, w2 = _pick_w_children(witness)
+    events, spans = event_spans(canonical.document)
+    y = _chain_top_artificial(canonical, v1)
+    y_start, y_end = spans[id(y)]
+    w1_start, w1_end = spans[id(canonical.shadow(w1))]
+    w2_start, w2_end = spans[id(canonical.shadow(w2))]
+    if w1_start > w2_start:
+        w1_start, w1_end, w2_start, w2_end = w2_start, w2_end, w1_start, w1_end
+    return _Segments(
+        prefix=events[:y_start],
+        y_begin=events[y_start:w1_start],
+        w1=events[w1_start:w1_end + 1],
+        y_mid=events[w1_end + 1:w2_start],
+        w2=events[w2_start:w2_end + 1],
+        y_end=events[w2_end + 1:y_end + 1],
+        suffix=events[y_end + 1:],
+    )
+
+
+def build_recursion_family(query: Query, r: int, *, max_instances: Optional[int] = 64,
+                           seed: int = 11) -> RecursionFamily:
+    """The Theorem 7.4 construction for an arbitrary Recursive-XPath query."""
+    witness = recursive_xpath_witness(query)
+    if witness is None:
+        raise UnsupportedQueryError(
+            f"{query.to_xpath()!r} is not in Recursive XPath: no node with a descendant "
+            "axis above it and two child-axis children"
+        )
+    canonical = build_canonical_document(query)
+    segments = _segments_for(canonical, witness)
+    family = RecursionFamily(query=query, r=r, recursive_node=witness,
+                             canonical=canonical)
+    for s, t, intersecting in disjointness_instances(r, count=max_instances, seed=seed):
+        alpha: List[Event] = list(segments.prefix)
+        for bit in s:
+            alpha.extend(segments.y_begin)
+            if bit:
+                alpha.extend(segments.w1)
+            alpha.extend(segments.y_mid)
+        beta: List[Event] = []
+        for bit in reversed(t):
+            if bit:
+                beta.extend(segments.w2)
+            beta.extend(segments.y_end)
+        beta.extend(segments.suffix)
+        family.instances.append(
+            RecursionInstance(s=tuple(s), t=tuple(t), intersecting=intersecting,
+                              alpha=tuple(alpha), beta=tuple(beta))
+        )
+    return family

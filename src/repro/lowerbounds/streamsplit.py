@@ -1,0 +1,65 @@
+"""Helpers for splitting document event streams at specific nodes.
+
+The lower-bound constructions cut the canonical document's event stream at positions
+defined by particular document nodes (e.g. "just before the startElement of SHADOW(u)").
+This module computes, for every element node of a document, the index of its start and
+end events in the document's event list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import Event
+from ..xmlstream.node import TEXT, XMLNode
+
+
+def event_spans(document: XMLDocument) -> Tuple[List[Event], Dict[int, Tuple[int, int]]]:
+    """Return the document's events and a map ``id(element) -> (start_idx, end_idx)``.
+
+    ``start_idx`` is the index of the element's ``StartElement`` event and ``end_idx``
+    the index of its ``EndElement`` event in the returned list.  The document envelope
+    occupies indices ``0`` and ``len(events) - 1``.
+    """
+    events = document.events()
+    spans: Dict[int, Tuple[int, int]] = {}
+    index = 0  # we recount by walking the tree in emission order
+
+    def walk(node: XMLNode, position: int) -> int:
+        for child in node.children:
+            if child.kind == TEXT:
+                position += 1
+                continue
+            start = position
+            position += 1
+            position = walk(child, position)
+            end = position
+            position += 1
+            spans[id(child)] = (start, end)
+        return position
+
+    walk(document.root, 1)
+    return events, spans
+
+
+def split_around(document: XMLDocument, node: XMLNode
+                 ) -> Tuple[List[Event], List[Event], List[Event]]:
+    """Split the stream into (before, element-of-node, after) around ``node``.
+
+    ``before`` ends just before the node's start event; ``after`` begins just after its
+    end event.
+    """
+    events, spans = event_spans(document)
+    start, end = spans[id(node)]
+    return events[:start], events[start:end + 1], events[end + 1:]
+
+
+def slice_between(document: XMLDocument, first: XMLNode, second: XMLNode) -> List[Event]:
+    """Events strictly between the end of ``first`` and the start of ``second``."""
+    events, spans = event_spans(document)
+    _, first_end = spans[id(first)]
+    second_start, _ = spans[id(second)]
+    if second_start < first_end:
+        raise ValueError("second node does not follow first node in document order")
+    return events[first_end + 1:second_start]

@@ -1,0 +1,188 @@
+"""Verification of the lower-bound document families against the reference semantics.
+
+Each construction in this package comes with a combinatorial property the paper's proof
+relies on (fooling-set conditions, or the disjointness correspondence).  The verifiers
+here check those properties *executably*, using the reference evaluator as ground truth,
+and additionally run the Lemma 3.7 protocol simulation against our own streaming filter
+to measure the state that crosses each stream cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.filter import StreamingFilter
+from ..instrument.memory import FrontierMemoryModel
+from ..semantics.evaluator import bool_eval
+from ..xmlstream.build import try_build_document
+from .communication import FoolingSetCheck, verify_fooling_set
+from .depth_lb import DepthFamily
+from .frontier_lb import FrontierFamily
+from .recursion_lb import RecursionFamily
+
+
+# --------------------------------------------------------------------------- frontier family
+def verify_frontier_family(family: FrontierFamily, *,
+                           max_cross_checks: Optional[int] = 256) -> FoolingSetCheck:
+    """Check the Theorem 7.1 fooling-set conditions with the reference evaluator."""
+
+    def evaluate(alpha, beta):
+        document = try_build_document(list(alpha) + list(beta))
+        if document is None:
+            return None
+        return bool_eval(family.query, document)
+
+    return verify_fooling_set(
+        family.pairs, evaluate, expected_output=True, max_cross_checks=max_cross_checks
+    )
+
+
+# --------------------------------------------------------------------------- recursion family
+@dataclass
+class RecursionFamilyCheck:
+    """Result of verifying the disjointness correspondence of a recursion family."""
+
+    instances: int
+    valid: bool
+    violations: List[str]
+    max_recursion_depth: int
+
+
+def verify_recursion_family(family: RecursionFamily, *, check_depth: bool = True
+                            ) -> RecursionFamilyCheck:
+    """Check that ``D_{s,t}`` matches the query iff the two sets intersect."""
+    from ..core.metrics import recursion_depth
+
+    violations: List[str] = []
+    max_depth = 0
+    for instance in family.instances:
+        document = instance.document()
+        if document is None:
+            violations.append(f"instance s={instance.s} t={instance.t}: malformed document")
+            continue
+        matches = bool_eval(family.query, document)
+        if matches != instance.intersecting:
+            violations.append(
+                f"instance s={instance.s} t={instance.t}: match={matches} but "
+                f"intersecting={instance.intersecting}"
+            )
+        if check_depth and family.recursive_node is not None and matches:
+            depth = recursion_depth(family.query, document, family.recursive_node)
+            max_depth = max(max_depth, depth)
+            if depth > family.r:
+                violations.append(
+                    f"instance s={instance.s} t={instance.t}: recursion depth {depth} "
+                    f"exceeds r={family.r}"
+                )
+    return RecursionFamilyCheck(
+        instances=len(family.instances),
+        valid=not violations,
+        violations=violations,
+        max_recursion_depth=max_depth,
+    )
+
+
+# --------------------------------------------------------------------------- depth family
+@dataclass
+class DepthFamilyCheck:
+    """Result of verifying the depth fooling family."""
+
+    instances: int
+    valid: bool
+    violations: List[str]
+    max_document_depth: int
+
+
+def verify_depth_family(family: DepthFamily, *,
+                        max_cross_checks: Optional[int] = 200) -> DepthFamilyCheck:
+    """Check the Theorem 7.14 fooling-set conditions.
+
+    Diagonal documents must match and have depth at most ``max_depth``; crossing the
+    middle of a shallower instance into a deeper instance must give a well-formed
+    non-matching document.
+    """
+    violations: List[str] = []
+    max_depth_seen = 0
+    for instance in family.instances:
+        document = instance.document()
+        if document is None:
+            violations.append(f"instance {instance.index}: malformed document")
+            continue
+        max_depth_seen = max(max_depth_seen, document.depth())
+        if not bool_eval(family.query, document):
+            violations.append(f"instance {instance.index}: diagonal document does not match")
+        if document.depth() > family.max_depth:
+            violations.append(
+                f"instance {instance.index}: depth {document.depth()} exceeds "
+                f"{family.max_depth}"
+            )
+    checks = 0
+    for i, outer in enumerate(family.instances):
+        for inner in family.instances[:i]:
+            if max_cross_checks is not None and checks >= max_cross_checks:
+                break
+            checks += 1
+            crossed = family.cross_document(outer, inner)
+            if crossed is None:
+                violations.append(
+                    f"cross ({outer.index},{inner.index}): document is malformed"
+                )
+                continue
+            if bool_eval(family.query, crossed):
+                violations.append(
+                    f"cross ({outer.index},{inner.index}): crossing document still matches"
+                )
+    return DepthFamilyCheck(
+        instances=len(family.instances),
+        valid=not violations,
+        violations=violations,
+        max_document_depth=max_depth_seen,
+    )
+
+
+# --------------------------------------------------------------------------- cut-state measurement
+@dataclass
+class CutStateMeasurement:
+    """State (in bits / tuples) our streaming filter carries across a stream cut."""
+
+    max_state_bits: int
+    max_frontier_tuples: int
+    decisions_correct: bool
+
+
+def measure_filter_cut_state(query, pairs, expected_results=None) -> CutStateMeasurement:
+    """Run the streaming filter over each (prefix, suffix) pair, measuring state at the cut.
+
+    ``pairs`` is an iterable of objects with ``alpha`` / ``beta`` attributes; when
+    ``expected_results`` is given (one bool per pair), the filter's final decisions are
+    also checked.
+    """
+    model = FrontierMemoryModel(query_size=max(query.size(), 1))
+    max_bits = 0
+    max_tuples = 0
+    all_correct = True
+    expected_list = list(expected_results) if expected_results is not None else None
+    for index, pair in enumerate(pairs):
+        streaming_filter = StreamingFilter(query)
+        outcome = None
+        for event in pair.alpha:
+            outcome = streaming_filter.process_event(event)
+        max_tuples = max(max_tuples, len(streaming_filter.frontier))
+        max_bits = max(
+            max_bits,
+            model.bits(
+                frontier_records=len(streaming_filter.frontier),
+                buffer_chars=streaming_filter.buffer.size,
+                current_level=streaming_filter.current_level,
+            ),
+        )
+        for event in pair.beta:
+            outcome = streaming_filter.process_event(event)
+        if expected_list is not None and outcome != expected_list[index]:
+            all_correct = False
+    return CutStateMeasurement(
+        max_state_bits=max_bits,
+        max_frontier_tuples=max_tuples,
+        decisions_correct=all_correct,
+    )

@@ -1,0 +1,132 @@
+"""Structural query automorphisms (Definition 6.8) and subsumption analysis.
+
+Lemma 6.9 characterizes structural subsumption between query nodes via structural query
+automorphisms: a node ``u`` structurally subsumes ``v`` iff some automorphism maps ``v``
+to ``u``.  We enumerate the automorphisms directly (queries are small), which gives both
+the structural domination sets needed by the canonical-document construction and a test
+of (structural) subsumption-freeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode, WILDCARD
+
+#: an automorphism is an id-keyed map from query nodes to query nodes
+Automorphism = Dict[int, QueryNode]
+
+
+class AutomorphismView:
+    """Wrapper over the raw id-keyed map with convenience lookups."""
+
+    def __init__(self, query: Query, mapping: Automorphism) -> None:
+        self.query = query
+        self._mapping = dict(mapping)
+
+    def __call__(self, node: QueryNode) -> QueryNode:
+        return self._mapping[id(node)]
+
+    def is_identity(self) -> bool:
+        return all(self._mapping[id(n)] is n for n in self.query.nodes())
+
+    def items(self) -> List[tuple[QueryNode, QueryNode]]:
+        return [(n, self._mapping[id(n)]) for n in self.query.nodes()]
+
+
+def _axis_compatible(source: QueryNode, image: QueryNode, image_parent: QueryNode) -> bool:
+    """Axis-preservation requirement of Definition 6.8 for one node."""
+    if source.axis == CHILD or source.axis is None:
+        return image.parent is image_parent and image.axis in (CHILD, None)
+    if source.axis == DESCENDANT:
+        return image_parent.is_ancestor_of(image)
+    return image.parent is image_parent and image.axis == source.axis
+
+
+def _ntest_compatible(source: QueryNode, image: QueryNode) -> bool:
+    if source.ntest == WILDCARD or source.ntest is None:
+        return True
+    return image.ntest == source.ntest
+
+
+def iter_structural_automorphisms(query: Query) -> Iterator[AutomorphismView]:
+    """Enumerate all structural query automorphisms of the query."""
+    nodes = query.nodes()
+
+    def extend(index: int, mapping: Automorphism) -> Iterator[Automorphism]:
+        if index == len(nodes):
+            yield dict(mapping)
+            return
+        node = nodes[index]
+        if node.is_root():
+            mapping[id(node)] = query.root
+            yield from extend(index + 1, mapping)
+            del mapping[id(node)]
+            return
+        parent_image = mapping[id(node.parent)]
+        candidates: List[QueryNode]
+        if node.axis == DESCENDANT:
+            candidates = [n for n in parent_image.iter_subtree() if n is not parent_image]
+        else:
+            candidates = list(parent_image.children)
+        for candidate in candidates:
+            if not _axis_compatible(node, candidate, parent_image):
+                continue
+            if not _ntest_compatible(node, candidate):
+                continue
+            mapping[id(node)] = candidate
+            yield from extend(index + 1, mapping)
+            del mapping[id(node)]
+
+    for raw in extend(0, {}):
+        yield AutomorphismView(query, raw)
+
+
+def structurally_subsumes(query: Query, u: QueryNode, v: QueryNode) -> bool:
+    """Lemma 6.9: ``u`` structurally subsumes ``v`` iff some automorphism maps ``v`` to ``u``."""
+    for automorphism in iter_structural_automorphisms(query):
+        if automorphism(v) is u:
+            return True
+    return False
+
+
+def structural_domination_set(query: Query, u: QueryNode) -> List[QueryNode]:
+    """``SDOM(u)``: all nodes that ``u`` structurally subsumes (Definition 5.15)."""
+    dominated: List[QueryNode] = []
+    seen: Set[int] = set()
+    for automorphism in iter_structural_automorphisms(query):
+        for node in query.nodes():
+            if automorphism(node) is u and id(node) not in seen:
+                seen.add(id(node))
+                dominated.append(node)
+    return dominated
+
+
+def structural_domination_leaves(query: Query, u: QueryNode) -> List[QueryNode]:
+    """``L_u``: the leaf nodes in the structural domination set of ``u``."""
+    return [node for node in structural_domination_set(query, u) if node.is_leaf()]
+
+
+def has_nontrivial_automorphism(query: Query) -> bool:
+    """Whether any non-identity structural query automorphism exists."""
+    for automorphism in iter_structural_automorphisms(query):
+        if not automorphism.is_identity():
+            return True
+    return False
+
+
+def nontrivial_domination_pairs(query: Query) -> List[tuple[QueryNode, QueryNode]]:
+    """All ordered pairs ``(u, v)`` with ``u != v`` and ``u`` structurally subsuming ``v``."""
+    pairs: List[tuple[QueryNode, QueryNode]] = []
+    for automorphism in iter_structural_automorphisms(query):
+        for node, image in automorphism.items():
+            if image is not node:
+                pairs.append((image, node))
+    unique: List[tuple[QueryNode, QueryNode]] = []
+    seen: Set[tuple[int, int]] = set()
+    for u, v in pairs:
+        key = (id(u), id(v))
+        if key not in seen:
+            seen.add(key)
+            unique.append((u, v))
+    return unique

@@ -1,0 +1,111 @@
+"""Reference (in-memory) XPath evaluation: SELECT, PEVAL, FULLEVAL, BOOLEVAL.
+
+This module implements Definitions 3.1-3.6 of the paper directly over document trees.
+It is deliberately straightforward (it materializes the whole document and recurses over
+it) — it serves as the ground truth the streaming algorithms and lower-bound document
+constructions are checked against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import ELEMENT, ROOT, XMLNode
+from ..xpath.ast import NodeRef
+from ..xpath.evalexpr import evaluate_predicate
+from ..xpath.query import ATTRIBUTE as ATTRIBUTE_AXIS
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode, WILDCARD
+
+
+def name_passes_node_test(name: str | None, ntest: str | None) -> bool:
+    """Definition 3.1: the name passes the node test if they are equal or the test is *.
+
+    An ``@*`` node test (attribute wildcard) passes any ``@``-prefixed name.
+    """
+    if ntest is None:
+        return False
+    if ntest == WILDCARD:
+        return name is not None and not name.startswith("@")
+    if ntest == "@*":
+        return name is not None and name.startswith("@")
+    return name == ntest
+
+
+def relates_by_axis(candidate: XMLNode, context: XMLNode, axis: str | None) -> bool:
+    """Definition 3.2: does ``candidate`` relate to ``context`` according to ``axis``."""
+    if axis in (CHILD, ATTRIBUTE_AXIS, None):
+        return candidate.parent is context
+    if axis == DESCENDANT:
+        return context.is_ancestor_of(candidate)
+    raise ValueError(f"unknown axis {axis!r}")
+
+
+def satisfies_predicate(query_node: QueryNode, document_node: XMLNode) -> bool:
+    """Definition 3.3: the document node satisfies the query node's predicate."""
+    predicate = query_node.predicate
+    if predicate is None:
+        return True
+
+    def resolver(ref: NodeRef) -> List[str]:
+        child = ref.target
+        leaf = child.succession_leaf()
+        selected = select(leaf, child.parent or query_node, document_node)
+        return [node.string_value() for node in selected]
+
+    return evaluate_predicate(predicate, resolver)
+
+
+def select(target: QueryNode, context_node: QueryNode, context_doc_node: XMLNode) -> List[XMLNode]:
+    """``SELECT(target | context_node = context_doc_node)`` per Definition 3.4.
+
+    ``context_node`` must lie on the path from the query root to ``target`` (it is
+    usually either ``target`` itself or one of its ancestors).
+    """
+    if target is context_node:
+        return [context_doc_node]
+    parent = target.parent
+    if parent is None:
+        raise ValueError("target must not be the query root unless it is the context")
+    if parent is context_node:
+        selected: List[XMLNode] = []
+        for candidate in _candidates(context_doc_node, target.axis):
+            if not name_passes_node_test(candidate.name, target.ntest):
+                continue
+            if not satisfies_predicate(target, candidate):
+                continue
+            selected.append(candidate)
+        return selected
+    # context is a higher ancestor: recurse through the parent's selection
+    parent_selection = select(parent, context_node, context_doc_node)
+    out: List[XMLNode] = []
+    for intermediate in parent_selection:
+        out.extend(select(target, parent, intermediate))
+    return out
+
+
+def _candidates(context: XMLNode, axis: str | None) -> List[XMLNode]:
+    if axis == DESCENDANT:
+        return [n for n in context.iter_descendants() if n.kind == ELEMENT]
+    return [n for n in context.children if n.kind == ELEMENT]
+
+
+def full_eval(query: Query, document: XMLDocument) -> List[XMLNode]:
+    """``FULLEVAL(Q, D)`` per Definition 3.6: the sequence of selected output nodes."""
+    root_q = query.root
+    root_d = document.root
+    if root_d.kind != ROOT:
+        raise ValueError("document root must be of kind root")
+    if not satisfies_predicate(root_q, root_d):
+        return []
+    return select(query.output_node(), root_q, root_d)
+
+
+def bool_eval(query: Query, document: XMLDocument) -> bool:
+    """``BOOLEVAL(Q, D)``: true iff the document matches the query."""
+    return len(full_eval(query, document)) > 0
+
+
+def full_eval_values(query: Query, document: XMLDocument) -> List[str]:
+    """String values of the selected output nodes (a convenience for examples/tests)."""
+    return [node.string_value() for node in full_eval(query, document)]

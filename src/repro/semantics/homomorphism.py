@@ -1,0 +1,188 @@
+"""Document homomorphisms (Definition 6.1) and isomorphism checks.
+
+A homomorphism from a subtree ``D_x`` to a subtree ``D'_x'`` preserves the root,
+parent-child relationships, names and string values; a *structural* homomorphism drops
+the value requirement and a *weak* homomorphism only requires value preservation at leaf
+nodes.  Lemmas 6.2/6.4 let matchings be transported along homomorphisms, which is how the
+lower-bound proofs show their constructed documents (do not) match the query — the same
+checks back our executable verifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import ELEMENT, ROOT, TEXT, XMLNode
+
+#: A node mapping keyed by the id of the source node.
+NodeMap = Dict[int, XMLNode]
+
+FULL = "full"
+WEAK = "weak"
+STRUCTURAL = "structural"
+_FLAVORS = (FULL, WEAK, STRUCTURAL)
+
+
+class Homomorphism:
+    """An explicit node mapping together with its verification logic."""
+
+    def __init__(self, source_root: XMLNode, target_root: XMLNode, mapping: NodeMap,
+                 flavor: str = FULL) -> None:
+        if flavor not in _FLAVORS:
+            raise ValueError(f"unknown homomorphism flavor {flavor!r}")
+        self.source_root = source_root
+        self.target_root = target_root
+        self.mapping = mapping
+        self.flavor = flavor
+
+    def __call__(self, node: XMLNode) -> XMLNode:
+        return self.mapping[id(node)]
+
+    def is_valid(self) -> bool:
+        """Check the Definition 6.1 requirements for this mapping."""
+        return _check_mapping(self.source_root, self.target_root, self.mapping, self.flavor)
+
+    def is_injective(self) -> bool:
+        targets = [id(v) for v in self.mapping.values()]
+        return len(targets) == len(set(targets))
+
+    def is_onto(self) -> bool:
+        covered = {id(v) for v in self.mapping.values()}
+        all_targets = {
+            id(n) for n in self.target_root.iter_descendants(include_self=True)
+            if n.kind != TEXT
+        }
+        return all_targets <= covered
+
+    def is_isomorphism(self) -> bool:
+        """Definition 6.5: an injective and onto (full) homomorphism."""
+        return self.flavor == FULL and self.is_valid() and self.is_injective() and self.is_onto()
+
+
+def _relevant_nodes(root: XMLNode) -> Iterator[XMLNode]:
+    """Element/root nodes of the subtree (text nodes are not mapped by homomorphisms)."""
+    for node in root.iter_descendants(include_self=True):
+        if node.kind != TEXT:
+            yield node
+
+
+def _check_mapping(source_root: XMLNode, target_root: XMLNode, mapping: NodeMap,
+                   flavor: str) -> bool:
+    if mapping.get(id(source_root)) is not target_root:
+        return False
+    for node in _relevant_nodes(source_root):
+        image = mapping.get(id(node))
+        if image is None:
+            return False
+        if node is not source_root:
+            parent_image = mapping.get(id(node.parent)) if node.parent is not None else None
+            if parent_image is None or image.parent is not parent_image:
+                return False
+        if node.name != image.name:
+            return False
+        if flavor == FULL and node.string_value() != image.string_value():
+            return False
+        if flavor == WEAK and node.is_leaf() and node.string_value() != image.string_value():
+            return False
+    return True
+
+
+def find_homomorphism(
+    source: XMLNode,
+    target: XMLNode,
+    *,
+    flavor: str = FULL,
+) -> Optional[Homomorphism]:
+    """Search for a homomorphism from the subtree at ``source`` to the subtree at ``target``.
+
+    The search is a straightforward backtracking over children; it is exponential in the
+    worst case but the documents involved in the constructions are small.
+    """
+    if flavor not in _FLAVORS:
+        raise ValueError(f"unknown homomorphism flavor {flavor!r}")
+
+    def node_compatible(s: XMLNode, t: XMLNode) -> bool:
+        if s.name != t.name:
+            return False
+        if flavor == FULL and s.string_value() != t.string_value():
+            return False
+        if flavor == WEAK and s.is_leaf() and s.string_value() != t.string_value():
+            return False
+        return True
+
+    def assign(s: XMLNode, t: XMLNode) -> Optional[NodeMap]:
+        if not node_compatible(s, t):
+            return None
+        mapping: NodeMap = {id(s): t}
+        source_children = [c for c in s.children if c.kind != TEXT]
+        target_children = [c for c in t.children if c.kind != TEXT]
+
+        def place(index: int, acc: NodeMap) -> Optional[NodeMap]:
+            if index == len(source_children):
+                return acc
+            child = source_children[index]
+            for candidate in target_children:
+                sub = assign(child, candidate)
+                if sub is None:
+                    continue
+                merged = dict(acc)
+                merged.update(sub)
+                result = place(index + 1, merged)
+                if result is not None:
+                    return result
+            return None
+
+        return place(0, mapping)
+
+    mapping = assign(source, target)
+    if mapping is None:
+        return None
+    return Homomorphism(source, target, mapping, flavor)
+
+
+def natural_homomorphism(
+    source: XMLDocument,
+    target: XMLDocument,
+    origin_of: Callable[[XMLNode], XMLNode],
+    *,
+    flavor: str = WEAK,
+) -> Homomorphism:
+    """Build a homomorphism from an explicit origin function (used by the constructions).
+
+    ``origin_of(node)`` returns, for each non-text node of ``source``, the node of
+    ``target`` it is a copy of.  The returned object still needs ``is_valid()`` to be
+    checked by the caller (the verifiers do).
+    """
+    mapping: NodeMap = {}
+    for node in _relevant_nodes(source.root):
+        mapping[id(node)] = origin_of(node)
+    return Homomorphism(source.root, target.root, mapping, flavor)
+
+
+def documents_isomorphic(a: XMLDocument, b: XMLDocument) -> bool:
+    """Whether two documents are isomorphic (order of siblings may differ)."""
+    hom = find_homomorphism(a.root, b.root, flavor=FULL)
+    return hom is not None and hom.is_isomorphism()
+
+
+def is_internal_node_preserving(hom: Homomorphism) -> bool:
+    """Definition 6.18: internal nodes map to internal nodes and leading text children
+    (the canonical 'prefix' text nodes) are preserved exactly."""
+    for node in _relevant_nodes(hom.source_root):
+        if node.kind == TEXT or node.is_leaf():
+            continue
+        image = hom(node)
+        if image.is_leaf():
+            return False
+        node_leading = _leading_text(node)
+        image_leading = _leading_text(image)
+        if node_leading != image_leading:
+            return False
+    return True
+
+
+def _leading_text(node: XMLNode) -> Optional[str]:
+    if node.children and node.children[0].kind == TEXT:
+        return node.children[0].text_content
+    return None

@@ -1,0 +1,206 @@
+"""Matchings of documents with queries (Definitions 5.8-5.11) and path matchings (8.2).
+
+A matching maps the nodes of a query subtree into a document subtree so that the root,
+axis, node-test and value constraints all hold.  Lemma 5.10 states that a document
+matches a query iff a matching of the two exists; the brute-force matching finder here is
+used as an independent oracle against the SELECT-based evaluator and as the verification
+engine for the lower-bound document families.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import ELEMENT, XMLNode
+from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode
+from ..xpath.truthset import truth_set
+from .evaluator import name_passes_node_test, relates_by_axis
+
+#: A matching is a mapping from query nodes to document nodes, keyed by object identity.
+Matching = Dict[int, XMLNode]
+
+
+class MatchingView:
+    """A convenience wrapper pairing the raw id-keyed mapping with lookup helpers."""
+
+    def __init__(self, query: Query, assignment: Matching) -> None:
+        self.query = query
+        self._assignment = dict(assignment)
+
+    def __call__(self, node: QueryNode) -> XMLNode:
+        return self._assignment[id(node)]
+
+    def get(self, node: QueryNode) -> Optional[XMLNode]:
+        return self._assignment.get(id(node))
+
+    def items(self) -> List[tuple[QueryNode, XMLNode]]:
+        by_id = {id(n): n for n in self.query.nodes()}
+        return [(by_id[k], v) for k, v in self._assignment.items() if k in by_id]
+
+    def is_leaf_preserving(self) -> bool:
+        """Definition 6.3: every query leaf maps to a document leaf."""
+        for query_node, doc_node in self.items():
+            if query_node.is_leaf() and not doc_node.is_leaf():
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(
+            f"{q.ntest or '$'}->{d.name or '$'}" for q, d in self.items()
+        )
+        return f"MatchingView({pairs})"
+
+
+def _value_ok(query_node: QueryNode, doc_node: XMLNode, structural: bool) -> bool:
+    if structural:
+        return True
+    return truth_set(query_node).contains(doc_node.string_value())
+
+
+def _candidate_nodes(context: XMLNode, axis: Optional[str]) -> Iterator[XMLNode]:
+    if axis == DESCENDANT:
+        for node in context.iter_descendants():
+            if node.kind == ELEMENT:
+                yield node
+    else:
+        for node in context.children:
+            if node.kind == ELEMENT:
+                yield node
+
+
+def iter_matchings_of_subtree(
+    query_node: QueryNode,
+    doc_node: XMLNode,
+    *,
+    structural: bool = False,
+) -> Iterator[Matching]:
+    """Enumerate matchings of ``doc_node`` with ``query_node`` (root-match included).
+
+    Yields id-keyed dictionaries mapping every node of the query subtree to a document
+    node of the document subtree.
+    """
+    if not query_node.is_root():
+        if not name_passes_node_test(doc_node.name, query_node.ntest):
+            return
+        if not _value_ok(query_node, doc_node, structural):
+            return
+    elif not _value_ok(query_node, doc_node, structural):
+        return
+
+    def assign_children(children: List[QueryNode], partial: Matching) -> Iterator[Matching]:
+        if not children:
+            yield dict(partial)
+            return
+        child, *rest = children
+        for candidate in _candidate_nodes(doc_node, child.axis):
+            if not relates_by_axis(candidate, doc_node, child.axis):
+                continue
+            for sub in iter_matchings_of_subtree(child, candidate, structural=structural):
+                merged = dict(partial)
+                merged.update(sub)
+                yield from assign_children(rest, merged)
+
+    base: Matching = {id(query_node): doc_node}
+    yield from assign_children(list(query_node.children), base)
+
+
+def iter_matchings(query: Query, document: XMLDocument, *, structural: bool = False
+                   ) -> Iterator[MatchingView]:
+    """Enumerate matchings (or structural matchings) of the document with the query."""
+    for assignment in iter_matchings_of_subtree(
+        query.root, document.root, structural=structural
+    ):
+        yield MatchingView(query, assignment)
+
+
+def find_matching(query: Query, document: XMLDocument, *, structural: bool = False
+                  ) -> Optional[MatchingView]:
+    """The first matching found, or ``None`` (Lemma 5.10 oracle)."""
+    for matching in iter_matchings(query, document, structural=structural):
+        return matching
+    return None
+
+
+def has_matching(query: Query, document: XMLDocument, *, structural: bool = False) -> bool:
+    """Whether any matching exists."""
+    return find_matching(query, document, structural=structural) is not None
+
+
+def count_matchings(query: Query, document: XMLDocument, *, structural: bool = False,
+                    limit: int = 10_000) -> int:
+    """Number of distinct matchings (capped at ``limit`` to stay safe on adversarial input)."""
+    count = 0
+    for _ in iter_matchings(query, document, structural=structural):
+        count += 1
+        if count >= limit:
+            break
+    return count
+
+
+def node_matches(
+    query: Query,
+    query_node: QueryNode,
+    document: XMLDocument,
+    doc_node: XMLNode,
+    *,
+    structural: bool = False,
+) -> bool:
+    """Whether ``doc_node`` matches ``query_node`` relative to the root context.
+
+    This is Definition 5.9 with ``u = ROOT(Q)`` and ``x = ROOT(D)``: there must be a full
+    matching of the document with the query mapping ``query_node`` to ``doc_node``.
+    """
+    for matching in iter_matchings(query, document, structural=structural):
+        if matching(query_node) is doc_node:
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------- path matching
+def iter_path_matchings(query_node: QueryNode, doc_node: XMLNode) -> Iterator[Matching]:
+    """Enumerate path matchings of ``doc_node`` with ``query_node`` (Definition 8.2).
+
+    A path matching only constrains the nodes on the root-to-``query_node`` path: root
+    match, axis match and node-test match (values and off-path structure are ignored).
+    """
+    query_path = query_node.path_from_root()
+    doc_path = doc_node.path_from_root()
+
+    def extend(qi: int, di: int, partial: Matching) -> Iterator[Matching]:
+        if qi == len(query_path):
+            if di == len(doc_path):
+                yield dict(partial)
+            return
+        q = query_path[qi]
+        if qi == 0:
+            # query root maps to document root
+            partial = dict(partial)
+            partial[id(q)] = doc_path[0]
+            yield from extend(1, 1, partial)
+            return
+        axis = q.axis
+        if axis == DESCENDANT:
+            positions = range(di + 1, len(doc_path) + 1)
+        else:
+            positions = range(di + 1, di + 2)
+        for pos in positions:
+            if pos > len(doc_path):
+                break
+            candidate = doc_path[pos - 1]
+            if candidate.kind != ELEMENT:
+                continue
+            if not name_passes_node_test(candidate.name, q.ntest):
+                continue
+            new_partial = dict(partial)
+            new_partial[id(q)] = candidate
+            yield from extend(qi + 1, pos, new_partial)
+
+    yield from extend(0, 0, {})
+
+
+def path_matches(query_node: QueryNode, doc_node: XMLNode) -> bool:
+    """Whether ``doc_node`` path matches ``query_node``."""
+    for _ in iter_path_matchings(query_node, doc_node):
+        return True
+    return False

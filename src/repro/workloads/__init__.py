@@ -1,0 +1,46 @@
+"""Workloads: paper queries, parameterized query generators, and document generators."""
+
+from .datasets import auction_site, book_catalog, dissemination_queries, nested_sections
+from .documents import (
+    deep_padded_document,
+    long_text_document,
+    matching_document_for_frontier_query,
+    random_labelled_document,
+    recursive_branch_document,
+    wide_text_document,
+)
+from .queries import (
+    PAPER_QUERIES,
+    all_paper_queries,
+    alternating_path_query,
+    balanced_query,
+    deep_nested_predicate_query,
+    descendant_branch_query,
+    frontier_sweep_queries,
+    paper_query,
+    path_query,
+    value_predicate_query,
+)
+
+__all__ = [
+    "PAPER_QUERIES",
+    "all_paper_queries",
+    "alternating_path_query",
+    "auction_site",
+    "balanced_query",
+    "book_catalog",
+    "deep_nested_predicate_query",
+    "deep_padded_document",
+    "descendant_branch_query",
+    "dissemination_queries",
+    "frontier_sweep_queries",
+    "long_text_document",
+    "matching_document_for_frontier_query",
+    "nested_sections",
+    "paper_query",
+    "path_query",
+    "random_labelled_document",
+    "recursive_branch_document",
+    "value_predicate_query",
+    "wide_text_document",
+]

@@ -1,0 +1,113 @@
+"""Synthetic datasets that stand in for the real-world XML corpora of the literature.
+
+The paper itself reports no corpus experiments (it is a theory paper), but its
+motivation — publish/subscribe filtering, auction data, linguistically recursive
+documents — comes from the systems it cites (XFilter, YFilter, XMark, Treebank).  These
+generators produce documents with the same *structural character*:
+
+* :func:`book_catalog` — shallow, wide, value-rich (classic dissemination workload);
+* :func:`auction_site` — moderately deep with repeated regions (XMark-like);
+* :func:`nested_sections` — recursive section nesting (Treebank-like recursion).
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.node import XMLNode
+
+_GENRES = ("fiction", "reference", "biography", "science", "poetry")
+_WORDS = ("stream", "memory", "query", "automaton", "frontier", "bound", "match")
+
+
+def _title(rng: random.Random) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(rng.randint(1, 3)))
+
+
+def book_catalog(books: int, *, seed: int = 1) -> XMLDocument:
+    """A flat catalog of ``books`` book elements with price/year/genre children."""
+    rng = random.Random(seed)
+    catalog = XMLNode.element("catalog")
+    for index in range(books):
+        book = catalog.append_child(XMLNode.element("book"))
+        book.append_child(XMLNode.attribute("id", f"b{index}"))
+        title = book.append_child(XMLNode.element("title"))
+        title.append_child(XMLNode.text(_title(rng)))
+        price = book.append_child(XMLNode.element("price"))
+        price.append_child(XMLNode.text(str(rng.randint(5, 80))))
+        year = book.append_child(XMLNode.element("year"))
+        year.append_child(XMLNode.text(str(rng.randint(1990, 2006))))
+        genre = book.append_child(XMLNode.element("genre"))
+        genre.append_child(XMLNode.text(rng.choice(_GENRES)))
+    return XMLDocument.from_top_element(catalog)
+
+
+def auction_site(items: int, *, bidders_per_item: int = 3, seed: int = 2) -> XMLDocument:
+    """An XMark-flavoured auction document: regions, items, and open auctions with bids."""
+    rng = random.Random(seed)
+    site = XMLNode.element("site")
+    regions = site.append_child(XMLNode.element("regions"))
+    for region_name in ("africa", "asia", "europe"):
+        region = regions.append_child(XMLNode.element(region_name))
+        for index in range(max(items // 3, 1)):
+            item = region.append_child(XMLNode.element("item"))
+            item.append_child(XMLNode.attribute("id", f"{region_name}{index}"))
+            name = item.append_child(XMLNode.element("name"))
+            name.append_child(XMLNode.text(_title(rng)))
+            quantity = item.append_child(XMLNode.element("quantity"))
+            quantity.append_child(XMLNode.text(str(rng.randint(1, 10))))
+    auctions = site.append_child(XMLNode.element("open_auctions"))
+    for index in range(items):
+        auction = auctions.append_child(XMLNode.element("open_auction"))
+        initial = auction.append_child(XMLNode.element("initial"))
+        initial.append_child(XMLNode.text(str(rng.randint(1, 200))))
+        for _ in range(bidders_per_item):
+            bidder = auction.append_child(XMLNode.element("bidder"))
+            increase = bidder.append_child(XMLNode.element("increase"))
+            increase.append_child(XMLNode.text(str(rng.randint(1, 50))))
+        current = auction.append_child(XMLNode.element("current"))
+        current.append_child(XMLNode.text(str(rng.randint(10, 400))))
+    return XMLDocument.from_top_element(site)
+
+
+def nested_sections(depth: int, *, breadth: int = 2, seed: int = 3,
+                    section_name: str = "section") -> XMLDocument:
+    """A recursively nested document (sections within sections), Treebank-flavoured.
+
+    The recursion depth w.r.t. ``//section[...]``-style queries equals ``depth``.
+    """
+    rng = random.Random(seed)
+
+    def build(level: int) -> XMLNode:
+        section = XMLNode.element(section_name)
+        title = section.append_child(XMLNode.element("title"))
+        title.append_child(XMLNode.text(_title(rng)))
+        paragraph = section.append_child(XMLNode.element("p"))
+        paragraph.append_child(XMLNode.text(" ".join(
+            rng.choice(_WORDS) for _ in range(rng.randint(3, 8))
+        )))
+        if level < depth:
+            for _ in range(1 if level < depth - 1 else breadth):
+                section.append_child(build(level + 1))
+        return section
+
+    book = XMLNode.element("book")
+    book.append_child(build(1))
+    return XMLDocument.from_top_element(book)
+
+
+def dissemination_queries() -> List[str]:
+    """XPath subscriptions a publish/subscribe system might register over these data."""
+    return [
+        "/catalog/book[price < 20]",
+        "/catalog/book[genre = \"fiction\" and year > 2000]",
+        "/catalog/book[title]",
+        "//open_auction[initial > 100 and bidder]",
+        "//item[quantity > 5]",
+        "/site/regions/europe/item[name]",
+        "//section[title and p]",
+    ]

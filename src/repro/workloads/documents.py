@@ -1,0 +1,90 @@
+"""Document workloads with controlled structural parameters.
+
+These generators produce the documents the benchmark sweeps run over: recursive
+documents with a chosen recursion depth, deep documents with a chosen depth, wide
+documents, and matching/non-matching documents for the generated query families.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.generate import nested_recursive, padded_depth_document, wide_document
+from ..xmlstream.node import XMLNode
+
+
+def recursive_branch_document(branches: Sequence[str], recursion: int, *,
+                              match_at: Optional[int] = None,
+                              root_name: str = "r") -> XMLDocument:
+    """Nested ``root_name`` elements; level ``match_at`` carries all branch children.
+
+    Built for queries like ``//r[b0 and b1 and ...]``: the document's recursion depth
+    w.r.t. the ``r`` node is ``recursion``; it matches the query iff ``match_at`` is not
+    None (that level gets every branch child; other levels get only the first branch).
+    """
+    def children_for(level: int) -> List[XMLNode]:
+        if match_at is not None and level == match_at:
+            return [XMLNode.element(name) for name in branches]
+        return [XMLNode.element(branches[0])] if branches else []
+
+    return nested_recursive(root_name, recursion, child_factory=children_for)
+
+
+def deep_padded_document(payload_names: Sequence[str], padding_depth: int, *,
+                         top_name: str = "a", padding_name: str = "Z") -> XMLDocument:
+    """A document whose payload chain sits below ``padding_depth`` wrapper elements."""
+    payload: Optional[XMLNode] = None
+    for name in reversed(payload_names):
+        node = XMLNode.element(name)
+        if payload is not None:
+            node.append_child(payload)
+        payload = node
+    if payload is None:
+        payload = XMLNode.element("leaf")
+    return padded_depth_document([top_name], padding_name, padding_depth, payload)
+
+
+def matching_document_for_frontier_query(branch_names: Sequence[str], *,
+                                         root_name: str = "r",
+                                         values: Optional[Sequence[str]] = None
+                                         ) -> XMLDocument:
+    """A flat document matching ``/r[c0 and c1 and ...]`` (one child per branch)."""
+    top = XMLNode.element(root_name)
+    for index, name in enumerate(branch_names):
+        child = top.append_child(XMLNode.element(name))
+        if values is not None and index < len(values):
+            child.append_child(XMLNode.text(values[index]))
+    return XMLDocument.from_top_element(top)
+
+
+def wide_text_document(width: int, *, top_name: str = "catalog",
+                       child_name: str = "item", value: str = "42") -> XMLDocument:
+    """A shallow document with many text-bearing children (buffer stress)."""
+    return wide_document(top_name, child_name, width, text_for_child=lambda _i: value)
+
+
+def long_text_document(text_length: int, *, top_name: str = "a",
+                       child_name: str = "b") -> XMLDocument:
+    """A tiny document whose single leaf carries a long string value (text-width stress)."""
+    top = XMLNode.element(top_name)
+    child = top.append_child(XMLNode.element(child_name))
+    child.append_child(XMLNode.text("7" * max(text_length, 1)))
+    return XMLDocument.from_top_element(top)
+
+
+def random_labelled_document(rng: random.Random, *, names: Sequence[str],
+                             max_depth: int = 4, max_children: int = 3,
+                             value_pool: Sequence[str] = ("1", "4", "6", "9", "hello"),
+                             ) -> XMLDocument:
+    """A random document over a fixed label set (used by the property-based tests)."""
+    from ..xmlstream.generate import random_document
+
+    return random_document(
+        rng,
+        names=names,
+        max_depth=max_depth,
+        max_children=max_children,
+        text_values=value_pool,
+    )

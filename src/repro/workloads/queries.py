@@ -1,0 +1,114 @@
+"""Query workloads: the paper's example queries plus parameterized generators.
+
+The generators produce queries whose structural parameters (frontier size, depth,
+number of descendant branches) are controlled explicitly, so the benchmark harness can
+sweep exactly the quantities the bounds are stated in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..xpath.parser import parse_query
+from ..xpath.query import Query
+
+#: queries that appear verbatim in the paper (keyed by where they appear)
+PAPER_QUERIES: Dict[str, str] = {
+    "fig2_example": "/a[c[.//e and f] and b > 5]/b",
+    "thm42_frontier": "/a[c[.//e and f] and b > 5]",
+    "remark_wildcard": "/a[c[.//* and f] and b > 5]",
+    "thm45_recursion": "//a[b and c]",
+    "thm46_depth": "/a/b",
+    "sec5_redundant": "/a[b > 5 and b > 6]",
+    "sec5_subsumption": "/a[b and .//b]",
+    "sec5_truthset": "/a[b/c > 5 and d]",
+    "sec5_leaf_value": "/a[b[c > 5]]",
+    "sec5_not_leaf_value": "/a[b[c] > 5]",
+    "fig9_canonical": "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+    "sec72_example": "//d[f and a[b and c]]",
+    "fig22_run": "/a[c[.//e and f] and b]",
+}
+
+
+def paper_query(key: str) -> Query:
+    """Parse one of the queries quoted in the paper."""
+    return parse_query(PAPER_QUERIES[key])
+
+
+def all_paper_queries() -> Dict[str, Query]:
+    """All paper queries, parsed."""
+    return {key: parse_query(text) for key, text in PAPER_QUERIES.items()}
+
+
+# --------------------------------------------------------------------------- generators
+def _names(count: int, prefix: str = "n") -> List[str]:
+    return [f"{prefix}{index}" for index in range(count)]
+
+
+def balanced_query(fanout: int, depth: int, *, prefix: str = "n") -> Query:
+    """A complete ``fanout``-ary query tree of the given depth with distinct names.
+
+    Distinct names keep the query redundancy-free; the frontier size of the result is
+    ``(fanout - 1) * (depth - 1) + 1`` (the frontier at a deepest leaf: the leaf, its
+    siblings, and the siblings of each ancestor below the root), so sweeping ``fanout``
+    and ``depth`` sweeps ``FS(Q)`` logarithmically in ``|Q| ~ fanout**depth``.
+    """
+    counter = 0
+
+    def subtree(level: int) -> str:
+        nonlocal counter
+        name = f"{prefix}{counter}"
+        counter += 1
+        if level >= depth:
+            return name
+        children = [subtree(level + 1) for _ in range(fanout)]
+        return f"{name}[{ ' and '.join(children) }]"
+
+    return parse_query("/" + subtree(1))
+
+
+def path_query(length: int, *, axis: str = "/", prefix: str = "p") -> Query:
+    """A linear path query of the given length (axis ``/`` or ``//``)."""
+    names = _names(length, prefix)
+    return parse_query("".join(f"{axis}{name}" for name in names))
+
+
+def descendant_branch_query(branches: int, *, prefix: str = "b") -> Query:
+    """``//root[b0 and b1 and ... ]`` — a Recursive-XPath query with wide frontier."""
+    names = _names(branches, prefix)
+    return parse_query("//r[" + " and ".join(names) + "]")
+
+
+def alternating_path_query(length: int, *, prefix: str = "q") -> Query:
+    """A path alternating child and descendant axes (stress for DFA determinization)."""
+    parts = []
+    for index, name in enumerate(_names(length, prefix)):
+        parts.append(("//" if index % 2 else "/") + name)
+    return parse_query("".join(parts))
+
+
+def value_predicate_query(width: int, *, threshold: int = 5) -> Query:
+    """``/r[v0 > t and v1 > t+1 and ...]`` — distinct numeric value predicates."""
+    conjuncts = [f"v{index} > {threshold + index}" for index in range(width)]
+    return parse_query("/r[" + " and ".join(conjuncts) + "]")
+
+
+def deep_nested_predicate_query(depth: int) -> Query:
+    """``/n0[n1[n2[...]]]`` — a single predicate chain (frontier size stays small)."""
+    names = _names(depth, "d")
+    text = names[-1]
+    for name in reversed(names[:-1]):
+        text = f"{name}[{text}]"
+    return parse_query("/" + text)
+
+
+def frontier_sweep_queries(sizes: Sequence[int]) -> Dict[int, Query]:
+    """Queries whose frontier sizes are exactly the requested values.
+
+    ``/r[c0 and c1 and ... c_{k-1}]`` has frontier size ``k`` (at any ``c_i``).
+    """
+    out: Dict[int, Query] = {}
+    for size in sizes:
+        names = _names(size, "c")
+        out[size] = parse_query("/r[" + " and ".join(names) + "]")
+    return out

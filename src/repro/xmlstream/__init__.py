@@ -1,0 +1,74 @@
+"""XML substrate: node/document trees, SAX event streams, parsing and generation.
+
+This package implements the data model of Section 3.1.1 and the stream model of
+Section 3.1.4 of the paper.
+"""
+
+from .build import MalformedStreamError, build_document, try_build_document
+from .document import XMLDocument
+from .events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    compact_stream,
+    element_events,
+    is_well_formed,
+    iter_depths,
+    max_depth,
+    strip_document,
+    text_element_events,
+    wrap_document,
+)
+from .generate import (
+    interleave_children,
+    linear_chain,
+    nested_recursive,
+    padded_depth_document,
+    random_document,
+    wide_document,
+)
+from .node import ATTRIBUTE, ELEMENT, ROOT, TEXT, XMLNode
+from .parse import XMLParseError, parse_document, parse_events, parse_with_sax, tokenize
+from .serialize import serialize_document, serialize_events
+
+__all__ = [
+    "ATTRIBUTE",
+    "ELEMENT",
+    "ROOT",
+    "TEXT",
+    "EndDocument",
+    "EndElement",
+    "Event",
+    "MalformedStreamError",
+    "StartDocument",
+    "StartElement",
+    "Text",
+    "XMLDocument",
+    "XMLNode",
+    "XMLParseError",
+    "build_document",
+    "compact_stream",
+    "element_events",
+    "interleave_children",
+    "is_well_formed",
+    "iter_depths",
+    "linear_chain",
+    "max_depth",
+    "nested_recursive",
+    "padded_depth_document",
+    "parse_document",
+    "parse_events",
+    "parse_with_sax",
+    "random_document",
+    "serialize_document",
+    "serialize_events",
+    "strip_document",
+    "text_element_events",
+    "tokenize",
+    "try_build_document",
+    "wide_document",
+    "wrap_document",
+]

@@ -1,0 +1,72 @@
+"""Build document trees from SAX event streams (the inverse of ``XMLDocument.events``)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from .node import XMLNode
+
+
+class MalformedStreamError(ValueError):
+    """Raised when an event sequence is not a well-formed document stream."""
+
+
+def build_document(events: Sequence[Event]):
+    """Build an :class:`~repro.xmlstream.document.XMLDocument` from a SAX event sequence.
+
+    The sequence must be well formed: it starts with ``StartDocument``, ends with
+    ``EndDocument``, and element events nest properly.
+
+    Raises :class:`MalformedStreamError` otherwise.
+    """
+    from .document import XMLDocument
+
+    events = list(events)
+    if not events:
+        raise MalformedStreamError("empty event stream")
+    if not isinstance(events[0], StartDocument):
+        raise MalformedStreamError("stream does not start with StartDocument")
+    if not isinstance(events[-1], EndDocument):
+        raise MalformedStreamError("stream does not end with EndDocument")
+
+    root = XMLNode.root()
+    stack: List[XMLNode] = [root]
+    for i, event in enumerate(events[1:-1], start=1):
+        if isinstance(event, StartElement):
+            node = XMLNode.element(event.name)
+            stack[-1].append_child(node)
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            if len(stack) <= 1:
+                raise MalformedStreamError(f"unmatched end element at event {i}")
+            open_node = stack.pop()
+            if open_node.name != event.name:
+                raise MalformedStreamError(
+                    f"mismatched end element at event {i}: "
+                    f"expected </{open_node.name}> got </{event.name}>"
+                )
+        elif isinstance(event, Text):
+            stack[-1].append_child(XMLNode.text(event.content))
+        elif isinstance(event, (StartDocument, EndDocument)):
+            raise MalformedStreamError(f"document envelope event in the interior at {i}")
+        else:  # pragma: no cover - defensive
+            raise MalformedStreamError(f"unknown event type: {event!r}")
+    if len(stack) != 1:
+        raise MalformedStreamError("unterminated elements at end of stream")
+    return XMLDocument(root)
+
+
+def try_build_document(events: Sequence[Event]):
+    """Like :func:`build_document` but returns ``None`` for malformed streams."""
+    try:
+        return build_document(events)
+    except MalformedStreamError:
+        return None

@@ -1,0 +1,137 @@
+"""XML document trees and conversions between trees and SAX event streams."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+    compact_stream,
+)
+from .node import ATTRIBUTE, ELEMENT, ROOT, TEXT, XMLNode
+
+
+class XMLDocument:
+    """A rooted XML document tree.
+
+    The root node is always of kind ``root``; the document's elements are its
+    descendants.  A document knows how to turn itself into a stream of SAX events and how
+    to report the structural metrics used throughout the paper (depth, node count).
+    """
+
+    def __init__(self, root: Optional[XMLNode] = None) -> None:
+        if root is None:
+            root = XMLNode.root()
+        if root.kind != ROOT:
+            raise ValueError("document root must be a node of kind 'root'")
+        self.root = root
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_top_element(cls, element: XMLNode) -> "XMLDocument":
+        """Create a document whose root has the given element as its only child."""
+        root = XMLNode.root()
+        root.append_child(element)
+        return cls(root)
+
+    @classmethod
+    def from_events(cls, events: Sequence[Event]) -> "XMLDocument":
+        """Build a document tree from a well-formed SAX event sequence."""
+        from .build import build_document
+
+        return build_document(events)
+
+    @classmethod
+    def parse(cls, text: str) -> "XMLDocument":
+        """Parse XML text (compact notation of the paper or regular XML) to a document."""
+        from .parse import parse_document
+
+        return parse_document(text)
+
+    # ------------------------------------------------------------------ conversion
+    def events(self) -> List[Event]:
+        """The SAX event stream representation of this document."""
+        out: List[Event] = [StartDocument()]
+        self._emit(self.root, out)
+        out.append(EndDocument())
+        return out
+
+    def _emit(self, node: XMLNode, out: List[Event]) -> None:
+        for child in node.children:
+            if child.kind == TEXT:
+                out.append(Text(child.text_content or ""))
+            else:
+                out.append(StartElement(child.name or ""))
+                self._emit(child, out)
+                out.append(EndElement(child.name or ""))
+
+    def compact(self) -> str:
+        """Compact angle-bracket serialization (without the ``<$>`` envelope)."""
+        return compact_stream(self.events()[1:-1])
+
+    def serialize(self) -> str:
+        """Full XML text serialization."""
+        from .serialize import serialize_document
+
+        return serialize_document(self)
+
+    # ------------------------------------------------------------------ structural metrics
+    def depth(self) -> int:
+        """Length of the longest root-to-leaf path (document root at depth 0)."""
+        best = 0
+        for node in self.iter_nodes():
+            if node.kind in (ELEMENT, ATTRIBUTE):
+                best = max(best, node.depth())
+        return best
+
+    def node_count(self, kinds: Sequence[str] = (ELEMENT, ATTRIBUTE)) -> int:
+        """Number of nodes of the given kinds (default: element + attribute)."""
+        return sum(1 for node in self.iter_nodes() if node.kind in kinds)
+
+    def size(self) -> int:
+        """Total number of nodes of any kind, including the root."""
+        return self.root.subtree_size()
+
+    def iter_nodes(self, include_root: bool = True) -> Iterator[XMLNode]:
+        """Document-order traversal of all nodes."""
+        return self.root.iter_descendants(include_self=include_root)
+
+    def iter_elements(self) -> Iterator[XMLNode]:
+        """Document-order traversal of element and attribute nodes."""
+        for node in self.iter_nodes(include_root=False):
+            if node.kind in (ELEMENT, ATTRIBUTE):
+                yield node
+
+    def top_element(self) -> Optional[XMLNode]:
+        """The unique top-level element, if there is exactly one."""
+        elements = self.root.element_children()
+        if len(elements) == 1:
+            return elements[0]
+        return None
+
+    # ------------------------------------------------------------------ comparison
+    def structurally_equal(self, other: "XMLDocument") -> bool:
+        """True if the two documents have identical trees (names, kinds, text, order)."""
+        return _nodes_equal(self.root, other.root)
+
+    def copy(self) -> "XMLDocument":
+        """Deep copy."""
+        return XMLDocument(self.root.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLDocument({self.compact()!r})"
+
+
+def _nodes_equal(a: XMLNode, b: XMLNode) -> bool:
+    if a.kind != b.kind or a.name != b.name:
+        return False
+    if a.kind == TEXT:
+        return a.text_content == b.text_content
+    if len(a.children) != len(b.children):
+        return False
+    return all(_nodes_equal(ca, cb) for ca, cb in zip(a.children, b.children))

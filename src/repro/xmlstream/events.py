@@ -1,0 +1,195 @@
+"""SAX-style event model for streaming XML processing.
+
+The paper (Section 3.1.4) defines five event types for the stream representation of an
+XML document:
+
+1. ``startDocument()``  (denoted ``<$>``)
+2. ``endDocument()``    (denoted ``</$>``)
+3. ``startElement(n)``  (denoted ``<n>``)
+4. ``endElement(n)``    (denoted ``</n>``)
+5. ``text(alpha)``      (denoted ``alpha``)
+
+Events are small immutable value objects.  A *stream* is any iterable of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence
+
+
+class Event:
+    """Base class for all SAX events."""
+
+    __slots__ = ()
+
+    #: symbolic kind string, overridden by subclasses
+    kind = "event"
+
+    def compact(self) -> str:
+        """Return the compact notation used throughout the paper (e.g. ``<a>``)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class StartDocument(Event):
+    """The ``startDocument()`` event, denoted ``<$>``."""
+
+    kind = "startDocument"
+
+    def compact(self) -> str:
+        return "<$>"
+
+
+@dataclass(frozen=True, slots=True)
+class EndDocument(Event):
+    """The ``endDocument()`` event, denoted ``</$>``."""
+
+    kind = "endDocument"
+
+    def compact(self) -> str:
+        return "</$>"
+
+
+@dataclass(frozen=True, slots=True)
+class StartElement(Event):
+    """The ``startElement(name)`` event, denoted ``<name>``."""
+
+    name: str
+    kind = "startElement"
+
+    def compact(self) -> str:
+        return f"<{self.name}>"
+
+
+@dataclass(frozen=True, slots=True)
+class EndElement(Event):
+    """The ``endElement(name)`` event, denoted ``</name>``."""
+
+    name: str
+    kind = "endElement"
+
+    def compact(self) -> str:
+        return f"</{self.name}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Event):
+    """The ``text(content)`` event carrying character data."""
+
+    content: str
+    kind = "text"
+
+    def compact(self) -> str:
+        return self.content
+
+
+EventStream = Iterable[Event]
+
+
+def compact_stream(events: EventStream) -> str:
+    """Render an event stream in the paper's compact angle-bracket notation."""
+    return "".join(event.compact() for event in events)
+
+
+def is_well_formed(events: Sequence[Event]) -> bool:
+    """Check whether an event sequence is a well-formed document stream.
+
+    Well-formedness means: exactly one ``StartDocument`` at the beginning, exactly one
+    ``EndDocument`` at the end, properly nested matching start/end element events, and no
+    events outside the document envelope.
+    """
+    events = list(events)
+    if not events:
+        return False
+    if not isinstance(events[0], StartDocument) or not isinstance(events[-1], EndDocument):
+        return False
+    stack: List[str] = []
+    for i, event in enumerate(events):
+        if isinstance(event, StartDocument):
+            if i != 0:
+                return False
+        elif isinstance(event, EndDocument):
+            if i != len(events) - 1:
+                return False
+            if stack:
+                return False
+        elif isinstance(event, StartElement):
+            stack.append(event.name)
+        elif isinstance(event, EndElement):
+            if not stack or stack[-1] != event.name:
+                return False
+            stack.pop()
+        elif isinstance(event, Text):
+            continue
+        else:  # pragma: no cover - defensive
+            return False
+    return not stack
+
+
+def element_events(name: str, inner: Sequence[Event] = ()) -> List[Event]:
+    """Build the event list ``<name> inner </name>``."""
+    return [StartElement(name), *inner, EndElement(name)]
+
+
+def text_element_events(name: str, content: str) -> List[Event]:
+    """Build the event list for ``<name>content</name>``."""
+    if content:
+        return [StartElement(name), Text(content), EndElement(name)]
+    return [StartElement(name), EndElement(name)]
+
+
+def wrap_document(inner: Sequence[Event]) -> List[Event]:
+    """Wrap an element event sequence in the document envelope ``<$> ... </$>``."""
+    return [StartDocument(), *inner, EndDocument()]
+
+
+def strip_document(events: Sequence[Event]) -> List[Event]:
+    """Remove the document envelope, returning the inner element events.
+
+    Raises ``ValueError`` if the envelope is absent.
+    """
+    events = list(events)
+    if not events or not isinstance(events[0], StartDocument):
+        raise ValueError("event stream does not start with StartDocument")
+    if not isinstance(events[-1], EndDocument):
+        raise ValueError("event stream does not end with EndDocument")
+    return events[1:-1]
+
+
+def iter_depths(events: EventStream) -> Iterator[tuple[Event, int]]:
+    """Yield ``(event, depth)`` pairs.
+
+    The document root (``StartDocument``) is at depth 0; top-level elements at depth 1.
+    For an element, the depth reported for both its start and end events is the depth of
+    the element itself.  ``Text`` events report the depth of their (text-node) position,
+    i.e. one more than the enclosing element's depth.
+    """
+    depth = 0
+    for event in events:
+        if isinstance(event, StartDocument):
+            yield event, 0
+        elif isinstance(event, EndDocument):
+            yield event, 0
+        elif isinstance(event, StartElement):
+            depth += 1
+            yield event, depth
+        elif isinstance(event, EndElement):
+            yield event, depth
+            depth -= 1
+        else:
+            yield event, depth + 1
+
+
+def max_depth(events: EventStream) -> int:
+    """Maximum *element* depth of the stream (document root at depth 0).
+
+    Text events are ignored: they sit one level below their enclosing element but do not
+    contribute to the document depth as defined in the paper (root-to-leaf element
+    paths).
+    """
+    best = 0
+    for event, depth in iter_depths(events):
+        if isinstance(event, StartElement):
+            best = max(best, depth)
+    return best

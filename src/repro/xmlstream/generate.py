@@ -1,0 +1,130 @@
+"""Synthetic XML document generators.
+
+These generators produce documents with *controlled* structural parameters — depth,
+recursion depth, fan-out, text width — which are exactly the parameters the paper's
+bounds are stated in.  They back the workload package and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from .document import XMLDocument
+from .node import XMLNode
+
+
+def linear_chain(names: Sequence[str], leaf_text: Optional[str] = None) -> XMLDocument:
+    """A document that is a single root-to-leaf chain with the given element names."""
+    if not names:
+        return XMLDocument()
+    top = XMLNode.element(names[0])
+    current = top
+    for name in names[1:]:
+        current = current.append_child(XMLNode.element(name))
+    if leaf_text is not None:
+        current.append_child(XMLNode.text(leaf_text))
+    return XMLDocument.from_top_element(top)
+
+
+def nested_recursive(
+    name: str,
+    depth: int,
+    *,
+    child_factory: Optional[Callable[[int], List[XMLNode]]] = None,
+) -> XMLDocument:
+    """A document of ``depth`` nested elements all named ``name``.
+
+    ``child_factory(i)`` may supply extra (non-nested) children for the element at
+    nesting level ``i`` (1-based, outermost first).  This produces recursive documents
+    with recursion depth ``depth`` with respect to queries such as ``//name[...]``.
+    """
+    top = XMLNode.element(name)
+    current = top
+    for level in range(1, depth + 1):
+        if child_factory is not None:
+            for extra in child_factory(level):
+                current.append_child(extra)
+        if level < depth:
+            current = current.append_child(XMLNode.element(name))
+    return XMLDocument.from_top_element(top)
+
+
+def padded_depth_document(
+    prefix_names: Sequence[str],
+    padding_name: str,
+    padding_depth: int,
+    payload: XMLNode,
+) -> XMLDocument:
+    """A document whose payload element sits below ``padding_depth`` wrapper elements.
+
+    Useful for depth sweeps: the query-relevant structure stays fixed while the document
+    depth grows.
+    """
+    if not prefix_names:
+        raise ValueError("at least one prefix element name is required")
+    top = XMLNode.element(prefix_names[0])
+    current = top
+    for name in prefix_names[1:]:
+        current = current.append_child(XMLNode.element(name))
+    for _ in range(padding_depth):
+        current = current.append_child(XMLNode.element(padding_name))
+    current.append_child(payload)
+    return XMLDocument.from_top_element(top)
+
+
+def wide_document(
+    top_name: str,
+    child_name: str,
+    width: int,
+    *,
+    text_for_child: Optional[Callable[[int], str]] = None,
+) -> XMLDocument:
+    """A shallow document with ``width`` children under a single top element."""
+    top = XMLNode.element(top_name)
+    for i in range(width):
+        child = top.append_child(XMLNode.element(child_name))
+        if text_for_child is not None:
+            child.append_child(XMLNode.text(text_for_child(i)))
+    return XMLDocument.from_top_element(top)
+
+
+def random_document(
+    rng: random.Random,
+    *,
+    names: Sequence[str] = ("a", "b", "c", "d", "e"),
+    max_depth: int = 5,
+    max_children: int = 3,
+    text_probability: float = 0.4,
+    text_values: Sequence[str] = ("1", "3", "6", "7", "hello", "world", ""),
+) -> XMLDocument:
+    """A random document, used by property-based tests.
+
+    The shape distribution is biased toward small documents (each level has a decreasing
+    chance of further children), so exhaustive cross-checking against the reference
+    evaluator stays fast.
+    """
+
+    def make_element(depth: int) -> XMLNode:
+        node = XMLNode.element(rng.choice(list(names)))
+        if rng.random() < text_probability:
+            node.append_child(XMLNode.text(rng.choice(list(text_values))))
+        if depth < max_depth:
+            for _ in range(rng.randint(0, max_children)):
+                if rng.random() < 0.7:
+                    node.append_child(make_element(depth + 1))
+        return node
+
+    return XMLDocument.from_top_element(make_element(1))
+
+
+def interleave_children(document: XMLDocument, rng: random.Random) -> XMLDocument:
+    """Return a copy of ``document`` with the children of every node randomly permuted.
+
+    Queries in the paper's fragment are indifferent to sibling order (Claim 4.3), so this
+    is a useful metamorphic transformation for property tests.
+    """
+    copy = document.copy()
+    for node in copy.iter_nodes():
+        rng.shuffle(node.children)
+    return copy

@@ -1,0 +1,185 @@
+"""XML node model following the XPath 2.0 / XQuery 1.0 data model subset of the paper.
+
+Section 3.1.1 of the paper: an XML document is a rooted tree in which every node ``x`` has
+
+* ``KIND(x)``     -- ``root``, ``element``, ``attribute`` or ``text``;
+* ``NAME(x)``     -- a name (root and text nodes are unnamed);
+* ``STRVAL(x)``   -- the concatenation of the text contents of the text-node descendants
+                     of ``x`` in document order;
+* ``DATAVAL(x)``  -- a typed value derived from ``STRVAL(x)``.
+
+We model attributes as a special case of children (the paper handles the attribute axis as
+a special case of the child axis), so an attribute node is simply an element-like node with
+``kind == "attribute"`` whose single child is a text node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+ROOT = "root"
+ELEMENT = "element"
+ATTRIBUTE = "attribute"
+TEXT = "text"
+
+_KINDS = (ROOT, ELEMENT, ATTRIBUTE, TEXT)
+
+
+class XMLNode:
+    """A node of an XML document tree.
+
+    Nodes are mutable while a tree is being built; afterwards they are treated as
+    read-only.  Parent pointers are maintained automatically by :meth:`append_child`.
+    """
+
+    __slots__ = ("kind", "name", "text_content", "children", "parent", "_strval_cache")
+
+    def __init__(
+        self,
+        kind: str,
+        name: Optional[str] = None,
+        text_content: Optional[str] = None,
+        children: Optional[Sequence["XMLNode"]] = None,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown node kind: {kind!r}")
+        if kind == TEXT and text_content is None:
+            raise ValueError("text nodes require text_content")
+        if kind in (ROOT, TEXT) and name is not None:
+            raise ValueError(f"{kind} nodes are unnamed")
+        if kind in (ELEMENT, ATTRIBUTE) and not name:
+            raise ValueError(f"{kind} nodes require a name")
+        self.kind = kind
+        self.name = name
+        self.text_content = text_content if kind == TEXT else None
+        self.children: List[XMLNode] = []
+        self.parent: Optional[XMLNode] = None
+        self._strval_cache: Optional[str] = None
+        if children:
+            for child in children:
+                self.append_child(child)
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def root(cls, children: Optional[Sequence["XMLNode"]] = None) -> "XMLNode":
+        """Create a document-root node (kind ``root``)."""
+        return cls(ROOT, children=children)
+
+    @classmethod
+    def element(
+        cls, name: str, children: Optional[Sequence["XMLNode"]] = None
+    ) -> "XMLNode":
+        """Create an element node."""
+        return cls(ELEMENT, name=name, children=children)
+
+    @classmethod
+    def attribute(cls, name: str, value: str) -> "XMLNode":
+        """Create an attribute node.
+
+        Following the paper's convention that the attribute axis is a special case of the
+        child axis, attributes are represented uniformly as element-like children whose
+        name carries an ``@`` prefix (this is also what the XML parser produces).
+        """
+        prefixed = name if name.startswith("@") else "@" + name
+        return cls(ELEMENT, name=prefixed, children=[cls.text(value)])
+
+    @classmethod
+    def text(cls, content: str) -> "XMLNode":
+        """Create a text node."""
+        return cls(TEXT, text_content=content)
+
+    # ------------------------------------------------------------------ tree building
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` (setting its parent pointer) and return it."""
+        if self.kind == TEXT:
+            raise ValueError("text nodes cannot have children")
+        child.parent = self
+        self.children.append(child)
+        self._invalidate_strval()
+        return child
+
+    def _invalidate_strval(self) -> None:
+        node: Optional[XMLNode] = self
+        while node is not None:
+            node._strval_cache = None
+            node = node.parent
+
+    # ------------------------------------------------------------------ properties
+    def is_leaf(self) -> bool:
+        """True if the node has no element/attribute children (text children ignored)."""
+        return not any(c.kind in (ELEMENT, ATTRIBUTE) for c in self.children)
+
+    def element_children(self) -> List["XMLNode"]:
+        """Children of kind element or attribute (the ones relevant for matching)."""
+        return [c for c in self.children if c.kind in (ELEMENT, ATTRIBUTE)]
+
+    def string_value(self) -> str:
+        """``STRVAL(x)``: concatenation of descendant text contents in document order."""
+        if self.kind == TEXT:
+            return self.text_content or ""
+        if self._strval_cache is None:
+            parts: List[str] = []
+            for node in self.iter_descendants(include_self=True):
+                if node.kind == TEXT:
+                    parts.append(node.text_content or "")
+            self._strval_cache = "".join(parts)
+        return self._strval_cache
+
+    # ------------------------------------------------------------------ traversal
+    def iter_descendants(self, include_self: bool = False) -> Iterator["XMLNode"]:
+        """Pre-order (document order) traversal of the subtree rooted at this node."""
+        if include_self:
+            yield self
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_ancestors(self, include_self: bool = False) -> Iterator["XMLNode"]:
+        """Walk up the parent chain."""
+        node: Optional[XMLNode] = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_from_root(self) -> List["XMLNode"]:
+        """``PATH(x)``: the sequence of nodes from the document root down to this node."""
+        return list(reversed(list(self.iter_ancestors(include_self=True))))
+
+    def depth(self) -> int:
+        """Number of edges from the document root to this node (root has depth 0)."""
+        return sum(1 for _ in self.iter_ancestors())
+
+    def is_ancestor_of(self, other: "XMLNode") -> bool:
+        """True if this node is a proper ancestor of ``other``."""
+        return any(anc is self for anc in other.iter_ancestors())
+
+    def is_descendant_of(self, other: "XMLNode") -> bool:
+        """True if this node is a proper descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def is_child_of(self, other: "XMLNode") -> bool:
+        """True if this node's parent is ``other``."""
+        return self.parent is other
+
+    # ------------------------------------------------------------------ misc
+    def subtree_size(self) -> int:
+        """Number of nodes (of any kind) in the subtree rooted here, including itself."""
+        return 1 + sum(1 for _ in self.iter_descendants())
+
+    def copy(self) -> "XMLNode":
+        """Deep copy of the subtree rooted at this node (parent of the copy is None)."""
+        if self.kind == TEXT:
+            return XMLNode.text(self.text_content or "")
+        clone = XMLNode(self.kind, name=self.name)
+        for child in self.children:
+            clone.append_child(child.copy())
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == TEXT:
+            return f"Text({self.text_content!r})"
+        if self.kind == ROOT:
+            return f"Root(children={len(self.children)})"
+        return f"{self.kind.capitalize()}({self.name!r}, children={len(self.children)})"

@@ -1,0 +1,170 @@
+"""Parsing of XML text into event streams and document trees.
+
+Two front ends are provided:
+
+* :func:`tokenize` / :func:`parse_events` -- a small hand-written parser for the compact
+  angle-bracket notation used throughout the paper (``<a><b>6</b></a>``).  It understands
+  start tags, end tags, empty-element tags (``<b/>``), attributes (turned into attribute
+  nodes), and character data.  It deliberately ignores XML declarations, comments and
+  processing instructions, which never occur in the paper's constructions.
+
+* :func:`parse_with_sax` -- an adapter that runs Python's ``xml.sax`` parser and converts
+  its callbacks into our event model.  Used to check the hand-written parser against the
+  standard library on well-formed inputs, and available to users who prefer strict XML.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.sax
+import xml.sax.handler
+from io import StringIO
+from typing import List, Sequence
+
+from .events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+_TAG_RE = re.compile(
+    r"<(?P<close>/)?(?P<name>[^\s<>/]+)(?P<attrs>[^<>]*?)(?P<selfclose>/)?>",
+)
+_ATTR_RE = re.compile(r"""(?P<name>[^\s=]+)\s*=\s*(?P<quote>["'])(?P<value>.*?)(?P=quote)""")
+
+
+class XMLParseError(ValueError):
+    """Raised when XML text cannot be parsed."""
+
+
+def tokenize(text: str) -> List[Event]:
+    """Tokenize XML text into element/text events (no document envelope).
+
+    Whitespace-only character data between tags is dropped, matching the convention used
+    in all of the paper's examples.  Character data adjacent to non-whitespace is kept
+    verbatim (with entity references for ``&lt; &gt; &amp;`` decoded).
+    """
+    events: List[Event] = []
+    pos = 0
+    while pos < len(text):
+        match = _TAG_RE.search(text, pos)
+        if match is None:
+            trailing = text[pos:]
+            if trailing.strip():
+                events.append(Text(_unescape(trailing)))
+            break
+        leading = text[pos : match.start()]
+        if leading.strip():
+            events.append(Text(_unescape(leading)))
+        name = match.group("name")
+        if match.group("close"):
+            events.append(EndElement(name))
+        else:
+            events.append(StartElement(name))
+            attrs_src = match.group("attrs") or ""
+            for attr in _ATTR_RE.finditer(attrs_src):
+                events.append(StartElement("@" + attr.group("name")))
+                if attr.group("value"):
+                    events.append(Text(_unescape(attr.group("value"))))
+                events.append(EndElement("@" + attr.group("name")))
+            if match.group("selfclose"):
+                events.append(EndElement(name))
+        pos = match.end()
+    return events
+
+
+def parse_events(text: str) -> List[Event]:
+    """Parse XML text into a full document event stream (with the ``<$>`` envelope)."""
+    inner = tokenize(text)
+    _check_nesting(inner)
+    return [StartDocument(), *inner, EndDocument()]
+
+
+def parse_document(text: str):
+    """Parse XML text into an :class:`~repro.xmlstream.document.XMLDocument`."""
+    from .build import build_document
+
+    return build_document(parse_events(text))
+
+
+def _check_nesting(events: Sequence[Event]) -> None:
+    stack: List[str] = []
+    for event in events:
+        if isinstance(event, StartElement):
+            stack.append(event.name)
+        elif isinstance(event, EndElement):
+            if not stack:
+                raise XMLParseError(f"unmatched closing tag </{event.name}>")
+            expected = stack.pop()
+            if expected != event.name:
+                raise XMLParseError(
+                    f"mismatched closing tag: expected </{expected}>, got </{event.name}>"
+                )
+    if stack:
+        raise XMLParseError(f"unclosed tags: {stack}")
+
+
+def _unescape(raw: str) -> str:
+    return (
+        raw.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", '"')
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+    )
+
+
+def _escape(raw: str) -> str:
+    return (
+        raw.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+class _SaxCollector(xml.sax.handler.ContentHandler):
+    """``xml.sax`` content handler that records our event objects."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[Event] = []
+
+    def startDocument(self) -> None:  # noqa: N802 (xml.sax API)
+        self.events.append(StartDocument())
+
+    def endDocument(self) -> None:  # noqa: N802
+        self.events.append(EndDocument())
+
+    def startElement(self, name, attrs) -> None:  # noqa: N802
+        self.events.append(StartElement(name))
+        for attr_name in attrs.getNames():
+            self.events.append(StartElement("@" + attr_name))
+            value = attrs.getValue(attr_name)
+            if value:
+                self.events.append(Text(value))
+            self.events.append(EndElement("@" + attr_name))
+
+    def endElement(self, name) -> None:  # noqa: N802
+        self.events.append(EndElement(name))
+
+    def characters(self, content) -> None:
+        if content.strip():
+            self.events.append(Text(content))
+
+
+def parse_with_sax(text: str) -> List[Event]:
+    """Parse XML text with the standard library's ``xml.sax`` into our event model.
+
+    The input must be a single rooted XML element (regular XML, not the paper's compact
+    multi-root fragments).  Whitespace-only character data is dropped for consistency
+    with :func:`tokenize`.
+    """
+    collector = _SaxCollector()
+    try:
+        xml.sax.parse(StringIO(text), collector)
+    except xml.sax.SAXParseException as exc:  # pragma: no cover - passthrough
+        raise XMLParseError(str(exc)) from exc
+    return collector.events

@@ -1,0 +1,52 @@
+"""Serialization of documents and event streams back to XML text."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
+from .parse import _escape
+
+
+def serialize_events(events: Sequence[Event], *, self_close_empty: bool = True) -> str:
+    """Serialize an event stream (with or without the document envelope) to XML text.
+
+    ``self_close_empty`` collapses ``<a></a>`` to ``<a/>`` which matches the paper's
+    shorthand notation ``<n/>``.
+    """
+    parts: list[str] = []
+    pending_start: str | None = None
+
+    def flush_pending(empty: bool) -> None:
+        nonlocal pending_start
+        if pending_start is None:
+            return
+        if empty and self_close_empty:
+            parts.append(f"<{pending_start}/>")
+        else:
+            parts.append(f"<{pending_start}>")
+        pending_start = None
+
+    for event in events:
+        if isinstance(event, (StartDocument, EndDocument)):
+            flush_pending(empty=False)
+            continue
+        if isinstance(event, StartElement):
+            flush_pending(empty=False)
+            pending_start = event.name
+        elif isinstance(event, EndElement):
+            if pending_start == event.name:
+                flush_pending(empty=True)
+            else:
+                flush_pending(empty=False)
+                parts.append(f"</{event.name}>")
+        elif isinstance(event, Text):
+            flush_pending(empty=False)
+            parts.append(_escape(event.content))
+    flush_pending(empty=False)
+    return "".join(parts)
+
+
+def serialize_document(document) -> str:
+    """Serialize an :class:`~repro.xmlstream.document.XMLDocument` to XML text."""
+    return serialize_events(document.events())

@@ -1,0 +1,257 @@
+"""Predicate expression trees.
+
+The predicate of a query node ``u`` (Section 3.1.2) is an expression tree whose internal
+nodes are logical, comparison, arithmetic, or functional operators and whose leaves are
+constants or pointers to (predicate) children of ``u``.
+
+The AST node classes here mirror that structure.  ``NodeRef`` leaves hold a reference to
+the query node they point at (the predicate child), which is filled in by the parser.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from .functions import is_boolean_output
+from .values import Atomic
+
+if TYPE_CHECKING:  # pragma: no cover - only for type checkers
+    from .query import QueryNode
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+ARITHMETIC_OPS = ("+", "-", "*", "div", "idiv", "mod")
+LOGICAL_OPS = ("and", "or", "not")
+
+
+class Expr:
+    """Base class of all predicate expression nodes."""
+
+    def children(self) -> Sequence["Expr"]:
+        """Direct sub-expressions."""
+        return ()
+
+    def iter_nodes(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.iter_nodes()
+
+    # --- classification helpers used by the Redundancy-free XPath definitions --------
+    def is_boolean_operator(self) -> bool:
+        """True for operators *on boolean arguments* (the logical operators)."""
+        return False
+
+    def has_boolean_output(self) -> bool:
+        """True for operators/functions whose output is boolean."""
+        return False
+
+    def node_refs(self) -> List["NodeRef"]:
+        """All ``NodeRef`` leaves below (and including) this expression."""
+        return [node for node in self.iter_nodes() if isinstance(node, NodeRef)]
+
+    def to_xpath(self) -> str:
+        """Serialize back to XPath syntax."""
+        raise NotImplementedError
+
+
+class Constant(Expr):
+    """A constant leaf (string or number literal)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Atomic) -> None:
+        self.value = value
+
+    def to_xpath(self) -> str:
+        if isinstance(self.value, str):
+            return '"' + self.value.replace('"', '""') + '"'
+        if isinstance(self.value, float) and self.value == int(self.value):
+            return str(int(self.value))
+        return str(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Constant({self.value!r})"
+
+
+class NodeRef(Expr):
+    """A leaf that points to a predicate child of the query node owning the predicate."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "QueryNode") -> None:
+        self.target = target
+
+    def to_xpath(self) -> str:
+        return self.target.relative_path_string()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"NodeRef({self.target.ntest!r})"
+
+
+class Comparison(Expr):
+    """A comparison operator: non-boolean arguments, boolean output."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def has_boolean_output(self) -> bool:
+        return True
+
+    def to_xpath(self) -> str:
+        return f"{self.left.to_xpath()} {self.op} {self.right.to_xpath()}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Comparison({self.op!r})"
+
+
+class Arithmetic(Expr):
+    """An arithmetic operator: non-boolean arguments and output."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in ARITHMETIC_OPS:
+            raise ValueError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def to_xpath(self) -> str:
+        return f"{self.left.to_xpath()} {self.op} {self.right.to_xpath()}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Arithmetic({self.op!r})"
+
+
+class Negation(Expr):
+    """Unary minus."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def to_xpath(self) -> str:
+        return f"-{self.operand.to_xpath()}"
+
+
+class FunctionCall(Expr):
+    """A call to a registered XPath function on atomic arguments."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]) -> None:
+        self.name = name
+        self.args = list(args)
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(self.args)
+
+    def has_boolean_output(self) -> bool:
+        return is_boolean_output(self.name)
+
+    def to_xpath(self) -> str:
+        return f"{self.name}({', '.join(a.to_xpath() for a in self.args)})"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FunctionCall({self.name!r}, arity={len(self.args)})"
+
+
+class And(Expr):
+    """Logical conjunction: boolean arguments (via EBV), boolean output."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def is_boolean_operator(self) -> bool:
+        return True
+
+    def has_boolean_output(self) -> bool:
+        return True
+
+    def to_xpath(self) -> str:
+        return f"{self.left.to_xpath()} and {self.right.to_xpath()}"
+
+
+class Or(Expr):
+    """Logical disjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Sequence[Expr]:
+        return (self.left, self.right)
+
+    def is_boolean_operator(self) -> bool:
+        return True
+
+    def has_boolean_output(self) -> bool:
+        return True
+
+    def to_xpath(self) -> str:
+        return f"{self.left.to_xpath()} or {self.right.to_xpath()}"
+
+
+class Not(Expr):
+    """Logical negation ``not(...)``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def is_boolean_operator(self) -> bool:
+        return True
+
+    def has_boolean_output(self) -> bool:
+        return True
+
+    def to_xpath(self) -> str:
+        return f"not({self.operand.to_xpath()})"
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split a predicate into its top-level conjuncts (flattening nested ``and``)."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return [expr]
+
+
+def is_atomic_predicate(expr: Expr) -> bool:
+    """Definition 5.3: no boolean-argument operators anywhere, and no boolean-output
+    operator except possibly at the root."""
+    for node in expr.iter_nodes():
+        if node.is_boolean_operator():
+            return False
+        if node is not expr and node.has_boolean_output():
+            return False
+    return True

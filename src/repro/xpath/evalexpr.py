@@ -1,0 +1,130 @@
+"""Generic evaluation of predicate expression trees (the PEVAL rules of Definition 3.5).
+
+The evaluation is parameterized by a *resolver*: a callable mapping a ``NodeRef`` leaf to
+the sequence of atomic values selected by the referenced query child.  This lets the same
+code serve two clients:
+
+* the full document evaluator (``repro.semantics.evaluator``), where the resolver runs
+  the SELECT semantics against a document node; and
+* truth sets (``repro.xpath.truthset``), where the resolver returns a single candidate
+  value, implementing "replace the variable of P by alpha" from Definition 5.6.
+
+The rules follow the paper's (slightly non-standard) semantics:
+
+1. constants evaluate to themselves;
+2. a ``NodeRef`` evaluates to the sequence supplied by the resolver;
+3. boolean operators (and/or/not) cast their arguments with EBV;
+4. operators/functions with boolean output but non-boolean arguments are *existential*:
+   they are true iff some combination of argument values makes them true;
+5. other operators/functions map over the cartesian product of their argument sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .ast import (
+    And,
+    Arithmetic,
+    Comparison,
+    Constant,
+    Expr,
+    FunctionCall,
+    Negation,
+    NodeRef,
+    Not,
+    Or,
+)
+from .functions import call_function
+from .values import (
+    Atomic,
+    Value,
+    arithmetic_atomic,
+    as_sequence,
+    cartesian_sequences,
+    compare_atomic,
+    effective_boolean_value,
+    negate_atomic,
+)
+
+Resolver = Callable[[NodeRef], List[Atomic]]
+
+
+def evaluate_expression(expr: Expr, resolver: Resolver) -> Value:
+    """Evaluate an expression tree, returning an atomic value or a sequence."""
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, NodeRef):
+        return list(resolver(expr))
+    if isinstance(expr, And):
+        return _ebv(expr.left, resolver) and _ebv(expr.right, resolver)
+    if isinstance(expr, Or):
+        return _ebv(expr.left, resolver) or _ebv(expr.right, resolver)
+    if isinstance(expr, Not):
+        return not _ebv(expr.operand, resolver)
+    if isinstance(expr, Comparison):
+        return _existential(
+            [expr.left, expr.right],
+            resolver,
+            lambda a, b: compare_atomic(expr.op, a, b),
+        )
+    if isinstance(expr, Arithmetic):
+        return _map_cartesian(
+            [expr.left, expr.right],
+            resolver,
+            lambda a, b: arithmetic_atomic(expr.op, a, b),
+        )
+    if isinstance(expr, Negation):
+        return _map_cartesian([expr.operand], resolver, negate_atomic)
+    if isinstance(expr, FunctionCall):
+        if expr.has_boolean_output():
+            return _existential(
+                expr.args, resolver, lambda *args: bool(call_function(expr.name, args))
+            )
+        return _map_cartesian(
+            expr.args, resolver, lambda *args: call_function(expr.name, args)
+        )
+    raise TypeError(f"cannot evaluate expression node {expr!r}")
+
+
+def evaluate_predicate(expr: Expr, resolver: Resolver) -> bool:
+    """Evaluate the predicate and cast the result with EBV (Definition 3.3, part 2)."""
+    return effective_boolean_value(evaluate_expression(expr, resolver))
+
+
+def _ebv(expr: Expr, resolver: Resolver) -> bool:
+    return effective_boolean_value(evaluate_expression(expr, resolver))
+
+
+def _argument_sequences(args: Sequence[Expr], resolver: Resolver) -> List[List[Atomic]]:
+    """Evaluate the arguments and normalize each to a sequence (rule 4/5 preparation)."""
+    sequences: List[List[Atomic]] = []
+    for arg in args:
+        value = evaluate_expression(arg, resolver)
+        sequences.append(as_sequence(value))
+    return sequences
+
+
+def _existential(args: Sequence[Expr], resolver: Resolver, fn) -> bool:
+    """Rule 4: true iff some combination of argument values satisfies ``fn``."""
+    sequences = _argument_sequences(args, resolver)
+    for combo in cartesian_sequences(sequences):
+        if fn(*combo):
+            return True
+    return False
+
+
+def _map_cartesian(args: Sequence[Expr], resolver: Resolver, fn) -> Value:
+    """Rule 5: map ``fn`` over the cartesian product of the argument sequences.
+
+    When every argument was atomic (a singleton that came from a constant or an atomic
+    sub-expression) the result is returned as an atomic value, which keeps simple
+    arithmetic like ``2 + 3`` atomic.
+    """
+    raw_values = [evaluate_expression(arg, resolver) for arg in args]
+    all_atomic = all(not isinstance(value, list) for value in raw_values)
+    sequences = [as_sequence(value) for value in raw_values]
+    results = [fn(*combo) for combo in cartesian_sequences(sequences)]
+    if all_atomic and len(results) == 1:
+        return results[0]
+    return results

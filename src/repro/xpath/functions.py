@@ -1,0 +1,136 @@
+"""The basic XPath function/operator library used in predicates.
+
+The grammar (Fig. 1) allows "any basic XPath function or operator on atomic arguments",
+excluding ``position()`` and ``last()``.  We implement the functions that appear in the
+paper's examples plus the commonly used string/numeric helpers.  Each function is
+registered with a *signature* describing:
+
+* whether its output is boolean (this is what the atomic-predicate definition cares
+  about, Definition 5.3);
+* whether its arguments are boolean (only the logical operators qualify, and those are
+  modelled as dedicated AST nodes rather than registry functions);
+* a Python callable on atomic values.
+
+Function names may be written with or without the ``fn:`` prefix.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence
+
+from .values import Atomic, NAN, to_number, to_string
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Metadata and implementation of one XPath function."""
+
+    name: str
+    arity_min: int
+    arity_max: int
+    boolean_output: bool
+    handler: Callable[..., Atomic]
+
+    def accepts_arity(self, n: int) -> bool:
+        return self.arity_min <= n <= self.arity_max
+
+
+class UnknownFunctionError(ValueError):
+    """Raised when a predicate references a function that is not registered."""
+
+
+def _matches(value: Atomic, pattern: Atomic) -> bool:
+    """``fn:matches``: unanchored regular-expression search (XPath regex ~ Python re)."""
+    try:
+        return re.search(to_string(pattern), to_string(value)) is not None
+    except re.error:
+        return False
+
+
+def _substring(value: Atomic, start: Atomic, length: Atomic = None) -> str:
+    text = to_string(value)
+    start_index = to_number(start)
+    if math.isnan(start_index):
+        return ""
+    begin = max(int(round(start_index)) - 1, 0)
+    if length is None:
+        return text[begin:]
+    span = to_number(length)
+    if math.isnan(span):
+        return ""
+    end = max(int(round(start_index)) - 1 + int(round(span)), 0)
+    return text[begin:end]
+
+
+def _round(value: Atomic) -> float:
+    number = to_number(value)
+    if math.isnan(number):
+        return NAN
+    return float(math.floor(number + 0.5))
+
+
+_RAW_SPECS = [
+    # string predicates (boolean output)
+    ("contains", 2, 2, True, lambda a, b: to_string(b) in to_string(a)),
+    ("starts-with", 2, 2, True, lambda a, b: to_string(a).startswith(to_string(b))),
+    ("ends-with", 2, 2, True, lambda a, b: to_string(a).endswith(to_string(b))),
+    ("matches", 2, 2, True, _matches),
+    # string constructors
+    ("concat", 2, 16, False, lambda *parts: "".join(to_string(p) for p in parts)),
+    ("string", 1, 1, False, to_string),
+    ("upper-case", 1, 1, False, lambda a: to_string(a).upper()),
+    ("lower-case", 1, 1, False, lambda a: to_string(a).lower()),
+    ("normalize-space", 1, 1, False, lambda a: " ".join(to_string(a).split())),
+    ("substring", 2, 3, False, _substring),
+    ("string-length", 1, 1, False, lambda a: float(len(to_string(a)))),
+    ("translate", 3, 3, False,
+     lambda a, b, c: to_string(a).translate(
+         str.maketrans(to_string(b)[: len(to_string(c))],
+                       to_string(c)[: len(to_string(b))],
+                       to_string(b)[len(to_string(c)):]))),
+    # numeric
+    ("number", 1, 1, False, to_number),
+    ("abs", 1, 1, False, lambda a: abs(to_number(a))),
+    ("floor", 1, 1, False, lambda a: float(math.floor(to_number(a)))
+     if not math.isnan(to_number(a)) else NAN),
+    ("ceiling", 1, 1, False, lambda a: float(math.ceil(to_number(a)))
+     if not math.isnan(to_number(a)) else NAN),
+    ("round", 1, 1, False, _round),
+    # boolean constants
+    ("true", 0, 0, True, lambda: True),
+    ("false", 0, 0, True, lambda: False),
+]
+
+
+FUNCTIONS: Dict[str, FunctionSpec] = {}
+for _name, _amin, _amax, _bool_out, _fn in _RAW_SPECS:
+    spec = FunctionSpec(_name, _amin, _amax, _bool_out, _fn)
+    FUNCTIONS[_name] = spec
+    FUNCTIONS["fn:" + _name] = spec
+
+
+def lookup_function(name: str) -> FunctionSpec:
+    """Find the registered function spec for ``name`` (with or without ``fn:`` prefix)."""
+    spec = FUNCTIONS.get(name)
+    if spec is None:
+        raise UnknownFunctionError(f"unknown XPath function: {name!r}")
+    return spec
+
+
+def call_function(name: str, args: Sequence[Atomic]) -> Atomic:
+    """Call the function on atomic arguments and return an atomic result."""
+    spec = lookup_function(name)
+    if not spec.accepts_arity(len(args)):
+        raise UnknownFunctionError(
+            f"function {name!r} called with {len(args)} arguments "
+            f"(expects between {spec.arity_min} and {spec.arity_max})"
+        )
+    return spec.handler(*args)
+
+
+def is_boolean_output(name: str) -> bool:
+    """Whether the function's output type is boolean (used for atomic-predicate checks)."""
+    return lookup_function(name).boolean_output

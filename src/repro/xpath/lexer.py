@@ -1,0 +1,134 @@
+"""Tokenizer for the Forward XPath grammar of Fig. 1."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class XPathSyntaxError(ValueError):
+    """Raised for malformed XPath query text."""
+
+
+# Token kinds
+DOUBLE_SLASH = "DOUBLE_SLASH"       # //
+SLASH = "SLASH"                     # /
+DOT_DOUBLE_SLASH = "DOT_DOUBLE_SLASH"  # .//
+AT = "AT"                           # @
+LBRACKET = "LBRACKET"               # [
+RBRACKET = "RBRACKET"               # ]
+LPAREN = "LPAREN"                   # (
+RPAREN = "RPAREN"                   # )
+COMMA = "COMMA"                     # ,
+STAR = "STAR"                       # * (wildcard node test OR multiplication)
+PLUS = "PLUS"                       # +
+MINUS = "MINUS"                     # -
+COMPARE = "COMPARE"                 # = != < <= > >=
+NUMBER = "NUMBER"                   # numeric literal
+STRING = "STRING"                   # quoted string literal
+NAME = "NAME"                       # element name / function name / keyword
+DOLLAR = "DOLLAR"                   # $ (the root marker in figures; accepted, ignored)
+END = "END"                         # end of input
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+# NAME tokens: letters/underscore start, then word chars; internal '-' or '.' allowed when
+# followed by a letter (so function names like fn:starts-with lex as one token while the
+# arithmetic expression "b - 5" still needs spaces, which the paper's examples always use).
+_NAME_PATTERN = r"[A-Za-z_][A-Za-z0-9_]*(?:[-.:][A-Za-z_][A-Za-z0-9_]*)*"
+
+_TOKEN_SPEC = [
+    (DOT_DOUBLE_SLASH, r"\.//"),
+    (DOUBLE_SLASH, r"//"),
+    (SLASH, r"/"),
+    (AT, r"@"),
+    (LBRACKET, r"\["),
+    (RBRACKET, r"\]"),
+    (LPAREN, r"\("),
+    (RPAREN, r"\)"),
+    (COMMA, r","),
+    (STAR, r"\*"),
+    (PLUS, r"\+"),
+    (MINUS, r"-"),
+    (COMPARE, r"!=|<=|>=|=|<|>"),
+    (NUMBER, r"\d+(?:\.\d+)?"),
+    (STRING, r'"[^"]*"|\'[^\']*\''),
+    (NAME, _NAME_PATTERN),
+    (DOLLAR, r"\$"),
+    ("WS", r"\s+"),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{kind}>{pattern})" for kind, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize XPath text, raising :class:`XPathSyntaxError` on unknown characters."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _MASTER_RE.match(text, pos)
+        if match is None:
+            raise XPathSyntaxError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            tokens.append(Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(Token(END, "", pos))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text))
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != END:
+            self._index += 1
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        """Consume and return the next token if it has the given kind, else ``None``."""
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        """Consume the next token, raising if it does not have the given kind."""
+        token = self.next()
+        if token.kind != kind:
+            raise XPathSyntaxError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at position {token.position}"
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == END
+
+    def __iter__(self) -> Iterator[Token]:  # pragma: no cover - convenience
+        return iter(self._tokens[self._index:])

@@ -1,0 +1,311 @@
+"""Recursive-descent parser for the Forward XPath grammar (Fig. 1 of the paper).
+
+The parser produces :class:`~repro.xpath.query.Query` trees in which
+
+* main-path steps form the successor chain of the root;
+* relative paths inside predicates become predicate-child subtrees whose first step is
+  attached as a (non-successor) child of the node owning the predicate and is pointed at
+  by a :class:`~repro.xpath.ast.NodeRef` leaf of the predicate expression;
+* the attribute axis is lowered to a child axis with an ``@``-prefixed node test, which
+  is how the paper treats attributes ("a special case of the child axis").
+
+Two small, documented liberalizations of the written grammar are made to accommodate the
+paper's own example queries:
+
+* a relative path inside a predicate may start with a bare name or ``*`` (meaning a child
+  step), e.g. ``/a[b > 5]`` or ``/a[*/b > 5]``; the written grammar only lists ``.//``
+  and ``@`` as relative axes, yet every example in the paper uses the bare form;
+* parentheses may be used for grouping inside predicates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .ast import (
+    And,
+    Arithmetic,
+    Comparison,
+    Constant,
+    Expr,
+    FunctionCall,
+    Negation,
+    NodeRef,
+    Not,
+    Or,
+)
+from .functions import UnknownFunctionError, lookup_function
+from .lexer import (
+    AT,
+    COMPARE,
+    COMMA,
+    DOLLAR,
+    DOT_DOUBLE_SLASH,
+    DOUBLE_SLASH,
+    LBRACKET,
+    LPAREN,
+    MINUS,
+    NAME,
+    NUMBER,
+    PLUS,
+    RBRACKET,
+    RPAREN,
+    SLASH,
+    STAR,
+    STRING,
+    TokenStream,
+    XPathSyntaxError,
+)
+from .query import CHILD, DESCENDANT, Query, QueryNode
+
+_MULTIPLICATIVE_NAMES = ("div", "idiv", "mod")
+_RESERVED_NAMES = ("and", "or", "not", "div", "idiv", "mod")
+
+
+def parse_query(text: str) -> Query:
+    """Parse an absolute Forward XPath expression into a :class:`Query`."""
+    parser = _Parser(TokenStream.from_text(text))
+    query = parser.parse_absolute_path(source=text)
+    query.validate()
+    return query
+
+
+def parse_predicate(text: str, owner: Optional[QueryNode] = None) -> Expr:
+    """Parse a predicate expression in isolation (mainly for tests and tools).
+
+    ``owner`` is the query node the predicate belongs to; a fresh node is created when it
+    is omitted.  Relative paths in the predicate are attached to ``owner`` as predicate
+    children.
+    """
+    if owner is None:
+        owner = QueryNode(CHILD, "predicate-host")
+    parser = _Parser(TokenStream.from_text(text))
+    expr = parser.parse_predicate_expr(owner)
+    if not parser.tokens.at_end():
+        token = parser.tokens.peek()
+        raise XPathSyntaxError(f"trailing input at position {token.position}: {token.text!r}")
+    owner.predicate = expr
+    return expr
+
+
+class _Parser:
+    """Internal recursive-descent parser (one instance per parse call)."""
+
+    def __init__(self, tokens: TokenStream) -> None:
+        self.tokens = tokens
+
+    # ------------------------------------------------------------------ paths
+    def parse_absolute_path(self, source: Optional[str] = None) -> Query:
+        root = QueryNode.root()
+        self.tokens.accept(DOLLAR)
+        current = root
+        steps = 0
+        while not self.tokens.at_end():
+            step = self.parse_step()
+            if step is None:
+                break
+            current.add_child(step, successor=True)
+            current = step
+            steps += 1
+        if steps == 0:
+            raise XPathSyntaxError("a query must contain at least one step")
+        if not self.tokens.at_end():
+            token = self.tokens.peek()
+            raise XPathSyntaxError(
+                f"trailing input at position {token.position}: {token.text!r}"
+            )
+        return Query(root, source=source)
+
+    def parse_step(self) -> Optional[QueryNode]:
+        """Parse one ``Axis NodeTest Predicate?`` step of the main path."""
+        token = self.tokens.peek()
+        if token.kind == DOUBLE_SLASH:
+            self.tokens.next()
+            axis = DESCENDANT
+            attribute = False
+        elif token.kind == SLASH:
+            self.tokens.next()
+            if self.tokens.accept(AT):
+                axis = CHILD
+                attribute = True
+            else:
+                axis = CHILD
+                attribute = False
+        elif token.kind == AT:
+            self.tokens.next()
+            axis = CHILD
+            attribute = True
+        else:
+            return None
+        return self._finish_step(axis, attribute)
+
+    def _finish_step(self, axis: str, attribute: bool) -> QueryNode:
+        ntest = self.parse_node_test()
+        if attribute:
+            ntest = "@" + ntest if ntest != "*" else "@*"
+        node = QueryNode(axis, ntest)
+        if self.tokens.accept(LBRACKET):
+            node.predicate = self.parse_predicate_expr(node)
+            self.tokens.expect(RBRACKET)
+        return node
+
+    def parse_node_test(self) -> str:
+        token = self.tokens.peek()
+        if token.kind == STAR:
+            self.tokens.next()
+            return "*"
+        if token.kind == NAME:
+            if token.text in _RESERVED_NAMES:
+                raise XPathSyntaxError(
+                    f"reserved word {token.text!r} cannot be used as a node test "
+                    f"(position {token.position})"
+                )
+            self.tokens.next()
+            return token.text
+        raise XPathSyntaxError(
+            f"expected a node test but found {token.kind} ({token.text!r}) "
+            f"at position {token.position}"
+        )
+
+    def parse_relative_path(self, owner: QueryNode) -> NodeRef:
+        """Parse a relative path inside a predicate of ``owner``.
+
+        The first step becomes a predicate child of ``owner``; the remaining steps chain
+        via successor links.  Returns the ``NodeRef`` leaf pointing at the first step.
+        """
+        token = self.tokens.peek()
+        if token.kind == DOT_DOUBLE_SLASH:
+            self.tokens.next()
+            axis, attribute = DESCENDANT, False
+        elif token.kind == AT:
+            self.tokens.next()
+            axis, attribute = CHILD, True
+        elif token.kind in (NAME, STAR):
+            axis, attribute = CHILD, False
+        else:
+            raise XPathSyntaxError(
+                f"expected a relative path but found {token.kind} at position {token.position}"
+            )
+        first = self._finish_step(axis, attribute)
+        owner.add_child(first, successor=False)
+        current = first
+        while True:
+            step = self.parse_step()
+            if step is None:
+                break
+            current.add_child(step, successor=True)
+            current = step
+        return NodeRef(first)
+
+    # ------------------------------------------------------------------ predicates
+    def parse_predicate_expr(self, owner: QueryNode) -> Expr:
+        return self.parse_or(owner)
+
+    def parse_or(self, owner: QueryNode) -> Expr:
+        left = self.parse_and(owner)
+        while self._peek_name("or"):
+            self.tokens.next()
+            right = self.parse_and(owner)
+            left = Or(left, right)
+        return left
+
+    def parse_and(self, owner: QueryNode) -> Expr:
+        left = self.parse_comparison(owner)
+        while self._peek_name("and"):
+            self.tokens.next()
+            right = self.parse_comparison(owner)
+            left = And(left, right)
+        return left
+
+    def parse_comparison(self, owner: QueryNode) -> Expr:
+        left = self.parse_additive(owner)
+        token = self.tokens.peek()
+        if token.kind == COMPARE:
+            self.tokens.next()
+            right = self.parse_additive(owner)
+            return Comparison(token.text, left, right)
+        return left
+
+    def parse_additive(self, owner: QueryNode) -> Expr:
+        left = self.parse_multiplicative(owner)
+        while True:
+            token = self.tokens.peek()
+            if token.kind == PLUS:
+                self.tokens.next()
+                left = Arithmetic("+", left, self.parse_multiplicative(owner))
+            elif token.kind == MINUS:
+                self.tokens.next()
+                left = Arithmetic("-", left, self.parse_multiplicative(owner))
+            else:
+                return left
+
+    def parse_multiplicative(self, owner: QueryNode) -> Expr:
+        left = self.parse_unary(owner)
+        while True:
+            token = self.tokens.peek()
+            if token.kind == STAR:
+                self.tokens.next()
+                left = Arithmetic("*", left, self.parse_unary(owner))
+            elif token.kind == NAME and token.text in _MULTIPLICATIVE_NAMES:
+                self.tokens.next()
+                left = Arithmetic(token.text, left, self.parse_unary(owner))
+            else:
+                return left
+
+    def parse_unary(self, owner: QueryNode) -> Expr:
+        if self.tokens.accept(MINUS):
+            return Negation(self.parse_unary(owner))
+        return self.parse_primary(owner)
+
+    def parse_primary(self, owner: QueryNode) -> Expr:
+        token = self.tokens.peek()
+        if token.kind == NUMBER:
+            self.tokens.next()
+            return Constant(float(token.text))
+        if token.kind == STRING:
+            self.tokens.next()
+            return Constant(token.text[1:-1])
+        if token.kind == LPAREN:
+            self.tokens.next()
+            expr = self.parse_predicate_expr(owner)
+            self.tokens.expect(RPAREN)
+            return expr
+        if token.kind in (DOT_DOUBLE_SLASH, AT, STAR):
+            return self.parse_relative_path(owner)
+        if token.kind == NAME:
+            if token.text == "not" and self.tokens.peek(1).kind == LPAREN:
+                self.tokens.next()
+                self.tokens.expect(LPAREN)
+                inner = self.parse_predicate_expr(owner)
+                self.tokens.expect(RPAREN)
+                return Not(inner)
+            if self.tokens.peek(1).kind == LPAREN and token.text not in ("and", "or"):
+                return self.parse_function_call(owner)
+            if token.text in _RESERVED_NAMES:
+                raise XPathSyntaxError(
+                    f"unexpected keyword {token.text!r} at position {token.position}"
+                )
+            return self.parse_relative_path(owner)
+        raise XPathSyntaxError(
+            f"unexpected token {token.kind} ({token.text!r}) at position {token.position}"
+        )
+
+    def parse_function_call(self, owner: QueryNode) -> Expr:
+        name_token = self.tokens.expect(NAME)
+        try:
+            lookup_function(name_token.text)
+        except UnknownFunctionError as exc:
+            raise XPathSyntaxError(str(exc)) from exc
+        self.tokens.expect(LPAREN)
+        args: List[Expr] = []
+        if self.tokens.peek().kind != RPAREN:
+            args.append(self.parse_predicate_expr(owner))
+            while self.tokens.accept(COMMA):
+                args.append(self.parse_predicate_expr(owner))
+        self.tokens.expect(RPAREN)
+        return FunctionCall(name_token.text, args)
+
+    # ------------------------------------------------------------------ helpers
+    def _peek_name(self, text: str) -> bool:
+        token = self.tokens.peek()
+        return token.kind == NAME and token.text == text

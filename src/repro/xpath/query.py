@@ -1,0 +1,277 @@
+"""Query trees for the Forward XPath fragment (Section 3.1.2 of the paper).
+
+A query is a rooted tree of :class:`QueryNode` objects.  Every non-root node has
+
+* ``axis``       -- ``child``, ``attribute`` or ``descendant``;
+* ``ntest``      -- an element name or the wildcard ``*``;
+* ``successor``  -- either ``None`` or one of the node's children (the next step of the
+                    same path expression);
+* ``predicate``  -- an optional expression tree whose ``NodeRef`` leaves point at the
+                    node's remaining children (the *predicate children*).
+
+The root carries no axis, node test or value restriction; its successor chain is the main
+path of the query and its succession leaf is the query's output node ``OUT(Q)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .ast import Expr, NodeRef
+
+CHILD = "child"
+DESCENDANT = "descendant"
+ATTRIBUTE = "attribute"
+WILDCARD = "*"
+
+_AXES = (CHILD, DESCENDANT, ATTRIBUTE)
+
+_AXIS_PREFIX = {CHILD: "/", DESCENDANT: "//", ATTRIBUTE: "/@"}
+
+
+class QueryNode:
+    """One node of a query tree."""
+
+    __slots__ = ("axis", "ntest", "children", "parent", "successor", "predicate")
+
+    def __init__(
+        self,
+        axis: Optional[str],
+        ntest: Optional[str],
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        if axis is not None and axis not in _AXES:
+            raise ValueError(f"unknown axis {axis!r}")
+        self.axis = axis
+        self.ntest = ntest
+        self.children: List[QueryNode] = []
+        self.parent: Optional[QueryNode] = None
+        self.successor: Optional[QueryNode] = None
+        self.predicate = predicate
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def root(cls) -> "QueryNode":
+        """Create the query root (denoted ``$`` in the paper's figures)."""
+        return cls(axis=None, ntest=None)
+
+    def add_child(self, child: "QueryNode", *, successor: bool = False) -> "QueryNode":
+        """Attach ``child``; mark it as the successor if requested."""
+        child.parent = self
+        self.children.append(child)
+        if successor:
+            if self.successor is not None:
+                raise ValueError("a query node can have at most one successor")
+            self.successor = child
+        return child
+
+    # ------------------------------------------------------------------ basic queries
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def is_wildcard(self) -> bool:
+        return self.ntest == WILDCARD
+
+    def predicate_children(self) -> List["QueryNode"]:
+        """Children other than the successor (each is pointed to by a predicate leaf)."""
+        return [c for c in self.children if c is not self.successor]
+
+    def is_successor(self) -> bool:
+        """True if this node is the successor of its parent."""
+        return self.parent is not None and self.parent.successor is self
+
+    def is_succession_root(self) -> bool:
+        """A node is a succession root if it is the query root or a predicate child."""
+        return self.parent is None or not self.is_successor()
+
+    def succession_root(self) -> "QueryNode":
+        """The succession root reached by walking up through successor links."""
+        node = self
+        while not node.is_succession_root():
+            assert node.parent is not None
+            node = node.parent
+        return node
+
+    def succession_leaf(self) -> "QueryNode":
+        """``LEAF(u)``: the successor-less node reached by following successors."""
+        node = self
+        while node.successor is not None:
+            node = node.successor
+        return node
+
+    # ------------------------------------------------------------------ traversal
+    def iter_subtree(self) -> Iterator["QueryNode"]:
+        """Pre-order traversal of the subtree rooted at this node (self included)."""
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def iter_ancestors(self, include_self: bool = False) -> Iterator["QueryNode"]:
+        node: Optional[QueryNode] = self if include_self else self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def path_from_root(self) -> List["QueryNode"]:
+        """``PATH(u)``: nodes from the query root down to this node (inclusive)."""
+        return list(reversed(list(self.iter_ancestors(include_self=True))))
+
+    def depth(self) -> int:
+        """``DEPTH(u) - 1``: number of edges from the root (root has depth 0)."""
+        return sum(1 for _ in self.iter_ancestors())
+
+    def is_ancestor_of(self, other: "QueryNode") -> bool:
+        return any(anc is self for anc in other.iter_ancestors())
+
+    # ------------------------------------------------------------------ rendering
+    def step_string(self) -> str:
+        """This node rendered as a single XPath step (axis, node test, predicate)."""
+        if self.is_root():
+            return ""
+        prefix = _AXIS_PREFIX[self.axis or CHILD]
+        text = f"{prefix}{self.ntest}"
+        if self.predicate is not None:
+            text += f"[{self.predicate.to_xpath()}]"
+        return text
+
+    def relative_path_string(self) -> str:
+        """Render the succession chain starting at this node as a relative path.
+
+        This is how ``NodeRef`` leaves are serialized back into predicate text.
+        """
+        parts: List[str] = []
+        node: Optional[QueryNode] = self
+        first = True
+        while node is not None:
+            if first:
+                if node.axis == DESCENDANT:
+                    prefix = ".//"
+                elif node.axis == ATTRIBUTE:
+                    prefix = "@"
+                else:
+                    prefix = ""
+            else:
+                prefix = _AXIS_PREFIX[node.axis or CHILD].lstrip()
+                prefix = {"/": "/", "//": "//", "/@": "/@"}[_AXIS_PREFIX[node.axis or CHILD]]
+            text = f"{prefix}{node.ntest}"
+            if node.predicate is not None:
+                text += f"[{node.predicate.to_xpath()}]"
+            parts.append(text)
+            node = node.successor
+            first = False
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_root():
+            return "QueryNode($)"
+        return f"QueryNode({self.axis}::{self.ntest})"
+
+
+class Query:
+    """A Forward XPath query, i.e. a rooted tree of :class:`QueryNode` objects."""
+
+    def __init__(self, root: QueryNode, source: Optional[str] = None) -> None:
+        if not root.is_root():
+            raise ValueError("query root must have no parent")
+        self.root = root
+        self.source = source
+
+    # ------------------------------------------------------------------ basics
+    @classmethod
+    def parse(cls, text: str) -> "Query":
+        """Parse an XPath string (convenience wrapper around the parser module)."""
+        from .parser import parse_query
+
+        return parse_query(text)
+
+    def nodes(self) -> List[QueryNode]:
+        """All query nodes in pre-order (root first)."""
+        return list(self.root.iter_subtree())
+
+    def non_root_nodes(self) -> List[QueryNode]:
+        return [node for node in self.nodes() if not node.is_root()]
+
+    def size(self) -> int:
+        """``|Q|``: number of nodes, excluding the root (matching the paper's figures)."""
+        return len(self.non_root_nodes())
+
+    def output_node(self) -> QueryNode:
+        """``OUT(Q)``: the succession leaf of the root."""
+        return self.root.succession_leaf()
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (in edges)."""
+        return max((node.depth() for node in self.nodes()), default=0)
+
+    def node_tests(self) -> List[str]:
+        """All node tests appearing in the query (wildcards included)."""
+        return [node.ntest for node in self.non_root_nodes() if node.ntest is not None]
+
+    def element_names(self) -> List[str]:
+        """All non-wildcard names appearing in the query."""
+        return [t for t in self.node_tests() if t != WILDCARD]
+
+    def max_wildcard_chain(self) -> int:
+        """``h``: length of the longest path segment of consecutive wildcard nodes."""
+        best = 0
+        for node in self.non_root_nodes():
+            if not node.is_wildcard():
+                continue
+            length = 0
+            current: Optional[QueryNode] = node
+            while current is not None and not current.is_root() and current.is_wildcard():
+                length += 1
+                current = current.parent
+            best = max(best, length)
+        return best
+
+    # ------------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check the structural invariants of Section 3.1.2.
+
+        Every child of a node is either the successor or is pointed to by exactly one
+        ``NodeRef`` leaf of the node's predicate, and no two leaves point at the same
+        child.
+        """
+        for node in self.nodes():
+            refs = node.predicate.node_refs() if node.predicate is not None else []
+            targets = [ref.target for ref in refs]
+            for target in targets:
+                if target.parent is not node:
+                    raise ValueError(
+                        "predicate leaf points at a node that is not a child of its owner"
+                    )
+            seen_ids = [id(t) for t in targets]
+            if len(seen_ids) != len(set(seen_ids)):
+                raise ValueError("two predicate leaves point at the same child")
+            for child in node.predicate_children():
+                if not any(t is child for t in targets):
+                    raise ValueError(
+                        f"predicate child {child!r} is not referenced by the predicate"
+                    )
+
+    # ------------------------------------------------------------------ rendering
+    def to_xpath(self) -> str:
+        """Serialize the query back to XPath text."""
+        from .serializer import serialize_query
+
+        return serialize_query(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Query({self.to_xpath()!r})"
+
+
+def iter_succession_chain(node: QueryNode) -> Iterator[QueryNode]:
+    """Iterate the succession chain starting at ``node`` (node, successor, ...)."""
+    current: Optional[QueryNode] = node
+    while current is not None:
+        yield current
+        current = current.successor
+
+
+def collect_leaves(query: Query) -> List[QueryNode]:
+    """All leaf nodes of the query tree."""
+    return [node for node in query.nodes() if node.is_leaf()]

@@ -1,0 +1,33 @@
+"""Serialization of query trees back to XPath text."""
+
+from __future__ import annotations
+
+from .query import Query, QueryNode
+
+
+def serialize_query(query: Query) -> str:
+    """Render the query's main path (the root's succession chain) as XPath text.
+
+    Predicate subtrees are rendered recursively through the predicate expressions, so the
+    output round-trips through :func:`~repro.xpath.parser.parse_query` to an equivalent
+    query tree.
+    """
+    parts = []
+    node = query.root.successor
+    while node is not None:
+        parts.append(_step_text(node))
+        node = node.successor
+    return "".join(parts)
+
+
+def _step_text(node: QueryNode) -> str:
+    from .query import CHILD, DESCENDANT
+
+    if node.axis == DESCENDANT:
+        prefix = "//"
+    else:
+        prefix = "/"
+    text = f"{prefix}{node.ntest}"
+    if node.predicate is not None:
+        text += f"[{node.predicate.to_xpath()}]"
+    return text

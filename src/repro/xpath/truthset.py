@@ -1,0 +1,315 @@
+"""Truth sets of query nodes (Definition 5.6) and witness search for canonical documents.
+
+The truth set ``TRUTH(u)`` of a query node is the set of string values that make the
+atomic predicate constraining ``u`` evaluate to true.  Truth sets are generally infinite,
+so they are represented *symbolically* by the atomic predicate itself; membership is
+decided by evaluation (substituting the candidate value for the variable, exactly as in
+Definition 5.6).
+
+Canonical-document construction (Section 6.4) and the strong-subsumption-freeness check
+(Definitions 5.16/5.17) additionally need *witnesses*:
+
+* a value in ``TRUTH(u)`` that lies outside the union of other truth sets
+  (the sunflower property), and
+* a string that is not a prefix of any value in a union of truth sets
+  (the prefix sunflower property).
+
+Witness search is heuristic-but-verified: candidate values are generated from the
+constants occurring in the predicates (plus generic probes) and every returned witness is
+checked by membership evaluation, so a returned witness is always sound.  ``None`` is
+returned when no witness can be found, in which case the query is (conservatively)
+rejected as not strongly subsumption-free — the same situation in which the paper's
+construction has nothing to offer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from .ast import Comparison, Constant, Expr, FunctionCall, NodeRef, conjuncts
+from .evalexpr import evaluate_predicate
+from .query import QueryNode
+from .values import to_number, to_string
+
+#: characters that can occur in a string successfully cast to a number by ``to_number``
+_NUMERIC_CHARS = set("0123456789.+-eE \t\r\ninfaINFA")
+
+#: generic probe values used when no structure-specific candidates are available
+_GENERIC_PROBES = (
+    "", "0", "1", "2", "3", "5", "6", "7", "10", "42", "100", "-1", "0.5",
+    "hello", "world", "A", "B", "AB", "ABC", "xyz", "q", "qq", "zzz", "true", "false",
+)
+
+#: probe strings for prefix-witness search: they contain a letter ('q') that cannot occur
+#: in any numeric string, plus a few generic shapes
+_PREFIX_PROBES = ("q", "qq", "q7", "zq", "hello-q", "qqqqq", "prefix-q", "#", "#q")
+
+
+class TruthSet:
+    """Abstract base class of truth-set representations."""
+
+    def contains(self, value: str) -> bool:
+        """Membership test for a string value."""
+        raise NotImplementedError
+
+    def is_universal(self) -> bool:
+        """True if the set is (syntactically) all of ``S``."""
+        return False
+
+    def is_proper(self) -> bool:
+        """Best-effort test for ``TRUTH(u)`` being a *proper* subset of ``S``.
+
+        Returns True iff some probe value is provably excluded; the probes include the
+        structure-derived candidates so simple comparisons and string predicates are
+        always recognized.
+        """
+        for candidate in self.candidate_values():
+            if not self.contains(candidate):
+                return True
+        return False
+
+    def candidate_values(self) -> List[str]:
+        """Candidate values used for witness search (always includes generic probes)."""
+        return list(_GENERIC_PROBES)
+
+    def excludes_prefix(self, alpha: str) -> bool:
+        """Return True only if *provably* no member of the set has ``alpha`` as a prefix.
+
+        The default is the safe answer ``False`` ("cannot prove exclusion").
+        """
+        return False
+
+    # ------------------------------------------------------------------ witness search
+    def find_member_excluding(self, others: Sequence["TruthSet"]) -> Optional[str]:
+        """Find a value in this set that belongs to none of ``others`` (sunflower)."""
+        candidates = list(self.candidate_values())
+        for other in others:
+            candidates.extend(other.candidate_values())
+        seen = set()
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            if self.contains(candidate) and all(
+                not other.contains(candidate) for other in others
+            ):
+                return candidate
+        return None
+
+
+class UniversalTruthSet(TruthSet):
+    """``TRUTH(u) = S``: every string value belongs."""
+
+    def contains(self, value: str) -> bool:
+        return True
+
+    def is_universal(self) -> bool:
+        return True
+
+    def is_proper(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "UniversalTruthSet()"
+
+
+class AtomicPredicateTruthSet(TruthSet):
+    """Truth set defined by a univariate atomic predicate (Definition 5.6)."""
+
+    def __init__(self, predicate: Expr) -> None:
+        self.predicate = predicate
+        refs = predicate.node_refs()
+        if len(refs) != 1:
+            raise ValueError(
+                "an atomic-predicate truth set requires exactly one variable "
+                f"(found {len(refs)})"
+            )
+        self._profile = _analyze(predicate, refs[0])
+
+    # ------------------------------------------------------------------ membership
+    def contains(self, value: str) -> bool:
+        return evaluate_predicate(self.predicate, lambda _ref: [value])
+
+    # ------------------------------------------------------------------ candidates
+    def candidate_values(self) -> List[str]:
+        candidates: List[str] = []
+        kind, payload = self._profile
+        if kind == "numeric" and payload is not None:
+            constant = payload
+            for delta in (-10.0, -1.0, -0.5, 0.0, 0.5, 1.0, 10.0):
+                candidates.append(to_string(constant + delta))
+            candidates.extend(["0", to_string(2 * constant + 17), to_string(-constant - 17)])
+        for constant in _string_constants(self.predicate):
+            candidates.extend(
+                [constant, constant + "x", "x" + constant, constant[:-1],
+                 constant.upper(), constant.lower(), constant + constant]
+            )
+        for number in _numeric_constants(self.predicate):
+            for delta in (-1.0, -0.5, 0.0, 0.5, 1.0):
+                candidates.append(to_string(number + delta))
+        candidates.extend(_GENERIC_PROBES)
+        return [c for c in candidates if c is not None]
+
+    # ------------------------------------------------------------------ prefix exclusion
+    def excludes_prefix(self, alpha: str) -> bool:
+        kind, payload = self._profile
+        if kind == "numeric":
+            # every member must cast to a number, so a prefix containing a character that
+            # can never occur in a numeric string proves exclusion
+            return any(ch not in _NUMERIC_CHARS for ch in alpha)
+        if kind == "equals-string":
+            return not str(payload).startswith(alpha)
+        if kind == "starts-with":
+            target = str(payload)
+            return not (target.startswith(alpha) or alpha.startswith(target))
+        # contains / ends-with / matches / generic: any string can typically be extended
+        # into a member, so exclusion is not provable
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AtomicPredicateTruthSet({self.predicate.to_xpath()!r})"
+
+
+# --------------------------------------------------------------------------- analysis
+def _analyze(predicate: Expr, ref: NodeRef) -> tuple[str, Optional[object]]:
+    """Classify the predicate's shape for prefix reasoning and candidate generation.
+
+    Returns ``(kind, payload)`` where kind is one of ``numeric``, ``equals-string``,
+    ``starts-with``, ``generic``.
+    """
+    if isinstance(predicate, Comparison):
+        ref_side, const_side = _split_sides(predicate, ref)
+        if const_side is not None:
+            const_value = _constant_value(const_side)
+            if const_value is not None:
+                number = to_number(const_value)
+                if predicate.op in ("<", "<=", ">", ">=") and not math.isnan(number):
+                    return "numeric", number
+                if predicate.op in ("=", "!="):
+                    if not math.isnan(number):
+                        return "numeric", number
+                    if predicate.op == "=" and isinstance(const_value, str):
+                        return "equals-string", const_value
+        # comparisons whose reference side passes through arithmetic still force the
+        # member to be numeric
+        if ref_side is not None and _ref_under_arithmetic_only(ref_side, ref):
+            return "numeric", _first_numeric_constant(predicate)
+        return "generic", None
+    if isinstance(predicate, FunctionCall):
+        name = predicate.name.removeprefix("fn:")
+        if name == "starts-with" and len(predicate.args) == 2:
+            prefix = _constant_value(predicate.args[1])
+            if isinstance(prefix, str):
+                return "starts-with", prefix
+        return "generic", None
+    return "generic", None
+
+
+def _split_sides(comparison: Comparison, ref: NodeRef):
+    """Return (side containing the ref, constant-only other side) or (None, None)."""
+    left_has = any(node is ref for node in comparison.left.iter_nodes())
+    right_has = any(node is ref for node in comparison.right.iter_nodes())
+    if left_has and not right_has and not comparison.right.node_refs():
+        return comparison.left, comparison.right
+    if right_has and not left_has and not comparison.left.node_refs():
+        return comparison.right, comparison.left
+    return None, None
+
+
+def _constant_value(expr: Expr):
+    if isinstance(expr, Constant):
+        return expr.value
+    return None
+
+
+def _ref_under_arithmetic_only(expr: Expr, ref: NodeRef) -> bool:
+    """True if the path from ``expr`` down to ``ref`` only crosses arithmetic nodes."""
+    from .ast import Arithmetic, Negation
+
+    if expr is ref:
+        return True
+    if isinstance(expr, (Arithmetic, Negation)):
+        return any(_ref_under_arithmetic_only(child, ref) for child in expr.children())
+    return False
+
+
+def _numeric_constants(expr: Expr) -> List[float]:
+    out = []
+    for node in expr.iter_nodes():
+        if isinstance(node, Constant):
+            number = to_number(node.value)
+            if not math.isnan(number):
+                out.append(number)
+    return out
+
+
+def _string_constants(expr: Expr) -> List[str]:
+    out = []
+    for node in expr.iter_nodes():
+        if isinstance(node, Constant) and isinstance(node.value, str):
+            out.append(node.value)
+    return out
+
+
+def _first_numeric_constant(expr: Expr) -> Optional[float]:
+    numbers = _numeric_constants(expr)
+    return numbers[0] if numbers else None
+
+
+# --------------------------------------------------------------------------- node truth sets
+def atomic_predicate_of(node: QueryNode) -> Optional[Expr]:
+    """The atomic conjunct of the parent's predicate whose variable points at ``node``.
+
+    Returns ``None`` when the node is not a predicate child (e.g. it is a successor or
+    the query root).
+    """
+    parent = node.parent
+    if parent is None or parent.predicate is None or node.is_successor():
+        return None
+    for conjunct in conjuncts(parent.predicate):
+        if any(ref.target is node for ref in conjunct.node_refs()):
+            return conjunct
+    return None
+
+
+def truth_set(node: QueryNode) -> TruthSet:
+    """``TRUTH(u)`` per Definition 5.6.
+
+    Only succession leaves whose succession root is a variable of an atomic predicate get
+    a non-universal truth set.
+    """
+    if node.successor is not None:
+        return UniversalTruthSet()
+    root_of_chain = node.succession_root()
+    predicate = atomic_predicate_of(root_of_chain)
+    if predicate is None:
+        return UniversalTruthSet()
+    if isinstance(predicate, NodeRef):
+        # a bare existence predicate like [b] or [.//b]: evaluated on the singleton
+        # sequence containing any value it is always true, so TRUTH(u) = S
+        return UniversalTruthSet()
+    refs = predicate.node_refs()
+    if len(refs) != 1:
+        # multivariate atomic predicates have no well-defined univariate truth set;
+        # callers working inside Redundancy-free XPath never reach this branch
+        return UniversalTruthSet()
+    return AtomicPredicateTruthSet(predicate)
+
+
+def is_value_restricted(node: QueryNode) -> bool:
+    """Definition 5.7: ``TRUTH(u)`` is a proper subset of ``S``."""
+    return truth_set(node).is_proper()
+
+
+def find_prefix_witness(excluded: Sequence[TruthSet],
+                        extra_probes: Iterable[str] = ()) -> Optional[str]:
+    """Find a string that is provably not a prefix of any member of the given sets.
+
+    Used by the canonical-document construction for internal nodes (prefix sunflower).
+    """
+    probes: List[str] = list(extra_probes) + list(_PREFIX_PROBES)
+    for candidate in probes:
+        if all(other.excludes_prefix(candidate) for other in excluded):
+            return candidate
+    return None

@@ -1,0 +1,167 @@
+"""Atomic value model and type conversions for the XPath fragment.
+
+The paper works with the set ``V`` of atomic data values (numbers, strings, booleans) and
+relies on the standard XPath conversions, most importantly the Effective Boolean Value
+(EBV) function.  Values are represented by plain Python objects:
+
+* strings        -> ``str``
+* numbers        -> ``float`` (integers are represented as floats, as in XPath 1.0-style
+                    arithmetic; NaN models conversion failures)
+* booleans       -> ``bool``
+* sequences      -> ``list`` of the above
+
+Conversion failures never raise: casting a non-numeric string to a number yields NaN and
+comparisons involving NaN are false, mirroring the forgiving XPath semantics the paper's
+constructions rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Union
+
+Atomic = Union[str, float, bool]
+Value = Union[Atomic, List[Atomic]]
+
+NAN = float("nan")
+
+
+def is_sequence(value: Value) -> bool:
+    """True if ``value`` is a sequence (list) rather than an atomic value."""
+    return isinstance(value, list)
+
+
+def as_sequence(value: Value) -> List[Atomic]:
+    """View an atomic value as a singleton sequence; sequences pass through."""
+    if isinstance(value, list):
+        return value
+    return [value]
+
+
+def to_number(value: Value) -> float:
+    """Cast to a number.  Non-numeric strings become NaN; sequences use their first item."""
+    if isinstance(value, list):
+        if not value:
+            return NAN
+        return to_number(value[0])
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return NAN
+
+
+def to_string(value: Value) -> str:
+    """Cast to a string.  Numbers drop a trailing ``.0``; sequences use their first item."""
+    if isinstance(value, list):
+        if not value:
+            return ""
+        return to_string(value[0])
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return str(value)
+
+
+def effective_boolean_value(value: Value) -> bool:
+    """The Effective Boolean Value (EBV) function of Section 3.1.3.
+
+    For a sequence the EBV is true iff the sequence is non-empty (this is what gives most
+    XPath predicates their existential semantics).  For atomic values: booleans are
+    themselves, numbers are true unless zero or NaN, strings are true unless empty.
+    """
+    if isinstance(value, list):
+        return len(value) > 0
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return not (value == 0 or (isinstance(value, float) and math.isnan(value)))
+    return len(str(value)) > 0
+
+
+def _numeric_pair(left: Atomic, right: Atomic) -> tuple[float, float]:
+    return to_number(left), to_number(right)
+
+
+def _general_compare(left: Atomic, right: Atomic, op: Callable[[float, float], bool],
+                     str_op: Callable[[str, str], bool]) -> bool:
+    """Compare two atomics: numerically when either side is a number, else as strings."""
+    if isinstance(left, (int, float)) and not isinstance(left, bool) or (
+        isinstance(right, (int, float)) and not isinstance(right, bool)
+    ):
+        a, b = _numeric_pair(left, right)
+        if math.isnan(a) or math.isnan(b):
+            return False
+        return op(a, b)
+    # two strings (or booleans): try numbers first, fall back to string comparison
+    a, b = _numeric_pair(left, right)
+    if not math.isnan(a) and not math.isnan(b):
+        return op(a, b)
+    return str_op(to_string(left), to_string(right))
+
+
+def compare_atomic(op_symbol: str, left: Atomic, right: Atomic) -> bool:
+    """Evaluate ``left <op> right`` for two atomic values."""
+    ops = {
+        "=": (lambda a, b: a == b, lambda a, b: a == b),
+        "!=": (lambda a, b: a != b, lambda a, b: a != b),
+        "<": (lambda a, b: a < b, lambda a, b: a < b),
+        "<=": (lambda a, b: a <= b, lambda a, b: a <= b),
+        ">": (lambda a, b: a > b, lambda a, b: a > b),
+        ">=": (lambda a, b: a >= b, lambda a, b: a >= b),
+    }
+    if op_symbol not in ops:
+        raise ValueError(f"unknown comparison operator {op_symbol!r}")
+    num_op, str_op = ops[op_symbol]
+    return _general_compare(left, right, num_op, str_op)
+
+
+def arithmetic_atomic(op_symbol: str, left: Atomic, right: Atomic) -> float:
+    """Evaluate ``left <op> right`` for the arithmetic operators of the grammar."""
+    a, b = _numeric_pair(left, right)
+    if math.isnan(a) or math.isnan(b):
+        return NAN
+    if op_symbol == "+":
+        return a + b
+    if op_symbol == "-":
+        return a - b
+    if op_symbol == "*":
+        return a * b
+    if op_symbol == "div":
+        return a / b if b != 0 else NAN
+    if op_symbol == "idiv":
+        return float(int(a // b)) if b != 0 else NAN
+    if op_symbol == "mod":
+        return math.fmod(a, b) if b != 0 else NAN
+    raise ValueError(f"unknown arithmetic operator {op_symbol!r}")
+
+
+def negate_atomic(value: Atomic) -> float:
+    """Unary minus."""
+    number = to_number(value)
+    return NAN if math.isnan(number) else -number
+
+
+def cartesian_sequences(sequences: Iterable[List[Atomic]]) -> Iterable[List[Atomic]]:
+    """All combinations, one element from each sequence, in lexicographic order.
+
+    This is the combination order used in part 5 of Definition 3.5.
+    """
+    sequences = list(sequences)
+    if not sequences:
+        yield []
+        return
+    head, *rest = sequences
+    for item in head:
+        for combo in cartesian_sequences(rest):
+            yield [item, *combo]

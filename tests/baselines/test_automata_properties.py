@@ -1,0 +1,57 @@
+"""Property-based tests: all automata baselines agree with the reference evaluator."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EagerDFAFilter, LazyDFAFilter, PathNFAFilter, determinize, PathNFA
+from repro.semantics import bool_eval
+from repro.xpath import parse_query
+
+from ..strategies import LABELS, documents
+
+
+def random_linear_query(rng: random.Random, max_steps: int = 4):
+    steps = rng.randint(1, max_steps)
+    parts = []
+    for _ in range(steps):
+        axis = rng.choice(("/", "//"))
+        name = rng.choice(LABELS + ("*",))
+        parts.append(axis + name)
+    text = "".join(parts)
+    if all(name == "*" for name in text.replace("/", " ").split()):
+        text = "/a" + text  # avoid the degenerate all-wildcard query
+    return parse_query(text)
+
+
+@st.composite
+def linear_queries(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return random_linear_query(random.Random(seed))
+
+
+class TestAutomataAgainstReference:
+    @given(linear_queries(), documents())
+    @settings(max_examples=80, deadline=None)
+    def test_all_baselines_agree_with_reference(self, query, document):
+        expected = bool_eval(query, document)
+        assert PathNFAFilter(query).run_document(document) == expected
+        assert LazyDFAFilter(query).run_document(document) == expected
+        assert EagerDFAFilter(query).run_document(document) == expected
+
+    @given(linear_queries(), documents())
+    @settings(max_examples=40, deadline=None)
+    def test_lazy_dfa_never_exceeds_eager_state_count(self, query, document):
+        lazy = LazyDFAFilter(query)
+        lazy.run_document(document)
+        eager_states = determinize(PathNFA(query)).state_count
+        assert lazy.dfa.state_count <= eager_states
+
+    @given(linear_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_eager_dfa_state_count_is_at_most_exponential(self, query):
+        nfa = PathNFA(query)
+        dfa = determinize(nfa)
+        assert dfa.state_count <= 2 ** nfa.state_count
+        assert dfa.state_count >= 1

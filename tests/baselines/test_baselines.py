@@ -1,0 +1,135 @@
+"""Tests for the baseline filters (DOM, NFA, lazy/eager DFA) and their memory reports."""
+
+import pytest
+
+from repro.baselines import (
+    EagerDFAFilter,
+    LazyDFAFilter,
+    NaiveDOMFilter,
+    PathNFA,
+    PathNFAFilter,
+    determinize,
+    linear_steps,
+    nfa_state_blowup,
+)
+from repro.core import UnsupportedQueryError, filter_document, filter_with_statistics
+from repro.semantics import bool_eval
+from repro.workloads import alternating_path_query, nested_sections, path_query
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+LINEAR_CASES = [
+    ("/a/b", "<a><b/></a>", True),
+    ("/a/b", "<a><c><b/></c></a>", False),
+    ("//b", "<a><c><b/></c></a>", True),
+    ("/a//c/d", "<a><x><c><d/></c></x></a>", True),
+    ("/a//c/d", "<a><x><c><e><d/></e></c></x></a>", False),
+    ("//a//b", "<x><a><y><b/></y></a></x>", True),
+    ("/a/*/c", "<a><q><c/></q></a>", True),
+    ("/a/*/c", "<a><c/></a>", False),
+]
+
+
+class TestAutomatonConstruction:
+    def test_linear_steps_extraction(self):
+        steps = linear_steps(parse_query("/a//b/c"))
+        assert [(s.axis, s.ntest) for s in steps] == [
+            ("child", "a"), ("descendant", "b"), ("child", "c")
+        ]
+
+    def test_branching_query_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            linear_steps(parse_query("/a[b]/c"))
+
+    def test_nfa_size_is_linear_in_query(self):
+        nfa = PathNFA(path_query(6, axis="//"))
+        assert nfa.state_count == 7
+
+    def test_nfa_acceptance(self):
+        nfa = PathNFA(parse_query("/a//b"))
+        states = nfa.initial()
+        states = nfa.step(states, "a")
+        assert not nfa.accepts(states)
+        states = nfa.step(states, "x")
+        states = nfa.step(states, "b")
+        assert nfa.accepts(states)
+
+    def test_eager_dfa_has_more_states_than_nfa_for_descendant_queries(self):
+        query = alternating_path_query(8)
+        nfa_states, dfa_states = nfa_state_blowup(query)
+        assert dfa_states > nfa_states
+
+    def test_dfa_blowup_grows_with_descendant_steps(self):
+        small = determinize(PathNFA(alternating_path_query(4))).state_count
+        large = determinize(PathNFA(alternating_path_query(10))).state_count
+        assert large > small
+
+    def test_lazy_dfa_materializes_fewer_states_than_eager(self):
+        query = alternating_path_query(8)
+        eager = EagerDFAFilter(query)
+        lazy = LazyDFAFilter(query)
+        document = nested_sections(5)
+        eager.run_document(document)
+        lazy.run_document(document)
+        assert lazy.dfa.state_count <= eager.dfa.state_count
+
+
+class TestBaselineCorrectness:
+    @pytest.mark.parametrize("query_text,document_text,expected", LINEAR_CASES)
+    @pytest.mark.parametrize("factory", [PathNFAFilter, LazyDFAFilter, EagerDFAFilter,
+                                         NaiveDOMFilter])
+    def test_linear_queries_agree_with_reference(self, factory, query_text,
+                                                 document_text, expected):
+        query = parse_query(query_text)
+        document = parse_document(document_text)
+        assert bool_eval(query, document) is expected
+        assert factory(query).run_document(document) is expected
+
+    def test_dom_baseline_supports_predicates(self):
+        query = parse_query("/a[b > 5 and c]")
+        document = parse_document("<a><b>7</b><c/></a>")
+        assert NaiveDOMFilter(query).run_document(document)
+
+    def test_baselines_agree_with_streaming_filter_on_dataset(self):
+        query = parse_query("//section//title")
+        document = nested_sections(4)
+        expected = filter_document(query, document)
+        for factory in (PathNFAFilter, LazyDFAFilter, EagerDFAFilter, NaiveDOMFilter):
+            assert factory(query).run_document(document) == expected
+
+
+class TestMemoryReports:
+    def test_dom_memory_grows_with_document(self):
+        query = parse_query("//title")
+        small_filter = NaiveDOMFilter(query)
+        small_filter.run_document(nested_sections(2))
+        large_filter = NaiveDOMFilter(query)
+        large_filter.run_document(nested_sections(7, breadth=3))
+        assert large_filter.memory_report().total_bits > \
+            small_filter.memory_report().total_bits
+
+    def test_dfa_report_includes_transition_table(self):
+        query = alternating_path_query(6)
+        baseline = EagerDFAFilter(query)
+        baseline.run_document(nested_sections(3))
+        report = baseline.memory_report()
+        assert report.component("table_bits") > 0
+        assert report.component("dfa_states") == baseline.dfa.state_count
+        assert report.total_bits >= report.component("table_bits")
+
+    def test_nfa_report_tracks_stack_depth(self):
+        query = parse_query("//section//title")
+        baseline = PathNFAFilter(query)
+        baseline.run_document(nested_sections(6))
+        report = baseline.memory_report()
+        assert report.component("peak_stack_depth") >= 6
+
+    def test_streaming_filter_beats_dom_on_large_documents(self):
+        """The paper's headline comparison: the filter's memory is tiny compared to
+        buffering the document."""
+        query = parse_query("//section[title and p]")
+        document = nested_sections(8, breadth=3)
+        _, stats = filter_with_statistics(query, document)
+        dom = NaiveDOMFilter(query)
+        dom.run_document(document)
+        assert stats.peak_memory_bits < dom.memory_report().total_bits / 10

@@ -1,0 +1,133 @@
+"""Tests for canonical documents (Section 6.4) and the canonical matching."""
+
+import pytest
+
+from repro.core import (
+    CanonicalDocumentError,
+    auxiliary_name,
+    build_canonical_document,
+    canonical_matching_is_unique,
+)
+from repro.semantics import bool_eval, count_matchings, has_matching
+from repro.xpath import parse_query, truth_set
+
+
+REDUNDANCY_FREE_QUERIES = [
+    "/a[c[.//e and f] and b > 5]",
+    "//a[b and c]",
+    "/a/b",
+    "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+    "//d[f and a[b and c]]",
+    "/a[b > 12 and .//b < 3]",
+    "/catalog/book[price < 20]",
+]
+
+
+class TestAuxiliaryName:
+    def test_auxiliary_name_avoids_query_names(self):
+        assert auxiliary_name(parse_query("/a/b")) == "Z"
+        assert auxiliary_name(parse_query("/Z/b")) == "Z0"
+        assert auxiliary_name(parse_query("/Z/Z0[Z1 and AUX]")) == "Z2"
+
+
+class TestConstruction:
+    def test_shadow_per_query_node(self):
+        q = parse_query("/a[b and c]")
+        canonical = build_canonical_document(q)
+        for node in q.non_root_nodes():
+            assert canonical.shadow(node).name == node.ntest
+
+    def test_descendant_axis_inserts_artificial_chain(self):
+        q = parse_query("/a[.//e and f]")
+        canonical = build_canonical_document(q)
+        e_node = [n for n in q.non_root_nodes() if n.ntest == "e"][0]
+        shadow = canonical.shadow(e_node)
+        # h = 0 wildcards, so the chain has h + 1 = 1 artificial node
+        assert canonical.is_artificial(shadow.parent)
+        assert shadow.parent.name == canonical.aux_name
+        assert not canonical.is_artificial(shadow.parent.parent)
+
+    def test_wildcard_chain_length_controls_artificial_chain(self):
+        q = parse_query("/a[*/b and .//e]")
+        canonical = build_canonical_document(q)
+        e_node = [n for n in q.non_root_nodes() if n.ntest == "e"][0]
+        shadow = canonical.shadow(e_node)
+        chain = 0
+        node = shadow.parent
+        while canonical.is_artificial(node):
+            chain += 1
+            node = node.parent
+        assert chain == q.max_wildcard_chain() + 1 == 2
+
+    def test_wildcard_shadow_gets_auxiliary_name(self):
+        q = parse_query("/a[*/b > 5]")
+        canonical = build_canonical_document(q)
+        star = [n for n in q.non_root_nodes() if n.is_wildcard()][0]
+        assert canonical.shadow(star).name == canonical.aux_name
+
+    def test_leaf_values_belong_to_truth_sets(self):
+        q = parse_query("/a[*/b > 5 and c/b//d > 12 and .//d < 30]")
+        canonical = build_canonical_document(q)
+        for node in q.non_root_nodes():
+            if node.is_leaf():
+                value = canonical.shadow(node).string_value()
+                assert truth_set(node).contains(value)
+
+    def test_fig9_separating_values(self):
+        """The first d's value must avoid the second d's truth set (Fig. 9)."""
+        q = parse_query("/a[*/b > 5 and c/b//d > 12 and .//d < 30]")
+        canonical = build_canonical_document(q)
+        d_nodes = [n for n in q.non_root_nodes() if n.ntest == "d"]
+        first_d, second_d = d_nodes
+        first_value = canonical.shadow(first_d).string_value()
+        assert float(first_value) > 12
+        assert not truth_set(second_d).contains(first_value)
+
+    def test_unsupported_query_raises(self):
+        with pytest.raises(CanonicalDocumentError):
+            build_canonical_document(parse_query("/a[b or c]"))
+        with pytest.raises(CanonicalDocumentError):
+            build_canonical_document(parse_query("/a[b = c]"))
+
+    def test_non_strongly_subsumption_free_raises(self):
+        with pytest.raises(CanonicalDocumentError):
+            build_canonical_document(parse_query("/a[b > 5 and b > 6]"))
+        with pytest.raises(CanonicalDocumentError):
+            build_canonical_document(parse_query("/a[b and .//b]"))
+
+
+class TestCanonicalMatching:
+    @pytest.mark.parametrize("text", REDUNDANCY_FREE_QUERIES)
+    def test_canonical_document_matches_query(self, text):
+        """Lemma 6.11: the canonical matching is a matching, so the document matches."""
+        query = parse_query(text)
+        canonical = build_canonical_document(query)
+        assert bool_eval(query, canonical.document)
+        assert has_matching(query, canonical.document)
+
+    @pytest.mark.parametrize("text", REDUNDANCY_FREE_QUERIES)
+    def test_canonical_matching_is_unique(self, text):
+        """Lemma 6.15: the canonical matching is the only matching."""
+        query = parse_query(text)
+        canonical = build_canonical_document(query)
+        assert count_matchings(query, canonical.document) == 1
+        assert canonical_matching_is_unique(canonical)
+
+    def test_shadow_of_inverse_lookup(self):
+        q = parse_query("/a[b and c]")
+        canonical = build_canonical_document(q)
+        b_node = [n for n in q.non_root_nodes() if n.ntest == "b"][0]
+        assert canonical.shadow_of(canonical.shadow(b_node)) is b_node
+        assert canonical.shadow_of(canonical.document.root) is q.root
+
+    def test_proposition_616_no_descendant_matches(self):
+        """Proposition 6.16: no proper descendant of SHADOW(u) matches u."""
+        from repro.semantics import node_matches
+
+        q = parse_query("//a[b and c]")
+        canonical = build_canonical_document(q)
+        a_node = [n for n in q.non_root_nodes() if n.ntest == "a"][0]
+        shadow = canonical.shadow(a_node)
+        for descendant in shadow.iter_descendants():
+            if descendant.kind == "element":
+                assert not node_matches(q, a_node, canonical.document, descendant)

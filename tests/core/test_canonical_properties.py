@@ -1,0 +1,70 @@
+"""Property-style tests: canonical documents for generated redundancy-free queries."""
+
+import pytest
+
+from repro.core import (
+    build_canonical_document,
+    canonical_matching_is_unique,
+    classify,
+    document_frontier_size,
+    query_frontier_size,
+)
+from repro.semantics import bool_eval, count_matchings
+from repro.workloads import (
+    balanced_query,
+    deep_nested_predicate_query,
+    descendant_branch_query,
+    frontier_sweep_queries,
+    path_query,
+    value_predicate_query,
+)
+
+
+def generated_queries():
+    """A spread of generated redundancy-free queries of different shapes."""
+    sweep = frontier_sweep_queries([2, 5])
+    return {
+        "balanced-2x2": balanced_query(2, 2),
+        "balanced-2x3": balanced_query(2, 3),
+        "balanced-3x2": balanced_query(3, 2),
+        "path-4": path_query(4),
+        "path-3-descendant": path_query(3, axis="//"),
+        "branch-3": descendant_branch_query(3),
+        "values-4": value_predicate_query(4),
+        "chain-5": deep_nested_predicate_query(5),
+        "flat-2": sweep[2],
+        "flat-5": sweep[5],
+    }
+
+
+@pytest.mark.parametrize("name", sorted(generated_queries()))
+class TestCanonicalForGeneratedQueries:
+    def test_queries_are_redundancy_free(self, name):
+        query = generated_queries()[name]
+        assert classify(query).redundancy_free
+
+    def test_canonical_document_matches_and_is_unique(self, name):
+        query = generated_queries()[name]
+        canonical = build_canonical_document(query)
+        assert bool_eval(query, canonical.document)
+        assert count_matchings(query, canonical.document, limit=4) == 1
+        assert canonical_matching_is_unique(canonical)
+
+    def test_canonical_frontier_equals_query_frontier(self, name):
+        """The frontier size of the canonical document equals FS(Q) (used implicitly by
+        the Theorem 7.1 proof: artificial chains have no siblings)."""
+        query = generated_queries()[name]
+        canonical = build_canonical_document(query)
+        assert document_frontier_size(canonical.document) == query_frontier_size(query)
+
+    def test_shadow_map_covers_every_query_node(self, name):
+        query = generated_queries()[name]
+        canonical = build_canonical_document(query)
+        for node in query.nodes():
+            assert canonical.shadow(node) is not None
+
+    def test_artificial_nodes_only_under_descendant_axes(self, name):
+        query = generated_queries()[name]
+        canonical = build_canonical_document(query)
+        has_descendant = any(node.axis == "descendant" for node in query.non_root_nodes())
+        assert bool(canonical.artificial_ids) == has_descendant

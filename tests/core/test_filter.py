@@ -1,0 +1,177 @@
+"""Unit tests for the streaming filter algorithm (Section 8)."""
+
+import pytest
+
+from repro.core import (
+    StreamingFilter,
+    UnsupportedQueryError,
+    filter_document,
+    filter_with_statistics,
+    query_frontier_size,
+)
+from repro.xmlstream import parse_document, parse_events
+from repro.xpath import parse_query
+
+
+class TestBasicFiltering:
+    @pytest.mark.parametrize("query_text,document_text,expected", [
+        ("/a", "<a/>", True),
+        ("/a", "<b/>", False),
+        ("/a/b", "<a><b/></a>", True),
+        ("/a/b", "<a><c><b/></c></a>", False),
+        ("//b", "<a><c><b/></c></a>", True),
+        ("//b", "<a><c/></a>", False),
+        ("/a[b]", "<a><b/></a>", True),
+        ("/a[b]", "<a><c/></a>", False),
+        ("/a[b and c]", "<a><b/><c/></a>", True),
+        ("/a[b and c]", "<a><b/></a>", False),
+        ("/a[b > 5]", "<a><b>6</b></a>", True),
+        ("/a[b > 5]", "<a><b>5</b></a>", False),
+        ("/a[b > 5]", "<a><b>1</b><b>9</b></a>", True),
+        ("/a[b = \"north\"]", "<a><b>north</b></a>", True),
+        ("/a[b = \"north\"]", "<a><b>south</b></a>", False),
+        ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>", True),
+        ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>4</b></a>", False),
+        ("/a[c[.//e and f] and b > 5]", "<a><b>6</b><c><f/><x><e/></x></c></a>", True),
+        ("/a[b[c > 5]]", "<a><b><c>7</c></b></a>", True),
+        ("/a[b[c > 5]]", "<a><b><c>3</c></b></a>", False),
+        ("/a/*/c", "<a><x><c/></x></a>", True),
+        ("/a/*/c", "<a><c/></a>", False),
+        ("/a[.//e]", "<a><x><y><e/></y></x></a>", True),
+        ("/a[b > 5]/c", "<a><b>7</b><c/></a>", True),
+        ("/a[b > 5]/c", "<a><b>7</b></a>", False),
+        ("/catalog/book[price < 20]", "<catalog><book><price>12</price></book></catalog>", True),
+        ("/a[@id = 7]", '<a id="7">x</a>', True),
+        ("/a[@id = 7]", '<a id="8">x</a>', False),
+    ])
+    def test_simple_cases(self, query_text, document_text, expected):
+        assert filter_document(parse_query(query_text), parse_document(document_text)) \
+            is expected
+
+    def test_filter_accepts_raw_event_stream(self):
+        query = parse_query("/a[b]")
+        events = parse_events("<a><b/></a>")
+        assert StreamingFilter(query).run(events)
+
+    def test_filter_object_is_reusable(self):
+        query = parse_query("/a[b]")
+        streaming_filter = StreamingFilter(query)
+        assert streaming_filter.run_document(parse_document("<a><b/></a>"))
+        assert not streaming_filter.run_document(parse_document("<a><c/></a>"))
+        assert streaming_filter.run_document(parse_document("<a><b/></a>"))
+
+    def test_incomplete_stream_raises(self):
+        query = parse_query("/a")
+        with pytest.raises(ValueError):
+            StreamingFilter(query).run(parse_events("<a/>")[:-1])
+
+
+class TestRecursiveDocuments:
+    def test_inner_match_is_not_lost(self):
+        """Regression for the matched-flag accumulation fix (DESIGN.md deviation 2):
+        an inner candidate's real match must survive the enclosing candidate's failure."""
+        query = parse_query("//a[b and c]")
+        assert filter_document(query, parse_document("<a><a><b/><c/></a></a>"))
+        assert filter_document(query, parse_document("<a><x/><a><b/><c/></a><y/></a>"))
+
+    def test_split_children_across_levels_do_not_match(self):
+        query = parse_query("//a[b and c]")
+        assert not filter_document(query, parse_document("<a><b/><a><c/></a></a>"))
+        assert not filter_document(query, parse_document("<a><a><b/></a><c/></a>"))
+
+    def test_outer_match_with_inner_failure(self):
+        query = parse_query("//a[b and c]")
+        assert filter_document(query, parse_document("<a><b/><a><b/></a><c/></a>"))
+
+    def test_deeply_recursive_document(self):
+        query = parse_query("//a[b and c]")
+        deep = "<a>" * 10 + "<b/><c/>" + "</a>" * 10
+        assert filter_document(query, parse_document(deep))
+
+    def test_nested_value_candidates_use_their_own_text(self):
+        """Regression for the per-candidate string-value stack (DESIGN.md deviation 3).
+
+        The string value of the outer ``b`` is the concatenation of all nested text
+        ("19", "91", "01"), while the inner ``b`` only sees its own text — both must be
+        evaluated against their own buffer slice.
+        """
+        query = parse_query("//a[.//b > 5]")
+        assert filter_document(query, parse_document("<a><b>1<b>9</b></b></a>"))
+        assert filter_document(query, parse_document("<a><b>9<b>1</b></b></a>"))
+        assert not filter_document(query, parse_document("<a><b>0<b>1</b></b></a>"))
+
+    def test_recursive_witness_query_from_paper(self):
+        query = parse_query("//d[f and a[b and c]]")
+        doc = parse_document(
+            "<Z><d><f/><a><b/></a><Z><d><f/><a><b/><c/></a></d></Z></d></Z>"
+        )
+        assert filter_document(query, doc)
+        doc_no = parse_document(
+            "<Z><d><f/><a><b/></a><Z><d><f/><a><b/></a></d></Z></d></Z>"
+        )
+        assert not filter_document(query, doc_no)
+
+
+class TestUnsupportedQueries:
+    def test_disjunction_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            StreamingFilter(parse_query("/a[b or c]"))
+
+    def test_multivariate_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            StreamingFilter(parse_query("/a[b = c]"))
+
+    def test_internal_value_restriction_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            StreamingFilter(parse_query("/a[b[c] > 5]"))
+
+
+class TestStatistics:
+    def test_peak_frontier_matches_fs_for_paper_query(self):
+        """Theorem 8.8 second part: on the paper's (path-consistency-free, non-recursive)
+        example the peak number of non-root frontier tuples is FS(Q)."""
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        document = parse_document("<a><c><e/><f/></c><b>6</b></a>")
+        decision, stats = filter_with_statistics(query, document)
+        assert decision
+        # the +1 accounts for the permanent query-root tuple our variant keeps
+        assert stats.peak_frontier_records <= query_frontier_size(query) + 1
+
+    def test_frontier_grows_with_recursion_depth(self):
+        query = parse_query("//a[b and c]")
+        shallow = parse_document("<a><b/><c/></a>")
+        deep = parse_document("<a>" * 6 + "<b/><c/>" + "</a>" * 6)
+        _, shallow_stats = filter_with_statistics(query, shallow)
+        _, deep_stats = filter_with_statistics(query, deep)
+        assert deep_stats.peak_frontier_records > shallow_stats.peak_frontier_records
+
+    def test_frontier_bounded_by_query_size_times_recursion(self):
+        query = parse_query("//a[b and c]")
+        r = 7
+        document = parse_document("<a>" * r + "<b/><c/>" + "</a>" * r)
+        _, stats = filter_with_statistics(query, document)
+        assert stats.peak_frontier_records <= query.size() * r + 1
+
+    def test_buffer_tracks_text_width(self):
+        query = parse_query("/a[b > 5]")
+        document = parse_document("<a><b>" + "7" * 500 + "</b></a>")
+        _, stats = filter_with_statistics(query, document)
+        assert stats.peak_buffer_chars == 500
+
+    def test_buffer_not_used_without_value_candidates(self):
+        query = parse_query("/a[b]")
+        document = parse_document("<a><x>some very long irrelevant text</x><b/></a>")
+        _, stats = filter_with_statistics(query, document)
+        assert stats.peak_buffer_chars == 0
+
+    def test_memory_bits_are_positive_and_bounded(self):
+        query = parse_query("/a[b > 5]")
+        document = parse_document("<a><b>6</b></a>")
+        _, stats = filter_with_statistics(query, document)
+        assert 0 < stats.peak_memory_bits < 10_000
+
+    def test_event_count(self):
+        query = parse_query("/a")
+        document = parse_document("<a><b>6</b></a>")
+        _, stats = filter_with_statistics(query, document)
+        assert stats.events == len(document.events())

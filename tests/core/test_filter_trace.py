@@ -1,0 +1,69 @@
+"""Tests reproducing the Fig. 22 example run of the filtering algorithm."""
+
+from repro.core import query_frontier_size, trace_run
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+FIG22_QUERY = "/a[c[.//e and f] and b]"
+FIG22_DOCUMENT = "<a><c><d/><e/><f/></c><b/><c/></a>"
+
+
+class TestFig22Trace:
+    def setup_method(self):
+        self.query = parse_query(FIG22_QUERY)
+        self.document = parse_document(FIG22_DOCUMENT)
+        self.trace = trace_run(self.query, self.document)
+
+    def test_final_decision_is_match(self):
+        assert self.trace.final_root_matched() is True
+
+    def test_one_entry_per_event(self):
+        assert len(self.trace.entries) == len(self.document.events())
+
+    def test_frontier_never_exceeds_query_frontier_size(self):
+        """Fig. 22: 'As the frontier size is 3 for this query, there are at most 3
+        tuples in the system.'"""
+        assert self.trace.max_frontier_tuples() == query_frontier_size(self.query) == 3
+
+    def test_unrelated_element_leaves_frontier_unchanged(self):
+        """The startElement(d) event (event 3) only increments the level."""
+        before = self.trace.entries[2]
+        after = self.trace.entries[3]
+        assert after.event_label == "startElement(d)"
+        assert after.frontier_without_root() == before.frontier_without_root()
+        assert after.level == before.level + 1
+
+    def test_second_c_is_ignored_because_c_already_matched(self):
+        """Event 12 in the figure: the second 'c' element does not reopen processing."""
+        labels = [e.event_label for e in self.trace.entries]
+        second_c_start = len(labels) - 1 - labels[::-1].index("startElement(c)")
+        before = self.trace.entries[second_c_start - 1]
+        after = self.trace.entries[second_c_start]
+        assert after.frontier_without_root() == before.frontier_without_root()
+
+    def test_e_and_f_matched_flags_flip_at_their_end_events(self):
+        by_label = {}
+        for entry in self.trace.entries:
+            by_label.setdefault(entry.event_label, entry)
+        after_e_end = by_label["endElement(e)"]
+        assert (3, "e", True) in after_e_end.frontier_without_root()
+        after_f_end = by_label["endElement(f)"]
+        assert (3, "f", True) in after_f_end.frontier_without_root()
+
+    def test_c_resolves_to_matched_at_its_end_event(self):
+        by_label = {}
+        for entry in self.trace.entries:
+            by_label.setdefault(entry.event_label, entry)
+        after_c_end = by_label["endElement(c)"]
+        assert (2, "c", True) in after_c_end.frontier_without_root()
+
+    def test_table_rendering_contains_all_events(self):
+        table = self.trace.as_table()
+        assert "startDocument()" in table
+        assert "endDocument()" in table
+        assert table.count("\n") == len(self.trace.entries)
+
+    def test_trace_on_non_matching_document(self):
+        document = parse_document("<a><c><e/></c><b/></a>")
+        trace = trace_run(self.query, document)
+        assert trace.final_root_matched() is False

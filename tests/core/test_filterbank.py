@@ -1,0 +1,123 @@
+"""Tests for the multi-subscription filter bank and the child-axis-removal ablation."""
+
+import pytest
+
+from repro.core import FilterBank, StreamingFilter, UnsupportedQueryError
+from repro.semantics import bool_eval
+from repro.workloads import (
+    auction_site,
+    book_catalog,
+    dissemination_queries,
+    nested_sections,
+)
+from repro.xmlstream import parse_document, parse_events
+from repro.xpath import parse_query
+
+
+class TestFilterBank:
+    def test_register_and_list(self):
+        bank = FilterBank()
+        bank.register("cheap-books", parse_query("/catalog/book[price < 20]"))
+        bank.register("titled-books", parse_query("/catalog/book[title]"))
+        assert bank.subscriptions() == ["cheap-books", "titled-books"]
+        assert len(bank) == 2
+        assert bank.query("cheap-books").to_xpath() == "/catalog/book[price < 20]"
+
+    def test_duplicate_name_rejected(self):
+        bank = FilterBank()
+        bank.register("q", parse_query("/a"))
+        with pytest.raises(ValueError):
+            bank.register("q", parse_query("/b"))
+
+    def test_unsupported_query_rejected_at_registration(self):
+        bank = FilterBank()
+        with pytest.raises(UnsupportedQueryError):
+            bank.register("bad", parse_query("/a[b or c]"))
+
+    def test_unregister(self):
+        bank = FilterBank()
+        bank.register("q", parse_query("/a"))
+        bank.unregister("q")
+        assert bank.subscriptions() == []
+        with pytest.raises(KeyError):
+            bank.unregister("q")
+
+    def test_matching_subscriptions_for_a_document(self):
+        bank = FilterBank()
+        bank.register("cheap", parse_query("/catalog/book[price < 20]"))
+        bank.register("expensive", parse_query("/catalog/book[price > 100]"))
+        bank.register("titled", parse_query("/catalog/book[title]"))
+        document = parse_document(
+            "<catalog><book><title>t</title><price>12</price></book></catalog>"
+        )
+        result = bank.filter_document(document)
+        assert sorted(result.matched) == ["cheap", "titled"]
+
+    def test_results_agree_with_reference_on_datasets(self):
+        bank = FilterBank()
+        queries = {f"q{i}": parse_query(text)
+                   for i, text in enumerate(dissemination_queries())}
+        for name, query in queries.items():
+            bank.register(name, query)
+        for document in (book_catalog(10), auction_site(5), nested_sections(4)):
+            result = bank.filter_document(document)
+            expected = sorted(name for name, query in queries.items()
+                              if bool_eval(query, document))
+            assert sorted(result.matched) == expected
+
+    def test_incomplete_stream_raises(self):
+        bank = FilterBank()
+        bank.register("q", parse_query("/a"))
+        with pytest.raises(ValueError):
+            bank.filter_events(parse_events("<a/>")[:-1])
+
+    def test_memory_statistics_are_aggregated(self):
+        bank = FilterBank()
+        bank.register("one", parse_query("/catalog/book[price < 20]"))
+        bank.register("two", parse_query("//book[year > 2000]"))
+        result = bank.filter_document(book_catalog(30))
+        assert set(result.per_query_stats) == {"one", "two"}
+        assert result.total_peak_memory_bits == sum(
+            stats.peak_memory_bits for stats in result.per_query_stats.values()
+        )
+        assert result.total_peak_frontier_records >= 2
+
+    def test_bank_is_reusable_across_documents(self):
+        bank = FilterBank()
+        bank.register("cheap", parse_query("/catalog/book[price < 20]"))
+        first = bank.filter_document(book_catalog(10, seed=1))
+        second = bank.filter_document(parse_document("<catalog/>"))
+        assert first.matched == ["cheap"]
+        assert second.matched == []
+
+
+class TestChildAxisRemovalAblation:
+    CASES = [
+        ("/a[b and c]", "<a><b/><c/></a>"),
+        ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>"),
+        ("//a[b and c]", "<a><a><b/><c/></a></a>"),
+        ("/a[b[c[d]]]", "<a><b><c><d/></c></b></a>"),
+        ("/a[b[c[d]]]", "<a><b><c><x/></c></b></a>"),
+    ]
+
+    @pytest.mark.parametrize("query_text,document_text", CASES)
+    def test_ablation_preserves_correctness(self, query_text, document_text):
+        query = parse_query(query_text)
+        document = parse_document(document_text)
+        optimized = StreamingFilter(query).run_document(document)
+        unoptimized = StreamingFilter(
+            query, remove_child_axis_records=False
+        ).run_document(document)
+        assert optimized == unoptimized == bool_eval(query, document)
+
+    def test_removal_reduces_peak_frontier_on_nested_predicates(self):
+        """The lines 10-11 optimization is what keeps the frontier at FS(Q) instead of
+        the whole root-to-leaf path of the query."""
+        query = parse_query("/a[b[c[d[e]]]]")
+        document = parse_document("<a><b><c><d><e/></d></c></b></a>")
+        optimized = StreamingFilter(query)
+        optimized.run_document(document)
+        unoptimized = StreamingFilter(query, remove_child_axis_records=False)
+        unoptimized.run_document(document)
+        assert optimized.stats.peak_frontier_records < \
+            unoptimized.stats.peak_frontier_records

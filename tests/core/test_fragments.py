@@ -1,0 +1,219 @@
+"""Tests for the Redundancy-free XPath classification (Section 5) and related fragments."""
+
+import pytest
+
+from repro.core import (
+    are_path_consistent,
+    classify,
+    depth_lb_witness,
+    explain_redundancy_freeness,
+    has_prefix_sunflower_property,
+    has_sunflower_property,
+    is_closure_free,
+    is_conjunctive,
+    is_leaf_only_value_restricted,
+    is_path_consistency_free,
+    is_recursive_xpath,
+    is_redundancy_free,
+    is_star_restricted,
+    is_strongly_subsumption_free,
+    is_univariate,
+    recursive_xpath_witness,
+    sunflower_witness,
+)
+from repro.xpath import parse_query
+
+
+class TestStarRestricted:
+    def test_allowed_wildcard_usage(self):
+        assert is_star_restricted(parse_query("/a/*/b"))
+        assert is_star_restricted(parse_query("/a[*/b > 5]"))
+
+    @pytest.mark.parametrize("text", ["/a/*", "/a[*]", "/a//*/b", "/a/*//b", "//*/b"])
+    def test_disallowed_wildcard_usage(self, text):
+        assert not is_star_restricted(parse_query(text))
+
+    def test_query_without_wildcards_is_star_restricted(self):
+        assert is_star_restricted(parse_query("//a[b and c]"))
+
+
+class TestConjunctive:
+    def test_conjunctions_are_allowed(self):
+        assert is_conjunctive(parse_query("/a[b and c and d > 5]"))
+
+    def test_disjunction_is_not_conjunctive(self):
+        assert not is_conjunctive(parse_query("/a[b or c]"))
+
+    def test_negation_is_not_conjunctive(self):
+        assert not is_conjunctive(parse_query("/a[not(b)]"))
+
+    def test_atomic_predicates_are_conjunctive(self):
+        assert is_conjunctive(parse_query("/a[b > 5]"))
+        assert is_conjunctive(parse_query('/a[fn:contains(b, "x")]'))
+
+    def test_section_52_example_atomic_split(self):
+        """The predicate [b > 5 and c + d = 7] splits into two atomic conjuncts."""
+        assert is_conjunctive(parse_query("/a[b > 5 and c + d = 7]"))
+
+
+class TestUnivariate:
+    def test_single_variable_predicates(self):
+        assert is_univariate(parse_query("/a[b > 5 and c < 3]"))
+
+    def test_two_variables_in_one_atomic_predicate(self):
+        assert not is_univariate(parse_query("/a[c + d = 7]"))
+        assert not is_univariate(parse_query("/a[b = c]"))
+
+    def test_relative_path_counts_as_one_variable(self):
+        """Per Section 5.3, [a//b] is univariate: only the 'a' node is a variable."""
+        assert is_univariate(parse_query("/x[a//b]"))
+        assert is_univariate(parse_query("/x[a//b > 5]"))
+
+
+class TestLeafOnlyValueRestricted:
+    def test_paper_positive_example(self):
+        assert is_leaf_only_value_restricted(parse_query("/a[b[c > 5]]"))
+
+    def test_paper_negative_example(self):
+        assert not is_leaf_only_value_restricted(parse_query("/a[b[c] > 5]"))
+
+    def test_plain_queries_are_fine(self):
+        assert is_leaf_only_value_restricted(parse_query("//a[b and c]"))
+
+
+class TestStrongSubsumptionFreeness:
+    def test_redundant_predicate_fails_sunflower(self):
+        """Section 5 example: /a[b > 5 and b > 6] is redundant — the b > 5 leaf's truth
+        set is covered once b > 6's witness must avoid it (and vice versa)."""
+        q = parse_query("/a[b > 5 and b > 6]")
+        assert not has_sunflower_property(q)
+        assert not is_redundancy_free(q)
+
+    def test_subsumed_existence_predicate(self):
+        """Section 5 example: /a[b and .//b] — the child-axis b subsumes the
+        descendant-axis one."""
+        q = parse_query("/a[b and .//b]")
+        assert not is_strongly_subsumption_free(q)
+
+    def test_ends_with_counterexample(self):
+        """The Section 5.5 example: subsumption-free but NOT strongly subsumption-free
+        because of the prefix sunflower failure."""
+        q = parse_query('/a[b[c = "A"] and fn:ends-with(b, "B")]')
+        assert not has_prefix_sunflower_property(q)
+        assert not is_strongly_subsumption_free(q)
+
+    def test_disjoint_truth_sets_are_fine(self):
+        q = parse_query("/a[b > 12 and .//b < 3]")
+        assert has_sunflower_property(q)
+
+    def test_paper_main_queries_are_redundancy_free(self):
+        for text in (
+            "/a[c[.//e and f] and b > 5]",
+            "//a[b and c]",
+            "/a/b",
+            "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+            "//d[f and a[b and c]]",
+        ):
+            assert is_redundancy_free(parse_query(text)), text
+            assert explain_redundancy_freeness(parse_query(text)) is None
+
+    def test_wildcard_remark_query_is_not_redundancy_free(self):
+        """The remark after Theorem 4.2: /a[c[.//* and f] and b > 5] breaks the frontier
+        bound precisely because it is not redundancy-free (the wildcard is a leaf)."""
+        q = parse_query("/a[c[.//* and f] and b > 5]")
+        assert not is_redundancy_free(q)
+        assert explain_redundancy_freeness(q) is not None
+
+    def test_sunflower_witness_values(self):
+        q = parse_query("/a[b > 12 and .//b < 3]")
+        tight = [n for n in q.non_root_nodes() if n.ntest == "b" and n.axis == "child"][0]
+        witness = sunflower_witness(q, tight)
+        assert witness is not None and float(witness) > 12
+
+
+class TestRecursiveXPath:
+    def test_paper_recursive_queries(self):
+        assert is_recursive_xpath(parse_query("//a[b and c]"))
+        assert is_recursive_xpath(parse_query("//d[f and a[b and c]]"))
+
+    def test_witness_node_identification(self):
+        """Both the 'd' node (children f, a) and the 'a' node (children b, c) satisfy
+        the Recursive-XPath conditions for //d[f and a[b and c]]; the paper's worked
+        example uses 'a', the construction works with either."""
+        q = parse_query("//d[f and a[b and c]]")
+        witness = recursive_xpath_witness(q)
+        assert witness is not None and witness.ntest in ("a", "d")
+
+    def test_non_recursive_queries(self):
+        assert not is_recursive_xpath(parse_query("/a[b and c]"))
+        assert not is_recursive_xpath(parse_query("//a"))
+        assert not is_recursive_xpath(parse_query("//a//b"))
+        assert not is_recursive_xpath(parse_query("//a[b]"))
+
+
+class TestClosureAndPathConsistency:
+    def test_closure_free(self):
+        assert is_closure_free(parse_query("/a[b and c]/d"))
+        assert not is_closure_free(parse_query("/a[.//b]"))
+        assert not is_closure_free(parse_query("//a"))
+
+    def test_path_consistency_paper_example(self):
+        """Definition 8.5's example: the two c nodes of /a[.//b/c and b//c] are path
+        consistent."""
+        q = parse_query("/a[.//b/c and b//c]")
+        c_nodes = [n for n in q.non_root_nodes() if n.ntest == "c"]
+        assert are_path_consistent(c_nodes[0], c_nodes[1])
+        assert not is_path_consistency_free(q)
+
+    def test_distinct_names_are_path_consistency_free(self):
+        assert is_path_consistency_free(parse_query("/a[b and c]/d"))
+
+    def test_same_name_at_same_position_is_consistent(self):
+        q = parse_query("/a[b > 5 and b < 3]")
+        assert not is_path_consistency_free(q)
+
+    def test_wildcards_are_consistent_with_names(self):
+        q = parse_query("/a[* [x] and b]")
+        star = [n for n in q.non_root_nodes() if n.is_wildcard()][0]
+        b = [n for n in q.non_root_nodes() if n.ntest == "b"][0]
+        assert are_path_consistent(star, b)
+
+    def test_descendant_vs_child_consistency(self):
+        q = parse_query("/a[.//x and b/x]")
+        x_nodes = [n for n in q.non_root_nodes() if n.ntest == "x"]
+        assert are_path_consistent(x_nodes[0], x_nodes[1])
+
+    def test_inconsistent_because_of_depth(self):
+        q = parse_query("/a[x and b/x]")
+        x_nodes = [n for n in q.non_root_nodes() if n.ntest == "x"]
+        assert not are_path_consistent(x_nodes[0], x_nodes[1])
+
+
+class TestDepthWitnessAndClassify:
+    def test_depth_lb_witness(self):
+        assert depth_lb_witness(parse_query("/a/b")) is not None
+        assert depth_lb_witness(parse_query("//a")) is None
+        assert depth_lb_witness(parse_query("//a//b")) is None
+        # in /a/*/b the 'a' step itself is a valid witness (child axis, root parent)
+        assert depth_lb_witness(parse_query("/a/*/b")).ntest == "a"
+        # with a leading descendant step and a wildcard parent no witness exists
+        assert depth_lb_witness(parse_query("//*[x]")) is None
+        witness = depth_lb_witness(parse_query("//a/b"))
+        assert witness is not None and witness.ntest == "b"
+
+    def test_classify_summary(self):
+        info = classify(parse_query("/a[c[.//e and f] and b > 5]"))
+        assert info.redundancy_free
+        assert not info.recursive_xpath
+        assert not info.closure_free        # .//e uses a descendant axis
+        assert info.path_consistency_free
+        as_dict = info.as_dict()
+        assert as_dict["star_restricted"] and as_dict["conjunctive"]
+
+    def test_classify_recursive_query(self):
+        info = classify(parse_query("//a[b and c]"))
+        assert info.redundancy_free and info.recursive_xpath
+
+    def test_classify_non_redundancy_free(self):
+        info = classify(parse_query("/a[b or c]"))
+        assert not info.conjunctive and not info.redundancy_free

@@ -1,0 +1,120 @@
+"""Tests for query/document frontiers and the document metrics of Theorem 8.8."""
+
+from repro.core import (
+    document_frontier,
+    document_frontier_size,
+    document_node_with_largest_frontier,
+    document_depth,
+    metrics_summary,
+    path_recursion_depth,
+    query_frontier,
+    query_frontier_size,
+    query_node_with_largest_frontier,
+    recursion_depth,
+    text_width,
+)
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+
+class TestQueryFrontier:
+    def test_fig3_frontier_size(self):
+        """Fig. 3: the frontier of /a[c[.//e and f] and b > 5] has size 3 (at e)."""
+        q = parse_query("/a[c[.//e and f] and b > 5]")
+        assert query_frontier_size(q) == 3
+        best = query_node_with_largest_frontier(q)
+        assert best.ntest in ("e", "f")
+        names = sorted(n.ntest for n in query_frontier(best))
+        assert names == ["b", "e", "f"]
+
+    def test_linear_query_frontier_is_one(self):
+        assert query_frontier_size(parse_query("/a/b/c/d")) == 1
+
+    def test_wide_conjunction_frontier(self):
+        assert query_frontier_size(parse_query("/r[c0 and c1 and c2 and c3]")) == 4
+
+    def test_frontier_is_at_most_query_size(self):
+        for text in ("/a[b and c]/d", "//a[b[c] and d]", "/a[b and c[d and e]]"):
+            q = parse_query(text)
+            assert 1 <= query_frontier_size(q) <= q.size()
+
+    def test_balanced_query_frontier(self):
+        """A fan-out-2 depth-2 balanced query has frontier size fanout*depth - 1 = 3."""
+        q = parse_query("/r[x[x1 and x2] and y[y1 and y2]]")
+        assert query_frontier_size(q) == 3
+
+
+class TestDocumentFrontier:
+    def test_document_frontier_ignores_text(self):
+        doc = parse_document("<a><b>text</b><c/></a>")
+        assert document_frontier_size(doc) == 2
+
+    def test_deep_chain_has_frontier_one(self):
+        doc = parse_document("<a><b><c><d/></c></b></a>")
+        assert document_frontier_size(doc) == 1
+
+    def test_frontier_of_paper_document(self):
+        doc = parse_document("<a><c><e/><f/></c><b>6</b></a>")
+        assert document_frontier_size(doc) == 3
+        node = document_node_with_largest_frontier(doc)
+        assert node.name in ("e", "f")
+        assert sorted(n.name for n in document_frontier(node)) == ["b", "e", "f"]
+
+
+class TestRecursionDepth:
+    def test_section_42_example(self):
+        """If Q is //a[b and c] and D is <a><a><b/><c/></a></a>, the recursion depth of
+        D w.r.t. the a node is 2."""
+        q = parse_query("//a[b and c]")
+        doc = parse_document("<a><b/><c/><a><b/><c/></a></a>")
+        a_node = [n for n in q.non_root_nodes() if n.ntest == "a"][0]
+        assert recursion_depth(q, doc, a_node) == 2
+
+    def test_recursion_depth_zero_when_no_match(self):
+        q = parse_query("//a[b]")
+        doc = parse_document("<a><a/></a>")
+        assert recursion_depth(q, doc) == 0
+
+    def test_path_recursion_depth_definition_83(self):
+        """Definition 8.3's example: //a[b] on <a><a/></a> has path recursion depth 2
+        but recursion depth 0."""
+        q = parse_query("//a[b]")
+        doc = parse_document("<a><a/></a>")
+        assert path_recursion_depth(q, doc) == 2
+        assert recursion_depth(q, doc) == 0
+
+    def test_recursion_depth_bounded_by_path_recursion_depth(self):
+        q = parse_query("//a[b and c]")
+        doc = parse_document("<a><b/><c/><a><b/><c/><a><b/></a></a></a>")
+        assert recursion_depth(q, doc) <= path_recursion_depth(q, doc)
+
+    def test_non_recursive_document(self):
+        q = parse_query("//a[b]")
+        doc = parse_document("<x><a><b/></a><a><b/></a></x>")
+        assert path_recursion_depth(q, doc) == 1
+
+
+class TestTextWidthAndSummary:
+    def test_definition_84_example(self):
+        """Definition 8.4's example: text width 5 via the 'madam' value."""
+        q = parse_query("/a[b]")
+        doc = parse_document("<a>dear<b>sir</b>or<b>madam</b></a>")
+        assert text_width(q, doc) == 5
+
+    def test_text_width_only_counts_path_matching_leaves(self):
+        q = parse_query("/a[b]")
+        doc = parse_document("<a><b>12</b><c>really-long-value</c></a>")
+        assert text_width(q, doc) == 2
+
+    def test_document_depth(self):
+        assert document_depth(parse_document("<a><b><c/></b></a>")) == 3
+
+    def test_metrics_summary_keys(self):
+        q = parse_query("//a[b]")
+        doc = parse_document("<a><b>12</b></a>")
+        summary = metrics_summary(q, doc)
+        assert summary["document_depth"] == 2
+        assert summary["query_size"] == 2
+        assert summary["path_recursion_depth"] == 1
+        assert summary["text_width"] == 2
+        assert summary["document_elements"] == 2

@@ -1,0 +1,69 @@
+"""Tests for the bit-level memory accounting models."""
+
+from repro.instrument import (
+    AutomatonMemoryModel,
+    DOMMemoryModel,
+    FrontierMemoryModel,
+    bits_for,
+)
+
+
+class TestBitsFor:
+    def test_small_counts(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(4) == 2
+        assert bits_for(5) == 3
+
+    def test_powers_of_two(self):
+        assert bits_for(1024) == 10
+        assert bits_for(1025) == 11
+
+
+class TestFrontierMemoryModel:
+    def test_bits_grow_with_frontier_records(self):
+        model = FrontierMemoryModel(query_size=8)
+        small = model.bits(frontier_records=2, buffer_chars=0, current_level=3)
+        large = model.bits(frontier_records=10, buffer_chars=0, current_level=3)
+        assert large > small
+
+    def test_bits_grow_with_buffer(self):
+        model = FrontierMemoryModel(query_size=8)
+        empty = model.bits(frontier_records=2, buffer_chars=0, current_level=3)
+        buffered = model.bits(frontier_records=2, buffer_chars=100, current_level=3)
+        assert buffered - empty >= 100 * 8
+
+    def test_level_contributes_logarithmically(self):
+        model = FrontierMemoryModel(query_size=8)
+        shallow = model.bits(frontier_records=1, buffer_chars=0, current_level=2)
+        deep = model.bits(frontier_records=1, buffer_chars=0, current_level=2 ** 16)
+        assert deep > shallow
+        assert deep < shallow + 64  # logarithmic, not linear
+
+    def test_tuple_bits_composition(self):
+        model = FrontierMemoryModel(query_size=7)
+        assert model.tuple_bits(current_level=3, buffer_chars=5) == (
+            bits_for(8) + bits_for(5) + bits_for(7) + 1
+        )
+
+
+class TestAutomatonMemoryModel:
+    def test_transition_table_dominates_for_many_states(self):
+        model = AutomatonMemoryModel()
+        table = model.transition_table_bits(states=1024, alphabet_size=16)
+        stack = model.stack_bits(stack_depth=20, states=1024)
+        assert table > stack
+
+    def test_nfa_state_set_bits(self):
+        model = AutomatonMemoryModel()
+        assert model.nfa_state_set_bits(nfa_states=10, stack_depth=4) == 40
+
+
+class TestDOMMemoryModel:
+    def test_dom_grows_linearly_with_document(self):
+        model = DOMMemoryModel()
+        small = model.bits(element_count=10, text_chars=50, name_chars=20)
+        large = model.bits(element_count=1000, text_chars=5000, name_chars=2000)
+        assert large > 50 * small

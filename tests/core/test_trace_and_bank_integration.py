@@ -1,0 +1,57 @@
+"""Additional integration tests: tracing arbitrary runs and the bank over event streams."""
+
+from repro.core import FilterBank, RunTrace, StreamingFilter, trace_run
+from repro.semantics import bool_eval
+from repro.workloads import book_catalog, nested_sections
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+
+class TestTraceOnDatasets:
+    def test_trace_levels_follow_element_depth(self):
+        query = parse_query("//section[title and p]")
+        document = nested_sections(3)
+        trace = trace_run(query, document)
+        max_level = max(entry.level for entry in trace.entries)
+        assert max_level == document.depth() + 1  # level is incremented after the start
+
+    def test_trace_matches_filter_decision(self):
+        query = parse_query("/catalog/book[price < 20]")
+        document = book_catalog(10, seed=21)
+        trace = trace_run(query, document)
+        assert trace.final_root_matched() == bool_eval(query, document)
+
+    def test_trace_records_buffer_usage(self):
+        query = parse_query("/a[b > 5]")
+        document = parse_document("<a><b>123456</b></a>")
+        trace = RunTrace()
+        StreamingFilter(query, trace=trace).run_document(document)
+        assert max(entry.buffer_chars for entry in trace.entries) == 6
+
+    def test_trace_table_includes_root_when_requested(self):
+        query = parse_query("/a")
+        document = parse_document("<a/>")
+        trace = trace_run(query, document)
+        assert "$" in trace.as_table(include_root=True)
+        assert "$" not in trace.as_table(include_root=False)
+
+
+class TestBankOverRecursiveStreams:
+    def test_bank_with_recursive_and_flat_subscriptions(self):
+        bank = FilterBank()
+        bank.register("recursive", parse_query("//section[section]"))
+        bank.register("flat", parse_query("/book/section/title"))
+        document = nested_sections(4)
+        result = bank.filter_document(document)
+        assert set(result.matched) == {
+            name for name in ("recursive", "flat")
+            if bool_eval(bank.query(name), document)
+        }
+
+    def test_bank_memory_smaller_than_sum_of_documents(self):
+        bank = FilterBank()
+        bank.register("cheap", parse_query("/catalog/book[price < 15]"))
+        documents = [book_catalog(n, seed=n) for n in (5, 50, 200)]
+        bits = [bank.filter_document(d).total_peak_memory_bits for d in documents]
+        # memory does not scale with the document: all runs stay within a small band
+        assert max(bits) <= 3 * min(bits)

@@ -1,0 +1,112 @@
+"""End-to-end integration tests: every layer of the library working together."""
+
+import pytest
+
+from repro import (
+    StreamingFilter,
+    bool_eval,
+    build_canonical_document,
+    classify,
+    filter_document,
+    filter_with_statistics,
+    parse_document,
+    parse_query,
+    query_frontier_size,
+    trace_run,
+)
+from repro.baselines import EagerDFAFilter, NaiveDOMFilter
+from repro.core import path_recursion_depth, text_width
+from repro.lowerbounds import (
+    build_frontier_family,
+    build_simple_recursion_family,
+    measure_filter_cut_state,
+    verify_frontier_family,
+    verify_recursion_family,
+)
+from repro.workloads import book_catalog, dissemination_queries, nested_sections
+
+
+class TestPublicAPI:
+    def test_quickstart_from_readme(self):
+        query = parse_query("/catalog/book[price < 20]")
+        document = parse_document(
+            "<catalog><book><price>12</price></book>"
+            "<book><price>55</price></book></catalog>"
+        )
+        assert filter_document(query, document)
+        assert bool_eval(query, document)
+
+    def test_classification_and_frontier(self):
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        info = classify(query)
+        assert info.redundancy_free
+        assert query_frontier_size(query) == 3
+
+    def test_canonical_document_pipeline(self):
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        canonical = build_canonical_document(query)
+        assert filter_document(query, canonical.document)
+        assert bool_eval(query, canonical.document)
+
+    def test_trace_pipeline(self):
+        query = parse_query("/a[c[.//e and f] and b]")
+        document = parse_document("<a><c><d/><e/><f/></c><b/><c/></a>")
+        trace = trace_run(query, document)
+        assert trace.final_root_matched() is True
+        assert trace.max_frontier_tuples() == 3
+
+
+class TestCrossLayerConsistency:
+    def test_upper_bound_formula_holds_on_datasets(self):
+        """The Theorem 8.8 shape: peak frontier tuples <= |Q| * r (+ the root tuple)."""
+        documents = [book_catalog(10), nested_sections(5)]
+        for text in dissemination_queries():
+            query = parse_query(text)
+            for document in documents:
+                decision, stats = filter_with_statistics(query, document)
+                assert decision == bool_eval(query, document)
+                r = max(path_recursion_depth(query, document), 1)
+                assert stats.peak_frontier_records <= query.size() * r + 1
+                assert stats.peak_buffer_chars <= max(
+                    text_width(query, document),
+                    stats.peak_buffer_chars and text_width(query, document),
+                )
+
+    def test_lower_and_upper_bounds_sandwich_the_filter(self):
+        """On the Theorem 4.2 adversarial family the filter's cut state is at least
+        FS(Q) tuples (lower bound) and at most FS(Q) + 1 tuples (Theorem 8.8 upper
+        bound for this path-consistency-free query on non-recursive documents)."""
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        family = build_frontier_family(query)
+        assert verify_frontier_family(family).valid
+        measurement = measure_filter_cut_state(
+            query, family.pairs, [True] * len(family.pairs)
+        )
+        fs = query_frontier_size(query)
+        assert fs <= measurement.max_frontier_tuples <= fs + 1
+
+    def test_recursion_bound_and_filter_agree(self):
+        family = build_simple_recursion_family(5, max_instances=32)
+        assert verify_recursion_family(family).valid
+        measurement = measure_filter_cut_state(
+            family.query, family.instances,
+            [i.intersecting for i in family.instances],
+        )
+        assert measurement.decisions_correct
+        assert measurement.max_frontier_tuples >= family.r
+
+    def test_filter_vs_baselines_on_shared_workload(self):
+        query = parse_query("//section//title")
+        document = nested_sections(5)
+        expected = bool_eval(query, document)
+        assert filter_document(query, document) == expected
+        assert NaiveDOMFilter(query).run_document(document) == expected
+        assert EagerDFAFilter(query).run_document(document) == expected
+
+    def test_streaming_filter_handles_large_document(self):
+        query = parse_query("/catalog/book[price < 10]")
+        catalog = book_catalog(400, seed=3)
+        decision, stats = filter_with_statistics(query, catalog)
+        assert decision == bool_eval(query, catalog)
+        # memory stays tiny even though the catalog has hundreds of elements
+        assert stats.peak_frontier_records <= 6

@@ -1,0 +1,105 @@
+"""Tests for the communication-complexity framework (fooling sets, DISJ, protocol sim)."""
+
+from repro.lowerbounds import (
+    FoolingPair,
+    disjointness_instances,
+    disjointness_lower_bound_bits,
+    simulate_protocol,
+    verify_fooling_set,
+)
+
+
+class TestFoolingSetVerifier:
+    def test_valid_fooling_set_for_equality(self):
+        """The classic EQ fooling set: {(x, x)} over 2-bit strings."""
+        pairs = [FoolingPair(alpha=a, beta=a, label=a) for a in ("00", "01", "10", "11")]
+
+        def evaluate(alpha, beta):
+            return alpha == beta
+
+        check = verify_fooling_set(pairs, evaluate, expected_output=True)
+        assert check.valid
+        assert check.size == 4
+        assert check.communication_bound_bits == 2.0
+
+    def test_invalid_fooling_set_is_rejected(self):
+        """Pairs that evaluate identically on crossings are not a fooling set."""
+        pairs = [FoolingPair(alpha=a, beta="x", label=a) for a in ("0", "1")]
+
+        def evaluate(alpha, beta):
+            return True  # constant function: crossings never differ
+
+        check = verify_fooling_set(pairs, evaluate, expected_output=True)
+        assert not check.valid
+        assert check.violations
+
+    def test_diagonal_violation_detected(self):
+        pairs = [FoolingPair(alpha="0", beta="0"), FoolingPair(alpha="1", beta="1")]
+
+        def evaluate(alpha, beta):
+            return alpha == beta == "0"
+
+        check = verify_fooling_set(pairs, evaluate, expected_output=True)
+        assert not check.valid
+
+    def test_malformed_crossings_may_still_be_fooling(self):
+        """Condition (2) only needs ONE of the two crossings to be well formed and
+        different."""
+        pairs = [FoolingPair(alpha="a", beta="a"), FoolingPair(alpha="b", beta="b")]
+
+        def evaluate(alpha, beta):
+            if (alpha, beta) == ("a", "b"):
+                return None  # malformed
+            return alpha == beta
+
+        check = verify_fooling_set(pairs, evaluate, expected_output=True)
+        assert check.valid
+
+    def test_cross_check_sampling_cap(self):
+        pairs = [FoolingPair(alpha=str(i), beta=str(i)) for i in range(30)]
+        check = verify_fooling_set(
+            pairs, lambda a, b: a == b, expected_output=True, max_cross_checks=50
+        )
+        assert check.valid
+
+
+class TestDisjointness:
+    def test_exhaustive_instances_for_small_r(self):
+        instances = disjointness_instances(3)
+        assert len(instances) == 64
+        for s, t, intersecting in instances:
+            assert intersecting == any(a and b for a, b in zip(s, t))
+
+    def test_sampled_instances_for_large_r(self):
+        instances = disjointness_instances(40, count=25)
+        assert len(instances) == 25
+        assert all(len(s) == 40 and len(t) == 40 for s, t, _ in instances)
+
+    def test_sampling_is_deterministic(self):
+        assert disjointness_instances(20, count=10, seed=3) == \
+            disjointness_instances(20, count=10, seed=3)
+
+    def test_lower_bound_value(self):
+        assert disjointness_lower_bound_bits(17) == 17
+
+
+class TestProtocolSimulation:
+    def test_streaming_sum_protocol(self):
+        """A toy streaming algorithm (running sum) simulated over three segments."""
+
+        class Summer:
+            def __init__(self):
+                self.total = 0
+
+        simulation = simulate_protocol(
+            Summer,
+            segments=[[1, 2], [3], [4, 5]],
+            feed=lambda alg, item: setattr(alg, "total", alg.total + item),
+            finish=lambda alg: alg.total,
+            state_bits=lambda alg: max(alg.total.bit_length(), 1),
+        )
+        assert simulation.output == 15
+        assert simulation.rounds == 3
+        assert len(simulation.state_bits_per_cut) == 2
+        assert simulation.max_state_bits >= 2
+        assert simulation.total_communication_bits == sum(simulation.state_bits_per_cut)

@@ -1,0 +1,105 @@
+"""Tests for the query-frontier-size lower-bound construction (Theorems 4.2 / 7.1)."""
+
+import pytest
+
+from repro.core import query_frontier_size
+from repro.lowerbounds import (
+    build_frontier_family,
+    measure_filter_cut_state,
+    verify_frontier_family,
+)
+from repro.semantics import bool_eval
+from repro.xmlstream import is_well_formed
+from repro.xpath import parse_query
+
+GENERAL_QUERIES = [
+    "/a[c[.//e and f] and b > 5]",     # Theorem 4.2's query
+    "/r[c0 and c1 and c2]",            # flat conjunction, FS = 3
+    "//a[b and c]",                    # recursive query, FS = 2
+    "/a[b > 12 and .//b < 3]",         # value-separated same-name leaves
+    "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",   # the Fig. 9 query
+]
+
+
+class TestFamilyConstruction:
+    def test_family_size_is_two_to_the_frontier(self):
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        family = build_frontier_family(query)
+        assert family.frontier_size == query_frontier_size(query) == 3
+        assert len(family.pairs) == 2 ** 3
+        assert family.expected_bound_bits == 3
+
+    def test_all_diagonal_documents_are_well_formed_and_match(self):
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        family = build_frontier_family(query)
+        for pair in family.pairs:
+            events = list(pair.alpha) + list(pair.beta)
+            assert is_well_formed(events)
+            document = family.document_for(pair)
+            assert document is not None
+            assert bool_eval(query, document), pair.label
+
+    def test_cross_documents_do_not_match(self):
+        """Claim 7.3: for distinct subsets one of the crossings fails to match."""
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        family = build_frontier_family(query)
+        for i, first in enumerate(family.pairs):
+            for second in family.pairs[:i]:
+                one = family.cross_document(first, second)
+                two = family.cross_document(second, first)
+                failures = 0
+                if one is None or not bool_eval(query, one):
+                    failures += 1
+                if two is None or not bool_eval(query, two):
+                    failures += 1
+                assert failures >= 1, (first.label, second.label)
+
+    def test_prefix_depends_only_on_subset(self):
+        query = parse_query("/r[c0 and c1 and c2]")
+        family = build_frontier_family(query)
+        # the prefix of the empty subset carries no frontier subtree start tags: only
+        # the envelope, the wrapper element, and its canonical leading text value
+        empty_pair = family.pairs[family.subsets.index((0, 0, 0))]
+        from repro.xmlstream import StartElement
+
+        started = [e.name for e in empty_pair.alpha if isinstance(e, StartElement)]
+        assert started == ["r"]
+        # the full subset pushes every frontier subtree into the prefix
+        full_pair = family.pairs[family.subsets.index((1, 1, 1))]
+        full_started = [e.name for e in full_pair.alpha if isinstance(e, StartElement)]
+        assert sorted(full_started) == ["c0", "c1", "c2", "r"]
+
+    def test_max_subsets_truncation(self):
+        query = parse_query("/r[c0 and c1 and c2]")
+        family = build_frontier_family(query, max_subsets=4)
+        assert len(family.pairs) == 4
+
+
+class TestFamilyVerification:
+    @pytest.mark.parametrize("text", GENERAL_QUERIES)
+    def test_fooling_set_property_holds(self, text):
+        query = parse_query(text)
+        family = build_frontier_family(query, max_subsets=32)
+        check = verify_frontier_family(family, max_cross_checks=200)
+        assert check.valid, check.violations[:5]
+
+    @pytest.mark.parametrize("text", GENERAL_QUERIES)
+    def test_certified_bound_equals_frontier_size(self, text):
+        query = parse_query(text)
+        family = build_frontier_family(query, max_subsets=64)
+        if len(family.pairs) == 2 ** family.frontier_size:
+            assert family.expected_bound_bits == query_frontier_size(query)
+
+
+class TestFilterAgainstTheBound:
+    def test_filter_state_at_cut_meets_the_lower_bound(self):
+        """Our streaming filter, run over the adversarial family, must carry at least
+        FS(Q) frontier tuples across the prefix/suffix cut (it cannot beat the bound),
+        and it must still answer correctly."""
+        query = parse_query("/a[c[.//e and f] and b > 5]")
+        family = build_frontier_family(query)
+        expected = [True] * len(family.pairs)
+        measurement = measure_filter_cut_state(query, family.pairs, expected)
+        assert measurement.decisions_correct
+        assert measurement.max_frontier_tuples >= family.frontier_size
+        assert measurement.max_state_bits >= family.expected_bound_bits

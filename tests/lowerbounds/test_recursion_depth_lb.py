@@ -1,0 +1,169 @@
+"""Tests for the recursion-depth (Thm 4.5/7.4) and document-depth (Thm 4.6/7.14) bounds."""
+
+import pytest
+
+from repro.core import UnsupportedQueryError
+from repro.lowerbounds import (
+    build_depth_family,
+    build_recursion_family,
+    build_simple_depth_family,
+    build_simple_recursion_family,
+    measure_filter_cut_state,
+    verify_depth_family,
+    verify_recursion_family,
+)
+from repro.semantics import bool_eval
+from repro.xmlstream import compact_stream, is_well_formed
+from repro.xpath import parse_query
+
+
+class TestSimpleRecursionFamily:
+    def test_paper_example_document(self):
+        """The D_{110,010} document of Fig. 5."""
+        family = build_simple_recursion_family(3, max_instances=None)
+        instance = next(i for i in family.instances if i.s == (1, 1, 0) and i.t == (0, 1, 0))
+        stream = list(instance.alpha) + list(instance.beta)
+        assert compact_stream(stream) == \
+            "<$><a><b></b><a><b></b><a></a><c></c></a></a></$>"
+        assert instance.intersecting is True
+
+    def test_match_iff_intersecting_exhaustively(self):
+        family = build_simple_recursion_family(3, max_instances=None)
+        check = verify_recursion_family(family)
+        assert check.valid, check.violations[:5]
+        assert check.instances == 64
+
+    def test_recursion_depth_never_exceeds_r(self):
+        family = build_simple_recursion_family(4, max_instances=32)
+        check = verify_recursion_family(family)
+        assert check.valid
+        assert check.max_recursion_depth <= 4
+
+    def test_alpha_depends_only_on_s(self):
+        family = build_simple_recursion_family(3, max_instances=None)
+        by_s = {}
+        for instance in family.instances:
+            by_s.setdefault(instance.s, set()).add(instance.alpha)
+        assert all(len(alphas) == 1 for alphas in by_s.values())
+
+    def test_beta_depends_only_on_t(self):
+        family = build_simple_recursion_family(3, max_instances=None)
+        by_t = {}
+        for instance in family.instances:
+            by_t.setdefault(instance.t, set()).add(instance.beta)
+        assert all(len(betas) == 1 for betas in by_t.values())
+
+    def test_filter_state_grows_with_r(self):
+        """Running our filter over the adversarial inputs: the state at the cut must
+        grow linearly with r (it cannot beat the Omega(r) bound)."""
+        query = parse_query("//a[b and c]")
+        small = build_simple_recursion_family(2, max_instances=16)
+        large = build_simple_recursion_family(8, max_instances=16)
+        small_state = measure_filter_cut_state(
+            query, small.instances, [i.intersecting for i in small.instances]
+        )
+        large_state = measure_filter_cut_state(
+            query, large.instances, [i.intersecting for i in large.instances]
+        )
+        assert small_state.decisions_correct and large_state.decisions_correct
+        assert large_state.max_frontier_tuples >= 4 * small_state.max_frontier_tuples / 2
+        assert large_state.max_frontier_tuples >= large.r
+
+
+class TestGeneralRecursionFamily:
+    def test_section_72_example_query(self):
+        query = parse_query("//d[f and a[b and c]]")
+        family = build_recursion_family(query, 3, max_instances=None)
+        check = verify_recursion_family(family, check_depth=False)
+        assert check.valid, check.violations[:5]
+
+    def test_instances_are_well_formed(self):
+        query = parse_query("//d[f and a[b and c]]")
+        family = build_recursion_family(query, 2, max_instances=None)
+        for instance in family.instances:
+            assert is_well_formed(list(instance.alpha) + list(instance.beta))
+
+    def test_another_recursive_query(self):
+        query = parse_query("//a[b and c]")
+        family = build_recursion_family(query, 3, max_instances=32)
+        check = verify_recursion_family(family, check_depth=False)
+        assert check.valid, check.violations[:5]
+
+    def test_non_recursive_query_is_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            build_recursion_family(parse_query("/a[b and c]"), 3)
+
+
+class TestSimpleDepthFamily:
+    def test_structure_of_d_i(self):
+        family = build_simple_depth_family(5)
+        instance = family.instances[2]
+        document = instance.document()
+        assert document is not None
+        assert document.depth() == 3  # a + two Z levels (the b child sits at depth 2)
+        assert bool_eval(family.query, document)
+
+    def test_fooling_property(self):
+        family = build_simple_depth_family(10)
+        check = verify_depth_family(family)
+        assert check.valid, check.violations[:5]
+        assert check.max_document_depth <= 10
+
+    def test_cross_document_reparents_b(self):
+        family = build_simple_depth_family(6)
+        outer, inner = family.instances[4], family.instances[1]
+        crossed = family.cross_document(outer, inner)
+        assert crossed is not None
+        assert not bool_eval(family.query, crossed)
+
+    def test_family_size_grows_with_depth_budget(self):
+        assert len(build_simple_depth_family(16).instances) == 16
+        assert build_simple_depth_family(16).expected_bound_bits == 2.0
+
+
+class TestGeneralDepthFamily:
+    QUERIES = ["/a/b", "/a[b > 5]/c", "/a[c[.//e and f] and b > 5]", "//a/b[c]"]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_fooling_property_for_general_queries(self, text):
+        query = parse_query(text)
+        family = build_depth_family(query, 12)
+        assert len(family.instances) >= 2
+        check = verify_depth_family(family)
+        assert check.valid, check.violations[:5]
+
+    def test_depth_stays_within_budget(self):
+        query = parse_query("/a/b")
+        family = build_depth_family(query, 9)
+        check = verify_depth_family(family)
+        assert check.valid
+        assert check.max_document_depth <= 9
+
+    def test_unsupported_query_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            build_depth_family(parse_query("//a//b"), 8)
+
+    def test_padding_name_avoids_query_and_aux_names(self):
+        query = parse_query("/a/Z")  # uses the usual auxiliary name as a real name
+        family = build_depth_family(query, 8)
+        assert family.padding_name not in query.element_names()
+        if family.canonical is not None:
+            assert family.padding_name != family.canonical.aux_name
+
+    def test_filter_state_grows_logarithmically_with_depth(self):
+        """The filter's cut state includes the level counter: Omega(log d) bits."""
+        query = parse_query("/a/b")
+        shallow = build_simple_depth_family(4)
+        deep = build_simple_depth_family(256)
+
+        def pairs(family):
+            class _Pair:
+                def __init__(self, instance):
+                    self.alpha = list(instance.alpha)
+                    self.beta = list(instance.beta) + list(instance.gamma)
+
+            return [_Pair(i) for i in family.instances]
+
+        shallow_state = measure_filter_cut_state(query, pairs(shallow))
+        deep_state = measure_filter_cut_state(query, pairs(deep))
+        assert deep_state.max_state_bits > shallow_state.max_state_bits

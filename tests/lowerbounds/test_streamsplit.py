@@ -1,0 +1,65 @@
+"""Tests for the stream-splitting helpers used by the lower-bound constructions."""
+
+import pytest
+
+from repro.lowerbounds import event_spans, slice_between, split_around
+from repro.xmlstream import EndElement, StartElement, parse_document
+
+
+class TestEventSpans:
+    def test_spans_point_at_matching_tags(self):
+        document = parse_document("<a><b>1</b><c><d/></c></a>")
+        events, spans = event_spans(document)
+        for node in document.iter_elements():
+            start, end = spans[id(node)]
+            assert isinstance(events[start], StartElement)
+            assert isinstance(events[end], EndElement)
+            assert events[start].name == node.name == events[end].name
+
+    def test_spans_nest_like_the_tree(self):
+        document = parse_document("<a><b><c/></b></a>")
+        _, spans = event_spans(document)
+        a, b, c = document.iter_elements()
+        assert spans[id(a)][0] < spans[id(b)][0] < spans[id(c)][0]
+        assert spans[id(c)][1] < spans[id(b)][1] < spans[id(a)][1]
+
+    def test_every_element_has_a_span(self):
+        document = parse_document("<a><b/><c>x<d/></c></a>")
+        _, spans = event_spans(document)
+        assert len(spans) == document.node_count()
+
+
+class TestSplitAround:
+    def test_three_way_split_reassembles(self):
+        document = parse_document("<a><b>1</b><c/></a>")
+        target = [n for n in document.iter_elements() if n.name == "b"][0]
+        before, middle, after = split_around(document, target)
+        assert before + middle + after == document.events()
+        assert middle[0] == StartElement("b")
+        assert middle[-1] == EndElement("b")
+
+    def test_split_around_top_element(self):
+        document = parse_document("<a><b/></a>")
+        top = document.top_element()
+        before, middle, after = split_around(document, top)
+        assert [e.compact() for e in before] == ["<$>"]
+        assert [e.compact() for e in after] == ["</$>"]
+
+
+class TestSliceBetween:
+    def test_events_strictly_between_two_siblings(self):
+        document = parse_document("<a><b/><x>1</x><y/><c/></a>")
+        elements = {n.name: n for n in document.iter_elements()}
+        between = slice_between(document, elements["b"], elements["c"])
+        assert [e.compact() for e in between] == ["<x>", "1", "</x>", "<y>", "</y>"]
+
+    def test_adjacent_siblings_give_empty_slice(self):
+        document = parse_document("<a><b/><c/></a>")
+        elements = {n.name: n for n in document.iter_elements()}
+        assert slice_between(document, elements["b"], elements["c"]) == []
+
+    def test_wrong_order_raises(self):
+        document = parse_document("<a><b/><c/></a>")
+        elements = {n.name: n for n in document.iter_elements()}
+        with pytest.raises(ValueError):
+            slice_between(document, elements["c"], elements["b"])

@@ -1,0 +1,151 @@
+"""Tests for the reference evaluator (SELECT / PEVAL / FULLEVAL / BOOLEVAL)."""
+
+import pytest
+
+from repro.semantics import bool_eval, full_eval, full_eval_values
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+
+class TestBasicSelection:
+    def test_child_axis(self):
+        q = parse_query("/a/b")
+        assert bool_eval(q, parse_document("<a><b/></a>"))
+        assert not bool_eval(q, parse_document("<a><c><b/></c></a>"))
+
+    def test_descendant_axis(self):
+        q = parse_query("//b")
+        assert bool_eval(q, parse_document("<a><c><b/></c></a>"))
+        assert not bool_eval(q, parse_document("<a><c/></a>"))
+
+    def test_descendant_axis_mid_path(self):
+        q = parse_query("/a//b/c")
+        assert bool_eval(q, parse_document("<a><x><b><c/></b></x></a>"))
+        assert not bool_eval(q, parse_document("<a><x><b><d><c/></d></b></x></a>"))
+
+    def test_wildcard_node_test(self):
+        q = parse_query("/a/*/c")
+        assert bool_eval(q, parse_document("<a><b><c/></b></a>"))
+        assert bool_eval(q, parse_document("<a><x><c/></x></a>"))
+        assert not bool_eval(q, parse_document("<a><c/></a>"))
+
+    def test_output_sequence_in_document_order(self):
+        q = parse_query("/a/b")
+        doc = parse_document("<a><b>1</b><c/><b>2</b></a>")
+        assert full_eval_values(q, doc) == ["1", "2"]
+
+    def test_full_eval_returns_nodes(self):
+        q = parse_query("/a/b")
+        doc = parse_document("<a><b>1</b></a>")
+        nodes = full_eval(q, doc)
+        assert len(nodes) == 1 and nodes[0].name == "b"
+
+    def test_no_match_returns_empty_sequence(self):
+        q = parse_query("/a/z")
+        assert full_eval(q, parse_document("<a><b/></a>")) == []
+
+    def test_attribute_selection(self):
+        q = parse_query("/book/@id")
+        doc = parse_document('<book id="b1">x</book>')
+        assert full_eval_values(q, doc) == ["b1"]
+
+
+class TestPredicates:
+    def test_existence_predicate(self):
+        q = parse_query("/a[b]")
+        assert bool_eval(q, parse_document("<a><b/></a>"))
+        assert not bool_eval(q, parse_document("<a><c/></a>"))
+
+    def test_numeric_comparison(self):
+        q = parse_query("/a[b > 5]")
+        assert bool_eval(q, parse_document("<a><b>6</b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>5</b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>hello</b></a>"))
+
+    def test_existential_semantics_over_multiple_children(self):
+        q = parse_query("/a[b > 5]")
+        assert bool_eval(q, parse_document("<a><b>1</b><b>9</b></a>"))
+
+    def test_paper_remark_example(self):
+        """The remark after Definition 3.5: /a[b + 2 = 5] on <a><b>0</b><b>3</b></a>
+        evaluates to true under the paper's existential semantics."""
+        q = parse_query("/a[b + 2 = 5]")
+        doc = parse_document("<a><b>0</b><b>3</b></a>")
+        assert bool_eval(q, doc)
+
+    def test_conjunction(self):
+        q = parse_query("/a[b and c]")
+        assert bool_eval(q, parse_document("<a><b/><c/></a>"))
+        assert not bool_eval(q, parse_document("<a><b/></a>"))
+
+    def test_disjunction(self):
+        q = parse_query("/a[b or c]")
+        assert bool_eval(q, parse_document("<a><c/></a>"))
+        assert not bool_eval(q, parse_document("<a><d/></a>"))
+
+    def test_negation(self):
+        q = parse_query("/a[not(b)]")
+        assert bool_eval(q, parse_document("<a><c/></a>"))
+        assert not bool_eval(q, parse_document("<a><b/></a>"))
+
+    def test_nested_predicate(self):
+        q = parse_query("/a[b[c > 5]]")
+        assert bool_eval(q, parse_document("<a><b><c>7</c></b></a>"))
+        assert not bool_eval(q, parse_document("<a><b><c>3</c></b></a>"))
+        assert not bool_eval(q, parse_document("<a><c>7</c></a>"))
+
+    def test_relative_descendant_path_in_predicate(self):
+        q = parse_query("/a[.//e]")
+        assert bool_eval(q, parse_document("<a><x><y><e/></y></x></a>"))
+        assert not bool_eval(q, parse_document("<a><x/></a>"))
+
+    def test_string_equality_predicate(self):
+        q = parse_query('/a[b = "north"]')
+        assert bool_eval(q, parse_document("<a><b>north</b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>south</b></a>"))
+
+    def test_function_predicate(self):
+        q = parse_query('/a[fn:starts-with(b, "no")]')
+        assert bool_eval(q, parse_document("<a><b>north</b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>south</b></a>"))
+
+    def test_predicate_on_internal_value(self):
+        q = parse_query("/a[b[c] > 5]")
+        assert bool_eval(q, parse_document("<a><b>7<c/></b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>7</b></a>"))
+
+    def test_string_value_concatenation_semantics(self):
+        q = parse_query("/a[b > 5]")
+        # STRVAL(b) is the concatenation "4" + "2" = "42" > 5
+        assert bool_eval(q, parse_document("<a><b><x>4</x><y>2</y></b></a>"))
+
+    def test_predicate_with_output_step(self):
+        q = parse_query("/a[b > 5]/c")
+        assert bool_eval(q, parse_document("<a><b>6</b><c/></a>"))
+        assert not bool_eval(q, parse_document("<a><b>6</b></a>"))
+        assert not bool_eval(q, parse_document("<a><b>4</b><c/></a>"))
+
+
+class TestPaperExamples:
+    def test_theorem_42_query_on_its_document(self):
+        q = parse_query("/a[c[.//e and f] and b > 5]")
+        assert bool_eval(q, parse_document("<a><c><e/><f/></c><b>6</b></a>"))
+        # reordering children does not affect the result (Claim 4.3)
+        assert bool_eval(q, parse_document("<a><b>6</b><c><f/><e/></c></a>"))
+        # dropping a frontier subtree breaks the match (Claim 4.4)
+        assert not bool_eval(q, parse_document("<a><b>6</b><c><f/><f/></c></a>"))
+
+    def test_recursion_example(self):
+        q = parse_query("//a[b and c]")
+        assert bool_eval(q, parse_document("<a><b/><a/><c/></a>"))
+        assert bool_eval(q, parse_document("<a><a><b/><c/></a></a>"))
+        assert not bool_eval(q, parse_document("<a><b/><a><c/></a></a>"))
+
+    def test_wildcard_descendant_remark_query(self):
+        q = parse_query("/a[c[.//* and f] and b > 5]")
+        assert bool_eval(q, parse_document("<a><c><f/><x/></c><b>7</b></a>"))
+
+    def test_recursive_document_matches_at_inner_level_only(self):
+        q = parse_query("//d[f and a[b and c]]")
+        doc = parse_document("<Z><d><f/><a><b/></a><Z><d><f/><a><b/><c/></a></d></Z></d></Z>")
+        assert bool_eval(q, doc)

@@ -1,0 +1,132 @@
+"""Tests for document homomorphisms and structural query automorphisms."""
+
+from repro.semantics import (
+    documents_isomorphic,
+    find_homomorphism,
+    find_matching,
+    has_nontrivial_automorphism,
+    is_internal_node_preserving,
+    iter_structural_automorphisms,
+    natural_homomorphism,
+    nontrivial_domination_pairs,
+    structural_domination_leaves,
+    structural_domination_set,
+    structurally_subsumes,
+    FULL,
+    STRUCTURAL,
+    WEAK,
+)
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+
+def node_by_ntest(query, ntest, index=0):
+    found = [n for n in query.non_root_nodes() if n.ntest == ntest]
+    return found[index]
+
+
+class TestHomomorphisms:
+    def test_paper_weak_homomorphism_example(self):
+        """The Definition 6.1 example: D maps weakly (but not fully) onto D'."""
+        target = parse_document("<a><b>hello</b><c>world</c></a>")
+        source = parse_document("<a><c>world</c><c>world</c><b>hello</b></a>")
+        weak = find_homomorphism(source.root, target.root, flavor=WEAK)
+        assert weak is not None and weak.is_valid()
+        full = find_homomorphism(source.root, target.root, flavor=FULL)
+        assert full is None  # the "a" string values differ in order, so no full hom.
+
+    def test_structural_homomorphism_ignores_values(self):
+        source = parse_document("<a><b>1</b></a>")
+        target = parse_document("<a><b>2</b></a>")
+        assert find_homomorphism(source.root, target.root, flavor=STRUCTURAL) is not None
+        assert find_homomorphism(source.root, target.root, flavor=FULL) is None
+
+    def test_no_homomorphism_when_structure_missing(self):
+        source = parse_document("<a><b/><c/></a>")
+        target = parse_document("<a><b/></a>")
+        assert find_homomorphism(source.root, target.root, flavor=STRUCTURAL) is None
+
+    def test_isomorphism_detection(self):
+        one = parse_document("<a><b>1</b><c/></a>")
+        two = parse_document("<a><c/><b>1</b></a>")
+        three = parse_document("<a><b>1</b></a>")
+        assert documents_isomorphic(one, two)
+        assert not documents_isomorphic(one, three)
+
+    def test_matching_transport_along_homomorphism(self):
+        """Lemma 6.2/6.4 executable check: composing a matching with a homomorphism
+        gives a matching of the target document."""
+        query = parse_query("/a[b > 5 and c]")
+        source = parse_document("<a><b>7</b><c/></a>")
+        target = parse_document("<a><c/><b>7</b><d/></a>")
+        hom = find_homomorphism(source.root, target.root, flavor=WEAK)
+        matching = find_matching(query, source)
+        assert hom is not None and matching is not None
+        transported = {node.ntest or "$": hom(matching(node)) for node in query.nodes()}
+        assert transported["b"].string_value() == "7"
+        assert find_matching(query, target) is not None
+
+    def test_natural_homomorphism_from_origin_map(self):
+        original = parse_document("<a><b>1</b></a>")
+        copy = original.copy()
+        origins = {}
+        for orig_node, copy_node in zip(original.iter_nodes(), copy.iter_nodes()):
+            origins[id(copy_node)] = orig_node
+        hom = natural_homomorphism(copy, original, lambda n: origins[id(n)], flavor=WEAK)
+        assert hom.is_valid()
+        assert is_internal_node_preserving(hom)
+
+
+class TestAutomorphisms:
+    def test_paper_automorphism_example(self):
+        """Section 6.3 example: /a[b and .//b] has a non-trivial automorphism mapping
+        the descendant-axis b onto the child-axis b."""
+        q = parse_query("/a[b and .//b]")
+        assert has_nontrivial_automorphism(q)
+        child_b = [n for n in q.non_root_nodes() if n.ntest == "b" and n.axis == "child"][0]
+        desc_b = [n for n in q.non_root_nodes()
+                  if n.ntest == "b" and n.axis == "descendant"][0]
+        assert structurally_subsumes(q, child_b, desc_b)
+        assert not structurally_subsumes(q, desc_b, child_b)
+
+    def test_identity_is_always_an_automorphism(self):
+        q = parse_query("/a[b and c]")
+        autos = list(iter_structural_automorphisms(q))
+        assert any(a.is_identity() for a in autos)
+
+    def test_no_nontrivial_automorphism_for_distinct_names(self):
+        q = parse_query("/a[b and c]")
+        assert not has_nontrivial_automorphism(q)
+        assert nontrivial_domination_pairs(q) == []
+
+    def test_domination_set_includes_self(self):
+        q = parse_query("/a[b and c]")
+        b = node_by_ntest(q, "b")
+        assert structural_domination_set(q, b) == [b]
+
+    def test_fig9_domination_structure(self):
+        """In /a[*/b > 5 and c/b//d > 12 and .//d < 30] the second b structurally
+        subsumes the first b, and the first d structurally subsumes the second d."""
+        q = parse_query("/a[*/b > 5 and c/b//d > 12 and .//d < 30]")
+        first_b = node_by_ntest(q, "b", 0)   # under the wildcard
+        second_b = node_by_ntest(q, "b", 1)  # under c
+        first_d = node_by_ntest(q, "d", 0)   # under the second b
+        second_d = node_by_ntest(q, "d", 1)  # the .//d leaf
+        assert structurally_subsumes(q, second_b, first_b)
+        assert not structurally_subsumes(q, first_b, second_b)
+        assert structurally_subsumes(q, first_d, second_d)
+        assert not structurally_subsumes(q, second_d, first_d)
+        assert second_d in structural_domination_leaves(q, first_d)
+
+    def test_wildcard_node_can_be_mapped_anywhere(self):
+        q = parse_query("/a[* and b]")
+        star = [n for n in q.non_root_nodes() if n.is_wildcard()][0]
+        b = node_by_ntest(q, "b")
+        assert structurally_subsumes(q, b, star)
+
+    def test_depth_never_decreases_under_automorphism(self):
+        """Proposition 6.10."""
+        q = parse_query("/a[b and .//b[c]]")
+        for automorphism in iter_structural_automorphisms(q):
+            for node, image in automorphism.items():
+                assert image.depth() <= node.depth()

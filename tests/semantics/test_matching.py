@@ -1,0 +1,144 @@
+"""Tests for matchings, structural matchings and path matchings."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import (
+    bool_eval,
+    count_matchings,
+    find_matching,
+    has_matching,
+    iter_matchings,
+    node_matches,
+    path_matches,
+)
+from repro.xmlstream import parse_document
+from repro.xpath import parse_query
+
+from ..strategies import documents, supported_queries
+
+
+def node_by_ntest(query, ntest):
+    for node in query.non_root_nodes():
+        if node.ntest == ntest:
+            return node
+    raise AssertionError(f"no node {ntest}")
+
+
+def doc_nodes_named(document, name):
+    return [n for n in document.iter_elements() if n.name == name]
+
+
+class TestMatchingBasics:
+    def test_fig7_two_matchings(self):
+        """Fig. 7: the document with two b children above 5 has exactly two matchings."""
+        q = parse_query("/a[b > 5]")
+        doc = parse_document("<a><b>7</b><b>3</b><b>9</b></a>")
+        assert count_matchings(q, doc) == 2
+
+    def test_matching_respects_values(self):
+        q = parse_query("/a[b > 5]")
+        assert not has_matching(q, parse_document("<a><b>3</b></a>"))
+        assert has_matching(q, parse_document("<a><b>9</b></a>"))
+
+    def test_structural_matching_ignores_values(self):
+        q = parse_query("/a[b > 5]")
+        doc = parse_document("<a><b>3</b></a>")
+        assert not has_matching(q, doc)
+        assert has_matching(q, doc, structural=True)
+
+    def test_matching_view_lookup(self):
+        q = parse_query("/a[b and c]")
+        doc = parse_document("<a><b/><c/></a>")
+        matching = find_matching(q, doc)
+        assert matching is not None
+        assert matching(node_by_ntest(q, "b")).name == "b"
+        assert matching(q.root).kind == "root"
+
+    def test_leaf_preserving_detection(self):
+        q = parse_query("/a[b]")
+        leafy = find_matching(q, parse_document("<a><b/></a>"))
+        assert leafy.is_leaf_preserving()
+        non_leafy = find_matching(q, parse_document("<a><b><c/></b></a>"))
+        assert not non_leafy.is_leaf_preserving()
+
+    def test_descendant_axis_matching(self):
+        q = parse_query("/a[.//e]")
+        doc = parse_document("<a><x><e/></x><e/></a>")
+        images = {m(node_by_ntest(q, "e")).parent.name for m in iter_matchings(q, doc)}
+        assert images == {"x", "a"}
+
+    def test_node_matches_specific_target(self):
+        q = parse_query("//a[b and c]")
+        doc = parse_document("<a><a><b/><c/></a></a>")
+        a_query = node_by_ntest(q, "a")
+        outer, inner = doc_nodes_named(doc, "a")
+        assert node_matches(q, a_query, doc, inner)
+        assert not node_matches(q, a_query, doc, outer)
+
+
+class TestLemma510Equivalence:
+    """Lemma 5.10: a document matches a query iff a matching exists."""
+
+    CASES = [
+        ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>6</b></a>", True),
+        ("/a[c[.//e and f] and b > 5]", "<a><c><e/><f/></c><b>4</b></a>", False),
+        ("//a[b and c]", "<a><a><b/><c/></a></a>", True),
+        ("//a[b and c]", "<a><b/><a><c/></a></a>", False),
+        ("/a[b/c > 5 and d]", "<a><b><c>9</c></b><d/></a>", True),
+        ("/a[b/c > 5 and d]", "<a><b><c>2</c></b><d/></a>", False),
+        ("/a[*/b > 5]", "<a><x><b>8</b></x></a>", True),
+    ]
+
+    def test_fixed_cases(self):
+        for query_text, document_text, expected in self.CASES:
+            query = parse_query(query_text)
+            document = parse_document(document_text)
+            assert bool_eval(query, document) is expected
+            assert has_matching(query, document) is expected
+
+    @given(supported_queries(), documents())
+    @settings(max_examples=80, deadline=None)
+    def test_select_semantics_equals_matching_existence(self, query, document):
+        assert bool_eval(query, document) == has_matching(query, document)
+
+
+class TestPathMatching:
+    def test_path_matching_ignores_subtree_requirements(self):
+        q = parse_query("//a[b]")
+        doc = parse_document("<a><a/></a>")
+        a_query = node_by_ntest(q, "a")
+        outer, inner = doc_nodes_named(doc, "a")
+        # neither node matches (no b child anywhere) but both path match
+        assert path_matches(a_query, outer)
+        assert path_matches(a_query, inner)
+        assert not has_matching(q, doc)
+
+    def test_path_matching_respects_child_axis(self):
+        q = parse_query("/a/b")
+        doc = parse_document("<a><x><b/></x></a>")
+        b_query = node_by_ntest(q, "b")
+        b_doc = doc_nodes_named(doc, "b")[0]
+        assert not path_matches(b_query, b_doc)
+
+    def test_path_matching_respects_names(self):
+        q = parse_query("/a/b")
+        doc = parse_document("<a><c/></a>")
+        assert not path_matches(node_by_ntest(q, "b"), doc_nodes_named(doc, "c")[0])
+
+    def test_path_matching_with_descendant_gap(self):
+        q = parse_query("/a//b")
+        doc = parse_document("<a><x><y><b/></y></x></a>")
+        assert path_matches(node_by_ntest(q, "b"), doc_nodes_named(doc, "b")[0])
+
+    def test_paper_path_consistency_example(self):
+        """Definition 8.5's example: in /a[.//b/c and b//c] a single document node can
+        path match both c nodes."""
+        q = parse_query("/a[.//b/c and b//c]")
+        doc = parse_document("<a><b><c/></b></a>")
+        c_doc = doc_nodes_named(doc, "c")[0]
+        c_nodes = [n for n in q.non_root_nodes() if n.ntest == "c"]
+        assert len(c_nodes) == 2
+        assert all(path_matches(c, c_doc) for c in c_nodes)

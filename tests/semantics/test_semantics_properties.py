@@ -1,0 +1,76 @@
+"""Cross-cutting property-based tests of the reference semantics."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import bool_eval, find_matching, full_eval, iter_matchings
+from repro.xmlstream import interleave_children, parse_document
+from repro.xpath import parse_query, truth_set
+
+from ..strategies import documents, supported_queries
+
+
+class TestEvaluatorProperties:
+    @given(supported_queries(), documents())
+    @settings(max_examples=60, deadline=None)
+    def test_sibling_order_invariance(self, query, document):
+        """Claim 4.3 generalized: reordering siblings never changes BOOLEVAL."""
+        shuffled = interleave_children(document, random.Random(11))
+        assert bool_eval(query, document) == bool_eval(query, shuffled)
+
+    @given(supported_queries(), documents())
+    @settings(max_examples=60, deadline=None)
+    def test_output_nodes_are_selected_in_document_order(self, query, document):
+        selected = full_eval(query, document)
+        order = {id(node): index for index, node in enumerate(document.iter_nodes())}
+        positions = [order[id(node)] for node in selected]
+        assert positions == sorted(positions)
+
+    @given(supported_queries(), documents())
+    @settings(max_examples=60, deadline=None)
+    def test_matchings_satisfy_all_constraints(self, query, document):
+        """Every matching produced by the enumerator satisfies Definition 5.8."""
+        from repro.semantics.evaluator import name_passes_node_test, relates_by_axis
+
+        count = 0
+        for matching in iter_matchings(query, document):
+            count += 1
+            for node in query.non_root_nodes():
+                image = matching(node)
+                assert name_passes_node_test(image.name, node.ntest)
+                parent_image = matching(node.parent)
+                assert relates_by_axis(image, parent_image, node.axis)
+                assert truth_set(node).contains(image.string_value())
+            if count >= 5:
+                break
+
+    @given(documents())
+    @settings(max_examples=40, deadline=None)
+    def test_adding_an_unrelated_subtree_preserves_matches(self, document):
+        """Monotonicity: grafting extra content never destroys an existing match."""
+        query = parse_query("//a[b]")
+        before = bool_eval(query, document)
+        grown = document.copy()
+        from repro.xmlstream import XMLNode
+
+        grown.top_element().append_child(XMLNode.element("unrelated"))
+        after = bool_eval(query, grown)
+        if before:
+            assert after
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_recursive_nesting_matches_iff_some_level_complete(self, levels):
+        query = parse_query("//a[b and c]")
+        complete_level = levels  # the innermost level gets both children
+        parts = []
+        for level in range(1, levels + 1):
+            parts.append("<a><b/>" if level != complete_level else "<a><b/><c/>")
+        text = "".join(parts) + "</a>" * levels
+        document = parse_document(text)
+        assert bool_eval(query, document)
+        matching = find_matching(query, document)
+        a_node = [n for n in query.non_root_nodes() if n.ntest == "a"][0]
+        assert matching(a_node).name == "a"

@@ -1,0 +1,142 @@
+"""Tests for the query/document workload generators and synthetic datasets."""
+
+import random
+
+import pytest
+
+from repro.core import classify, is_redundancy_free, query_frontier_size
+from repro.semantics import bool_eval
+from repro.workloads import (
+    PAPER_QUERIES,
+    all_paper_queries,
+    alternating_path_query,
+    auction_site,
+    balanced_query,
+    book_catalog,
+    deep_nested_predicate_query,
+    deep_padded_document,
+    descendant_branch_query,
+    dissemination_queries,
+    frontier_sweep_queries,
+    long_text_document,
+    matching_document_for_frontier_query,
+    nested_sections,
+    paper_query,
+    path_query,
+    recursive_branch_document,
+    value_predicate_query,
+    wide_text_document,
+)
+from repro.xpath import parse_query
+
+
+class TestPaperQueries:
+    def test_all_paper_queries_parse(self):
+        queries = all_paper_queries()
+        assert len(queries) == len(PAPER_QUERIES)
+        for key, query in queries.items():
+            assert query.size() >= 1, key
+
+    def test_main_theorem_queries_are_redundancy_free(self):
+        for key in ("thm42_frontier", "thm45_recursion", "thm46_depth",
+                    "fig9_canonical", "sec72_example"):
+            assert is_redundancy_free(paper_query(key)), key
+
+    def test_counterexample_queries_are_not_redundancy_free(self):
+        for key in ("sec5_redundant", "sec5_subsumption", "remark_wildcard",
+                    "sec5_not_leaf_value"):
+            assert not is_redundancy_free(paper_query(key)), key
+
+
+class TestQueryGenerators:
+    def test_balanced_query_shape(self):
+        query = balanced_query(2, 3)
+        assert query.size() == 7  # a complete binary tree of depth 3: 1 + 2 + 4 nodes
+        assert classify(query).redundancy_free
+        # frontier at a deepest leaf: the leaf + its sibling + the parent's sibling
+        assert query_frontier_size(query) == (2 - 1) * (3 - 1) + 1 == 3
+
+    def test_path_query(self):
+        query = path_query(5)
+        assert query.size() == 5
+        assert query_frontier_size(query) == 1
+
+    def test_descendant_branch_query(self):
+        query = descendant_branch_query(4)
+        assert query_frontier_size(query) == 4
+        assert classify(query).recursive_xpath
+
+    def test_alternating_path_query_axes(self):
+        query = alternating_path_query(4)
+        axes = [node.axis for node in query.non_root_nodes()]
+        assert axes == ["child", "descendant", "child", "descendant"]
+
+    def test_value_predicate_query(self):
+        query = value_predicate_query(3)
+        assert query.size() == 4
+        assert is_redundancy_free(query)
+
+    def test_deep_nested_predicate_query(self):
+        query = deep_nested_predicate_query(5)
+        assert query.depth() == 5
+        assert query_frontier_size(query) == 1
+
+    def test_frontier_sweep_queries(self):
+        sweep = frontier_sweep_queries([2, 4, 8])
+        for size, query in sweep.items():
+            assert query_frontier_size(query) == size
+
+
+class TestDocumentGenerators:
+    def test_recursive_branch_document_matches_only_when_requested(self):
+        query = descendant_branch_query(3)
+        names = [f"b{i}" for i in range(3)]
+        matching = recursive_branch_document(names, 5, match_at=3)
+        non_matching = recursive_branch_document(names, 5, match_at=None)
+        assert bool_eval(query, matching)
+        assert not bool_eval(query, non_matching)
+
+    def test_recursive_branch_document_depth(self):
+        doc = recursive_branch_document(["b0"], 6, match_at=None)
+        assert doc.depth() == 7  # six nested r elements plus the b child
+
+    def test_deep_padded_document(self):
+        doc = deep_padded_document(["b", "c"], 10)
+        assert doc.depth() == 13
+
+    def test_matching_document_for_frontier_query(self):
+        names = [f"c{i}" for i in range(4)]
+        query = frontier_sweep_queries([4])[4]
+        doc = matching_document_for_frontier_query(names)
+        assert bool_eval(query, doc)
+
+    def test_wide_and_long_text_documents(self):
+        assert wide_text_document(25).node_count() == 26
+        assert len(long_text_document(300).top_element().string_value()) == 300
+
+
+class TestDatasets:
+    def test_book_catalog_structure(self):
+        catalog = book_catalog(12, seed=5)
+        assert len(catalog.top_element().element_children()) == 12
+        assert bool_eval(parse_query("/catalog/book[price]"), catalog)
+
+    def test_book_catalog_deterministic(self):
+        assert book_catalog(5, seed=9).structurally_equal(book_catalog(5, seed=9))
+        assert not book_catalog(5, seed=9).structurally_equal(book_catalog(5, seed=10))
+
+    def test_auction_site_structure(self):
+        site = auction_site(9, seed=2)
+        assert bool_eval(parse_query("//open_auction[initial and current]"), site)
+        assert bool_eval(parse_query("/site/regions/europe/item"), site)
+
+    def test_nested_sections_recursion(self):
+        doc = nested_sections(6)
+        assert doc.depth() >= 6
+        assert bool_eval(parse_query("//section[title and p]"), doc)
+
+    def test_dissemination_queries_parse_and_are_supported(self):
+        from repro.core import StreamingFilter
+
+        for text in dissemination_queries():
+            StreamingFilter(parse_query(text))  # must not raise

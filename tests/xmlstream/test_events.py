@@ -1,0 +1,110 @@
+"""Tests for the SAX event model."""
+
+import pytest
+
+from repro.xmlstream import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+    compact_stream,
+    element_events,
+    is_well_formed,
+    iter_depths,
+    max_depth,
+    strip_document,
+    text_element_events,
+    wrap_document,
+)
+
+
+class TestEventBasics:
+    def test_compact_notation_matches_paper(self):
+        events = [StartDocument(), StartElement("a"), Text("6"), EndElement("a"),
+                  EndDocument()]
+        assert compact_stream(events) == "<$><a>6</a></$>"
+
+    def test_events_are_value_objects(self):
+        assert StartElement("a") == StartElement("a")
+        assert StartElement("a") != StartElement("b")
+        assert EndElement("a") != StartElement("a")
+        assert Text("x") == Text("x")
+
+    def test_events_are_hashable(self):
+        assert len({StartElement("a"), StartElement("a"), EndElement("a")}) == 2
+
+    def test_kind_attributes(self):
+        assert StartDocument().kind == "startDocument"
+        assert EndDocument().kind == "endDocument"
+        assert StartElement("a").kind == "startElement"
+        assert EndElement("a").kind == "endElement"
+        assert Text("x").kind == "text"
+
+
+class TestWellFormedness:
+    def test_simple_document_is_well_formed(self):
+        events = wrap_document(element_events("a", text_element_events("b", "1")))
+        assert is_well_formed(events)
+
+    def test_empty_stream_is_not_well_formed(self):
+        assert not is_well_formed([])
+
+    def test_missing_envelope_is_not_well_formed(self):
+        assert not is_well_formed(element_events("a"))
+
+    def test_mismatched_tags_are_not_well_formed(self):
+        events = [StartDocument(), StartElement("a"), EndElement("b"), EndDocument()]
+        assert not is_well_formed(events)
+
+    def test_unclosed_element_is_not_well_formed(self):
+        events = [StartDocument(), StartElement("a"), EndDocument()]
+        assert not is_well_formed(events)
+
+    def test_extra_close_is_not_well_formed(self):
+        events = [StartDocument(), EndElement("a"), EndDocument()]
+        assert not is_well_formed(events)
+
+    def test_interior_document_event_is_not_well_formed(self):
+        events = [StartDocument(), StartElement("a"), StartDocument(), EndElement("a"),
+                  EndDocument()]
+        assert not is_well_formed(events)
+
+    def test_crossed_nesting_is_not_well_formed(self):
+        events = [StartDocument(), StartElement("a"), StartElement("b"),
+                  EndElement("a"), EndElement("b"), EndDocument()]
+        assert not is_well_formed(events)
+
+
+class TestEnvelopeHelpers:
+    def test_wrap_then_strip_roundtrip(self):
+        inner = element_events("a", element_events("b"))
+        assert strip_document(wrap_document(inner)) == inner
+
+    def test_strip_requires_envelope(self):
+        with pytest.raises(ValueError):
+            strip_document(element_events("a"))
+        with pytest.raises(ValueError):
+            strip_document([StartDocument(), StartElement("a"), EndElement("a")])
+
+    def test_text_element_events_empty_content(self):
+        assert text_element_events("a", "") == [StartElement("a"), EndElement("a")]
+
+
+class TestDepths:
+    def test_iter_depths_tracks_element_depth(self):
+        events = wrap_document(element_events("a", element_events("b", [Text("x")])))
+        depths = {e.compact(): d for e, d in iter_depths(events)}
+        assert depths["<a>"] == 1
+        assert depths["<b>"] == 2
+        assert depths["x"] == 3
+        assert depths["</$>"] == 0
+
+    def test_max_depth_of_chain(self):
+        events = wrap_document(
+            element_events("a", element_events("b", element_events("c")))
+        )
+        assert max_depth(events) == 3
+
+    def test_max_depth_of_empty_document(self):
+        assert max_depth(wrap_document([])) == 0

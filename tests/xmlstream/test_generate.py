@@ -1,0 +1,56 @@
+"""Tests for the synthetic document generators."""
+
+import random
+
+from repro.xmlstream import (
+    interleave_children,
+    linear_chain,
+    nested_recursive,
+    padded_depth_document,
+    random_document,
+    wide_document,
+    XMLNode,
+)
+
+
+class TestGenerators:
+    def test_linear_chain_shape(self):
+        doc = linear_chain(["a", "b", "c"], leaf_text="7")
+        assert doc.depth() == 3
+        assert doc.node_count() == 3
+        assert doc.compact() == "<a><b><c>7</c></b></a>"
+
+    def test_nested_recursive_depth(self):
+        doc = nested_recursive("s", 5)
+        assert doc.depth() == 5
+        assert all(n.name == "s" for n in doc.iter_elements())
+
+    def test_nested_recursive_with_children(self):
+        doc = nested_recursive(
+            "a", 3, child_factory=lambda level: [XMLNode.element("b")] if level == 2 else []
+        )
+        names = [n.name for n in doc.iter_elements()]
+        assert names.count("a") == 3
+        assert names.count("b") == 1
+
+    def test_padded_depth_document(self):
+        doc = padded_depth_document(["a"], "Z", 4, XMLNode.element("b"))
+        assert doc.depth() == 6
+        assert doc.compact() == "<a><Z><Z><Z><Z><b></b></Z></Z></Z></Z></a>"
+
+    def test_wide_document(self):
+        doc = wide_document("cat", "item", 10, text_for_child=lambda i: str(i))
+        assert doc.node_count() == 11
+        assert doc.depth() == 2
+
+    def test_random_document_is_reproducible(self):
+        one = random_document(random.Random(42))
+        two = random_document(random.Random(42))
+        assert one.structurally_equal(two)
+
+    def test_interleave_children_preserves_multiset(self):
+        doc = random_document(random.Random(7))
+        shuffled = interleave_children(doc, random.Random(3))
+        original_names = sorted(n.name for n in doc.iter_elements())
+        shuffled_names = sorted(n.name for n in shuffled.iter_elements())
+        assert original_names == shuffled_names

@@ -1,0 +1,126 @@
+"""Tests for the XML node and document model."""
+
+import pytest
+
+from repro.xmlstream import ELEMENT, ROOT, TEXT, XMLDocument, XMLNode, parse_document
+
+
+class TestNodeConstruction:
+    def test_element_requires_name(self):
+        with pytest.raises(ValueError):
+            XMLNode(ELEMENT)
+
+    def test_text_requires_content(self):
+        with pytest.raises(ValueError):
+            XMLNode(TEXT)
+
+    def test_root_is_unnamed(self):
+        with pytest.raises(ValueError):
+            XMLNode(ROOT, name="x")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            XMLNode("comment", name="x")
+
+    def test_text_node_cannot_have_children(self):
+        text = XMLNode.text("hi")
+        with pytest.raises(ValueError):
+            text.append_child(XMLNode.element("a"))
+
+    def test_attribute_nodes_get_at_prefix(self):
+        attr = XMLNode.attribute("id", "7")
+        assert attr.name == "@id"
+        assert attr.string_value() == "7"
+
+
+class TestStringValue:
+    def test_strval_concatenates_descendant_text_in_document_order(self):
+        doc = parse_document("<a><b>hel</b>lo<c><d>wor</d>ld</c></a>")
+        top = doc.top_element()
+        assert top.string_value() == "helloworld"
+
+    def test_strval_of_leaf(self):
+        doc = parse_document("<a><b>42</b></a>")
+        b = doc.top_element().element_children()[0]
+        assert b.string_value() == "42"
+
+    def test_strval_cache_invalidation_on_append(self):
+        a = XMLNode.element("a")
+        a.append_child(XMLNode.text("x"))
+        assert a.string_value() == "x"
+        a.append_child(XMLNode.text("y"))
+        assert a.string_value() == "xy"
+
+    def test_strval_of_empty_element(self):
+        assert XMLNode.element("a").string_value() == ""
+
+
+class TestTraversal:
+    def setup_method(self):
+        self.doc = parse_document("<a><b><c/></b><d>1</d></a>")
+        self.a = self.doc.top_element()
+        self.b, self.d = self.a.element_children()
+        self.c = self.b.element_children()[0]
+
+    def test_document_order_traversal(self):
+        names = [n.name for n in self.a.iter_descendants() if n.kind == ELEMENT]
+        assert names == ["b", "c", "d"]
+
+    def test_ancestors(self):
+        assert [n.name for n in self.c.iter_ancestors() if n.kind == ELEMENT] == ["b", "a"]
+
+    def test_path_from_root(self):
+        path = self.c.path_from_root()
+        assert path[0].kind == ROOT
+        assert [n.name for n in path[1:]] == ["a", "b", "c"]
+
+    def test_depth(self):
+        assert self.a.depth() == 1
+        assert self.c.depth() == 3
+
+    def test_ancestor_descendant_predicates(self):
+        assert self.a.is_ancestor_of(self.c)
+        assert self.c.is_descendant_of(self.a)
+        assert not self.c.is_ancestor_of(self.a)
+        assert self.c.is_child_of(self.b)
+        assert not self.c.is_child_of(self.a)
+
+    def test_is_leaf_ignores_text_children(self):
+        assert self.d.is_leaf()
+        assert not self.a.is_leaf()
+
+    def test_subtree_size_counts_all_kinds(self):
+        # a, b, c, d and the text node under d, plus the root
+        assert self.doc.size() == 6
+
+
+class TestDocumentMetrics:
+    def test_depth(self):
+        assert parse_document("<a><b><c/></b></a>").depth() == 3
+        assert parse_document("<a/>").depth() == 1
+
+    def test_node_count(self):
+        doc = parse_document("<a><b>1</b><c/></a>")
+        assert doc.node_count() == 3
+
+    def test_top_element(self):
+        doc = parse_document("<a><b/></a>")
+        assert doc.top_element().name == "a"
+
+    def test_structural_equality(self):
+        one = parse_document("<a><b>1</b></a>")
+        two = parse_document("<a><b>1</b></a>")
+        three = parse_document("<a><b>2</b></a>")
+        assert one.structurally_equal(two)
+        assert not one.structurally_equal(three)
+
+    def test_copy_is_deep(self):
+        doc = parse_document("<a><b>1</b></a>")
+        clone = doc.copy()
+        assert doc.structurally_equal(clone)
+        clone.top_element().append_child(XMLNode.element("c"))
+        assert not doc.structurally_equal(clone)
+
+    def test_document_root_must_be_root_kind(self):
+        with pytest.raises(ValueError):
+            XMLDocument(XMLNode.element("a"))

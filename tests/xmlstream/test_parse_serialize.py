@@ -1,0 +1,112 @@
+"""Tests for XML parsing, building and serialization."""
+
+import pytest
+
+from repro.xmlstream import (
+    MalformedStreamError,
+    StartDocument,
+    StartElement,
+    Text,
+    XMLParseError,
+    build_document,
+    parse_document,
+    parse_events,
+    parse_with_sax,
+    serialize_document,
+    serialize_events,
+    tokenize,
+    try_build_document,
+    wrap_document,
+)
+
+
+class TestTokenizer:
+    def test_tokenize_simple(self):
+        events = tokenize("<a><b>6</b></a>")
+        assert [e.compact() for e in events] == ["<a>", "<b>", "6", "</b>", "</a>"]
+
+    def test_tokenize_self_closing(self):
+        events = tokenize("<a><b/></a>")
+        assert [e.compact() for e in events] == ["<a>", "<b>", "</b>", "</a>"]
+
+    def test_tokenize_attributes_become_attribute_children(self):
+        events = tokenize('<book id="b1">x</book>')
+        assert [e.compact() for e in events] == [
+            "<book>", "<@id>", "b1", "</@id>", "x", "</book>"
+        ]
+
+    def test_whitespace_only_text_is_dropped(self):
+        events = tokenize("<a>\n  <b/>\n</a>")
+        assert [e.compact() for e in events] == ["<a>", "<b>", "</b>", "</a>"]
+
+    def test_entities_are_decoded(self):
+        events = tokenize("<a>1 &lt; 2 &amp; 3</a>")
+        assert events[1].content == "1 < 2 & 3"
+
+
+class TestParseDocument:
+    def test_parse_roundtrips_through_events(self):
+        doc = parse_document("<a><b>6</b><c/></a>")
+        rebuilt = build_document(doc.events())
+        assert doc.structurally_equal(rebuilt)
+
+    def test_parse_rejects_mismatched_tags(self):
+        with pytest.raises(XMLParseError):
+            parse_events("<a><b></a></b>")
+
+    def test_parse_rejects_unclosed_tag(self):
+        with pytest.raises(XMLParseError):
+            parse_events("<a><b>")
+
+    def test_parse_rejects_stray_close(self):
+        with pytest.raises(XMLParseError):
+            parse_events("</a>")
+
+    def test_parse_matches_sax_parser_on_regular_xml(self):
+        text = "<a><b>6</b><c><d>x</d></c></a>"
+        ours = parse_events(text)
+        theirs = parse_with_sax(text)
+        assert ours == theirs
+
+    def test_parse_with_sax_handles_attributes(self):
+        events = parse_with_sax('<a id="1"><b/></a>')
+        assert StartElement("@id") in events
+        assert Text("1") in events
+
+
+class TestBuildDocument:
+    def test_build_rejects_missing_envelope(self):
+        with pytest.raises(MalformedStreamError):
+            build_document([StartElement("a")])
+
+    def test_build_rejects_unbalanced(self):
+        events = [StartDocument(), StartElement("a")]
+        assert try_build_document(events + [wrap_document([])[-1]]) is None
+
+    def test_try_build_returns_none_for_malformed(self):
+        assert try_build_document([]) is None
+
+    def test_build_empty_document(self):
+        doc = build_document(wrap_document([]))
+        assert doc.node_count() == 0
+
+
+class TestSerialize:
+    def test_serialize_collapses_empty_elements(self):
+        doc = parse_document("<a><b></b>x</a>")
+        assert serialize_document(doc) == "<a><b/>x</a>"
+
+    def test_serialize_escapes_special_characters(self):
+        events = wrap_document([StartElement("a"), Text("1 < 2 & 3"), *wrap_document([])[1:-1]])
+        text = serialize_events([events[0], events[1], events[2]])
+        assert "&lt;" in text and "&amp;" in text
+
+    def test_serialize_parse_roundtrip(self):
+        original = "<a><b>6</b><c><d/>tail</c></a>"
+        doc = parse_document(original)
+        again = parse_document(serialize_document(doc))
+        assert doc.structurally_equal(again)
+
+    def test_compact_matches_paper_notation(self):
+        doc = parse_document("<a><b>6</b></a>")
+        assert doc.compact() == "<a><b>6</b></a>"

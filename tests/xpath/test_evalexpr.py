@@ -1,0 +1,85 @@
+"""Direct tests of the generic predicate-expression evaluator (the PEVAL rules)."""
+
+import math
+
+from repro.xpath import parse_predicate
+from repro.xpath.ast import NodeRef
+from repro.xpath.evalexpr import evaluate_expression, evaluate_predicate
+from repro.xpath.query import CHILD, QueryNode
+
+
+def make_resolver(values_by_name):
+    """Resolver mapping a NodeRef to the configured value sequence of its target name."""
+
+    def resolver(ref: NodeRef):
+        return list(values_by_name.get(ref.target.ntest, []))
+
+    return resolver
+
+
+def parse_with_owner(text):
+    owner = QueryNode(CHILD, "owner")
+    expr = parse_predicate(text, owner)
+    return expr
+
+
+class TestRuleByRule:
+    def test_constant_rule(self):
+        expr = parse_with_owner("5 = 5")
+        assert evaluate_predicate(expr, make_resolver({})) is True
+
+    def test_noderef_rule_returns_sequence(self):
+        expr = parse_with_owner("b")
+        value = evaluate_expression(expr, make_resolver({"b": ["x", "y"]}))
+        assert value == ["x", "y"]
+
+    def test_empty_selection_is_false_via_ebv(self):
+        expr = parse_with_owner("b")
+        assert evaluate_predicate(expr, make_resolver({"b": []})) is False
+
+    def test_boolean_operators_use_ebv(self):
+        expr = parse_with_owner("b and c")
+        assert evaluate_predicate(expr, make_resolver({"b": ["1"], "c": ["2"]})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": ["1"], "c": []})) is False
+
+    def test_or_and_not(self):
+        expr = parse_with_owner("b or not(c)")
+        assert evaluate_predicate(expr, make_resolver({"b": [], "c": []})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": [], "c": ["x"]})) is False
+
+    def test_existential_comparison_rule(self):
+        """Rule 4: a comparison is true iff SOME pair of argument values satisfies it."""
+        expr = parse_with_owner("b > 5")
+        assert evaluate_predicate(expr, make_resolver({"b": ["1", "9", "2"]})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": ["1", "2"]})) is False
+
+    def test_existential_function_rule(self):
+        expr = parse_with_owner('fn:contains(b, "x")')
+        assert evaluate_predicate(expr, make_resolver({"b": ["aaa", "axa"]})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": ["aaa"]})) is False
+
+    def test_cartesian_arithmetic_rule(self):
+        """Rule 5: arithmetic over sequences maps over the cartesian product."""
+        expr = parse_with_owner("b + 2 = 5")
+        # b has values 1 and 3: 1+2=3 (no), 3+2=5 (yes) -> existentially true
+        assert evaluate_predicate(expr, make_resolver({"b": ["1", "3"]})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": ["1", "2"]})) is False
+
+    def test_atomic_arithmetic_stays_atomic(self):
+        expr = parse_with_owner("2 + 3")
+        assert evaluate_expression(expr, make_resolver({})) == 5.0
+
+    def test_unary_minus(self):
+        expr = parse_with_owner("-b = -3")
+        assert evaluate_predicate(expr, make_resolver({"b": ["3"]})) is True
+
+    def test_nan_results_are_falsy(self):
+        expr = parse_with_owner("b + 1")
+        value = evaluate_expression(expr, make_resolver({"b": ["hello"]}))
+        values = value if isinstance(value, list) else [value]
+        assert all(math.isnan(v) for v in values)
+
+    def test_nested_function_composition(self):
+        expr = parse_with_owner('fn:string-length(fn:concat(b, "xy")) > 3')
+        assert evaluate_predicate(expr, make_resolver({"b": ["ab"]})) is True
+        assert evaluate_predicate(expr, make_resolver({"b": ["a"]})) is False

@@ -1,0 +1,80 @@
+"""Tests for the XPath tokenizer."""
+
+import pytest
+
+from repro.xpath.lexer import (
+    COMPARE,
+    DOT_DOUBLE_SLASH,
+    DOUBLE_SLASH,
+    NAME,
+    NUMBER,
+    SLASH,
+    STAR,
+    STRING,
+    Token,
+    TokenStream,
+    XPathSyntaxError,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_simple_path(self):
+        kinds = [t.kind for t in tokenize("/a//b")][:-1]
+        assert kinds == [SLASH, NAME, DOUBLE_SLASH, NAME]
+
+    def test_dot_double_slash_is_one_token(self):
+        kinds = [t.kind for t in tokenize(".//e")][:-1]
+        assert kinds == [DOT_DOUBLE_SLASH, NAME]
+
+    def test_comparison_operators(self):
+        for text in ("=", "!=", "<", "<=", ">", ">="):
+            tokens = tokenize(f"a {text} 5")
+            assert tokens[1].kind == COMPARE
+            assert tokens[1].text == text
+
+    def test_numbers_and_strings(self):
+        tokens = tokenize('5 3.25 "hi" \'there\'')
+        assert [t.kind for t in tokens[:-1]] == [NUMBER, NUMBER, STRING, STRING]
+
+    def test_function_names_with_hyphens_lex_as_single_name(self):
+        tokens = tokenize("fn:starts-with(b, \"A\")")
+        assert tokens[0].kind == NAME
+        assert tokens[0].text == "fn:starts-with"
+
+    def test_wildcard(self):
+        assert tokenize("*")[0].kind == STAR
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("/a[b ? 5]")
+
+    def test_positions_are_recorded(self):
+        tokens = tokenize("/abc/d")
+        assert tokens[1].position == 1
+        assert tokens[3].position == 5
+
+
+class TestTokenStream:
+    def test_peek_and_next(self):
+        stream = TokenStream.from_text("/a")
+        assert stream.peek().kind == SLASH
+        assert stream.next().kind == SLASH
+        assert stream.peek().kind == NAME
+
+    def test_accept_returns_none_on_mismatch(self):
+        stream = TokenStream.from_text("/a")
+        assert stream.accept(NAME) is None
+        assert stream.accept(SLASH) is not None
+
+    def test_expect_raises_on_mismatch(self):
+        stream = TokenStream.from_text("/a")
+        with pytest.raises(XPathSyntaxError):
+            stream.expect(NAME)
+
+    def test_end_is_sticky(self):
+        stream = TokenStream.from_text("a")
+        stream.next()
+        assert stream.at_end()
+        assert stream.next().kind == "END"
+        assert stream.at_end()

@@ -1,0 +1,192 @@
+"""Tests for the Forward XPath parser and the query tree it produces."""
+
+import pytest
+
+from repro.xpath import (
+    And,
+    Comparison,
+    Constant,
+    FunctionCall,
+    NodeRef,
+    Not,
+    Or,
+    XPathSyntaxError,
+    parse_query,
+)
+from repro.xpath.query import CHILD, DESCENDANT
+
+
+class TestMainPath:
+    def test_single_step(self):
+        q = parse_query("/a")
+        assert q.size() == 1
+        step = q.root.successor
+        assert step.axis == CHILD and step.ntest == "a"
+
+    def test_descendant_axis(self):
+        q = parse_query("//a/b")
+        first, second = q.root.successor, q.root.successor.successor
+        assert first.axis == DESCENDANT
+        assert second.axis == CHILD
+        assert q.output_node() is second
+
+    def test_wildcard_step(self):
+        q = parse_query("/a/*/b")
+        middle = q.root.successor.successor
+        assert middle.is_wildcard()
+
+    def test_attribute_axis_lowered_to_child_with_prefix(self):
+        q = parse_query("/a/@id")
+        attr = q.output_node()
+        assert attr.axis == CHILD
+        assert attr.ntest == "@id"
+
+    def test_leading_dollar_is_accepted(self):
+        assert parse_query("$/a/b").size() == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a]")
+
+    def test_reserved_word_as_node_test_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/and")
+
+
+class TestPredicates:
+    def test_existence_predicate_creates_predicate_child(self):
+        q = parse_query("/a[b]")
+        a = q.root.successor
+        assert len(a.predicate_children()) == 1
+        assert isinstance(a.predicate, NodeRef)
+        assert a.predicate.target is a.predicate_children()[0]
+
+    def test_comparison_predicate(self):
+        q = parse_query("/a[b > 5]")
+        a = q.root.successor
+        assert isinstance(a.predicate, Comparison)
+        assert a.predicate.op == ">"
+        assert isinstance(a.predicate.right, Constant)
+        assert a.predicate.right.value == 5.0
+
+    def test_conjunction(self):
+        q = parse_query("/a[b and c and d]")
+        a = q.root.successor
+        assert isinstance(a.predicate, And)
+        assert len(a.predicate_children()) == 3
+
+    def test_disjunction_and_negation(self):
+        q = parse_query("/a[b or not(c)]")
+        a = q.root.successor
+        assert isinstance(a.predicate, Or)
+        assert isinstance(a.predicate.right, Not)
+
+    def test_nested_predicates(self):
+        q = parse_query("/a[c[.//e and f] and b > 5]")
+        a = q.root.successor
+        c = a.predicate_children()[0]
+        assert c.ntest == "c"
+        e, f = c.predicate_children()
+        assert e.axis == DESCENDANT and e.ntest == "e"
+        assert f.axis == CHILD and f.ntest == "f"
+
+    def test_relative_path_chain_uses_successors(self):
+        q = parse_query("/a[b/c//d > 5]")
+        a = q.root.successor
+        b = a.predicate_children()[0]
+        assert b.successor.ntest == "c"
+        assert b.successor.successor.ntest == "d"
+        assert b.successor.successor.axis == DESCENDANT
+        assert b.succession_leaf().ntest == "d"
+
+    def test_wildcard_relative_path(self):
+        q = parse_query("/a[*/b > 5]")
+        star = q.root.successor.predicate_children()[0]
+        assert star.is_wildcard()
+        assert star.successor.ntest == "b"
+
+    def test_function_call_predicate(self):
+        q = parse_query('/a[fn:starts-with(b, "A")]')
+        a = q.root.successor
+        assert isinstance(a.predicate, FunctionCall)
+        assert a.predicate.name == "fn:starts-with"
+        assert len(a.predicate_children()) == 1
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_query("/a[position() = 1]")
+
+    def test_arithmetic_in_predicate(self):
+        q = parse_query("/a[b + 2 = 5]")
+        a = q.root.successor
+        assert isinstance(a.predicate, Comparison)
+
+    def test_parentheses_for_grouping(self):
+        q = parse_query("/a[(b and c) or d]")
+        assert isinstance(q.root.successor.predicate, Or)
+
+    def test_string_literals(self):
+        q = parse_query('/a[b = "hello"]')
+        assert q.root.successor.predicate.right.value == "hello"
+
+    def test_attribute_in_predicate(self):
+        q = parse_query("/a[@id = 7]")
+        attr = q.root.successor.predicate_children()[0]
+        assert attr.ntest == "@id"
+
+
+class TestQueryStructure:
+    def test_fig2_structure(self):
+        """The Fig. 2 example: successors, predicate children, output node."""
+        q = parse_query("/a[c[.//e and f] and b > 5]/b")
+        a = q.root.successor
+        assert a.ntest == "a"
+        output = q.output_node()
+        assert output.ntest == "b" and output is a.successor
+        predicate_names = sorted(child.ntest for child in a.predicate_children())
+        assert predicate_names == ["b", "c"]
+
+    def test_validate_accepts_parsed_queries(self):
+        parse_query("/a[c[.//e and f] and b > 5]/b").validate()
+
+    def test_size_counts_non_root_nodes(self):
+        assert parse_query("/a[b and c]/d").size() == 4
+
+    def test_max_wildcard_chain(self):
+        assert parse_query("/a/*/*/b").max_wildcard_chain() == 2
+        assert parse_query("/a/b").max_wildcard_chain() == 0
+
+    def test_succession_roots_and_leaves(self):
+        q = parse_query("/a[b/c]/d")
+        a = q.root.successor
+        b = a.predicate_children()[0]
+        assert b.is_succession_root()
+        assert not b.successor.is_succession_root()
+        assert b.succession_leaf().ntest == "c"
+        assert q.root.succession_leaf().ntest == "d"
+
+    def test_element_names_and_node_tests(self):
+        q = parse_query("/a[*/b]")
+        assert sorted(q.element_names()) == ["a", "b"]
+        assert "*" in q.node_tests()
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("text", [
+        "/a",
+        "//a/b",
+        "/a[b and c]",
+        "/a[b > 5]/c",
+        "/a[c[.//e and f] and b > 5]/b",
+        "/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+        "//d[f and a[b and c]]",
+    ])
+    def test_roundtrip_through_serializer(self, text):
+        query = parse_query(text)
+        reparsed = parse_query(query.to_xpath())
+        assert reparsed.to_xpath() == query.to_xpath()
+        assert reparsed.size() == query.size()

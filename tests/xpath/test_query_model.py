@@ -1,0 +1,97 @@
+"""Edge-case tests for the query tree model (structure, validation, rendering)."""
+
+import pytest
+
+from repro.xpath import Query, QueryNode, parse_query
+from repro.xpath.ast import NodeRef
+from repro.xpath.query import CHILD, DESCENDANT, collect_leaves, iter_succession_chain
+
+
+class TestQueryNodeInvariants:
+    def test_at_most_one_successor(self):
+        parent = QueryNode(CHILD, "a")
+        parent.add_child(QueryNode(CHILD, "b"), successor=True)
+        with pytest.raises(ValueError):
+            parent.add_child(QueryNode(CHILD, "c"), successor=True)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            QueryNode("following-sibling", "a")
+
+    def test_query_root_must_have_no_parent(self):
+        root = QueryNode.root()
+        child = root.add_child(QueryNode(CHILD, "a"), successor=True)
+        with pytest.raises(ValueError):
+            Query(child)
+
+    def test_depth_and_path(self):
+        q = parse_query("/a/b/c")
+        c = q.output_node()
+        assert c.depth() == 3
+        assert [n.ntest for n in c.path_from_root()[1:]] == ["a", "b", "c"]
+
+    def test_iter_succession_chain(self):
+        q = parse_query("/a[x]/b/c")
+        chain = list(iter_succession_chain(q.root.successor))
+        assert [n.ntest for n in chain] == ["a", "b", "c"]
+
+    def test_collect_leaves(self):
+        q = parse_query("/a[b and c[d]]")
+        assert sorted(n.ntest for n in collect_leaves(q)) == ["b", "d"]
+
+    def test_is_ancestor_of(self):
+        q = parse_query("/a[b[c]]")
+        a = q.root.successor
+        c = [n for n in q.non_root_nodes() if n.ntest == "c"][0]
+        assert a.is_ancestor_of(c)
+        assert not c.is_ancestor_of(a)
+
+
+class TestValidation:
+    def test_predicate_leaf_must_point_at_own_child(self):
+        q = parse_query("/a[b]")
+        a = q.root.successor
+        foreign = QueryNode(CHILD, "z")
+        a.predicate = NodeRef(foreign)
+        with pytest.raises(ValueError):
+            q.validate()
+
+    def test_unreferenced_predicate_child_is_rejected(self):
+        q = parse_query("/a[b]")
+        a = q.root.successor
+        a.add_child(QueryNode(CHILD, "orphan"))
+        with pytest.raises(ValueError):
+            q.validate()
+
+    def test_two_leaves_pointing_at_same_child_rejected(self):
+        from repro.xpath.ast import And
+
+        q = parse_query("/a[b]")
+        a = q.root.successor
+        b = a.predicate_children()[0]
+        a.predicate = And(NodeRef(b), NodeRef(b))
+        with pytest.raises(ValueError):
+            q.validate()
+
+
+class TestRendering:
+    def test_step_string(self):
+        q = parse_query("//a[b > 5]/c")
+        a = q.root.successor
+        assert a.step_string() == "//a[b > 5]"
+        assert q.root.step_string() == ""
+
+    def test_relative_path_rendering_in_predicates(self):
+        q = parse_query("/a[.//b/c > 5 and @id = 3]")
+        text = q.to_xpath()
+        reparsed = parse_query(text)
+        assert reparsed.size() == q.size()
+        assert ".//b/c" in text
+        assert "@id" in text
+
+    def test_query_depth(self):
+        assert parse_query("/a[b[c]]/d").depth() == 3
+
+    def test_source_is_preserved(self):
+        q = parse_query("/a/b")
+        assert q.source == "/a/b"

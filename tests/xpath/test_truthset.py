@@ -1,0 +1,122 @@
+"""Tests for truth sets (Definition 5.6) and witness search."""
+
+from repro.xpath import (
+    UniversalTruthSet,
+    find_prefix_witness,
+    is_value_restricted,
+    parse_query,
+    truth_set,
+)
+
+
+def node_by_ntest(query, ntest, *, leaf_only=False):
+    for node in query.non_root_nodes():
+        if node.ntest == ntest and (not leaf_only or node.is_leaf()):
+            return node
+    raise AssertionError(f"no node with ntest {ntest}")
+
+
+class TestTruthSetDefinition:
+    def test_paper_example_truth_sets(self):
+        """Section 5.3 example: in /a[b/c > 5 and d] the truth set of a, b, d is S and
+        the truth set of c is (5, infinity)."""
+        q = parse_query("/a[b/c > 5 and d]")
+        assert truth_set(node_by_ntest(q, "a")).is_universal()
+        assert truth_set(node_by_ntest(q, "b")).is_universal()
+        assert truth_set(node_by_ntest(q, "d")).is_universal()
+        c_set = truth_set(node_by_ntest(q, "c"))
+        assert c_set.contains("6") and c_set.contains("100.5")
+        assert not c_set.contains("5") and not c_set.contains("hello")
+
+    def test_non_succession_leaf_has_universal_truth_set(self):
+        q = parse_query("/a[b/c > 5]")
+        assert isinstance(truth_set(node_by_ntest(q, "b")), UniversalTruthSet)
+
+    def test_bare_existence_predicate_gives_universal_set(self):
+        q = parse_query("/a[b]")
+        assert truth_set(node_by_ntest(q, "b")).is_universal()
+
+    def test_output_chain_has_universal_truth_set(self):
+        q = parse_query("/a[b > 5]/c")
+        assert truth_set(node_by_ntest(q, "c")).is_universal()
+
+    def test_string_equality_truth_set(self):
+        q = parse_query('/a[b = "north"]')
+        b_set = truth_set(node_by_ntest(q, "b"))
+        assert b_set.contains("north")
+        assert not b_set.contains("south")
+
+    def test_function_truth_set(self):
+        q = parse_query('/a[fn:ends-with(b, "B")]')
+        b_set = truth_set(node_by_ntest(q, "b"))
+        assert b_set.contains("AB") and b_set.contains("B")
+        assert not b_set.contains("BA")
+
+    def test_arithmetic_truth_set(self):
+        q = parse_query("/a[b + 2 = 5]")
+        b_set = truth_set(node_by_ntest(q, "b"))
+        assert b_set.contains("3")
+        assert not b_set.contains("4")
+
+
+class TestValueRestriction:
+    def test_value_restricted_leaf(self):
+        q = parse_query("/a[b > 5]")
+        assert is_value_restricted(node_by_ntest(q, "b"))
+        assert not is_value_restricted(node_by_ntest(q, "a"))
+
+    def test_leaf_without_predicate_is_not_value_restricted(self):
+        q = parse_query("/a[b]")
+        assert not is_value_restricted(node_by_ntest(q, "b"))
+
+
+class TestWitnessSearch:
+    def test_member_excluding_disjoint_intervals(self):
+        q = parse_query("/a[b > 12 and c < 30]")
+        b_set = truth_set(node_by_ntest(q, "b"))
+        c_set = truth_set(node_by_ntest(q, "c"))
+        witness = b_set.find_member_excluding([c_set])
+        assert witness is not None
+        assert b_set.contains(witness) and not c_set.contains(witness)
+
+    def test_member_excluding_impossible_when_contained(self):
+        """b > 6 is a subset of b > 5, so no witness of (b > 6) outside (b > 5) exists."""
+        q = parse_query("/a[b > 6 and c > 5]")
+        tighter = truth_set(node_by_ntest(q, "b"))
+        looser = truth_set(node_by_ntest(q, "c"))
+        assert tighter.find_member_excluding([looser]) is None
+        assert looser.find_member_excluding([tighter]) is not None
+
+    def test_prefix_witness_against_numeric_sets(self):
+        q = parse_query("/a[b > 5 and c < 9]")
+        sets = [truth_set(node_by_ntest(q, "b")), truth_set(node_by_ntest(q, "c"))]
+        witness = find_prefix_witness(sets)
+        assert witness is not None
+        # the witness must not be a numeric prefix: it contains a letter that cannot
+        # appear in any number
+        assert any(ch.isalpha() and ch not in "infaeINFAE" for ch in witness)
+
+    def test_prefix_witness_fails_against_ends_with(self):
+        """Every string is a prefix of some member of an ends-with truth set (the
+        paper's strong-subsumption-freeness counterexample)."""
+        q = parse_query('/a[fn:ends-with(b, "B")]')
+        sets = [truth_set(node_by_ntest(q, "b"))]
+        assert find_prefix_witness(sets) is None
+
+    def test_prefix_witness_against_string_equality(self):
+        q = parse_query('/a[b = "AB"]')
+        sets = [truth_set(node_by_ntest(q, "b"))]
+        witness = find_prefix_witness(sets)
+        assert witness is not None
+        assert not "AB".startswith(witness)
+
+    def test_excludes_prefix_for_starts_with(self):
+        q = parse_query('/a[fn:starts-with(b, "AB")]')
+        b_set = truth_set(node_by_ntest(q, "b"))
+        assert b_set.excludes_prefix("XY")
+        assert not b_set.excludes_prefix("A")      # "A" is a prefix of "AB..."
+        assert not b_set.excludes_prefix("ABC")    # "ABC" is itself a member
+
+    def test_universal_set_is_never_proper(self):
+        assert not UniversalTruthSet().is_proper()
+        assert UniversalTruthSet().contains("anything")

@@ -1,0 +1,148 @@
+"""Tests for value conversions (EBV, casts, comparisons) and the function library."""
+
+import math
+
+import pytest
+
+from repro.xpath import call_function, lookup_function, UnknownFunctionError
+from repro.xpath.values import (
+    arithmetic_atomic,
+    cartesian_sequences,
+    compare_atomic,
+    effective_boolean_value,
+    negate_atomic,
+    to_number,
+    to_string,
+)
+
+
+class TestConversions:
+    def test_to_number_of_numeric_strings(self):
+        assert to_number("6") == 6.0
+        assert to_number(" 3.5 ") == 3.5
+        assert to_number("-2") == -2.0
+
+    def test_to_number_of_garbage_is_nan(self):
+        assert math.isnan(to_number("hello"))
+        assert math.isnan(to_number(""))
+
+    def test_to_number_of_sequence_uses_first(self):
+        assert to_number(["7", "9"]) == 7.0
+        assert math.isnan(to_number([]))
+
+    def test_to_string_of_numbers(self):
+        assert to_string(5.0) == "5"
+        assert to_string(5.5) == "5.5"
+        assert to_string(True) == "true"
+
+    def test_effective_boolean_value_of_sequences(self):
+        assert effective_boolean_value(["anything"]) is True
+        assert effective_boolean_value([]) is False
+        assert effective_boolean_value(["", ""]) is True  # non-empty sequence
+
+    def test_effective_boolean_value_of_atomics(self):
+        assert effective_boolean_value("x") is True
+        assert effective_boolean_value("") is False
+        assert effective_boolean_value(0.0) is False
+        assert effective_boolean_value(3.0) is True
+        assert effective_boolean_value(float("nan")) is False
+
+
+class TestComparisons:
+    def test_numeric_comparisons_on_strings(self):
+        assert compare_atomic(">", "6", 5.0)
+        assert not compare_atomic(">", "4", 5.0)
+        assert compare_atomic("<=", "5", 5.0)
+        assert compare_atomic("!=", "5", 6.0)
+
+    def test_string_comparison_when_not_numeric(self):
+        assert compare_atomic("=", "hello", "hello")
+        assert not compare_atomic("=", "hello", "world")
+        assert compare_atomic("<", "abc", "abd")
+
+    def test_nan_comparisons_are_false(self):
+        assert not compare_atomic(">", "hello", 5.0)
+        assert not compare_atomic("<", "hello", 5.0)
+        assert not compare_atomic("=", "hello", 5.0)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            compare_atomic("~", "1", "2")
+
+
+class TestArithmetic:
+    def test_basic_operators(self):
+        assert arithmetic_atomic("+", "2", "3") == 5.0
+        assert arithmetic_atomic("-", "2", "3") == -1.0
+        assert arithmetic_atomic("*", "2", "3") == 6.0
+        assert arithmetic_atomic("div", "7", "2") == 3.5
+        assert arithmetic_atomic("idiv", "7", "2") == 3.0
+        assert arithmetic_atomic("mod", "7", "2") == 1.0
+
+    def test_division_by_zero_is_nan(self):
+        assert math.isnan(arithmetic_atomic("div", "1", "0"))
+
+    def test_nan_propagates(self):
+        assert math.isnan(arithmetic_atomic("+", "hello", "1"))
+
+    def test_negation(self):
+        assert negate_atomic("5") == -5.0
+        assert math.isnan(negate_atomic("x"))
+
+
+class TestCartesian:
+    def test_cartesian_order_is_lexicographic(self):
+        combos = list(cartesian_sequences([["1", "2"], ["a", "b"]]))
+        assert combos == [["1", "a"], ["1", "b"], ["2", "a"], ["2", "b"]]
+
+    def test_cartesian_with_empty_sequence_is_empty(self):
+        assert list(cartesian_sequences([["1"], []])) == []
+
+    def test_cartesian_of_nothing_is_single_empty_combo(self):
+        assert list(cartesian_sequences([])) == [[]]
+
+
+class TestFunctionLibrary:
+    def test_string_predicates(self):
+        assert call_function("contains", ["hello", "ell"]) is True
+        assert call_function("starts-with", ["hello", "he"]) is True
+        assert call_function("ends-with", ["hello", "lo"]) is True
+        assert call_function("fn:matches", ["AxB", "^A.*B$"]) is True
+        assert call_function("matches", ["hello", "^A"]) is False
+
+    def test_matches_with_invalid_regex_is_false(self):
+        assert call_function("matches", ["x", "["]) is False
+
+    def test_string_constructors(self):
+        assert call_function("concat", ["a", "b", "c"]) == "abc"
+        assert call_function("upper-case", ["abc"]) == "ABC"
+        assert call_function("substring", ["hello", 2.0, 3.0]) == "ell"
+        assert call_function("substring", ["hello", 3.0]) == "llo"
+        assert call_function("string-length", ["hello"]) == 5.0
+        assert call_function("normalize-space", ["  a  b "]) == "a b"
+
+    def test_numeric_functions(self):
+        assert call_function("abs", ["-3"]) == 3.0
+        assert call_function("floor", ["3.7"]) == 3.0
+        assert call_function("ceiling", ["3.2"]) == 4.0
+        assert call_function("round", ["3.5"]) == 4.0
+        assert call_function("number", ["12"]) == 12.0
+
+    def test_boolean_constants(self):
+        assert call_function("true", []) is True
+        assert call_function("false", []) is False
+
+    def test_fn_prefix_is_equivalent(self):
+        assert lookup_function("contains") is lookup_function("fn:contains")
+
+    def test_boolean_output_flags(self):
+        assert lookup_function("contains").boolean_output
+        assert not lookup_function("concat").boolean_output
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            call_function("no-such-function", [])
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            call_function("contains", ["only-one"])
