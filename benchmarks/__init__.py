@@ -1,0 +1,1 @@
+"""Package marker so relative imports (e.g. ``from ..strategies import ...``) resolve."""

@@ -25,6 +25,7 @@ Quick start::
 """
 
 from .core import (
+    FilterBank,
     StreamingFilter,
     build_canonical_document,
     classify,
@@ -36,14 +37,16 @@ from .core import (
     trace_run,
 )
 from .semantics import bool_eval, full_eval, full_eval_values
-from .xmlstream import XMLDocument, XMLNode, parse_document, parse_events
+from .xmlstream import StreamingParser, XMLDocument, XMLNode, parse_document, parse_events
 from .xpath import Query, parse_query
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "FilterBank",
     "Query",
     "StreamingFilter",
+    "StreamingParser",
     "XMLDocument",
     "XMLNode",
     "__version__",

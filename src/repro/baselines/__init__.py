@@ -1,8 +1,10 @@
-"""Baseline filters: DOM buffering, NFA simulation, and lazy/eager DFA determinization."""
+"""Baseline filters: DOM buffering, NFA simulation, lazy/eager DFA determinization,
+and the pre-index (per-event × per-filter) multi-subscription bank."""
 
 from .automata import DFA, OTHER, PathNFA, PathStep, determinize, linear_steps, nfa_state_blowup
 from .base import BaselineFilter, MemoryReport
 from .dfa_filter import EagerDFAFilter, LazyDFAFilter
+from .naive_bank import NaiveFilterBank
 from .naive_dom import NaiveDOMFilter
 from .nfa_filter import PathNFAFilter
 
@@ -13,6 +15,7 @@ __all__ = [
     "LazyDFAFilter",
     "MemoryReport",
     "NaiveDOMFilter",
+    "NaiveFilterBank",
     "OTHER",
     "PathNFA",
     "PathNFAFilter",

@@ -1,0 +1,83 @@
+"""The pre-index multi-subscription filter bank (per-event × per-filter loop).
+
+This is the original :class:`~repro.core.filterbank.FilterBank` dispatch strategy, kept
+verbatim as a baseline: every event of the document stream is fed to every registered
+:class:`~repro.core.filter.StreamingFilter`, so the per-event cost is O(#subscriptions)
+regardless of how many subscriptions could actually react to the event.  The throughput
+benchmark compares it against the indexed shared-dispatch bank, which routes each
+element event only to the filters whose queries mention its name.
+
+Both banks produce identical matched sets and per-query statistics on complete
+document streams (a hypothesis property test enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.filter import StreamingFilter
+from ..core.filterbank import BankResult
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import EndDocument, Event
+from ..xpath.query import Query
+
+
+class NaiveFilterBank:
+    """A set of named XPath subscriptions, each fed every event of every document."""
+
+    def __init__(self) -> None:
+        self._filters: Dict[str, StreamingFilter] = {}
+
+    # ------------------------------------------------------------------ registration
+    def register(self, name: str, query: Query) -> None:
+        """Register a subscription under a unique name.
+
+        Raises ``ValueError`` for duplicate names and
+        :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries.
+        """
+        if name in self._filters:
+            raise ValueError(f"a subscription named {name!r} is already registered")
+        self._filters[name] = StreamingFilter(query)
+
+    def unregister(self, name: str) -> None:
+        """Remove a subscription; unknown names raise ``KeyError``."""
+        del self._filters[name]
+
+    def subscriptions(self) -> List[str]:
+        """The registered subscription names, in registration order."""
+        return list(self._filters)
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def query(self, name: str) -> Query:
+        """The query registered under ``name``."""
+        return self._filters[name].query
+
+    # ------------------------------------------------------------------ filtering
+    def filter_events(self, events: Iterable[Event]) -> BankResult:
+        """Feed one document stream to every subscription (a single pass over events)."""
+        outcomes: Dict[str, Optional[bool]] = {name: None for name in self._filters}
+        saw_end = False
+        completed = False
+        try:
+            for event in events:
+                for name, streaming_filter in self._filters.items():
+                    outcomes[name] = streaming_filter.process_event(event)
+                if isinstance(event, EndDocument):
+                    saw_end = True
+            if not saw_end:
+                raise ValueError("event stream did not contain an endDocument event")
+            completed = True
+        finally:
+            if not completed:
+                for streaming_filter in self._filters.values():
+                    streaming_filter.reset()
+        matched = [name for name, outcome in outcomes.items() if outcome]
+        stats = {name: streaming_filter.stats
+                 for name, streaming_filter in self._filters.items()}
+        return BankResult(matched=matched, per_query_stats=stats)
+
+    def filter_document(self, document: XMLDocument) -> BankResult:
+        """Convenience wrapper over :meth:`filter_events`."""
+        return self.filter_events(document.events())

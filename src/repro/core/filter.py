@@ -146,6 +146,63 @@ class StreamingFilter:
         """Convenience: stream a materialized document through the filter."""
         return self.run(document.events())
 
+    def reset(self) -> None:
+        """Discard any in-flight document state (frontier, buffer, level counter).
+
+        Used by the filter bank to recover from truncated event streams: without the
+        reset, a stream that ends mid-document would leave the frontier populated and
+        corrupt the next run (statistics are kept — they describe the aborted run).
+        """
+        self.frontier = []
+        self.buffer = _TextBuffer()
+        self.current_level = 0
+
+    @property
+    def outcome_so_far(self) -> Optional[bool]:
+        """``True`` once the document is already guaranteed to match, else ``None``.
+
+        The root's own ``matched`` flag is only resolved at ``endDocument``, but the
+        decision it will make is readable earlier from the root's child records: a
+        ``matched`` flag never reverts to false once set (matched records stop being
+        candidates, so they are never removed or re-inserted), and ``endDocument``
+        declares a match iff every root child's records are matched.  Hence, as soon as
+        every child of the query root has a live record and all of them are matched,
+        the final decision is known to be ``True``.  A ``False`` outcome can never be
+        decided before ``endDocument`` (a matching subtree may still arrive), hence the
+        tri-state return.
+        """
+        children = self.query.root.children
+        if not children or not self.frontier:
+            return None
+        pending = {id(child) for child in children}
+        for record in self.frontier:
+            parent = record.ref.parent
+            if parent is not None and parent.is_root():
+                if not record.matched:
+                    return None
+                pending.discard(id(record.ref))
+        # a child-axis record may be temporarily out of the frontier while an (as yet
+        # unmatched) candidate's subtree is open — that child stays pending
+        return True if not pending else None
+
+    def observe_idle(self, level: int) -> None:
+        """Account for document levels traversed while no event touched this filter.
+
+        The shared-dispatch filter bank skips events whose element name cannot affect
+        this filter; such events leave the frontier and text buffer untouched but do
+        change the document level, and the Theorem 8.8 accounting charges ``log d`` bits
+        per frontier tuple and for the level counter.  Calling this with the maximum
+        level reached during the skipped window keeps ``peak_memory_bits`` exactly equal
+        to a per-event run's.
+        """
+        bits = self._memory_model.bits(
+            frontier_records=len(self.frontier),
+            buffer_chars=self.buffer.size,
+            current_level=level,
+        )
+        if bits > self.stats.peak_memory_bits:
+            self.stats.peak_memory_bits = bits
+
     def process_event(self, event: Event) -> Optional[bool]:
         """Process a single event; returns the final decision on ``EndDocument``."""
         self.stats.events += 1

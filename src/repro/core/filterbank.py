@@ -3,24 +3,53 @@
 The paper's algorithm filters one query at a time; publish/subscribe systems (the
 XFilter/YFilter setting the paper cites as motivation) register many queries and route
 each incoming document to the subscriptions it matches.  :class:`FilterBank` provides
-that front end on top of :class:`~repro.core.filter.StreamingFilter`: it feeds every
-event of a document stream to each registered filter in one pass and reports the
-matching subscription identifiers together with aggregate memory statistics.
+that front end on top of :class:`~repro.core.filter.StreamingFilter` with a *shared
+dispatch index*: at registration each query's node-test labels are extracted and an
+inverted label → subscriptions index is built, so a ``startElement(n)`` /
+``endElement(n)`` event is routed only to the filters whose queries contain the node
+test ``n`` (or a wildcard).  For every other filter the event provably cannot change the
+frontier or the text buffer — only the document-level counter, which the bank maintains
+once in shared code and syncs into a filter lazily, right before the filter's next
+dispatched event.  ``text`` events are routed only to filters with an open string-value
+candidate (a non-empty buffer reference count).  On label-sparse workloads the per-event
+cost therefore drops from O(#subscriptions) to O(#interested subscriptions).
+
+Per-query :class:`~repro.core.filter.FilterStatistics` stay exact: event counts and the
+maximum level are patched from the shared counters, and peak memory accounting covers
+the skipped windows through a monotone-stack suffix-maximum over post-event document
+levels (the Theorem 8.8 bit cost is nondecreasing in the level, so observing a window at
+its maximum level reproduces the per-event peak exactly).
 
 The bank's memory is simply the sum of the per-query filter states — i.e. it inherits
 the per-query `O~(|Q|·r·log d)` bound, multiplied by the number of subscriptions, and it
-still never buffers the document.
+still never buffers the document.  The pre-index per-event×per-filter loop is preserved
+as :class:`repro.baselines.NaiveFilterBank` for benchmarking.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from ..xmlstream.document import XMLDocument
-from ..xmlstream.events import EndDocument, Event
-from ..xpath.query import Query
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from ..xmlstream.parse import Chunk, StreamingParser
+from ..xpath.query import WILDCARD, Query
 from .filter import FilterStatistics, StreamingFilter
+
+#: the attribute-wildcard node test (attribute names are ``@``-prefixed in events)
+_ATTR_WILDCARD = "@*"
+
+#: anything :meth:`FilterBank.filter_many` accepts as one document
+DocumentLike = Union[XMLDocument, Iterable[Event]]
 
 
 @dataclass
@@ -41,11 +70,52 @@ class BankResult:
                    for stats in self.per_query_stats.values())
 
 
+@dataclass
+class _Subscription:
+    """One registered query plus the dispatch metadata derived from it."""
+
+    name: str
+    filter: StreamingFilter
+    labels: frozenset  # concrete node-test labels appearing in the query
+    elem_wildcard: bool  # query contains ``*`` (reacts to every element name)
+    attr_wildcard: bool  # query contains ``@*`` (reacts to every attribute name)
+    last_ts: int = 0  # timestamp of the last event dispatched to this filter
+
+
+class _LevelHighWater:
+    """Suffix maxima of the post-event document levels (one per document).
+
+    A monotone stack of ``(timestamp, level)`` pairs with strictly decreasing levels:
+    :meth:`max_since` returns the maximum document level observed at or after a given
+    timestamp in O(log d).  The bank uses it to observe, for each filter, the deepest
+    level reached during the events the dispatcher skipped for that filter.
+    """
+
+    def __init__(self) -> None:
+        self._ts: List[int] = []
+        self._levels: List[int] = []
+
+    def push(self, timestamp: int, level: int) -> None:
+        levels = self._levels
+        while levels and levels[-1] <= level:
+            levels.pop()
+            self._ts.pop()
+        levels.append(level)
+        self._ts.append(timestamp)
+
+    def max_since(self, timestamp: int) -> int:
+        index = bisect_left(self._ts, timestamp)
+        return self._levels[index] if index < len(self._levels) else 0
+
+
 class FilterBank:
     """A set of named XPath subscriptions evaluated together over document streams."""
 
     def __init__(self) -> None:
-        self._filters: Dict[str, StreamingFilter] = {}
+        self._subs: Dict[str, _Subscription] = {}
+        self._by_label: Dict[str, List[_Subscription]] = {}
+        self._elem_wildcard: List[_Subscription] = []
+        self._attr_wildcard: List[_Subscription] = []
 
     # ------------------------------------------------------------------ registration
     def register(self, name: str, query: Query) -> None:
@@ -54,42 +124,211 @@ class FilterBank:
         Raises ``ValueError`` for duplicate names and
         :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries.
         """
-        if name in self._filters:
+        if name in self._subs:
             raise ValueError(f"a subscription named {name!r} is already registered")
-        self._filters[name] = StreamingFilter(query)
+        streaming_filter = StreamingFilter(query)
+        tests = set(query.node_tests())
+        subscription = _Subscription(
+            name=name,
+            filter=streaming_filter,
+            labels=frozenset(t for t in tests if t not in (WILDCARD, _ATTR_WILDCARD)),
+            elem_wildcard=WILDCARD in tests,
+            attr_wildcard=_ATTR_WILDCARD in tests,
+        )
+        self._subs[name] = subscription
+        self._index_add(subscription)
 
     def unregister(self, name: str) -> None:
         """Remove a subscription; unknown names raise ``KeyError``."""
-        del self._filters[name]
+        del self._subs[name]
+        self._rebuild_index()
 
     def subscriptions(self) -> List[str]:
         """The registered subscription names, in registration order."""
-        return list(self._filters)
+        return list(self._subs)
 
     def __len__(self) -> int:
-        return len(self._filters)
+        return len(self._subs)
 
     def query(self, name: str) -> Query:
         """The query registered under ``name``."""
-        return self._filters[name].query
+        return self._subs[name].filter.query
+
+    # ------------------------------------------------------------------ the index
+    def _index_add(self, subscription: _Subscription) -> None:
+        if subscription.elem_wildcard:
+            self._elem_wildcard.append(subscription)
+        if subscription.attr_wildcard:
+            self._attr_wildcard.append(subscription)
+        for label in subscription.labels:
+            is_attribute = label.startswith("@")
+            # a wildcard bucket already routes every event this label could match
+            if is_attribute and subscription.attr_wildcard:
+                continue
+            if not is_attribute and subscription.elem_wildcard:
+                continue
+            self._by_label.setdefault(label, []).append(subscription)
+
+    def _rebuild_index(self) -> None:
+        self._by_label = {}
+        self._elem_wildcard = []
+        self._attr_wildcard = []
+        for subscription in self._subs.values():
+            self._index_add(subscription)
+
+    def _interested(self, name: str) -> Iterator[_Subscription]:
+        """Subscriptions whose filter can react to a start/end event named ``name``."""
+        yield from self._by_label.get(name, ())
+        yield from self._attr_wildcard if name.startswith("@") else self._elem_wildcard
+
+    def index_fanout(self, name: str) -> int:
+        """How many subscriptions a start/end event named ``name`` is dispatched to."""
+        return sum(1 for _ in self._interested(name))
 
     # ------------------------------------------------------------------ filtering
     def filter_events(self, events: Iterable[Event]) -> BankResult:
-        """Feed one document stream to every subscription (a single pass over events)."""
-        outcomes: Dict[str, Optional[bool]] = {name: None for name in self._filters}
-        saw_end = False
-        for event in events:
-            for name, streaming_filter in self._filters.items():
-                outcomes[name] = streaming_filter.process_event(event)
-            if isinstance(event, EndDocument):
-                saw_end = True
-        if not saw_end:
-            raise ValueError("event stream did not contain an endDocument event")
-        matched = [name for name, outcome in outcomes.items() if outcome]
-        stats = {name: streaming_filter.stats
-                 for name, streaming_filter in self._filters.items()}
-        return BankResult(matched=matched, per_query_stats=stats)
+        """Feed one document stream to every subscription (a single pass over events).
+
+        Raises ``ValueError`` if the stream ends mid-document (no ``endDocument``); the
+        registered filters are reset in that case, so the bank stays usable.
+        """
+        return self._run(events, early_unregister=False)
 
     def filter_document(self, document: XMLDocument) -> BankResult:
         """Convenience wrapper over :meth:`filter_events`."""
         return self.filter_events(document.events())
+
+    def filter_stream(self, chunks: Iterable[Chunk], *,
+                      encoding: str = "utf-8") -> BankResult:
+        """Filter one document arriving as byte/text chunks, never materializing it.
+
+        Chunks are parsed incrementally with
+        :class:`~repro.xmlstream.parse.StreamingParser` and events are dispatched as
+        they complete, so documents larger than memory are filtered end-to-end.
+        """
+        parser = StreamingParser(encoding=encoding)
+        return self.filter_events(parser.parse(chunks))
+
+    def filter_many(self, documents: Iterable[DocumentLike]) -> List[BankResult]:
+        """Batch mode: filter a sequence of documents, one :class:`BankResult` each.
+
+        Within each document, a subscription whose outcome is already decided (its
+        query root matched mid-document — the decision can only be ``True`` from that
+        point on) is unregistered from the dispatch loop for the rest of the document.
+        Early-decided filters stop observing events, so their peak statistics cover the
+        prefix up to the decision point; match outcomes are unaffected.
+        """
+        results = []
+        for document in documents:
+            events = document.events() if isinstance(document, XMLDocument) else document
+            results.append(self._run(events, early_unregister=True))
+        return results
+
+    # ------------------------------------------------------------------ dispatch core
+    def _run(self, events: Iterable[Event], *, early_unregister: bool) -> BankResult:
+        subscriptions = list(self._subs.values())
+        outcomes: Dict[str, Optional[bool]] = {s.name: None for s in subscriptions}
+        decided: set = set()  # names early-unregistered for the current document
+        level = 0  # shared document-level counter (mirrors StreamingFilter's)
+        max_level = 0
+        events_seen = 0  # events since the current StartDocument
+        high_water = _LevelHighWater()
+        in_document = False
+        saw_end = False
+        completed = False
+
+        text_open: Dict[str, _Subscription] = {}  # filters with an open value buffer
+
+        def dispatch(subscription: _Subscription, event: Event) -> Optional[bool]:
+            # observe the deepest level of the window of skipped events, then sync the
+            # shared level counter into the filter and process for real
+            if subscription.last_ts < events_seen - 1:
+                subscription.filter.observe_idle(
+                    high_water.max_since(subscription.last_ts + 1))
+            subscription.filter.current_level = level
+            outcome = subscription.filter.process_event(event)
+            subscription.last_ts = events_seen
+            # the buffer reference count only changes inside dispatched events, so
+            # text-interest can be maintained here instead of per text event
+            if subscription.filter.buffer.ref_count > 0:
+                text_open[subscription.name] = subscription
+            else:
+                text_open.pop(subscription.name, None)
+            return outcome
+
+        try:
+            for event in events:
+                events_seen += 1
+                etype = type(event)
+                if etype is StartElement:
+                    name = event.name
+                    for subscription in self._interested(name):
+                        if subscription.name in decided:
+                            continue
+                        dispatch(subscription, event)
+                    level += 1
+                    if level > max_level:
+                        max_level = level
+                elif etype is EndElement:
+                    name = event.name
+                    for subscription in self._interested(name):
+                        if subscription.name in decided:
+                            continue
+                        dispatch(subscription, event)
+                        if (early_unregister
+                                and subscription.filter.outcome_so_far):
+                            decided.add(subscription.name)
+                            outcomes[subscription.name] = True
+                    level -= 1
+                elif etype is Text:
+                    # only filters with an open string-value candidate buffer text
+                    for subscription in list(text_open.values()):
+                        if subscription.name not in decided:
+                            dispatch(subscription, event)
+                elif etype is StartDocument:
+                    in_document = True
+                    level = 0
+                    max_level = 0
+                    events_seen = 1
+                    high_water = _LevelHighWater()
+                    decided.clear()
+                    text_open.clear()
+                    for subscription in subscriptions:
+                        subscription.last_ts = 0
+                        outcomes[subscription.name] = None
+                        dispatch(subscription, event)
+                    level = 1
+                elif etype is EndDocument:
+                    for subscription in subscriptions:
+                        if subscription.name in decided:
+                            # state is mid-document by design; make it clean again
+                            subscription.filter.reset()
+                            continue
+                        outcomes[subscription.name] = dispatch(subscription, event)
+                    level -= 1
+                    in_document = False
+                    saw_end = True
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown event {event!r}")
+                high_water.push(events_seen, level)
+            if not saw_end or in_document:
+                raise ValueError("event stream did not contain an endDocument event")
+            completed = True
+        finally:
+            if not completed:
+                # never leave filters mid-document: a truncated stream must not
+                # corrupt the next filter_events call
+                for subscription in subscriptions:
+                    subscription.filter.reset()
+
+        matched: List[str] = []
+        stats: Dict[str, FilterStatistics] = {}
+        for subscription in subscriptions:
+            # the per-filter counters only saw dispatched events; the shared counters
+            # saw all of them
+            subscription.filter.stats.events = events_seen
+            subscription.filter.stats.max_level = max_level
+            stats[subscription.name] = subscription.filter.stats
+            if outcomes[subscription.name]:
+                matched.append(subscription.name)
+        return BankResult(matched=matched, per_query_stats=stats)

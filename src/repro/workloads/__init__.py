@@ -1,6 +1,13 @@
 """Workloads: paper queries, parameterized query generators, and document generators."""
 
-from .datasets import auction_site, book_catalog, dissemination_queries, nested_sections
+from .datasets import (
+    auction_site,
+    book_catalog,
+    dissemination_queries,
+    nested_sections,
+    topic_feed,
+    topic_subscriptions,
+)
 from .documents import (
     deep_padded_document,
     long_text_document,
@@ -41,6 +48,8 @@ __all__ = [
     "path_query",
     "random_labelled_document",
     "recursive_branch_document",
+    "topic_feed",
+    "topic_subscriptions",
     "value_predicate_query",
     "wide_text_document",
 ]

@@ -100,6 +100,39 @@ def nested_sections(depth: int, *, breadth: int = 2, seed: int = 3,
     return XMLDocument.from_top_element(book)
 
 
+def topic_feed(entries: int, *, topics: int = 100, seed: int = 4) -> XMLDocument:
+    """A label-sparse dissemination feed (the shared-dispatch bank's best case).
+
+    Each entry sits under its own topic-specific labels (``topicK`` with ``headlineK``
+    and ``scoreK`` children), modelling schema-qualified element names: a subscription
+    about one topic shares no labels with the others, so an indexed filter bank routes
+    every element event to O(1) subscriptions while a naive bank still pays for all of
+    them.  Pair with :func:`topic_subscriptions`.
+    """
+    rng = random.Random(seed)
+    feed = XMLNode.element("feed")
+    for _ in range(entries):
+        topic = rng.randrange(topics)
+        entry = feed.append_child(XMLNode.element(f"topic{topic}"))
+        headline = entry.append_child(XMLNode.element(f"headline{topic}"))
+        headline.append_child(XMLNode.text(_title(rng)))
+        score = entry.append_child(XMLNode.element(f"score{topic}"))
+        score.append_child(XMLNode.text(str(rng.randint(0, 100))))
+    return XMLDocument.from_top_element(feed)
+
+
+def topic_subscriptions(count: int, *, topics: int = 100) -> List[str]:
+    """``count`` XPath subscriptions over :func:`topic_feed` documents, one per topic.
+
+    Subscription ``i`` watches topic ``i % topics``, so with ``count <= topics`` the
+    subscriptions are pairwise label-disjoint (maximally label-sparse).
+    """
+    return [
+        f"/feed/topic{i % topics}[score{i % topics} > {40 + (i * 7) % 50}]"
+        for i in range(count)
+    ]
+
+
 def dissemination_queries() -> List[str]:
     """XPath subscriptions a publish/subscribe system might register over these data."""
     return [

@@ -31,7 +31,14 @@ from .generate import (
     wide_document,
 )
 from .node import ATTRIBUTE, ELEMENT, ROOT, TEXT, XMLNode
-from .parse import XMLParseError, parse_document, parse_events, parse_with_sax, tokenize
+from .parse import (
+    StreamingParser,
+    XMLParseError,
+    parse_document,
+    parse_events,
+    parse_with_sax,
+    tokenize,
+)
 from .serialize import serialize_document, serialize_events
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "Text",
     "XMLDocument",
     "XMLNode",
+    "StreamingParser",
     "XMLParseError",
     "build_document",
     "compact_stream",

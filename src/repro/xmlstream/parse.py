@@ -1,12 +1,18 @@
 """Parsing of XML text into event streams and document trees.
 
-Two front ends are provided:
+Three front ends are provided:
 
 * :func:`tokenize` / :func:`parse_events` -- a small hand-written parser for the compact
   angle-bracket notation used throughout the paper (``<a><b>6</b></a>``).  It understands
   start tags, end tags, empty-element tags (``<b/>``), attributes (turned into attribute
-  nodes), and character data.  It deliberately ignores XML declarations, comments and
-  processing instructions, which never occur in the paper's constructions.
+  nodes), and character data.  It skips XML declarations (``<!DOCTYPE ...>``), comments
+  (``<!-- -->``) and processing instructions (``<? ?>``), which never occur in the
+  paper's constructions but do occur in real documents.
+
+* :class:`StreamingParser` -- an incremental (push) version of the same tokenizer: feed
+  byte or text chunks with :meth:`~StreamingParser.feed` and receive events as soon as
+  they complete, so documents larger than memory can be filtered end-to-end.  Tag,
+  comment and text constructs may be split across chunk boundaries arbitrarily.
 
 * :func:`parse_with_sax` -- an adapter that runs Python's ``xml.sax`` parser and converts
   its callbacks into our event model.  Used to check the hand-written parser against the
@@ -15,11 +21,12 @@ Two front ends are provided:
 
 from __future__ import annotations
 
+import codecs
 import re
 import xml.sax
 import xml.sax.handler
 from io import StringIO
-from typing import List, Sequence
+from typing import Iterable, Iterator, List, Sequence, Union
 
 from .events import (
     EndDocument,
@@ -40,39 +47,149 @@ class XMLParseError(ValueError):
     """Raised when XML text cannot be parsed."""
 
 
+class _IncrementalTokenizer:
+    """Chunk-friendly tokenizer producing the same events as :func:`tokenize`.
+
+    The tokenizer holds the smallest possible amount of unconsumed input: the current
+    character-data run (a run only ends when the next markup construct completes, so it
+    cannot be emitted earlier without changing event boundaries) plus any construct whose
+    terminator has not arrived yet.  Comments, processing instructions and declarations
+    are consumed and skipped; a ``<`` that never turns into valid markup is treated as
+    literal character data, mirroring the lenient one-shot tokenizer the paper's
+    examples were written against.
+    """
+
+    def __init__(self) -> None:
+        self._buf = ""
+
+    def feed(self, chunk: str) -> List[Event]:
+        """Consume a text chunk, returning every event that completed."""
+        self._buf += chunk
+        return self._scan(final=False)
+
+    def finish(self) -> List[Event]:
+        """Flush the tokenizer, returning the trailing events (end of input)."""
+        return self._scan(final=True)
+
+    # ------------------------------------------------------------------ scanning
+    def _scan(self, final: bool) -> List[Event]:
+        events: List[Event] = []
+        buf = self._buf
+        n = len(buf)
+        pos = 0  # start of the current (unflushed) character-data run
+        scan = 0  # where to look for the next '<'
+        while True:
+            lt = buf.find("<", scan)
+            if lt < 0:
+                if final:
+                    self._flush_text(events, buf[pos:])
+                    pos = n
+                break
+            if not final and n - lt < 4 and "<!--".startswith(buf[lt:]):
+                # "<", "<!", "<!-": cannot classify the construct yet
+                break
+            if buf.startswith("<!--", lt):
+                end = buf.find("-->", lt + 4)
+                if end < 0:
+                    if final:  # unterminated comment: keep it as character data
+                        self._flush_text(events, buf[pos:])
+                        pos = n
+                    break
+                self._flush_text(events, buf[pos:lt])
+                pos = scan = end + 3
+                continue
+            if buf.startswith("<?", lt):
+                end = buf.find("?>", lt + 2)
+                if end < 0:
+                    if final:
+                        self._flush_text(events, buf[pos:])
+                        pos = n
+                    break
+                self._flush_text(events, buf[pos:lt])
+                pos = scan = end + 2
+                continue
+            if buf.startswith("<!", lt):
+                end = self._declaration_end(buf, lt)
+                if end < 0:
+                    if final:
+                        self._flush_text(events, buf[pos:])
+                        pos = n
+                    break
+                self._flush_text(events, buf[pos:lt])
+                pos = scan = end
+                continue
+            gt = buf.find(">", lt + 1)
+            next_lt = buf.find("<", lt + 1)
+            if gt < 0 and next_lt < 0:
+                if final:
+                    self._flush_text(events, buf[pos:])
+                    pos = n
+                break  # the tag may complete in the next chunk
+            if next_lt >= 0 and (gt < 0 or next_lt < gt):
+                # another '<' before any '>': this '<' cannot open a tag
+                scan = next_lt
+                continue
+            match = _TAG_RE.fullmatch(buf, lt, gt + 1)
+            if match is None:
+                scan = lt + 1  # literal '<' inside character data
+                continue
+            self._flush_text(events, buf[pos:lt])
+            self._emit_tag(events, match)
+            pos = scan = gt + 1
+        self._buf = buf[pos:]
+        return events
+
+    @staticmethod
+    def _declaration_end(buf: str, lt: int) -> int:
+        """Position after the ``>`` closing a ``<!...>`` declaration, or -1.
+
+        Tracks ``[...]`` nesting so a DOCTYPE internal subset does not end the
+        declaration early.
+        """
+        depth = 0
+        for index in range(lt, len(buf)):
+            char = buf[index]
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth = max(depth - 1, 0)
+            elif char == ">" and depth == 0:
+                return index + 1
+        return -1
+
+    @staticmethod
+    def _flush_text(events: List[Event], raw: str) -> None:
+        if raw.strip():
+            events.append(Text(_unescape(raw)))
+
+    @staticmethod
+    def _emit_tag(events: List[Event], match: "re.Match[str]") -> None:
+        name = match.group("name")
+        if match.group("close"):
+            events.append(EndElement(name))
+            return
+        events.append(StartElement(name))
+        attrs_src = match.group("attrs") or ""
+        for attr in _ATTR_RE.finditer(attrs_src):
+            events.append(StartElement("@" + attr.group("name")))
+            if attr.group("value"):
+                events.append(Text(_unescape(attr.group("value"))))
+            events.append(EndElement("@" + attr.group("name")))
+        if match.group("selfclose"):
+            events.append(EndElement(name))
+
+
 def tokenize(text: str) -> List[Event]:
     """Tokenize XML text into element/text events (no document envelope).
 
     Whitespace-only character data between tags is dropped, matching the convention used
     in all of the paper's examples.  Character data adjacent to non-whitespace is kept
-    verbatim (with entity references for ``&lt; &gt; &amp;`` decoded).
+    verbatim (with entity references for ``&lt; &gt; &amp;`` decoded).  Comments,
+    processing instructions and ``<!...>`` declarations are skipped.
     """
-    events: List[Event] = []
-    pos = 0
-    while pos < len(text):
-        match = _TAG_RE.search(text, pos)
-        if match is None:
-            trailing = text[pos:]
-            if trailing.strip():
-                events.append(Text(_unescape(trailing)))
-            break
-        leading = text[pos : match.start()]
-        if leading.strip():
-            events.append(Text(_unescape(leading)))
-        name = match.group("name")
-        if match.group("close"):
-            events.append(EndElement(name))
-        else:
-            events.append(StartElement(name))
-            attrs_src = match.group("attrs") or ""
-            for attr in _ATTR_RE.finditer(attrs_src):
-                events.append(StartElement("@" + attr.group("name")))
-                if attr.group("value"):
-                    events.append(Text(_unescape(attr.group("value"))))
-                events.append(EndElement("@" + attr.group("name")))
-            if match.group("selfclose"):
-                events.append(EndElement(name))
-        pos = match.end()
+    tokenizer = _IncrementalTokenizer()
+    events = tokenizer.feed(text)
+    events.extend(tokenizer.finish())
     return events
 
 
@@ -88,6 +205,88 @@ def parse_document(text: str):
     from .build import build_document
 
     return build_document(parse_events(text))
+
+
+#: chunk types accepted by :meth:`StreamingParser.feed`
+Chunk = Union[str, bytes, bytearray, memoryview]
+
+
+class StreamingParser:
+    """Incremental (push) parser over byte or text chunks.
+
+    Feed arbitrary chunks with :meth:`feed` and receive the events that completed; call
+    :meth:`close` at end of input to validate nesting and obtain the closing events.
+    The full event stream carries the same ``<$> ... </$>`` document envelope as
+    :func:`parse_events`: ``StartDocument`` is emitted by the first :meth:`feed` (or by
+    :meth:`close` for an empty input) and ``EndDocument`` by :meth:`close`.
+
+    Byte chunks are decoded incrementally (UTF-8 by default), so multi-byte characters
+    split across chunk boundaries are handled correctly.  Nesting is validated online:
+    a mismatched closing tag raises :class:`XMLParseError` at the chunk that contains
+    it, not at the end of the stream.
+    """
+
+    def __init__(self, *, encoding: str = "utf-8") -> None:
+        self._tokenizer = _IncrementalTokenizer()
+        self._decoder = codecs.getincrementaldecoder(encoding)(errors="strict")
+        self._stack: List[str] = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ push API
+    def feed(self, chunk: Chunk) -> List[Event]:
+        """Consume one chunk and return the events that completed within it."""
+        if self._closed:
+            raise XMLParseError("feed() called after close()")
+        if isinstance(chunk, str):
+            text = chunk
+        else:
+            text = self._decoder.decode(bytes(chunk))
+        events: List[Event] = []
+        if not self._started:
+            self._started = True
+            events.append(StartDocument())
+        for event in self._tokenizer.feed(text):
+            self._track(event)
+            events.append(event)
+        return events
+
+    def close(self) -> List[Event]:
+        """Flush the parser, validate nesting, and return the final events."""
+        if self._closed:
+            raise XMLParseError("close() called twice")
+        self._closed = True
+        events: List[Event] = []
+        if not self._started:
+            self._started = True
+            events.append(StartDocument())
+        tail = self._decoder.decode(b"", True)
+        for event in self._tokenizer.feed(tail) + self._tokenizer.finish():
+            self._track(event)
+            events.append(event)
+        if self._stack:
+            raise XMLParseError(f"unclosed tags: {self._stack}")
+        events.append(EndDocument())
+        return events
+
+    def parse(self, chunks: Iterable[Chunk]) -> Iterator[Event]:
+        """Lazily parse an iterable of chunks into a full document event stream."""
+        for chunk in chunks:
+            yield from self.feed(chunk)
+        yield from self.close()
+
+    # ------------------------------------------------------------------ helpers
+    def _track(self, event: Event) -> None:
+        if isinstance(event, StartElement):
+            self._stack.append(event.name)
+        elif isinstance(event, EndElement):
+            if not self._stack:
+                raise XMLParseError(f"unmatched closing tag </{event.name}>")
+            expected = self._stack.pop()
+            if expected != event.name:
+                raise XMLParseError(
+                    f"mismatched closing tag: expected </{expected}>, got </{event.name}>"
+                )
 
 
 def _check_nesting(events: Sequence[Event]) -> None:

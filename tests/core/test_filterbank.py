@@ -71,6 +71,65 @@ class TestFilterBank:
         with pytest.raises(ValueError):
             bank.filter_events(parse_events("<a/>")[:-1])
 
+    def test_truncated_stream_does_not_corrupt_later_runs(self):
+        # regression: the ValueError used to leave every filter mid-document, so the
+        # next filter_events call saw a stale frontier and wrong match decisions
+        bank = FilterBank()
+        bank.register("a", parse_query("/a[b]"))
+        bank.register("c", parse_query("//c"))
+        with pytest.raises(ValueError):
+            bank.filter_events(parse_events("<a><b/></a>")[:-1])
+        first = bank.filter_document(parse_document("<a><b/></a>"))
+        second = bank.filter_document(parse_document("<c/>"))
+        assert first.matched == ["a"]
+        assert second.matched == ["c"]
+
+    def test_filter_many_matches_per_document_filtering(self):
+        bank = FilterBank()
+        for index, text in enumerate(dissemination_queries()):
+            bank.register(f"q{index}", parse_query(text))
+        docs = [book_catalog(10), auction_site(5), nested_sections(4)]
+        batched = bank.filter_many(docs)
+        assert [sorted(result.matched) for result in batched] == \
+            [sorted(bank.filter_document(doc).matched) for doc in docs]
+
+    def test_filter_many_accepts_event_iterables(self):
+        bank = FilterBank()
+        bank.register("q", parse_query("/a[b]"))
+        results = bank.filter_many([parse_events("<a><b/></a>"),
+                                    parse_events("<a><c/></a>")])
+        assert [result.matched for result in results] == [["q"], []]
+
+    def test_filter_stream_chunked_input(self):
+        bank = FilterBank()
+        bank.register("cheap", parse_query("/catalog/book[price < 20]"))
+        bank.register("titled", parse_query("/catalog/book[title]"))
+        text = ("<catalog><book><title>t</title><price>12</price></book></catalog>")
+        chunks = [text[i:i + 5].encode("utf-8") for i in range(0, len(text), 5)]
+        result = bank.filter_stream(chunks)
+        assert sorted(result.matched) == ["cheap", "titled"]
+
+    def test_filter_stream_agrees_with_filter_document(self):
+        from repro.xmlstream import serialize_document
+        bank = FilterBank()
+        for index, text in enumerate(dissemination_queries()):
+            bank.register(f"q{index}", parse_query(text))
+        document = auction_site(6, seed=11)
+        serialized = serialize_document(document)
+        chunks = [serialized[i:i + 13] for i in range(0, len(serialized), 13)]
+        assert sorted(bank.filter_stream(chunks).matched) == \
+            sorted(bank.filter_document(document).matched)
+
+    def test_index_fanout_is_label_selective(self):
+        bank = FilterBank()
+        bank.register("books", parse_query("/catalog/book[price < 20]"))
+        bank.register("auctions", parse_query("//open_auction[bidder]"))
+        bank.register("wild", parse_query("/a/*"))
+        assert bank.index_fanout("price") == 2  # "books" label + element wildcard
+        assert bank.index_fanout("open_auction") == 2  # "auctions" label + wildcard
+        assert bank.index_fanout("unrelated") == 1  # element wildcard only
+        assert bank.index_fanout("@id") == 0  # no attribute tests registered
+
     def test_memory_statistics_are_aggregated(self):
         bank = FilterBank()
         bank.register("one", parse_query("/catalog/book[price < 20]"))
@@ -89,6 +148,51 @@ class TestFilterBank:
         second = bank.filter_document(parse_document("<catalog/>"))
         assert first.matched == ["cheap"]
         assert second.matched == []
+
+
+class TestEarlyDecision:
+    def test_outcome_so_far_turns_true_mid_document(self):
+        streaming_filter = StreamingFilter(parse_query("//c"))
+        events = parse_events("<top><c/><d/></top>")
+        for event in events[:4]:  # <$> <top> <c> </c>
+            streaming_filter.process_event(event)
+        assert streaming_filter.outcome_so_far is True
+        outcome = None
+        for event in events[4:]:
+            outcome = streaming_filter.process_event(event)
+        assert outcome is True
+
+    def test_outcome_so_far_stays_undecided_without_a_match(self):
+        streaming_filter = StreamingFilter(parse_query("//e"))
+        for event in parse_events("<top><c/><d/></top>"):
+            assert streaming_filter.outcome_so_far is None
+            streaming_filter.process_event(event)
+
+    def test_outcome_so_far_with_child_axis_predicate(self):
+        streaming_filter = StreamingFilter(parse_query("/a[b]"))
+        events = parse_events("<a><b/></a><x/>")
+        for event in events[:5]:  # <$> <a> <b> </b> </a>
+            streaming_filter.process_event(event)
+        assert streaming_filter.outcome_so_far is True
+
+    def test_filter_many_stops_dispatching_once_decided(self):
+        bank = FilterBank()
+        bank.register("q", parse_query("//c"))
+        streaming_filter = bank._subs["q"].filter
+        seen = []
+        original = streaming_filter.process_event
+        streaming_filter.process_event = \
+            lambda event: (seen.append(event.kind), original(event))[1]
+        events = parse_events("<top><c/><c/><c/></top>")
+        result = bank.filter_many([events])[0]
+        # decided at the first </c>; the two later <c/> elements and the document
+        # close are never dispatched to the filter
+        assert result.matched == ["q"]
+        assert seen == ["startDocument", "startElement", "endElement"]
+        streaming_filter.process_event = original
+        # the early-unregistered filter was reset: the bank keeps working
+        assert bank.filter_document(parse_document("<top><d/></top>")).matched == []
+        assert bank.filter_document(parse_document("<top><c/></top>")).matched == ["q"]
 
 
 class TestChildAxisRemovalAblation:

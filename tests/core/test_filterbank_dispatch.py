@@ -1,0 +1,81 @@
+"""Property tests: the indexed dispatch bank is indistinguishable from the naive one.
+
+The shared-dispatch :class:`~repro.core.FilterBank` skips events that provably cannot
+affect a filter; :class:`~repro.baselines.NaiveFilterBank` feeds every event to every
+filter.  On random documents and random supported queries the two must report identical
+matched sets, identical per-query outcomes, and identical per-query statistics — the
+statistics equality is the strong claim, since it certifies that the skipped-window
+accounting (event counts, max level, peak memory bits) loses nothing.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveFilterBank
+from repro.core import FilterBank
+from repro.semantics import bool_eval
+from repro.workloads import book_catalog, dissemination_queries
+from repro.xpath import parse_query
+
+from ..strategies import documents, random_supported_query
+
+
+def _register_random_queries(seed: int, count: int):
+    rng = random.Random(seed)
+    indexed, naive = FilterBank(), NaiveFilterBank()
+    queries = {}
+    for index in range(count):
+        query = random_supported_query(rng)
+        name = f"q{index}"
+        queries[name] = query
+        indexed.register(name, query)
+        naive.register(name, query)
+    return indexed, naive, queries
+
+
+class TestDispatchEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           count=st.integers(min_value=1, max_value=8))
+    def test_matched_sets_and_stats_agree_on_random_inputs(self, document, seed, count):
+        indexed, naive, queries = _register_random_queries(seed, count)
+        indexed_result = indexed.filter_document(document)
+        naive_result = naive.filter_document(document)
+        assert indexed_result.matched == naive_result.matched
+        for name in queries:
+            assert indexed_result.per_query_stats[name] == \
+                naive_result.per_query_stats[name]
+
+    @settings(max_examples=40, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_outcomes_agree_with_reference_evaluator(self, document, seed):
+        indexed, naive, queries = _register_random_queries(seed, count=4)
+        indexed_matched = set(indexed.filter_document(document).matched)
+        for name, query in queries.items():
+            assert (name in indexed_matched) == bool_eval(query, document)
+
+    @settings(max_examples=25, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           count=st.integers(min_value=1, max_value=6))
+    def test_filter_many_agrees_with_naive_per_document(self, document, seed, count):
+        indexed, naive, _ = _register_random_queries(seed, count)
+        batched = indexed.filter_many([document, document])
+        expected = naive.filter_document(document).matched
+        assert [result.matched for result in batched] == [expected, expected]
+
+    def test_agreement_on_dissemination_workload(self):
+        indexed, naive = FilterBank(), NaiveFilterBank()
+        for index, text in enumerate(dissemination_queries()):
+            indexed.register(f"q{index}", parse_query(text))
+            naive.register(f"q{index}", parse_query(text))
+        for seed in range(5):
+            document = book_catalog(20, seed=seed)
+            indexed_result = indexed.filter_document(document)
+            naive_result = naive.filter_document(document)
+            assert indexed_result.matched == naive_result.matched
+            assert indexed_result.per_query_stats == naive_result.per_query_stats

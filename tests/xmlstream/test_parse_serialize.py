@@ -39,6 +39,39 @@ class TestTokenizer:
         events = tokenize("<a>\n  <b/>\n</a>")
         assert [e.compact() for e in events] == ["<a>", "<b>", "</b>", "</a>"]
 
+    def test_comments_are_skipped(self):
+        events = tokenize("<a><!-- c --></a>")
+        assert [e.compact() for e in events] == ["<a>", "</a>"]
+
+    def test_comment_containing_markup_is_skipped_whole(self):
+        events = tokenize("<a><!-- <b>6</b> --></a>")
+        assert [e.compact() for e in events] == ["<a>", "</a>"]
+
+    def test_processing_instructions_are_skipped(self):
+        events = tokenize('<?xml version="1.0"?><a><?target data?></a>')
+        assert [e.compact() for e in events] == ["<a>", "</a>"]
+
+    def test_doctype_is_skipped(self):
+        events = tokenize("<!DOCTYPE a><a/>")
+        assert [e.compact() for e in events] == ["<a>", "</a>"]
+
+    def test_doctype_internal_subset_is_skipped(self):
+        events = tokenize("<!DOCTYPE a [<!ELEMENT a (b)> <!ELEMENT b EMPTY>]><a><b/></a>")
+        assert [e.compact() for e in events] == ["<a>", "<b>", "</b>", "</a>"]
+
+    def test_comments_split_text_runs(self):
+        events = tokenize("<a>x<!-- c -->y</a>")
+        assert [e.compact() for e in events] == ["<a>", "x", "y", "</a>"]
+
+    def test_parse_events_accepts_commented_document(self):
+        # regression: this used to die with "mismatched closing tag: expected </!-->"
+        events = parse_events("<a><!-- c --></a>")
+        assert [e.compact() for e in events] == ["<$>", "<a>", "</a>", "</$>"]
+
+    def test_unterminated_comment_stays_character_data(self):
+        events = tokenize("<a>x</a><!-- open")
+        assert [e.compact() for e in events] == ["<a>", "x", "</a>", "<!-- open"]
+
     def test_entities_are_decoded(self):
         events = tokenize("<a>1 &lt; 2 &amp; 3</a>")
         assert events[1].content == "1 < 2 & 3"

@@ -1,0 +1,102 @@
+"""Tests for the incremental (chunked) parser.
+
+The invariant under test: for every chunking of an input, the concatenation of the
+events returned by ``feed()``/``close()`` equals ``parse_events`` of the whole text.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlstream import (
+    StreamingParser,
+    XMLParseError,
+    parse_events,
+    serialize_document,
+)
+
+from ..strategies import documents
+
+SAMPLES = [
+    "<a><b>6</b></a>",
+    '<catalog><book id="b1"><price>12</price></book></catalog>',
+    "<a>x &lt; y<!-- note --><b/></a>",
+    '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a EMPTY>]><a>text</a>',
+    "<a/><b/>",  # the paper's multi-root fragments
+    "",  # empty document
+]
+
+
+def chunked(text: str, size: int):
+    return [text[i:i + size] for i in range(0, len(text), size)]
+
+
+class TestStreamingParser:
+    @pytest.mark.parametrize("text", SAMPLES)
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 1000])
+    def test_chunking_is_invisible(self, text, size):
+        parser = StreamingParser()
+        events = []
+        for chunk in chunked(text, size):
+            events.extend(parser.feed(chunk))
+        events.extend(parser.close())
+        assert events == parse_events(text)
+
+    @pytest.mark.parametrize("size", [1, 5])
+    def test_byte_chunks_with_multibyte_characters(self, size):
+        text = "<a>café — naïve</a>"
+        parser = StreamingParser()
+        events = []
+        for chunk in chunked(text.encode("utf-8").decode("latin-1"), size):
+            events.extend(parser.feed(chunk.encode("latin-1")))
+        events.extend(parser.close())
+        assert events == parse_events(text)
+
+    def test_parse_generator(self):
+        parser = StreamingParser()
+        events = list(parser.parse(["<a><b>", "6</b></a>"]))
+        assert events == parse_events("<a><b>6</b></a>")
+
+    def test_events_are_emitted_as_soon_as_they_complete(self):
+        parser = StreamingParser()
+        first = parser.feed("<a><b>6</b")
+        # "6" is held back: until the '>' arrives, "</b" could still turn out to be
+        # literal text (the tokenizer is lenient about stray '<'), extending the run
+        assert [e.compact() for e in first] == ["<$>", "<a>", "<b>"]
+        second = parser.feed("></a>")
+        assert [e.compact() for e in second] == ["6", "</b>", "</a>"]
+        assert [e.compact() for e in parser.close()] == ["</$>"]
+
+    def test_mismatched_tag_raises_at_the_offending_chunk(self):
+        parser = StreamingParser()
+        parser.feed("<a><b>")
+        with pytest.raises(XMLParseError, match="mismatched closing tag"):
+            parser.feed("</a>")
+
+    def test_unclosed_tags_raise_at_close(self):
+        parser = StreamingParser()
+        parser.feed("<a><b>")
+        with pytest.raises(XMLParseError, match="unclosed tags"):
+            parser.close()
+
+    def test_stray_closing_tag_raises(self):
+        parser = StreamingParser()
+        with pytest.raises(XMLParseError, match="unmatched closing tag"):
+            parser.feed("</a>")
+
+    def test_feed_after_close_raises(self):
+        parser = StreamingParser()
+        parser.close()
+        with pytest.raises(XMLParseError):
+            parser.feed("<a/>")
+
+    @settings(max_examples=60, deadline=None)
+    @given(document=documents(), size=st.integers(min_value=1, max_value=9))
+    def test_roundtrip_on_random_documents(self, document, size):
+        text = serialize_document(document)
+        parser = StreamingParser()
+        events = []
+        for chunk in chunked(text, size):
+            events.extend(parser.feed(chunk))
+        events.extend(parser.close())
+        assert events == parse_events(text)
