@@ -1,86 +1,141 @@
-"""Extension experiment: shared-dispatch vs naive multi-subscription throughput.
+"""Extension experiment: compiled trie vs shared-dispatch vs naive bank throughput.
 
-The indexed :class:`~repro.core.FilterBank` routes each element event only to the
-subscriptions whose queries mention its label; :class:`~repro.baselines.NaiveFilterBank`
-(the original implementation) feeds every event to every filter.  On a label-sparse
-workload (pairwise label-disjoint topic subscriptions over a topic feed) the per-event
-dispatch cost drops from O(#subscriptions) to O(1), so throughput in events/sec should
-stay roughly flat for the indexed bank while the naive bank degrades linearly.
+Three engines serve the same subscriptions over the same document streams:
 
-The final test asserts the acceptance criterion: at 100+ subscriptions the indexed bank
-is strictly faster, with identical matched sets.
+* ``compiled`` — :class:`~repro.core.CompiledFilterBank`: all queries merged into a
+  shared prefix trie, per-query state on flat compiled plans (this PR);
+* ``indexed`` — :class:`~repro.core.FilterBank`: label → subscription inverted index,
+  per-query interpreted filters (PR 1);
+* ``naive`` — :class:`~repro.baselines.NaiveFilterBank`: every event to every filter.
+
+Two workloads bracket the sharing spectrum.  The *topic feed* is label-sparse (each
+subscription watches disjoint labels), the indexed bank's best case.  The *shared
+prefix* workload is the YFilter-style stress test: every subscription starts with
+``/catalog/product`` and continues in a small suffix alphabet reused at every depth,
+so label dispatch degenerates to broadcast while the trie evaluates the common prefix
+once and wakes only the subscriptions whose whole path matched so far.
+
+The acceptance criterion is asserted, not just reported: at the largest subscription
+count the compiled engine must be at least ``REQUIRED_SPEEDUP``x faster than the
+indexed bank on the shared-prefix workload, with byte-identical matched sets and
+per-query :class:`~repro.core.FilterStatistics`.
+
+Every run also writes ``BENCH_filterbank.json`` at the repository root — a trajectory
+file (events/sec, subscriptions, speedups per engine and workload) that future PRs can
+diff to catch throughput regressions.  Setting ``FILTERBANK_BENCH_SMOKE=1`` shrinks
+the sizes so CI can exercise the compiled path on every push without paying the full
+measurement cost (the speedup assertion is skipped in smoke mode; the correctness
+assertions are not).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
 
 from repro.baselines import NaiveFilterBank
-from repro.core import FilterBank
-from repro.workloads import topic_feed, topic_subscriptions
+from repro.core import CompiledFilterBank, FilterBank
+from repro.workloads import (
+    shared_prefix_feed,
+    shared_prefix_subscriptions,
+    topic_feed,
+    topic_subscriptions,
+)
 from repro.xpath import parse_query
 
 from .conftest import print_table
 
-SUBSCRIPTION_COUNTS = [10, 100, 1000]
-TOPICS = 100
-ENTRIES = 60
+SMOKE = os.environ.get("FILTERBANK_BENCH_SMOKE") == "1"
 
-#: (kind, subscriptions) -> {"seconds": ..., "events": ..., "matched": ...}
+SUBSCRIPTION_COUNTS = [5, 25] if SMOKE else [10, 100, 1000]
+TOPICS = 100
+ENTRIES = 10 if SMOKE else 60
+
+#: shared-prefix workload shape (see workloads.shared_prefix_subscriptions)
+PREFIX_BRANCHING = 4
+PREFIX_SUFFIX_DEPTH = 3
+PREFIX_ENTRIES = 10 if SMOKE else 60
+
+#: the asserted acceptance criterion (compiled vs indexed at the largest sub count)
+REQUIRED_SPEEDUP = 3.0
+
+_BANKS = {"compiled": CompiledFilterBank, "indexed": FilterBank, "naive": NaiveFilterBank}
+KINDS = list(_BANKS)
+
+#: (workload, kind, subscriptions) -> {"seconds", "events", "matched", "stats"}
 _measurements = {}
 
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TRAJECTORY_PATH = os.path.join(_REPO_ROOT, "BENCH_filterbank.json")
 
-def _build_bank(kind: str, subscriptions: int):
-    bank = FilterBank() if kind == "indexed" else NaiveFilterBank()
-    for index, text in enumerate(topic_subscriptions(subscriptions, topics=TOPICS)):
+
+def _subscriptions(workload: str, count: int):
+    if workload == "topic":
+        return topic_subscriptions(count, topics=TOPICS)
+    return shared_prefix_subscriptions(
+        count, branching=PREFIX_BRANCHING, suffix_depth=PREFIX_SUFFIX_DEPTH, seed=11)
+
+
+def _build_bank(workload: str, kind: str, subscriptions: int):
+    bank = _BANKS[kind]()
+    for index, text in enumerate(_subscriptions(workload, subscriptions)):
         bank.register(f"sub{index}", parse_query(text))
     return bank
 
 
-def _document():
-    return topic_feed(ENTRIES, topics=TOPICS, seed=42)
+def _document(workload: str):
+    if workload == "topic":
+        return topic_feed(ENTRIES, topics=TOPICS, seed=42)
+    return shared_prefix_feed(
+        PREFIX_ENTRIES, branching=PREFIX_BRANCHING,
+        suffix_depth=PREFIX_SUFFIX_DEPTH, seed=43)
 
 
-def _measure(kind: str, subscriptions: int) -> dict:
+def _measure(workload: str, kind: str, subscriptions: int) -> dict:
     """Best-of-two wall-clock measurement of one bank kind, cached per configuration.
 
-    Computed on demand so the comparison test is self-sufficient under ``pytest -k``
+    Computed on demand so the comparison tests are self-sufficient under ``pytest -k``
     or test reordering, and best-of-two so a single scheduler hiccup cannot flip the
-    strictly-faster assertion.
+    speedup assertions.
     """
-    key = (kind, subscriptions)
+    key = (workload, kind, subscriptions)
     if key not in _measurements:
-        bank = _build_bank(kind, subscriptions)
-        events = _document().events()
+        bank = _build_bank(workload, kind, subscriptions)
+        events = _document(workload).events()
         best = None
         matched = None
+        stats = None
         for _ in range(2):
             start = time.perf_counter()
             result = bank.filter_events(iter(events))
             elapsed = time.perf_counter() - start
             best = elapsed if best is None else min(best, elapsed)
             matched = sorted(result.matched)
+            stats = result.per_query_stats
         _measurements[key] = {
             "seconds": best,
             "events": len(events),
             "matched": matched,
+            "stats": stats,
         }
     return _measurements[key]
 
 
 @pytest.mark.parametrize("subscriptions", SUBSCRIPTION_COUNTS)
-@pytest.mark.parametrize("kind", ["indexed", "naive"])
+@pytest.mark.parametrize("kind", KINDS)
 def test_filterbank_events_per_second(benchmark, kind, subscriptions):
-    bank = _build_bank(kind, subscriptions)
-    events = _document().events()
+    bank = _build_bank("topic", kind, subscriptions)
+    events = _document("topic").events()
 
     result = benchmark.pedantic(
-        lambda: bank.filter_events(iter(events)), rounds=3, iterations=1
+        lambda: bank.filter_events(iter(events)), rounds=1, iterations=1
     )
-    measurement = _measure(kind, subscriptions)
+    measurement = _measure("topic", kind, subscriptions)
     benchmark.extra_info.update({
+        "workload": "topic",
         "kind": kind,
         "subscriptions": subscriptions,
         "events": len(events),
@@ -90,37 +145,110 @@ def test_filterbank_events_per_second(benchmark, kind, subscriptions):
 
 
 def test_indexed_bank_beats_naive_at_scale():
-    """Acceptance criterion: strictly faster at 100+ subscriptions, same matched sets."""
+    """PR-1 criterion: indexed strictly faster at 100+ subscriptions, same matches."""
     for subscriptions in SUBSCRIPTION_COUNTS:
-        indexed = _measure("indexed", subscriptions)
-        naive = _measure("naive", subscriptions)
+        indexed = _measure("topic", "indexed", subscriptions)
+        naive = _measure("topic", "naive", subscriptions)
         assert indexed["matched"] == naive["matched"]
-        if subscriptions >= 100:
+        if not SMOKE and subscriptions >= 100:
             assert indexed["seconds"] < naive["seconds"], (
                 f"indexed bank not faster at {subscriptions} subscriptions: "
                 f"{indexed['seconds']:.4f}s vs naive {naive['seconds']:.4f}s"
             )
 
 
+def test_compiled_engine_matches_and_outpaces_indexed_bank():
+    """This PR's criterion, asserted: on the shared-prefix workload the compiled trie
+    engine reports byte-identical matched sets and per-query statistics at every
+    scale, and is at least ``REQUIRED_SPEEDUP``x faster than the PR-1 indexed bank at
+    the largest subscription count."""
+    for subscriptions in SUBSCRIPTION_COUNTS:
+        compiled = _measure("prefix", "compiled", subscriptions)
+        indexed = _measure("prefix", "indexed", subscriptions)
+        assert compiled["matched"] == indexed["matched"]
+        assert compiled["stats"] == indexed["stats"], (
+            f"per-query statistics diverge at {subscriptions} subscriptions"
+        )
+    top = SUBSCRIPTION_COUNTS[-1]
+    compiled = _measure("prefix", "compiled", top)
+    indexed = _measure("prefix", "indexed", top)
+    speedup = indexed["seconds"] / compiled["seconds"]
+    if not SMOKE:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"compiled engine only {speedup:.2f}x faster than the indexed bank at "
+            f"{top} subscriptions (required: {REQUIRED_SPEEDUP}x)"
+        )
+
+
+def test_compiled_engine_matches_naive_on_shared_prefix():
+    """The compiled engine also agrees with the pre-index baseline (smallest scale
+    suffices for the naive bank; larger scales are covered against indexed above)."""
+    subscriptions = SUBSCRIPTION_COUNTS[0]
+    compiled = _measure("prefix", "compiled", subscriptions)
+    naive = _measure("prefix", "naive", subscriptions)
+    assert compiled["matched"] == naive["matched"]
+    assert compiled["stats"] == naive["stats"]
+
+
+def _trajectory() -> dict:
+    """Collect every cached measurement into the regression-tracking trajectory."""
+    results = []
+    for (workload, kind, subscriptions), m in sorted(_measurements.items()):
+        indexed = _measurements.get((workload, "indexed", subscriptions))
+        entry = {
+            "workload": workload,
+            "engine": kind,
+            "subscriptions": subscriptions,
+            "events": m["events"],
+            "seconds": round(m["seconds"], 6),
+            "events_per_second": round(m["events"] / m["seconds"]),
+            "matched": len(m["matched"]),
+        }
+        if indexed is not None and kind != "indexed":
+            entry["speedup_vs_indexed"] = round(indexed["seconds"] / m["seconds"], 2)
+        results.append(entry)
+    return {
+        "benchmark": "filterbank_throughput",
+        "smoke": SMOKE,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "subscription_counts": SUBSCRIPTION_COUNTS,
+        "workloads": {
+            "topic": {"entries": ENTRIES, "topics": TOPICS},
+            "prefix": {"entries": PREFIX_ENTRIES, "branching": PREFIX_BRANCHING,
+                       "suffix_depth": PREFIX_SUFFIX_DEPTH},
+        },
+        "results": results,
+    }
+
+
 def teardown_module(module):  # noqa: D103
     if not _measurements:
         return
-    rows = []
-    for subscriptions in SUBSCRIPTION_COUNTS:
-        indexed = _measurements.get(("indexed", subscriptions))
-        naive = _measurements.get(("naive", subscriptions))
-        if indexed is None or naive is None:
-            continue
-        rows.append((
-            subscriptions,
-            indexed["events"],
-            f"{indexed['events'] / indexed['seconds']:,.0f}",
-            f"{naive['events'] / naive['seconds']:,.0f}",
-            f"{naive['seconds'] / indexed['seconds']:.1f}x",
-            len(indexed["matched"]),
-        ))
-    print_table(
-        "Extension - shared-dispatch vs naive bank throughput (label-sparse feed)",
-        ["subscriptions", "events", "indexed ev/s", "naive ev/s", "speedup", "matched"],
-        rows,
-    )
+    with open(TRAJECTORY_PATH, "w", encoding="utf-8") as handle:
+        json.dump(_trajectory(), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    for workload, title in (("topic", "label-sparse topic feed"),
+                            ("prefix", "shared-prefix trie workload")):
+        rows = []
+        for subscriptions in SUBSCRIPTION_COUNTS:
+            row = {kind: _measurements.get((workload, kind, subscriptions))
+                   for kind in KINDS}
+            if all(value is None for value in row.values()):
+                continue
+            indexed = row.get("indexed")
+            compiled = row.get("compiled")
+            rows.append((
+                subscriptions,
+                next(m["events"] for m in row.values() if m is not None),
+                *(f"{m['events'] / m['seconds']:,.0f}" if m else "-"
+                  for m in row.values()),
+                (f"{indexed['seconds'] / compiled['seconds']:.1f}x"
+                 if indexed and compiled else "-"),
+            ))
+        if rows:
+            print_table(
+                f"Extension - filter bank throughput ({title})",
+                ["subscriptions", "events", *(f"{kind} ev/s" for kind in KINDS),
+                 "compiled speedup"],
+                rows,
+            )

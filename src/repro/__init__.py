@@ -25,6 +25,7 @@ Quick start::
 """
 
 from .core import (
+    CompiledFilterBank,
     FilterBank,
     StreamingFilter,
     build_canonical_document,
@@ -43,6 +44,7 @@ from .xpath import Query, parse_query
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompiledFilterBank",
     "FilterBank",
     "Query",
     "StreamingFilter",

@@ -1,0 +1,861 @@
+"""Query compilation and the shared prefix-trie filter bank.
+
+The Section 8 filter (``filter.py``) interprets one query tree per event: frontier
+records are dataclass instances, node tests are compared with function calls, and every
+subscription re-does the name/axis work of every other subscription.  This module is
+the compiled counterpart, in two layers:
+
+**Compiled plans** (:class:`CompiledQuery`).  Each query is lowered into a flat,
+slot-addressed form: query nodes become integer slots (0 = the query root, pre-order),
+axes become integer codes (:data:`AX_CHILD`/:data:`AX_DESC`/:data:`AX_ATTR`), node
+tests carry ids interned in a bank-wide name table (compact slot-addressed metadata —
+the trie's dispatch dictionaries key on the test *strings*, since event names arrive
+as strings), children/parents become tuples of slot ids, and the
+leaf value tests become precompiled predicate closures (a comparison against a constant
+compiles to one :func:`~repro.xpath.values.compare_atomic` call; anything else falls
+back to the symbolic truth-set evaluator, so semantics are untouched).
+
+**The shared prefix trie** (:class:`CompiledFilterBank`).  All registered subscriptions
+are merged into one trie keyed by ``(axis class, node test)``: two steps of different
+queries share a trie node exactly when they have the same axis class (level-checked
+``child``/``attribute`` vs ``descendant``) and the same node test, and their parents
+already share.  A common prefix like ``/catalog/product`` is therefore matched against
+the document *once* for any number of subscriptions, and work fans out to individual
+queries only at the divergence points.  The runtime of the trie is purely structural —
+it computes, per element event, the set of trie nodes whose step path matches the
+element (a superset of the per-query candidate matches, which additionally depend on
+per-query ``matched`` pruning) — and it needs no level arithmetic at all:
+
+* a *level-checked* step instance is stored in the stack frame of the element whose
+  candidate match created it, so it can only fire for that element's direct children;
+* a *descendant* step instance is registered in a global count map and unregistered
+  when its spawning element's frame is popped, so it fires anywhere in the subtree.
+
+Per-query state is touched only when a trie node fires for one of the query's slots
+(or when text must be buffered, or children resolved at an end event — both of which
+are only possible after a fire).  That state is a faithful, flat re-implementation of
+the interpreted filter's frontier dynamics — records are small lists, indexes replace
+scans — and it reproduces :class:`~repro.core.filter.FilterStatistics` byte-for-byte,
+using the same lazy high-water accounting as the PR-1 indexed bank (the Theorem 8.8
+bit cost is nondecreasing in the document level, so observing a skipped window at its
+maximum level reproduces the per-event peak exactly).  The interpreted filter stays as
+the semantics reference; a hypothesis property test asserts that the compiled engine,
+the indexed bank and the naive bank agree on matched sets and full per-query
+statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..instrument.memory import bits_for
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from ..xmlstream.parse import (
+    TOK_END,
+    TOK_END_DOC,
+    TOK_START,
+    TOK_START_DOC,
+    TOK_TEXT,
+    Chunk,
+    StreamingParser,
+    Token,
+    document_tokens,
+)
+from ..xpath.ast import Comparison, Constant, NodeRef
+from ..xpath.query import ATTRIBUTE, CHILD, DESCENDANT, Query
+from ..xpath.truthset import AtomicPredicateTruthSet, truth_set
+from ..xpath.values import compare_atomic
+from .filter import FilterStatistics, StreamingFilter
+from .filterbank import BankResult, _LevelHighWater
+
+#: integer axis codes of the compiled plan
+AX_CHILD = 0  # child axis (or an axis-less node): level-checked, removed while open
+AX_DESC = 1  # descendant axis: fires at any level inside its scope, never removed
+AX_ATTR = 2  # attribute axis: level-checked like child but never removed (filter.py)
+
+_AXIS_CODE = {CHILD: AX_CHILD, None: AX_CHILD, DESCENDANT: AX_DESC, ATTRIBUTE: AX_ATTR}
+
+#: memoized :func:`~repro.instrument.memory.bits_for` — the Theorem 8.8 accounting
+#: calls it three times per observation, and a dict probe is ~10x cheaper than the
+#: ``math.log2`` round trip while remaining exactly equal by construction.  The cache
+#: is size-capped: buffer sizes are unbounded inputs, and a long-lived pub/sub process
+#: must not leak one entry per distinct buffer size it ever observes.
+_BITS_CACHE: Dict[int, int] = {}
+_BITS_CACHE_LIMIT = 65536
+
+
+def _bits(count: int) -> int:
+    cached = _BITS_CACHE.get(count)
+    if cached is None:
+        cached = bits_for(count)
+        if len(_BITS_CACHE) < _BITS_CACHE_LIMIT:
+            _BITS_CACHE[count] = cached
+    return cached
+
+
+# --------------------------------------------------------------------------- plans
+def _compile_truth(node) -> Optional[Callable[[str], bool]]:
+    """Compile the leaf's truth-set membership test into the cheapest exact form.
+
+    ``None`` means the truth set is universal: the record is marked matched without
+    materializing the buffered string value at all (the statistics still count the
+    evaluation, as the interpreted filter does).  A single comparison of the variable
+    against a constant compiles to one ``compare_atomic`` call; everything else falls
+    back to the symbolic evaluator, which is semantically authoritative.
+    """
+    ts = truth_set(node)
+    if not isinstance(ts, AtomicPredicateTruthSet):
+        return None  # universal: every value belongs
+    predicate = ts.predicate
+    if isinstance(predicate, Comparison):
+        left, right = predicate.left, predicate.right
+        op = predicate.op
+        if isinstance(left, NodeRef) and isinstance(right, Constant):
+            constant = right.value
+            return lambda value: compare_atomic(op, value, constant)
+        if isinstance(right, NodeRef) and isinstance(left, Constant):
+            constant = left.value
+            return lambda value: compare_atomic(op, constant, value)
+    return ts.contains
+
+
+class CompiledQuery:
+    """A query lowered to flat, slot-addressed arrays (slot 0 is the query root)."""
+
+    __slots__ = (
+        "query",
+        "slot_count",
+        "axis",
+        "ntests",
+        "ntest_ids",
+        "parent",
+        "children",
+        "is_leaf",
+        "truth",
+        "root_children",
+        "qnode_bits",
+    )
+
+    def __init__(self, query: Query, names: Dict[str, int]) -> None:
+        StreamingFilter._check_supported(query)
+        nodes = query.nodes()  # pre-order, root first
+        index = {id(node): slot for slot, node in enumerate(nodes)}
+        self.query = query
+        self.slot_count = len(nodes)
+        self.axis = [AX_CHILD if node.is_root() else _AXIS_CODE[node.axis]
+                     for node in nodes]
+        self.ntests = [node.ntest for node in nodes]
+        self.ntest_ids = [
+            -1 if node.ntest is None else names.setdefault(node.ntest, len(names))
+            for node in nodes
+        ]
+        self.parent = [0 if node.parent is None else index[id(node.parent)]
+                       for node in nodes]
+        self.children = [tuple(index[id(child)] for child in node.children)
+                         for node in nodes]
+        self.is_leaf = [node.is_leaf() for node in nodes]
+        self.truth = [_compile_truth(node) if node.is_leaf() else None
+                      for node in nodes]
+        self.root_children = self.children[0]
+        # FrontierMemoryModel(query_size=max(|Q|, 1)): log(|Q|+1) bits per node ref
+        self.qnode_bits = bits_for(max(query.size(), 1) + 1)
+
+
+def compile_query(query: Query, names: Optional[Dict[str, int]] = None) -> CompiledQuery:
+    """Lower one query into its compiled plan (standalone helper for tests/tools)."""
+    return CompiledQuery(query, {} if names is None else names)
+
+
+# --------------------------------------------------------------------------- the trie
+class _TrieNode:
+    """One shared step of the prefix trie.
+
+    ``child_*`` edges are level-checked steps (``child`` and ``attribute`` axes merge:
+    their structural fire condition is identical); ``desc_*`` edges are descendant
+    steps.  Wildcard edges are kept apart from concrete ones because ``*`` matches any
+    element name and ``@*`` any attribute name.  ``subs`` lists the ``(runtime, slot)``
+    pairs mapped onto this trie node.
+    """
+
+    __slots__ = ("child_map", "desc_map", "subs",
+                 "child_concrete", "child_wild", "child_attr_wild", "desc_edges")
+
+    def __init__(self) -> None:
+        self.child_map: Dict[str, _TrieNode] = {}
+        self.desc_map: Dict[str, _TrieNode] = {}
+        self.subs: List[tuple] = []
+        self.child_concrete: List[tuple] = []
+        self.child_wild: Optional[_TrieNode] = None
+        self.child_attr_wild: Optional[_TrieNode] = None
+        self.desc_edges: List[tuple] = []
+
+    def get_or_add(self, level_checked: bool, ntest: str) -> "_TrieNode":
+        step_map = self.child_map if level_checked else self.desc_map
+        node = step_map.get(ntest)
+        if node is None:
+            node = step_map[ntest] = _TrieNode()
+        return node
+
+    def finalize(self) -> None:
+        """Precompute the edge lists the runtime frame builder iterates."""
+        self.child_concrete = [(ntest, node) for ntest, node in self.child_map.items()
+                               if ntest not in ("*", "@*")]
+        self.child_wild = self.child_map.get("*")
+        self.child_attr_wild = self.child_map.get("@*")
+        # (kind, ntest, node): kind 0 = concrete name bucket, 1 = ``*``, 2 = ``@*``
+        self.desc_edges = [
+            (1 if ntest == "*" else 2 if ntest == "@*" else 0, ntest, node)
+            for ntest, node in self.desc_map.items()
+        ]
+        for node in self.child_map.values():
+            node.finalize()
+        for node in self.desc_map.values():
+            node.finalize()
+
+
+# --------------------------------------------------------------------------- runtimes
+# record layout: [level, matched, alive, opens, seq]; ``opens`` is the per-record
+# stack of (level, buffer offset) pairs for leaf slots and None for internal slots.
+# ``seq`` is the frontier insertion sequence number: the interpreted filter scans its
+# frontier *list* at each start event, and that scan order is observable — the order
+# children are inserted decides which parent group folds first at resolution, which
+# can decide a reinserted child-axis record's matched flag.  Processing fires in seq
+# order reproduces the scan exactly.
+class _Runtime:
+    """Per-subscription mutable state (the compiled analogue of a StreamingFilter)."""
+
+    __slots__ = ("name", "plan", "stats", "recs", "frontier_size", "buf_parts",
+                 "buf_size", "ref_count", "recs_by_level", "leaf_opens", "last_ts",
+                 "root_rec", "next_seq")
+
+    def __init__(self, name: str, plan: CompiledQuery) -> None:
+        self.name = name
+        self.plan = plan
+        self.stats = FilterStatistics()
+        self.last_ts = 0
+        self.root_rec: Optional[list] = None
+        self.reset()
+
+    def reset(self) -> None:
+        """Discard in-flight document state, keeping statistics (filter.reset())."""
+        self.recs: List[list] = [[] for _ in range(self.plan.slot_count)]
+        self.frontier_size = 0
+        self.buf_parts: List[Token] = []
+        self.buf_size = 0
+        self.ref_count = 0
+        self.recs_by_level: Dict[int, list] = {}
+        self.leaf_opens: Dict[int, list] = {}
+        self.next_seq = 0
+
+
+def _slice_from(runtime: _Runtime, start: int) -> str:
+    """The buffered string value from character offset ``start`` (Fig. 20's data)."""
+    pieces: List[str] = []
+    offset = 0
+    for part in runtime.buf_parts:
+        begin, end = part[2], part[3]
+        length = end - begin
+        if offset + length > start:
+            if start > offset:
+                pieces.append(part[1][begin + (start - offset):end])
+            else:
+                pieces.append(part[1][begin:end])
+        offset += length
+    return "".join(pieces)
+
+
+def event_tokens(events: Iterable[Event]) -> Iterator[Token]:
+    """Adapt an event stream to the token representation the compiled engine runs on."""
+    for event in events:
+        etype = type(event)
+        if etype is StartElement:
+            yield (TOK_START, event.name)
+        elif etype is EndElement:
+            yield (TOK_END, event.name)
+        elif etype is Text:
+            content = event.content
+            yield (TOK_TEXT, content, 0, len(content))
+        elif etype is StartDocument:
+            yield (TOK_START_DOC,)
+        elif etype is EndDocument:
+            yield (TOK_END_DOC,)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown event {event!r}")
+
+
+#: anything :meth:`CompiledFilterBank.filter_many` accepts as one document
+DocumentLike = Union[XMLDocument, Iterable[Event]]
+
+
+class CompiledFilterBank:
+    """A multi-subscription filter bank running on compiled shared prefix-trie plans.
+
+    API-compatible with :class:`~repro.core.filterbank.FilterBank` (register /
+    unregister / filter_events / filter_document / filter_stream / filter_many), plus
+    :meth:`filter_text` which runs the zero-copy token pipeline straight off XML text.
+    Matched sets and per-query :class:`~repro.core.filter.FilterStatistics` are
+    byte-identical to the interpreted engines.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, _Runtime] = {}
+        self._names: Dict[str, int] = {}  # interned node-test name ids (plan-wide)
+        self._trie_root: Optional[_TrieNode] = None
+
+    # ------------------------------------------------------------------ registration
+    def register(self, name: str, query: Query) -> None:
+        """Register a subscription under a unique name.
+
+        Raises ``ValueError`` for duplicate names and
+        :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries.
+        """
+        if name in self._subs:
+            raise ValueError(f"a subscription named {name!r} is already registered")
+        plan = CompiledQuery(query, self._names)
+        self._subs[name] = _Runtime(name, plan)
+        self._trie_root = None  # rebuilt lazily before the next run
+
+    def unregister(self, name: str) -> None:
+        """Remove a subscription; unknown names raise ``KeyError``."""
+        del self._subs[name]
+        self._trie_root = None
+
+    def subscriptions(self) -> List[str]:
+        """The registered subscription names, in registration order."""
+        return list(self._subs)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def query(self, name: str) -> Query:
+        """The query registered under ``name``."""
+        return self._subs[name].plan.query
+
+    def plan(self, name: str) -> CompiledQuery:
+        """The compiled plan registered under ``name``."""
+        return self._subs[name].plan
+
+    # ------------------------------------------------------------------ trie building
+    def _trie(self) -> _TrieNode:
+        if self._trie_root is None:
+            root = _TrieNode()
+            for runtime in self._subs.values():
+                plan = runtime.plan
+                nodes: List[_TrieNode] = [root] * plan.slot_count
+                for slot in range(1, plan.slot_count):
+                    parent_trie = nodes[plan.parent[slot]]
+                    level_checked = plan.axis[slot] != AX_DESC
+                    node = parent_trie.get_or_add(level_checked, plan.ntests[slot])
+                    nodes[slot] = node
+                    node.subs.append((runtime, slot))
+            root.finalize()
+            self._trie_root = root
+        return self._trie_root
+
+    def trie_size(self) -> int:
+        """Number of shared trie nodes (excluding the root).
+
+        With heavy prefix sharing this is far below the total number of query steps:
+        ``sum(plan.slot_count - 1 for plan in plans)`` is the unshared upper bound.
+        """
+        count = 0
+        stack = [self._trie()]
+        while stack:
+            node = stack.pop()
+            for step_map in (node.child_map, node.desc_map):
+                count += len(step_map)
+                stack.extend(step_map.values())
+        return count
+
+    def index_fanout(self, name: str) -> int:
+        """How many (query, step) pairs sit on trie nodes reachable by label ``name``.
+
+        Diagnostic counterpart of ``FilterBank.index_fanout``: counts the subscriptions
+        of every trie node whose edge label is ``name`` (or a matching wildcard).
+        """
+        total = 0
+        stack = [self._trie()]
+        is_attr = name.startswith("@")
+        while stack:
+            node = stack.pop()
+            for step_map in (node.child_map, node.desc_map):
+                for ntest, child in step_map.items():
+                    if (ntest == name or (ntest == "*" and not is_attr)
+                            or (ntest == "@*" and is_attr)):
+                        total += len(child.subs)
+                    stack.append(child)
+        return total
+
+    # ------------------------------------------------------------------ filtering
+    def filter_events(self, events: Iterable[Event]) -> BankResult:
+        """Feed one document event stream to every subscription (single pass)."""
+        return self._run(event_tokens(events), early_unregister=False)
+
+    def filter_document(self, document: XMLDocument) -> BankResult:
+        """Convenience wrapper over :meth:`filter_events`."""
+        return self.filter_events(document.events())
+
+    def filter_text(self, text: str) -> BankResult:
+        """Filter one document given as XML text, on the zero-copy token pipeline."""
+        return self._run(iter(document_tokens(text)), early_unregister=False)
+
+    def filter_stream(self, chunks: Iterable[Chunk], *,
+                      encoding: str = "utf-8") -> BankResult:
+        """Filter one document arriving as byte/text chunks, never materializing it."""
+        parser = StreamingParser(encoding=encoding)
+        return self._run(parser.parse_tokens(chunks), early_unregister=False)
+
+    def filter_tokens(self, tokens: Iterable[Token]) -> BankResult:
+        """Filter one document given as a raw token stream (the lowest-level entry)."""
+        return self._run(iter(tokens), early_unregister=False)
+
+    def filter_many(self, documents: Iterable[DocumentLike]) -> List[BankResult]:
+        """Batch mode with early decision, as in ``FilterBank.filter_many``."""
+        results = []
+        for document in documents:
+            if isinstance(document, XMLDocument):
+                tokens = event_tokens(document.events())
+            else:
+                tokens = event_tokens(document)
+            results.append(self._run(tokens, early_unregister=True))
+        return results
+
+    # ------------------------------------------------------------------ the hot loop
+    def _run(self, tokens: Iterator[Token], *, early_unregister: bool) -> BankResult:
+        trie_root = self._trie()
+        runtimes = list(self._subs.values())
+        outcomes: Dict[str, Optional[bool]] = {rt.name: None for rt in runtimes}
+        decided: set = set()  # runtimes early-unregistered for the current document
+        level = 0  # shared document-level counter (pre-event value, as in FilterBank)
+        max_level = 0
+        events_seen = 0
+        high_water = _LevelHighWater()
+        in_document = False
+        saw_end = False
+        completed = False
+
+        text_open: Dict[_Runtime, bool] = {}  # runtimes with an open value buffer
+        resolvers: Dict[int, set] = {}  # post-event level -> runtimes to resolve there
+
+        # structural trie state: one frame per open element (plus the document frame);
+        # a frame is None (nothing fired at that element) or a tuple
+        # (expect, wild, attr_wild, desc_added) where expect maps a node test to the
+        # level-checked trie nodes expecting it among the element's direct children
+        frames: List[Optional[tuple]] = []
+        desc_by_name: Dict[str, dict] = {}  # ntest -> {trie node: live count}
+        desc_wild: dict = {}  # live descendant ``*`` instances
+        desc_attr_wild: dict = {}  # live descendant ``@*`` instances
+
+        def build_frame(fired: List[_TrieNode]) -> Optional[tuple]:
+            expect = None
+            wild = None
+            attr_wild = None
+            desc_added = None
+            for node in fired:
+                if node.child_concrete:
+                    if expect is None:
+                        expect = {}
+                    for ntest, child in node.child_concrete:
+                        bucket = expect.get(ntest)
+                        if bucket is None:
+                            expect[ntest] = [child]
+                        else:
+                            bucket.append(child)
+                if node.child_wild is not None:
+                    if wild is None:
+                        wild = []
+                    wild.append(node.child_wild)
+                if node.child_attr_wild is not None:
+                    if attr_wild is None:
+                        attr_wild = []
+                    attr_wild.append(node.child_attr_wild)
+                if node.desc_edges:
+                    if desc_added is None:
+                        desc_added = []
+                    for kind, ntest, child in node.desc_edges:
+                        if kind == 0:
+                            bucket = desc_by_name.get(ntest)
+                            if bucket is None:
+                                bucket = desc_by_name[ntest] = {}
+                        elif kind == 1:
+                            bucket = desc_wild
+                        else:
+                            bucket = desc_attr_wild
+                        bucket[child] = bucket.get(child, 0) + 1
+                        desc_added.append((bucket, child))
+            if expect is None and wild is None and attr_wild is None \
+                    and desc_added is None:
+                return None
+            return (expect, wild, attr_wild, desc_added)
+
+        def observe_bits(runtime: _Runtime, observed_level: int) -> None:
+            # the Theorem 8.8 bit cost of the runtime's live state at the given level
+            # (FrontierMemoryModel.bits, with bits_for memoized) — shared by the
+            # per-event observation and the skipped-window high-water observation so
+            # the two accounting paths cannot diverge
+            stats = runtime.stats
+            records = runtime.frontier_size
+            chars = runtime.buf_size
+            level_bits = _bits(observed_level + 2)
+            bits = (records * (runtime.plan.qnode_bits + level_bits
+                               + _bits(chars + 2) + 1)
+                    + chars * 8 + level_bits)
+            if bits > stats.peak_memory_bits:
+                stats.peak_memory_bits = bits
+
+        def observe(runtime: _Runtime, observed_level: int) -> None:
+            # the filter's per-event _observe, at the post-event level
+            stats = runtime.stats
+            records = runtime.frontier_size
+            if records > stats.peak_frontier_records:
+                stats.peak_frontier_records = records
+            chars = runtime.buf_size
+            if chars > stats.peak_buffer_chars:
+                stats.peak_buffer_chars = chars
+            observe_bits(runtime, observed_level)
+
+        def touch(runtime: _Runtime) -> None:
+            # account for the levels traversed while no event touched this runtime
+            # (filter.observe_idle at the skipped window's maximum level)
+            if runtime.last_ts < events_seen - 1:
+                observe_bits(runtime, high_water.max_since(runtime.last_ts + 1))
+            runtime.last_ts = events_seen
+
+        def start_document(runtime: _Runtime) -> None:
+            plan = runtime.plan
+            runtime.stats = FilterStatistics(events=1)
+            runtime.reset()
+            root_rec = [0, False, True, None, 0]
+            runtime.root_rec = root_rec
+            runtime.recs[0].append(root_rec)
+            seq = 1
+            pending = []
+            for child in plan.root_children:
+                rec = [1, False, True, [] if plan.is_leaf[child] else None, seq]
+                seq += 1
+                runtime.recs[child].append(rec)
+                pending.append((child, rec))
+            if pending:
+                runtime.recs_by_level[1] = pending
+            runtime.next_seq = seq
+            runtime.frontier_size = 1 + len(pending)
+            runtime.last_ts = events_seen
+            observe(runtime, 1)
+
+        def process_start(runtime: _Runtime, slots: List[int]) -> None:
+            plan = runtime.plan
+            recs = runtime.recs
+            axis = plan.axis
+            # phase 1: collect eligible records across all fired slots (the filter
+            # scans the whole frontier before inserting, so records born this event
+            # never fire in it)
+            fires = None
+            for slot in slots:
+                live = recs[slot]
+                if not live:
+                    continue
+                if axis[slot] == AX_DESC:
+                    eligible = [(r[4], slot, r) for r in live if not r[1]]
+                else:
+                    eligible = [(r[4], slot, r)
+                                for r in live if not r[1] and r[0] == level]
+                if eligible:
+                    fires = eligible if fires is None else fires + eligible
+            if fires is None:
+                return
+            if len(fires) > 1:
+                # phase 2 must replay the filter's frontier-list scan order: the order
+                # children are inserted decides which parent group resolves first at
+                # the matching end event, which is observable through matched flags
+                fires.sort()
+            touch(runtime)
+            stats = runtime.stats
+            is_leaf = plan.is_leaf
+            insert_level = level + 1
+            pending = None
+            seq = runtime.next_seq
+            inserted = 0
+            for _seq, slot, rec in fires:
+                stats.candidate_matches += 1
+                if is_leaf[slot]:
+                    if runtime.ref_count == 0:
+                        text_open[runtime] = True
+                    runtime.ref_count += 1
+                    rec[3].append((level, runtime.buf_size))
+                    opens = runtime.leaf_opens.get(level)
+                    if opens is None:
+                        opens = runtime.leaf_opens[level] = []
+                    opens.append((rec, plan.truth[slot]))
+                else:
+                    if axis[slot] == AX_CHILD:
+                        rec[2] = False  # the line 10-11 removal optimization
+                        recs[slot].remove(rec)
+                        runtime.frontier_size -= 1
+                    if pending is None:
+                        pending = runtime.recs_by_level.get(insert_level)
+                        if pending is None:
+                            pending = runtime.recs_by_level[insert_level] = []
+                    for child in plan.children[slot]:
+                        new_rec = [insert_level, False, True,
+                                   [] if is_leaf[child] else None, seq]
+                        seq += 1
+                        recs[child].append(new_rec)
+                        pending.append((child, new_rec))
+                        inserted += 1
+            runtime.next_seq = seq
+            runtime.frontier_size += inserted
+            waiting = resolvers.get(level)
+            if waiting is None:
+                waiting = resolvers[level] = set()
+            waiting.add(runtime)
+            observe(runtime, insert_level)
+
+        def resolve_children(runtime: _Runtime, post_level: int) -> None:
+            # lines 11-29 of endElement: fold finished child records into parents
+            entries = runtime.recs_by_level.pop(post_level + 1, None)
+            if not entries:
+                return
+            recs = runtime.recs
+            parent_of = runtime.plan.parent
+            axis = runtime.plan.axis
+            if len(entries) == 1:
+                # fast path: one finished record (linear-path queries live here)
+                slot, rec = entries[0]
+                if not rec[2]:
+                    return
+                parent = parent_of[slot]
+                all_matched = rec[1]
+                rec[2] = False
+                recs[slot].remove(rec)
+                runtime.frontier_size -= 1
+                if parent == 0 or axis[parent] == AX_DESC:
+                    if all_matched:
+                        for parent_rec in recs[parent]:
+                            parent_rec[1] = True
+                else:
+                    fresh = [post_level, all_matched, True, None, runtime.next_seq]
+                    runtime.next_seq += 1
+                    recs[parent].append(fresh)
+                    pending = runtime.recs_by_level.get(post_level)
+                    if pending is None:
+                        pending = runtime.recs_by_level[post_level] = []
+                    pending.append((parent, fresh))
+                    runtime.frontier_size += 1
+                return
+            by_parent: Optional[dict] = None
+            for slot, rec in entries:
+                if not rec[2]:
+                    continue  # removed while its candidate's subtree was open
+                parent = parent_of[slot]
+                if by_parent is None:
+                    by_parent = {}
+                group = by_parent.get(parent)
+                if group is None:
+                    by_parent[parent] = [(slot, rec)]
+                else:
+                    group.append((slot, rec))
+            if by_parent is None:
+                return
+            for parent, group in by_parent.items():
+                all_matched = all(rec[1] for _slot, rec in group)
+                for slot, rec in group:
+                    rec[2] = False
+                    recs[slot].remove(rec)
+                runtime.frontier_size -= len(group)
+                if parent == 0 or axis[parent] == AX_DESC:
+                    if all_matched:
+                        for parent_rec in recs[parent]:
+                            parent_rec[1] = True
+                else:
+                    fresh = [post_level, all_matched, True, None, runtime.next_seq]
+                    runtime.next_seq += 1
+                    recs[parent].append(fresh)
+                    pending = runtime.recs_by_level.get(post_level)
+                    if pending is None:
+                        pending = runtime.recs_by_level[post_level] = []
+                    pending.append((parent, fresh))
+                    runtime.frontier_size += 1
+
+        def process_end(runtime: _Runtime, post_level: int) -> None:
+            touch(runtime)
+            stats = runtime.stats
+            opens = runtime.leaf_opens.pop(post_level, None)
+            if opens:
+                for rec, truth in opens:
+                    _open_level, start = rec[3].pop()
+                    if not rec[1]:
+                        stats.real_match_evaluations += 1
+                        if truth is None:
+                            rec[1] = True
+                        else:
+                            rec[1] = bool(truth(_slice_from(runtime, start)))
+                    runtime.ref_count -= 1
+                    if runtime.ref_count <= 0:
+                        runtime.ref_count = 0
+                        runtime.buf_parts = []
+                        runtime.buf_size = 0
+                        text_open.pop(runtime, None)
+            resolve_children(runtime, post_level)
+            observe(runtime, post_level)
+
+        def outcome_known(runtime: _Runtime) -> bool:
+            # filter.outcome_so_far: True once every root child has live records and
+            # all of them are matched (a matched flag never reverts)
+            root_children = runtime.plan.root_children
+            if not root_children:
+                return False
+            recs = runtime.recs
+            for child in root_children:
+                live = recs[child]
+                if not live:
+                    return False
+                for rec in live:
+                    if not rec[1]:
+                        return False
+            return True
+
+        try:
+            for token in tokens:
+                events_seen += 1
+                kind = token[0]
+                if kind == TOK_START:
+                    name = token[1]
+                    # --- structural fire detection (shared across all queries)
+                    fired = None
+                    top = frames[-1] if frames else None
+                    if top is not None:
+                        expect = top[0]
+                        if expect is not None:
+                            hit = expect.get(name)
+                            if hit:
+                                fired = list(hit)
+                        if name[:1] != "@":
+                            if top[1]:
+                                fired = top[1] if fired is None else fired + top[1]
+                        elif top[2]:
+                            fired = top[2] if fired is None else fired + top[2]
+                    bucket = desc_by_name.get(name)
+                    if bucket:
+                        nodes = list(bucket)
+                        fired = nodes if fired is None else fired + nodes
+                    if name[:1] != "@":
+                        if desc_wild:
+                            nodes = list(desc_wild)
+                            fired = nodes if fired is None else fired + nodes
+                    elif desc_attr_wild:
+                        nodes = list(desc_attr_wild)
+                        fired = nodes if fired is None else fired + nodes
+                    # --- per-query fan-out, only at fire points
+                    if fired:
+                        touched: Dict[_Runtime, List[int]] = {}
+                        for node in fired:
+                            for runtime, slot in node.subs:
+                                slots = touched.get(runtime)
+                                if slots is None:
+                                    touched[runtime] = [slot]
+                                else:
+                                    slots.append(slot)
+                        for runtime, slots in touched.items():
+                            if runtime not in decided:
+                                process_start(runtime, slots)
+                        frames.append(build_frame(fired))
+                    else:
+                        frames.append(None)
+                    level += 1
+                    if level > max_level:
+                        max_level = level
+                elif kind == TOK_END:
+                    post_level = level - 1
+                    waiting = resolvers.pop(post_level, None)
+                    if waiting:
+                        for runtime in waiting:
+                            if runtime in decided:
+                                continue
+                            process_end(runtime, post_level)
+                            if early_unregister and outcome_known(runtime):
+                                decided.add(runtime)
+                                outcomes[runtime.name] = True
+                    if len(frames) > 1:
+                        frame = frames.pop()
+                        if frame is not None and frame[3] is not None:
+                            for bucket, node in frame[3]:
+                                count = bucket[node] - 1
+                                if count:
+                                    bucket[node] = count
+                                else:
+                                    del bucket[node]
+                    level = post_level
+                elif kind == TOK_TEXT:
+                    if text_open:
+                        length = token[3] - token[2]
+                        for runtime in list(text_open):
+                            if runtime in decided:
+                                continue
+                            touch(runtime)
+                            runtime.buf_parts.append(token)
+                            runtime.buf_size += length
+                            observe(runtime, level)
+                elif kind == TOK_START_DOC:
+                    in_document = True
+                    level = 0
+                    max_level = 0
+                    events_seen = 1
+                    high_water = _LevelHighWater()
+                    decided.clear()
+                    text_open.clear()
+                    resolvers.clear()
+                    desc_by_name.clear()
+                    desc_wild.clear()
+                    desc_attr_wild.clear()
+                    del frames[:]
+                    frames.append(build_frame([trie_root]))
+                    for runtime in runtimes:
+                        outcomes[runtime.name] = None
+                        start_document(runtime)
+                    level = 1
+                elif kind == TOK_END_DOC:
+                    post_level = level - 1
+                    for runtime in runtimes:
+                        if runtime in decided:
+                            runtime.reset()  # mid-document by design; make it clean
+                            continue
+                        touch(runtime)
+                        resolve_children(runtime, post_level)
+                        root_rec = runtime.root_rec
+                        outcomes[runtime.name] = (root_rec[1] if root_rec is not None
+                                                  else False)
+                        observe(runtime, post_level)
+                    level = post_level
+                    in_document = False
+                    saw_end = True
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown token {token!r}")
+                high_water.push(events_seen, level)
+            if not saw_end or in_document:
+                raise ValueError("event stream did not contain an endDocument event")
+            completed = True
+        finally:
+            if not completed:
+                # never leave runtimes mid-document: a truncated stream must not
+                # corrupt the next filtering call
+                for runtime in runtimes:
+                    runtime.reset()
+
+        matched: List[str] = []
+        stats: Dict[str, FilterStatistics] = {}
+        for runtime in runtimes:
+            # per-runtime counters only saw fire points; the shared counters saw all
+            runtime.stats.events = events_seen
+            runtime.stats.max_level = max_level
+            stats[runtime.name] = runtime.stats
+            if outcomes[runtime.name]:
+                matched.append(runtime.name)
+        return BankResult(matched=matched, per_query_stats=stats)

@@ -205,17 +205,24 @@ class StreamingFilter:
 
     def process_event(self, event: Event) -> Optional[bool]:
         """Process a single event; returns the final decision on ``EndDocument``."""
-        self.stats.events += 1
         outcome: Optional[bool] = None
         if isinstance(event, StartDocument):
+            # _start_document replaces the statistics object with a fresh one whose
+            # events=1 accounts for this very event; incrementing the old object first
+            # would corrupt the statistics already returned for the previous document
+            # of a multi-document run (e.g. the preceding BankResult of filter_many)
             self._start_document()
         elif isinstance(event, StartElement):
+            self.stats.events += 1
             self._start_element(event.name)
         elif isinstance(event, Text):
+            self.stats.events += 1
             self._text(event.content)
         elif isinstance(event, EndElement):
+            self.stats.events += 1
             self._end_element(event.name)
         elif isinstance(event, EndDocument):
+            self.stats.events += 1
             outcome = self._end_document()
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown event {event!r}")

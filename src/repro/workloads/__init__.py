@@ -5,6 +5,7 @@ from .datasets import (
     book_catalog,
     dissemination_queries,
     nested_sections,
+    shared_prefix_feed,
     topic_feed,
     topic_subscriptions,
 )
@@ -26,6 +27,7 @@ from .queries import (
     frontier_sweep_queries,
     paper_query,
     path_query,
+    shared_prefix_subscriptions,
     value_predicate_query,
 )
 
@@ -48,6 +50,8 @@ __all__ = [
     "path_query",
     "random_labelled_document",
     "recursive_branch_document",
+    "shared_prefix_feed",
+    "shared_prefix_subscriptions",
     "topic_feed",
     "topic_subscriptions",
     "value_predicate_query",

@@ -15,7 +15,7 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.node import XMLNode
@@ -131,6 +131,46 @@ def topic_subscriptions(count: int, *, topics: int = 100) -> List[str]:
         f"/feed/topic{i % topics}[score{i % topics} > {40 + (i * 7) % 50}]"
         for i in range(count)
     ]
+
+
+def shared_prefix_feed(
+    entries: int,
+    *,
+    prefix: Sequence[str] = ("catalog", "product"),
+    branching: int = 4,
+    suffix_depth: int = 3,
+    recursion: int = 1,
+    value_range: int = 100,
+    seed: int = 5,
+) -> XMLDocument:
+    """A document workload matching :func:`~repro.workloads.queries.shared_prefix_subscriptions`.
+
+    The first ``prefix`` step is the document root; each entry is a fresh chain of the
+    remaining prefix steps followed by ``suffix_depth`` random ``s{k}`` steps (drawn
+    from the same ``branching``-letter alphabet the subscriptions use, reused at every
+    depth) ending in a numeric ``value`` leaf.
+
+    ``recursion`` is the deep-recursion knob: with ``recursion = r > 1``, each entry
+    nests ``r`` full suffix chains inside one another, so ``s{k}`` labels repeat along
+    root-to-leaf paths.  That exercises exactly the behaviors recursive documents
+    stress in the paper — nested candidate matches of descendant-axis steps, per-level
+    stacks of open string values, and deep frontier high-water marks — while staying
+    label-compatible with the subscription trie.
+    """
+    if recursion < 1:
+        raise ValueError("recursion must be at least 1")
+    rng = random.Random(seed)
+    root = XMLNode.element(prefix[0])
+    for _ in range(entries):
+        node = root
+        for step in prefix[1:]:
+            node = node.append_child(XMLNode.element(step))
+        for _level in range(recursion):
+            for _depth in range(suffix_depth):
+                node = node.append_child(XMLNode.element(f"s{rng.randrange(branching)}"))
+            value = node.append_child(XMLNode.element("value"))
+            value.append_child(XMLNode.text(str(rng.randrange(value_range))))
+    return XMLDocument.from_top_element(root)
 
 
 def dissemination_queries() -> List[str]:

@@ -7,6 +7,7 @@ sweep exactly the quantities the bounds are stated in.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List, Sequence
 
 from ..xpath.parser import parse_query
@@ -100,6 +101,57 @@ def deep_nested_predicate_query(depth: int) -> Query:
     for name in reversed(names[:-1]):
         text = f"{name}[{text}]"
     return parse_query("/" + text)
+
+
+def shared_prefix_subscriptions(
+    count: int,
+    *,
+    prefix: Sequence[str] = ("catalog", "product"),
+    branching: int = 4,
+    suffix_depth: int = 3,
+    descendant_fraction: float = 0.0,
+    wildcard_fraction: float = 0.0,
+    value_range: int = 50,
+    seed: int = 0,
+) -> List[str]:
+    """``count`` XPath subscriptions drawn from a common path trie.
+
+    Every subscription starts with the same ``prefix`` steps (e.g.
+    ``/catalog/product``) and continues with ``suffix_depth`` steps drawn from a
+    ``branching``-letter label alphabet (``s0 .. s{branching-1}``) that is *reused at
+    every depth*, ending in a ``value`` leaf with a numeric predicate.  The workload is
+    the YFilter-style sharing stress test:
+
+    * the shared prefix is identical across all subscriptions, so a prefix-sharing
+      engine evaluates it once while a per-query engine pays ``count`` times;
+    * ``branching`` controls the overlap of the suffixes — smaller alphabets mean more
+      shared suffix steps (higher trie sharing) but also more matches;
+    * label reuse across depths makes label-based dispatch pessimal: an engine indexed
+      by *label* must route an ``s3`` event to every subscription containing ``s3``
+      anywhere, while a path trie only wakes the subscriptions whose whole prefix
+      matched.
+
+    ``descendant_fraction``/``wildcard_fraction`` optionally turn suffix steps into
+    ``//``-axis or ``*`` steps (for overlap-heavy property testing).  Pair with
+    :func:`~repro.workloads.datasets.shared_prefix_feed` documents.
+    """
+    rng = random.Random(seed)
+    prefix_text = "".join(f"/{step}" for step in prefix)
+    subscriptions = []
+    for _ in range(count):
+        steps = []
+        for _depth in range(suffix_depth):
+            axis = "//" if rng.random() < descendant_fraction else "/"
+            if rng.random() < wildcard_fraction:
+                name = "*"
+            else:
+                name = f"s{rng.randrange(branching)}"
+            steps.append(f"{axis}{name}")
+        threshold = rng.randrange(value_range)
+        subscriptions.append(
+            f"{prefix_text}{''.join(steps)}[value > {threshold}]"
+        )
+    return subscriptions
 
 
 def frontier_sweep_queries(sizes: Sequence[int]) -> Dict[int, Query]:

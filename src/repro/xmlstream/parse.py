@@ -17,6 +17,28 @@ Three front ends are provided:
 * :func:`parse_with_sax` -- an adapter that runs Python's ``xml.sax`` parser and converts
   its callbacks into our event model.  Used to check the hand-written parser against the
   standard library on well-formed inputs, and available to users who prefer strict XML.
+
+Zero-copy token layer
+---------------------
+
+Internally the tokenizer produces flat *tokens* (plain tuples) rather than event
+objects, and the :class:`~repro.xmlstream.events.Event` front ends are thin converters
+on top.  Tokens exist so that hot consumers — the compiled filter bank — can process a
+document without materializing per-event objects or copying character data:
+
+* ``(TOK_START, name)`` / ``(TOK_END, name)`` for ``startElement`` / ``endElement``;
+* ``(TOK_TEXT, buf, start, end)`` for character data: the text value is
+  ``buf[start:end]`` and is *already unescaped* (runs containing entity references are
+  the only ones materialized eagerly; the common no-``&`` run stays a view into the
+  input buffer and is never copied unless a consumer actually slices it);
+* ``(TOK_START_DOC,)`` / ``(TOK_END_DOC,)`` for the document envelope
+  (:meth:`StreamingParser.parse_tokens` only).
+
+The scanner itself recognizes start and end tags with a single compiled regex
+alternation (:data:`_TOKEN_RE`) applied at each ``<``; comments, processing
+instructions and declarations keep their dedicated (cold-path) handling so the lenient
+recovery behavior — a ``<`` that never becomes markup is literal character data — is
+preserved exactly.
 """
 
 from __future__ import annotations
@@ -26,7 +48,7 @@ import re
 import xml.sax
 import xml.sax.handler
 from io import StringIO
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 
 from .events import (
     EndDocument,
@@ -37,14 +59,52 @@ from .events import (
     Text,
 )
 
-_TAG_RE = re.compile(
-    r"<(?P<close>/)?(?P<name>[^\s<>/]+)(?P<attrs>[^<>]*?)(?P<selfclose>/)?>",
+#: token kinds of the zero-copy token layer (first element of every token tuple)
+TOK_START = 0
+TOK_END = 1
+TOK_TEXT = 2
+TOK_START_DOC = 3
+TOK_END_DOC = 4
+
+#: a token: ``(TOK_START, name)``, ``(TOK_END, name)``, ``(TOK_TEXT, buf, start, end)``,
+#: ``(TOK_START_DOC,)`` or ``(TOK_END_DOC,)``
+Token = Tuple
+
+#: single alternation for both tag forms, tried at each ``<`` of the input.  End tags
+#: tolerate trailing junk after the name (``</a junk>``), matching the historic
+#: ``_TAG_RE`` behavior; attribute text cannot contain ``<`` or ``>``, so a match always
+#: ends at the first ``>`` after the ``<`` — exactly the span the old scanner passed to
+#: ``fullmatch``.
+_TOKEN_RE = re.compile(
+    r"<(?:/(?P<close>[^\s<>/]+)[^<>]*"
+    r"|(?P<name>[^\s<>/!?][^\s<>/]*)(?P<attrs>[^<>]*?)(?P<selfclose>/)?)>"
 )
 _ATTR_RE = re.compile(r"""(?P<name>[^\s=]+)\s*=\s*(?P<quote>["'])(?P<value>.*?)(?P=quote)""")
+
+#: matches one non-whitespace character; ``search(buf, s, e)`` is the allocation-free
+#: equivalent of ``buf[s:e].strip()`` used to drop whitespace-only character runs
+_NON_WS_RE = re.compile(r"\S")
 
 
 class XMLParseError(ValueError):
     """Raised when XML text cannot be parsed."""
+
+
+def _text_token(buf: str, start: int, end: int) -> Token:
+    """Build a text token whose value is already unescaped.
+
+    The common case — no entity reference in the run — keeps (buf, start, end) as a
+    lazy view; a consumer that never reads the value never pays for a copy.
+    """
+    if buf.find("&", start, end) < 0:
+        return (TOK_TEXT, buf, start, end)
+    value = _unescape(buf[start:end])
+    return (TOK_TEXT, value, 0, len(value))
+
+
+def token_text(token: Token) -> str:
+    """Materialize the character data of a ``TOK_TEXT`` token."""
+    return token[1][token[2]:token[3]]
 
 
 class _IncrementalTokenizer:
@@ -64,80 +124,92 @@ class _IncrementalTokenizer:
 
     def feed(self, chunk: str) -> List[Event]:
         """Consume a text chunk, returning every event that completed."""
-        self._buf += chunk
-        return self._scan(final=False)
+        return [_token_to_event(t) for t in self.feed_tokens(chunk)]
 
     def finish(self) -> List[Event]:
         """Flush the tokenizer, returning the trailing events (end of input)."""
+        return [_token_to_event(t) for t in self.finish_tokens()]
+
+    def feed_tokens(self, chunk: str) -> List[Token]:
+        """Consume a text chunk, returning every token that completed."""
+        self._buf += chunk
+        return self._scan(final=False)
+
+    def finish_tokens(self) -> List[Token]:
+        """Flush the tokenizer, returning the trailing tokens (end of input)."""
         return self._scan(final=True)
 
     # ------------------------------------------------------------------ scanning
-    def _scan(self, final: bool) -> List[Event]:
-        events: List[Event] = []
+    def _scan(self, final: bool) -> List[Token]:
+        tokens: List[Token] = []
         buf = self._buf
         n = len(buf)
         pos = 0  # start of the current (unflushed) character-data run
         scan = 0  # where to look for the next '<'
+        find = buf.find
+        match_at = _TOKEN_RE.match
         while True:
-            lt = buf.find("<", scan)
+            lt = find("<", scan)
             if lt < 0:
                 if final:
-                    self._flush_text(events, buf[pos:])
+                    self._flush_text(tokens, buf, pos, n)
                     pos = n
                 break
             if not final and n - lt < 4 and "<!--".startswith(buf[lt:]):
                 # "<", "<!", "<!-": cannot classify the construct yet
                 break
+            # hot path: a start or end tag, recognized by one compiled alternation
+            match = match_at(buf, lt)
+            if match is not None:
+                self._flush_text(tokens, buf, pos, lt)
+                self._emit_tag(tokens, buf, match)
+                pos = scan = match.end()
+                continue
+            # cold path: comment / processing instruction / declaration / stray '<'
             if buf.startswith("<!--", lt):
-                end = buf.find("-->", lt + 4)
+                end = find("-->", lt + 4)
                 if end < 0:
                     if final:  # unterminated comment: keep it as character data
-                        self._flush_text(events, buf[pos:])
+                        self._flush_text(tokens, buf, pos, n)
                         pos = n
                     break
-                self._flush_text(events, buf[pos:lt])
+                self._flush_text(tokens, buf, pos, lt)
                 pos = scan = end + 3
                 continue
             if buf.startswith("<?", lt):
-                end = buf.find("?>", lt + 2)
+                end = find("?>", lt + 2)
                 if end < 0:
                     if final:
-                        self._flush_text(events, buf[pos:])
+                        self._flush_text(tokens, buf, pos, n)
                         pos = n
                     break
-                self._flush_text(events, buf[pos:lt])
+                self._flush_text(tokens, buf, pos, lt)
                 pos = scan = end + 2
                 continue
             if buf.startswith("<!", lt):
                 end = self._declaration_end(buf, lt)
                 if end < 0:
                     if final:
-                        self._flush_text(events, buf[pos:])
+                        self._flush_text(tokens, buf, pos, n)
                         pos = n
                     break
-                self._flush_text(events, buf[pos:lt])
+                self._flush_text(tokens, buf, pos, lt)
                 pos = scan = end
                 continue
-            gt = buf.find(">", lt + 1)
-            next_lt = buf.find("<", lt + 1)
+            gt = find(">", lt + 1)
+            next_lt = find("<", lt + 1)
             if gt < 0 and next_lt < 0:
                 if final:
-                    self._flush_text(events, buf[pos:])
+                    self._flush_text(tokens, buf, pos, n)
                     pos = n
                 break  # the tag may complete in the next chunk
             if next_lt >= 0 and (gt < 0 or next_lt < gt):
                 # another '<' before any '>': this '<' cannot open a tag
                 scan = next_lt
-                continue
-            match = _TAG_RE.fullmatch(buf, lt, gt + 1)
-            if match is None:
+            else:
                 scan = lt + 1  # literal '<' inside character data
-                continue
-            self._flush_text(events, buf[pos:lt])
-            self._emit_tag(events, match)
-            pos = scan = gt + 1
         self._buf = buf[pos:]
-        return events
+        return tokens
 
     @staticmethod
     def _declaration_end(buf: str, lt: int) -> int:
@@ -158,25 +230,45 @@ class _IncrementalTokenizer:
         return -1
 
     @staticmethod
-    def _flush_text(events: List[Event], raw: str) -> None:
-        if raw.strip():
-            events.append(Text(_unescape(raw)))
+    def _flush_text(tokens: List[Token], buf: str, start: int, end: int) -> None:
+        if start >= end or _NON_WS_RE.search(buf, start, end) is None:
+            return  # whitespace-only runs are dropped (paper convention)
+        tokens.append(_text_token(buf, start, end))
 
     @staticmethod
-    def _emit_tag(events: List[Event], match: "re.Match[str]") -> None:
-        name = match.group("name")
-        if match.group("close"):
-            events.append(EndElement(name))
+    def _emit_tag(tokens: List[Token], buf: str, match: "re.Match[str]") -> None:
+        close = match.group("close")
+        if close is not None:
+            tokens.append((TOK_END, close))
             return
-        events.append(StartElement(name))
-        attrs_src = match.group("attrs") or ""
-        for attr in _ATTR_RE.finditer(attrs_src):
-            events.append(StartElement("@" + attr.group("name")))
-            if attr.group("value"):
-                events.append(Text(_unescape(attr.group("value"))))
-            events.append(EndElement("@" + attr.group("name")))
+        name = match.group("name")
+        tokens.append((TOK_START, name))
+        a_start, a_end = match.span("attrs")
+        if a_start < a_end:
+            for attr in _ATTR_RE.finditer(buf, a_start, a_end):
+                attr_name = "@" + attr.group("name")
+                tokens.append((TOK_START, attr_name))
+                v_start, v_end = attr.span("value")
+                if v_end > v_start:
+                    tokens.append(_text_token(buf, v_start, v_end))
+                tokens.append((TOK_END, attr_name))
         if match.group("selfclose"):
-            events.append(EndElement(name))
+            tokens.append((TOK_END, name))
+
+
+def _token_to_event(token: Token) -> Event:
+    kind = token[0]
+    if kind == TOK_START:
+        return StartElement(token[1])
+    if kind == TOK_END:
+        return EndElement(token[1])
+    if kind == TOK_TEXT:
+        return Text(token[1][token[2]:token[3]])
+    if kind == TOK_START_DOC:
+        return StartDocument()
+    if kind == TOK_END_DOC:
+        return EndDocument()
+    raise TypeError(f"unknown token {token!r}")  # pragma: no cover - defensive
 
 
 def tokenize(text: str) -> List[Event]:
@@ -187,17 +279,31 @@ def tokenize(text: str) -> List[Event]:
     verbatim (with entity references for ``&lt; &gt; &amp;`` decoded).  Comments,
     processing instructions and ``<!...>`` declarations are skipped.
     """
+    return [_token_to_event(t) for t in tokenize_tokens(text)]
+
+
+def tokenize_tokens(text: str) -> List[Token]:
+    """One-shot tokenization into the zero-copy token representation."""
     tokenizer = _IncrementalTokenizer()
-    events = tokenizer.feed(text)
-    events.extend(tokenizer.finish())
-    return events
+    tokens = tokenizer.feed_tokens(text)
+    tokens.extend(tokenizer.finish_tokens())
+    return tokens
 
 
 def parse_events(text: str) -> List[Event]:
     """Parse XML text into a full document event stream (with the ``<$>`` envelope)."""
-    inner = tokenize(text)
-    _check_nesting(inner)
-    return [StartDocument(), *inner, EndDocument()]
+    return [_token_to_event(token) for token in document_tokens(text)]
+
+
+def document_tokens(text: str) -> List[Token]:
+    """Parse XML text into a full document *token* stream (with the envelope).
+
+    Token-level equivalent of :func:`parse_events`: nesting is validated, and
+    :class:`XMLParseError` is raised for mismatched or unclosed tags.
+    """
+    tokens = tokenize_tokens(text)
+    _check_token_nesting(tokens)
+    return [(TOK_START_DOC,), *tokens, (TOK_END_DOC,)]
 
 
 def parse_document(text: str):
@@ -224,6 +330,9 @@ class StreamingParser:
     split across chunk boundaries are handled correctly.  Nesting is validated online:
     a mismatched closing tag raises :class:`XMLParseError` at the chunk that contains
     it, not at the end of the stream.
+
+    The ``*_tokens`` variants expose the zero-copy token layer; the event methods are
+    converters on top of them, so the two views of a stream can never disagree.
     """
 
     def __init__(self, *, encoding: str = "utf-8") -> None:
@@ -236,38 +345,11 @@ class StreamingParser:
     # ------------------------------------------------------------------ push API
     def feed(self, chunk: Chunk) -> List[Event]:
         """Consume one chunk and return the events that completed within it."""
-        if self._closed:
-            raise XMLParseError("feed() called after close()")
-        if isinstance(chunk, str):
-            text = chunk
-        else:
-            text = self._decoder.decode(bytes(chunk))
-        events: List[Event] = []
-        if not self._started:
-            self._started = True
-            events.append(StartDocument())
-        for event in self._tokenizer.feed(text):
-            self._track(event)
-            events.append(event)
-        return events
+        return [_token_to_event(t) for t in self.feed_tokens(chunk)]
 
     def close(self) -> List[Event]:
         """Flush the parser, validate nesting, and return the final events."""
-        if self._closed:
-            raise XMLParseError("close() called twice")
-        self._closed = True
-        events: List[Event] = []
-        if not self._started:
-            self._started = True
-            events.append(StartDocument())
-        tail = self._decoder.decode(b"", True)
-        for event in self._tokenizer.feed(tail) + self._tokenizer.finish():
-            self._track(event)
-            events.append(event)
-        if self._stack:
-            raise XMLParseError(f"unclosed tags: {self._stack}")
-        events.append(EndDocument())
-        return events
+        return [_token_to_event(t) for t in self.close_tokens()]
 
     def parse(self, chunks: Iterable[Chunk]) -> Iterator[Event]:
         """Lazily parse an iterable of chunks into a full document event stream."""
@@ -275,38 +357,84 @@ class StreamingParser:
             yield from self.feed(chunk)
         yield from self.close()
 
+    # ------------------------------------------------------------------ token API
+    def feed_tokens(self, chunk: Chunk) -> List[Token]:
+        """Consume one chunk and return the tokens that completed within it."""
+        if self._closed:
+            raise XMLParseError("feed() called after close()")
+        if isinstance(chunk, str):
+            text = chunk
+        else:
+            text = self._decoder.decode(bytes(chunk))
+        tokens: List[Token] = []
+        if not self._started:
+            self._started = True
+            tokens.append((TOK_START_DOC,))
+        for token in self._tokenizer.feed_tokens(text):
+            self._track(token)
+            tokens.append(token)
+        return tokens
+
+    def close_tokens(self) -> List[Token]:
+        """Flush the parser, validate nesting, and return the final tokens."""
+        if self._closed:
+            raise XMLParseError("close() called twice")
+        self._closed = True
+        tokens: List[Token] = []
+        if not self._started:
+            self._started = True
+            tokens.append((TOK_START_DOC,))
+        tail = self._decoder.decode(b"", True)
+        for token in self._tokenizer.feed_tokens(tail) + self._tokenizer.finish_tokens():
+            self._track(token)
+            tokens.append(token)
+        if self._stack:
+            raise XMLParseError(f"unclosed tags: {self._stack}")
+        tokens.append((TOK_END_DOC,))
+        return tokens
+
+    def parse_tokens(self, chunks: Iterable[Chunk]) -> Iterator[Token]:
+        """Lazily parse an iterable of chunks into a full document token stream."""
+        for chunk in chunks:
+            yield from self.feed_tokens(chunk)
+        yield from self.close_tokens()
+
     # ------------------------------------------------------------------ helpers
-    def _track(self, event: Event) -> None:
-        if isinstance(event, StartElement):
-            self._stack.append(event.name)
-        elif isinstance(event, EndElement):
+    def _track(self, token: Token) -> None:
+        kind = token[0]
+        if kind == TOK_START:
+            self._stack.append(token[1])
+        elif kind == TOK_END:
             if not self._stack:
-                raise XMLParseError(f"unmatched closing tag </{event.name}>")
+                raise XMLParseError(f"unmatched closing tag </{token[1]}>")
             expected = self._stack.pop()
-            if expected != event.name:
+            if expected != token[1]:
                 raise XMLParseError(
-                    f"mismatched closing tag: expected </{expected}>, got </{event.name}>"
+                    f"mismatched closing tag: expected </{expected}>, got </{token[1]}>"
                 )
 
 
-def _check_nesting(events: Sequence[Event]) -> None:
+def _check_token_nesting(tokens: Sequence[Token]) -> None:
     stack: List[str] = []
-    for event in events:
-        if isinstance(event, StartElement):
-            stack.append(event.name)
-        elif isinstance(event, EndElement):
+    for token in tokens:
+        kind = token[0]
+        if kind == TOK_START:
+            stack.append(token[1])
+        elif kind == TOK_END:
             if not stack:
-                raise XMLParseError(f"unmatched closing tag </{event.name}>")
+                raise XMLParseError(f"unmatched closing tag </{token[1]}>")
             expected = stack.pop()
-            if expected != event.name:
+            if expected != token[1]:
                 raise XMLParseError(
-                    f"mismatched closing tag: expected </{expected}>, got </{event.name}>"
+                    f"mismatched closing tag: expected </{expected}>, got </{token[1]}>"
                 )
     if stack:
         raise XMLParseError(f"unclosed tags: {stack}")
 
 
 def _unescape(raw: str) -> str:
+    if "&" not in raw:  # fast path: nothing to decode, no rebuild
+        return raw
     return (
         raw.replace("&lt;", "<")
         .replace("&gt;", ">")
@@ -317,6 +445,8 @@ def _unescape(raw: str) -> str:
 
 
 def _escape(raw: str) -> str:
+    if "&" not in raw and "<" not in raw and ">" not in raw:
+        return raw  # fast path: nothing to encode, no rebuild
     return (
         raw.replace("&", "&amp;")
         .replace("<", "&lt;")

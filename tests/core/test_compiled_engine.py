@@ -1,0 +1,210 @@
+"""Property tests: the compiled prefix-trie engine is indistinguishable from the
+interpreted engines.
+
+:class:`~repro.core.CompiledFilterBank` shares prefix work across subscriptions and
+runs per-query state on flat compiled plans; :class:`~repro.core.FilterBank` (PR 1)
+dispatches interpreted filters by label; :class:`~repro.baselines.NaiveFilterBank`
+feeds every event to every filter.  On random documents and random query banks —
+including wildcard node tests and overlapping descendant axes, where several candidate
+matches of one query node are open at once — the three must report identical matched
+sets *and* identical full per-query :class:`~repro.core.FilterStatistics`.  The
+statistics equality is the strong claim: it certifies that trie sharing, fire-point
+dispatch and the skipped-window high-water accounting lose nothing of the Section 8
+space-accounting model.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NaiveFilterBank
+from repro.core import CompiledFilterBank, FilterBank, UnsupportedQueryError
+from repro.core.compile import AX_CHILD, AX_DESC, compile_query
+from repro.workloads import shared_prefix_feed, shared_prefix_subscriptions
+from repro.xmlstream.parse import parse_events
+from repro.xmlstream.serialize import serialize_document
+from repro.xpath import parse_query
+
+from ..strategies import documents, random_supported_query
+
+#: descendant-heavy and wildcard-heavy shapes that stress trie sharing corners:
+#: nested candidate matches of one node, wildcard fan-out, self-overlapping paths
+_OVERLAP_QUERIES = [
+    "//a//a",
+    "/a//a[b]",
+    "//*",
+    "/*[b]",
+    "/a/*/c",
+    "//*[d > 2]",
+    "//a[.//b and c]",
+    "//a[.//a]",
+    "//b[.//b > 2 and c]",
+]
+
+
+def _register_random_queries(seed: int, count: int):
+    rng = random.Random(seed)
+    compiled, indexed, naive = CompiledFilterBank(), FilterBank(), NaiveFilterBank()
+    queries = {}
+    for index in range(count):
+        if rng.random() < 0.25:
+            query = parse_query(rng.choice(_OVERLAP_QUERIES))
+        else:
+            query = random_supported_query(rng, allow_wildcard=True)
+        name = f"q{index}"
+        queries[name] = query
+        compiled.register(name, query)
+        indexed.register(name, query)
+        naive.register(name, query)
+    return compiled, indexed, naive, queries
+
+
+class TestCompiledEngineEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           count=st.integers(min_value=1, max_value=8))
+    def test_matched_sets_and_stats_agree_on_random_inputs(self, document, seed, count):
+        compiled, indexed, naive, queries = _register_random_queries(seed, count)
+        compiled_result = compiled.filter_document(document)
+        indexed_result = indexed.filter_document(document)
+        naive_result = naive.filter_document(document)
+        assert compiled_result.matched == indexed_result.matched == naive_result.matched
+        for name in queries:
+            assert compiled_result.per_query_stats[name] == \
+                indexed_result.per_query_stats[name] == \
+                naive_result.per_query_stats[name]
+
+    @settings(max_examples=30, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           count=st.integers(min_value=1, max_value=6))
+    def test_filter_many_agrees_including_statistics(self, document, seed, count):
+        compiled, indexed, _naive, queries = _register_random_queries(seed, count)
+        compiled_batch = compiled.filter_many([document, document])
+        indexed_batch = indexed.filter_many([document, document])
+        assert [r.matched for r in compiled_batch] == \
+            [r.matched for r in indexed_batch]
+        for compiled_result, indexed_result in zip(compiled_batch, indexed_batch):
+            for name in queries:
+                assert compiled_result.per_query_stats[name] == \
+                    indexed_result.per_query_stats[name]
+
+    @settings(max_examples=30, deadline=None)
+    @given(document=documents(),
+           seed=st.integers(min_value=0, max_value=2**32 - 1),
+           chunk_size=st.integers(min_value=1, max_value=17))
+    def test_zero_copy_pipelines_agree_with_event_dispatch(self, document, seed,
+                                                           chunk_size):
+        """filter_stream (chunked bytes) and filter_text (one string) run the token
+        pipeline; both must equal interpreted filtering of the same parsed stream."""
+        compiled, indexed, _naive, queries = _register_random_queries(seed, count=4)
+        text = serialize_document(document)
+        events = parse_events(text)
+        data = text.encode()
+        chunks = [data[i:i + chunk_size] for i in range(0, len(data), chunk_size)]
+        reference = indexed.filter_events(events)
+        streamed = compiled.filter_stream(chunks)
+        texted = compiled.filter_text(text)
+        assert reference.matched == streamed.matched == texted.matched
+        for name in queries:
+            assert reference.per_query_stats[name] == \
+                streamed.per_query_stats[name] == texted.per_query_stats[name]
+
+    def test_shared_prefix_workload_statistics_equality(self):
+        compiled, indexed = CompiledFilterBank(), FilterBank()
+        subscriptions = shared_prefix_subscriptions(
+            40, branching=2, suffix_depth=3, descendant_fraction=0.3,
+            wildcard_fraction=0.2, seed=21)
+        for index, text in enumerate(subscriptions):
+            compiled.register(f"q{index}", parse_query(text))
+            indexed.register(f"q{index}", parse_query(text))
+        for recursion in (1, 3):
+            feed = shared_prefix_feed(25, branching=2, suffix_depth=3,
+                                      recursion=recursion, seed=22)
+            compiled_result = compiled.filter_document(feed)
+            indexed_result = indexed.filter_document(feed)
+            assert compiled_result.matched == indexed_result.matched
+            assert compiled_result.per_query_stats == indexed_result.per_query_stats
+
+
+class TestCompiledBankBehavior:
+    def test_register_validates_and_rejects_duplicates(self):
+        bank = CompiledFilterBank()
+        bank.register("q", parse_query("/a[b > 1]"))
+        try:
+            bank.register("q", parse_query("/a"))
+            raise AssertionError("duplicate registration accepted")
+        except ValueError:
+            pass
+        try:
+            bank.register("bad", parse_query("/a[b or c]"))
+            raise AssertionError("disjunctive query accepted")
+        except UnsupportedQueryError:
+            pass
+        assert bank.subscriptions() == ["q"]
+
+    def test_unregister_rebuilds_the_trie(self):
+        bank = CompiledFilterBank()
+        bank.register("q0", parse_query("/a/b"))
+        bank.register("q1", parse_query("/a/c"))
+        size_before = bank.trie_size()
+        bank.unregister("q1")
+        assert bank.trie_size() < size_before
+        document = parse_events("<a><b/><c/></a>")
+        assert bank.filter_events(document).matched == ["q0"]
+
+    def test_truncated_stream_raises_and_bank_stays_usable(self):
+        from repro.xmlstream.events import StartDocument, StartElement
+
+        bank = CompiledFilterBank()
+        bank.register("q", parse_query("/a[b > 2]"))
+        try:
+            bank.filter_events([StartDocument(), StartElement("a")])
+            raise AssertionError("truncated stream accepted")
+        except ValueError:
+            pass
+        result = bank.filter_events(parse_events("<a><b>3</b></a>"))
+        assert result.matched == ["q"]
+
+
+class TestCompiledPlans:
+    def test_plan_lowers_axes_names_and_children(self):
+        plan = compile_query(parse_query("/a[c > 5]//b"))
+        # slots are pre-order: root, a, c, b (predicate child precedes the successor
+        # only if the parser attached it first; assert via the arrays themselves)
+        assert plan.slot_count == 4
+        assert plan.axis[0] == AX_CHILD and plan.parent[0] == 0
+        by_ntest = {plan.ntests[slot]: slot for slot in range(1, plan.slot_count)}
+        assert plan.axis[by_ntest["a"]] == AX_CHILD
+        assert plan.axis[by_ntest["b"]] == AX_DESC
+        assert plan.parent[by_ntest["c"]] == by_ntest["a"]
+        assert plan.root_children == (by_ntest["a"],)
+        assert plan.is_leaf[by_ntest["c"]] and plan.is_leaf[by_ntest["b"]]
+        # interned ids are dense and distinct
+        ids = [plan.ntest_ids[slot] for slot in range(1, plan.slot_count)]
+        assert sorted(ids) == [0, 1, 2]
+
+    def test_leaf_truth_compilation(self):
+        plan = compile_query(parse_query("/a[b > 5]"))
+        truth = plan.truth[max(range(plan.slot_count),
+                               key=lambda s: plan.ntests[s] == "b")]
+        assert truth is not None
+        assert truth("6") and not truth("5") and not truth("hello")
+        universal = compile_query(parse_query("/a/b"))
+        assert all(fn is None for fn in universal.truth)
+
+    def test_prefix_sharing_collapses_common_steps(self):
+        bank = CompiledFilterBank()
+        subscriptions = shared_prefix_subscriptions(64, branching=2, suffix_depth=3,
+                                                    seed=13)
+        total_steps = 0
+        for index, text in enumerate(subscriptions):
+            query = parse_query(text)
+            bank.register(f"q{index}", query)
+            total_steps += query.size()
+        # 2 prefix steps + a binary suffix trie of depth 3 (plus value leaves) is far
+        # smaller than 64 unshared six-step chains
+        assert bank.trie_size() <= 2 + (2 + 4 + 8) * 2
+        assert bank.trie_size() < total_steps / 5

@@ -40,21 +40,29 @@ def documents(draw, max_depth: int = 4) -> XMLDocument:
 
 
 # --------------------------------------------------------------------------- queries
+def _random_name(rng: random.Random, allow_wildcard: bool) -> str:
+    if allow_wildcard and rng.random() < 0.2:
+        return "*"
+    return rng.choice(LABELS)
+
+
 def _random_step(rng: random.Random, depth: int, max_depth: int,
                  allow_wildcard: bool) -> str:
-    name = rng.choice(LABELS)
+    name = _random_name(rng, allow_wildcard)
     axis = rng.choice(("/", "//"))
     predicates: List[str] = []
     if depth < max_depth and rng.random() < 0.6:
         count = rng.randint(1, 2)
         for _ in range(count):
-            predicates.append(_random_relative(rng, depth + 1, max_depth))
+            predicates.append(_random_relative(rng, depth + 1, max_depth,
+                                               allow_wildcard))
     predicate_text = f"[{' and '.join(predicates)}]" if predicates else ""
     return f"{axis}{name}{predicate_text}"
 
 
-def _random_relative(rng: random.Random, depth: int, max_depth: int) -> str:
-    name = rng.choice(LABELS)
+def _random_relative(rng: random.Random, depth: int, max_depth: int,
+                     allow_wildcard: bool = False) -> str:
+    name = _random_name(rng, allow_wildcard)
     prefix = rng.choice(("", ".//"))
     choice = rng.random()
     if choice < 0.35:
@@ -62,30 +70,32 @@ def _random_relative(rng: random.Random, depth: int, max_depth: int) -> str:
         constant = rng.choice((2, 5, 7))
         return f"{prefix}{name} {operator} {constant}"
     if choice < 0.55 and depth < max_depth:
-        inner = _random_relative(rng, depth + 1, max_depth)
+        inner = _random_relative(rng, depth + 1, max_depth, allow_wildcard)
         return f"{prefix}{name}[{inner}]"
     if choice < 0.7:
-        follow = rng.choice(LABELS)
+        follow = _random_name(rng, allow_wildcard)
         axis = rng.choice(("/", "//"))
         return f"{prefix}{name}{axis}{follow}"
     return f"{prefix}{name}"
 
 
 def random_supported_query(rng: random.Random, *, max_steps: int = 2,
-                           max_depth: int = 2) -> Query:
+                           max_depth: int = 2,
+                           allow_wildcard: bool = False) -> Query:
     """A random univariate conjunctive leaf-only-value-restricted query.
 
     The generator only emits shapes the streaming filter supports: child/descendant
     axes, conjunctions, and single-variable comparisons against constants on leaves.
+    With ``allow_wildcard`` some node tests become ``*`` (still supported).
     """
     steps = rng.randint(1, max_steps)
-    text = "".join(_random_step(rng, 1, max_depth, allow_wildcard=False)
+    text = "".join(_random_step(rng, 1, max_depth, allow_wildcard=allow_wildcard)
                    for _ in range(steps))
     return parse_query(text)
 
 
 @st.composite
-def supported_queries(draw) -> Query:
+def supported_queries(draw, allow_wildcard: bool = False) -> Query:
     """Hypothesis wrapper over :func:`random_supported_query`."""
     seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
-    return random_supported_query(random.Random(seed))
+    return random_supported_query(random.Random(seed), allow_wildcard=allow_wildcard)

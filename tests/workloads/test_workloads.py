@@ -24,6 +24,8 @@ from repro.workloads import (
     paper_query,
     path_query,
     recursive_branch_document,
+    shared_prefix_feed,
+    shared_prefix_subscriptions,
     value_predicate_query,
     wide_text_document,
 )
@@ -140,3 +142,57 @@ class TestDatasets:
 
         for text in dissemination_queries():
             StreamingFilter(parse_query(text))  # must not raise
+
+
+class TestSharedPrefixWorkload:
+    def test_subscriptions_share_the_prefix_and_are_supported(self):
+        from repro.core import StreamingFilter
+
+        subs = shared_prefix_subscriptions(20, branching=3, suffix_depth=2, seed=1)
+        assert len(subs) == 20
+        for text in subs:
+            assert text.startswith("/catalog/product/")
+            StreamingFilter(parse_query(text))  # must not raise
+
+    def test_subscriptions_are_deterministic_and_overlap_scales_with_branching(self):
+        assert shared_prefix_subscriptions(10, seed=3) == \
+            shared_prefix_subscriptions(10, seed=3)
+        # a 1-letter alphabet collapses every suffix path onto one trie chain
+        narrow = shared_prefix_subscriptions(10, branching=1, value_range=1, seed=2)
+        assert len({text.split("[")[0] for text in narrow}) == 1
+
+    def test_descendant_and_wildcard_knobs(self):
+        subs = shared_prefix_subscriptions(
+            12, descendant_fraction=1.0, wildcard_fraction=1.0, seed=4)
+        assert all("//*" in text for text in subs)
+
+    def test_feed_matches_subscription_trie(self):
+        subs = shared_prefix_subscriptions(30, branching=2, suffix_depth=2,
+                                           value_range=1, seed=5)
+        feed = shared_prefix_feed(40, branching=2, suffix_depth=2, seed=6)
+        assert any(bool_eval(parse_query(text), feed) for text in subs)
+
+    def test_feed_recursion_knob_controls_depth(self):
+        shallow = shared_prefix_feed(5, suffix_depth=2, recursion=1, seed=7)
+        deep = shared_prefix_feed(5, suffix_depth=2, recursion=4, seed=7)
+        # prefix (2) + recursion * suffix chain (2) + the value leaf
+        assert shallow.depth() == 2 + 1 * 2 + 1
+        assert deep.depth() == 2 + 4 * 2 + 1
+        with pytest.raises(ValueError):
+            shared_prefix_feed(1, recursion=0)
+
+    def test_recursive_feed_agrees_across_engines(self):
+        from repro.baselines import NaiveFilterBank
+        from repro.core import CompiledFilterBank, FilterBank
+
+        subs = shared_prefix_subscriptions(15, branching=2, suffix_depth=2,
+                                           descendant_fraction=0.4, seed=8)
+        feed = shared_prefix_feed(12, branching=2, suffix_depth=2, recursion=3, seed=9)
+        banks = [FilterBank(), CompiledFilterBank(), NaiveFilterBank()]
+        for index, text in enumerate(subs):
+            for bank in banks:
+                bank.register(f"q{index}", parse_query(text))
+        results = [bank.filter_document(feed) for bank in banks]
+        assert results[0].matched == results[1].matched == results[2].matched
+        assert results[0].per_query_stats == results[1].per_query_stats \
+            == results[2].per_query_stats
