@@ -11,13 +11,53 @@ Add ``-s`` to also see the regenerated result tables printed by each experiment.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
+import time
 from typing import Iterable, Sequence
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+#: the repository-root perf trajectory shared by the filter-bank benchmarks
+TRAJECTORY_PATH = os.path.join(os.path.dirname(_SRC), "BENCH_filterbank.json")
+
+#: current trajectory file layout: {"schema": 2, "runs": [run, ...]}
+TRAJECTORY_SCHEMA = 2
+
+
+def append_bench_run(run: dict, path: str = TRAJECTORY_PATH) -> dict:
+    """Append one timestamped run entry to the perf-trajectory file.
+
+    The file accumulates runs (schema 2) instead of being overwritten, so it records
+    an actual performance trajectory across PRs and machines.  A legacy schema-1
+    file (one flat run dict at top level) is converted in place into the first run
+    entry, with a ``null`` timestamp marking that its wall-clock time was never
+    recorded.  Unreadable files are replaced rather than crashing the benchmark.
+    """
+    data = None
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except ValueError:
+            data = None
+    if not isinstance(data, dict):
+        data = {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    elif "runs" not in data:
+        legacy = dict(data)
+        legacy.setdefault("timestamp", None)
+        data = {"schema": TRAJECTORY_SCHEMA, "runs": [legacy]}
+    data["schema"] = TRAJECTORY_SCHEMA
+    entry = dict(run)
+    entry.setdefault("timestamp", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()))
+    data["runs"].append(entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return data
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:

@@ -26,7 +26,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 
 from repro import FilterBank, parse_query
 from repro.baselines import NaiveFilterBank
-from repro.core import CompiledFilterBank
+from repro.core import CompiledFilterBank, MatchOnlyFilterBank, ShardedFilterBank
 from repro.workloads import (
     book_catalog,
     dissemination_queries,
@@ -108,6 +108,45 @@ def main() -> None:
     print(f"indexed bank:  {len(feed_events) / timings['indexed']:>12,.0f} events/sec")
     print(f"speedup:       {timings['indexed'] / timings['compiled']:.1f}x "
           f"({matched} subscriptions matched)")
+
+    # 5. the match-only fast path (PR 3): same matches, no statistics machinery -------
+    fast = MatchOnlyFilterBank()
+    for index, text in enumerate(shared_prefix_subscriptions(1000, seed=3)):
+        fast.register(f"sub{index}", parse_query(text))
+    fast.filter_events(iter(feed_events))  # warm up (builds the trie)
+    start = time.perf_counter()
+    fast_result = fast.filter_events(iter(feed_events))
+    fast_seconds = time.perf_counter() - start
+    assert sorted(fast_result.matched) == matched_sets["compiled"]
+    print(f"\nmatch-only fast path ({fast.distinct_plan_count()} interned plans "
+          f"for {len(fast)} subscriptions):")
+    print(f"fast path:     {len(feed_events) / fast_seconds:>12,.0f} events/sec "
+          f"({timings['compiled'] / fast_seconds:.0f}x over the stats engine)")
+
+    # 6. subscription churn splices the live trie instead of rebuilding it ------------
+    start = time.perf_counter()
+    for index, text in enumerate(shared_prefix_subscriptions(200, seed=9)):
+        fast.register(f"churn{index}", parse_query(text))
+        fast.unregister(f"churn{index}")
+    churn_seconds = time.perf_counter() - start
+    print(f"400 churn ops spliced into the live trie in {churn_seconds * 1000:.1f}ms "
+          f"({400 / churn_seconds:,.0f} ops/sec)")
+
+    # 7. the sharded bank spreads the subscriptions across worker processes -----------
+    shards = min(4, os.cpu_count() or 1)
+    with ShardedFilterBank(shards) as sharded:
+        for index, text in enumerate(shared_prefix_subscriptions(1000, seed=3)):
+            sharded.register(f"sub{index}", parse_query(text))
+        sharded.filter_events(iter(feed_events))  # warm up (spawns the workers)
+        start = time.perf_counter()
+        sharded_result = sharded.filter_events(iter(feed_events))
+        sharded_seconds = time.perf_counter() - start
+        assert sorted(sharded_result.matched) == matched_sets["compiled"]
+        print(f"\nsharded bank ({shards} worker processes, "
+              f"{os.cpu_count()} cores visible):")
+        print(f"sharded:       {len(feed_events) / sharded_seconds:>12,.0f} "
+              f"events/sec ({fast_seconds / sharded_seconds:.2f}x over "
+              f"single-process match-only)")
 
 
 if __name__ == "__main__":

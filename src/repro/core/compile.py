@@ -42,6 +42,32 @@ maximum level reproduces the per-event peak exactly).  The interpreted filter st
 the semantics reference; a hypothesis property test asserts that the compiled engine,
 the indexed bank and the naive bank agree on matched sets and full per-query
 statistics.
+
+Three throughput layers sit on top of the trie (PR 3):
+
+**Plan deduplication.**  Plans are interned by the canonical form of the query (its
+deterministic XPath serialization): ``N`` subscriptions with equal queries share one
+:class:`_Runtime` and fan out only at result-assembly time, so the per-event cost
+scales with *distinct* plans.  Two equal queries evaluate identically by construction,
+so the shared per-runtime :class:`~repro.core.filter.FilterStatistics` object is the
+statistics either would have produced on its own.
+
+**Incremental trie maintenance.**  ``register``/``unregister`` splice a plan's steps
+into/out of the live trie (updating the precomputed edge lists in place and pruning
+trie nodes that lose their last step bottom-up) instead of discarding it, making
+subscription churn O(query size) rather than O(total registered steps).
+:meth:`CompiledFilterBank.rebuild_trie` forces the old from-scratch rebuild — the
+churn benchmark's baseline and the equivalence oracle of the property tests.
+
+**The match-only fast path.**  ``CompiledFilterBank(stats=False)`` (alias
+:class:`MatchOnlyFilterBank`) runs a reduced per-query state machine that tracks only
+the ``matched`` bits the Boolean outcome depends on: no ``FilterStatistics``, no
+peak-frontier/peak-bits/high-water bookkeeping, no frontier-scan-order replay, and
+per-document runtime state is initialized lazily at a runtime's first fire point, so
+untouched subscriptions cost nothing per document.  Because a ``matched`` flag only
+accumulates with OR, a decided outcome is final and the fast path always retires a
+runtime mid-document once its outcome is known.  The stats-accurate path is untouched
+and stays byte-identical to the interpreted engines.
 """
 
 from __future__ import annotations
@@ -142,6 +168,7 @@ class CompiledQuery:
         "truth",
         "root_children",
         "qnode_bits",
+        "is_path",
     )
 
     def __init__(self, query: Query, names: Dict[str, int]) -> None:
@@ -167,6 +194,11 @@ class CompiledQuery:
         self.root_children = self.children[0]
         # FrontierMemoryModel(query_size=max(|Q|, 1)): log(|Q|+1) bits per node ref
         self.qnode_bits = bits_for(max(query.size(), 1) + 1)
+        # a *path plan* is a pure chain (every node has at most one child): its only
+        # leaf is the last pre-order slot, and a structural trie fire of that leaf is
+        # already an exact candidate match — the match-only fast path exploits this
+        # by keeping no frontier records at all for such plans
+        self.is_path = all(len(children) <= 1 for children in self.children)
 
 
 def compile_query(query: Query, names: Optional[Dict[str, int]] = None) -> CompiledQuery:
@@ -230,18 +262,34 @@ class _TrieNode:
 # can decide a reinserted child-axis record's matched flag.  Processing fires in seq
 # order reproduces the scan exactly.
 class _Runtime:
-    """Per-subscription mutable state (the compiled analogue of a StreamingFilter)."""
+    """Per-plan mutable state (the compiled analogue of a StreamingFilter).
+
+    With plan interning one runtime serves every subscription whose query has the same
+    canonical form; ``names`` lists those subscriptions in registration order and
+    ``keyform`` is the interning key.  ``trie_nodes`` is the slot-indexed list of trie
+    nodes this runtime's steps were spliced onto (``None`` until the trie is built),
+    kept so ``unregister`` can splice them out again without a rebuild.  ``doc_gen``,
+    ``decided`` and ``outcome`` belong to the match-only fast path, which initializes
+    per-document state lazily at the runtime's first fire point.
+    """
 
     __slots__ = ("name", "plan", "stats", "recs", "frontier_size", "buf_parts",
                  "buf_size", "ref_count", "recs_by_level", "leaf_opens", "last_ts",
-                 "root_rec", "next_seq")
+                 "root_rec", "next_seq", "names", "keyform", "trie_nodes", "doc_gen",
+                 "decided", "outcome")
 
-    def __init__(self, name: str, plan: CompiledQuery) -> None:
+    def __init__(self, name: str, plan: CompiledQuery, keyform: str = "") -> None:
         self.name = name
         self.plan = plan
+        self.keyform = keyform
+        self.names = [name]
+        self.trie_nodes: Optional[List[_TrieNode]] = None
         self.stats = FilterStatistics()
         self.last_ts = 0
         self.root_rec: Optional[list] = None
+        self.doc_gen = 0
+        self.decided = False
+        self.outcome = False
         self.reset()
 
     def reset(self) -> None:
@@ -256,11 +304,11 @@ class _Runtime:
         self.next_seq = 0
 
 
-def _slice_from(runtime: _Runtime, start: int) -> str:
+def _slice_parts(parts: List[Token], start: int) -> str:
     """The buffered string value from character offset ``start`` (Fig. 20's data)."""
     pieces: List[str] = []
     offset = 0
-    for part in runtime.buf_parts:
+    for part in parts:
         begin, end = part[2], part[3]
         length = end - begin
         if offset + length > start:
@@ -270,6 +318,63 @@ def _slice_from(runtime: _Runtime, start: int) -> str:
                 pieces.append(part[1][begin:end])
         offset += length
     return "".join(pieces)
+
+
+def _slice_from(runtime: _Runtime, start: int) -> str:
+    """The runtime's buffered string value from character offset ``start``."""
+    return _slice_parts(runtime.buf_parts, start)
+
+
+def _build_frame(fired: List[_TrieNode], desc_by_name: Dict[str, dict],
+                 desc_wild: dict, desc_attr_wild: dict) -> Optional[tuple]:
+    """Build one element frame from the trie nodes that fired at its start event.
+
+    Shared by the stats-accurate and match-only hot loops: collects the fired
+    nodes' level-checked edges into the frame's dispatch buckets and registers
+    their descendant edges in the global count maps, returning the ``(expect,
+    wild, attr_wild, desc_added)`` tuple (or ``None`` when nothing is expected,
+    so the end handler can skip the frame entirely).
+    """
+    expect = None
+    wild = None
+    attr_wild = None
+    desc_added = None
+    for node in fired:
+        if node.child_concrete:
+            if expect is None:
+                expect = {}
+            for ntest, child in node.child_concrete:
+                bucket = expect.get(ntest)
+                if bucket is None:
+                    expect[ntest] = [child]
+                else:
+                    bucket.append(child)
+        if node.child_wild is not None:
+            if wild is None:
+                wild = []
+            wild.append(node.child_wild)
+        if node.child_attr_wild is not None:
+            if attr_wild is None:
+                attr_wild = []
+            attr_wild.append(node.child_attr_wild)
+        if node.desc_edges:
+            if desc_added is None:
+                desc_added = []
+            for kind, ntest, child in node.desc_edges:
+                if kind == 0:
+                    bucket = desc_by_name.get(ntest)
+                    if bucket is None:
+                        bucket = desc_by_name[ntest] = {}
+                elif kind == 1:
+                    bucket = desc_wild
+                else:
+                    bucket = desc_attr_wild
+                bucket[child] = bucket.get(child, 0) + 1
+                desc_added.append((bucket, child))
+    if expect is None and wild is None and attr_wild is None \
+            and desc_added is None:
+        return None
+    return (expect, wild, attr_wild, desc_added)
 
 
 def event_tokens(events: Iterable[Event]) -> Iterator[Token]:
@@ -301,14 +406,23 @@ class CompiledFilterBank:
     API-compatible with :class:`~repro.core.filterbank.FilterBank` (register /
     unregister / filter_events / filter_document / filter_stream / filter_many), plus
     :meth:`filter_text` which runs the zero-copy token pipeline straight off XML text.
-    Matched sets and per-query :class:`~repro.core.filter.FilterStatistics` are
-    byte-identical to the interpreted engines.
+    With ``stats=True`` (the default) matched sets and per-query
+    :class:`~repro.core.filter.FilterStatistics` are byte-identical to the interpreted
+    engines; ``stats=False`` selects the match-only fast path, which reports the same
+    matched sets with an empty ``per_query_stats`` at a fraction of the per-event cost.
+
+    Plans are interned by canonical query form (subscriptions with equal queries share
+    one runtime) and ``register``/``unregister`` maintain the shared trie
+    incrementally once it has been built.
     """
 
-    def __init__(self) -> None:
-        self._subs: Dict[str, _Runtime] = {}
+    def __init__(self, *, stats: bool = True) -> None:
+        self._stats = stats
+        self._subs: Dict[str, _Runtime] = {}  # name -> shared runtime (reg. order)
+        self._runtimes: Dict[str, _Runtime] = {}  # canonical form -> runtime
         self._names: Dict[str, int] = {}  # interned node-test name ids (plan-wide)
         self._trie_root: Optional[_TrieNode] = None
+        self._generation = 0  # fast-path document generation counter
 
     # ------------------------------------------------------------------ registration
     def register(self, name: str, query: Query) -> None:
@@ -316,17 +430,37 @@ class CompiledFilterBank:
 
         Raises ``ValueError`` for duplicate names and
         :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries.
+        A query equal (by canonical form) to an already-registered one shares that
+        query's compiled plan and runtime; a new plan is spliced into the live trie
+        in O(query size) instead of forcing a rebuild.
         """
         if name in self._subs:
             raise ValueError(f"a subscription named {name!r} is already registered")
-        plan = CompiledQuery(query, self._names)
-        self._subs[name] = _Runtime(name, plan)
-        self._trie_root = None  # rebuilt lazily before the next run
+        StreamingFilter._check_supported(query)
+        keyform = query.to_xpath()
+        runtime = self._runtimes.get(keyform)
+        if runtime is None:
+            plan = CompiledQuery(query, self._names)
+            runtime = _Runtime(name, plan, keyform)
+            self._runtimes[keyform] = runtime
+            if self._trie_root is not None:
+                self._splice_in(runtime)
+        else:
+            runtime.names.append(name)
+        self._subs[name] = runtime
 
     def unregister(self, name: str) -> None:
-        """Remove a subscription; unknown names raise ``KeyError``."""
-        del self._subs[name]
-        self._trie_root = None
+        """Remove a subscription; unknown names raise ``KeyError``.
+
+        The last subscription of a plan splices the plan's steps out of the live trie
+        (pruning trie nodes that lose their last step) instead of forcing a rebuild.
+        """
+        runtime = self._subs.pop(name)
+        runtime.names.remove(name)
+        if not runtime.names:
+            del self._runtimes[runtime.keyform]
+            if self._trie_root is not None:
+                self._splice_out(runtime)
 
     def subscriptions(self) -> List[str]:
         """The registered subscription names, in registration order."""
@@ -334,6 +468,10 @@ class CompiledFilterBank:
 
     def __len__(self) -> int:
         return len(self._subs)
+
+    def distinct_plan_count(self) -> int:
+        """Number of distinct interned plans (= runtimes) serving the subscriptions."""
+        return len(self._runtimes)
 
     def query(self, name: str) -> Query:
         """The query registered under ``name``."""
@@ -344,21 +482,118 @@ class CompiledFilterBank:
         return self._subs[name].plan
 
     # ------------------------------------------------------------------ trie building
+    def _sub_slots(self, plan: CompiledQuery) -> Tuple[int, ...]:
+        """The slots of a plan that carry per-subscription entries on trie nodes.
+
+        In the stats-accurate mode every step needs per-query record work at its fire
+        points.  In match-only mode a *path plan* (a pure chain) needs none: the
+        structural fire of its leaf is an exact candidate match, so only the leaf
+        slot is registered and the inner steps exist purely as shared trie structure.
+        """
+        if not self._stats and plan.is_path:
+            # slot_count == 1 is the bare-root query, which never matches anything
+            return (plan.slot_count - 1,) if plan.slot_count > 1 else ()
+        return tuple(range(1, plan.slot_count))
+
     def _trie(self) -> _TrieNode:
         if self._trie_root is None:
             root = _TrieNode()
-            for runtime in self._subs.values():
+            for runtime in self._runtimes.values():
                 plan = runtime.plan
+                sub_slots = set(self._sub_slots(plan))
                 nodes: List[_TrieNode] = [root] * plan.slot_count
                 for slot in range(1, plan.slot_count):
                     parent_trie = nodes[plan.parent[slot]]
                     level_checked = plan.axis[slot] != AX_DESC
                     node = parent_trie.get_or_add(level_checked, plan.ntests[slot])
                     nodes[slot] = node
-                    node.subs.append((runtime, slot))
+                    if slot in sub_slots:
+                        node.subs.append((runtime, slot))
+                runtime.trie_nodes = nodes
             root.finalize()
             self._trie_root = root
         return self._trie_root
+
+    def rebuild_trie(self) -> None:
+        """Discard the shared trie and rebuild it from scratch.
+
+        This is the pre-incremental maintenance behavior, kept public as the churn
+        benchmark's baseline and as the equivalence oracle of the incremental-splice
+        property tests (an incrementally maintained trie must be indistinguishable
+        from a rebuilt one).
+        """
+        self._trie_root = None
+        self._trie()
+
+    def _splice_in(self, runtime: _Runtime) -> None:
+        """Add one plan's steps to the live trie, keeping edge lists finalized."""
+        root = self._trie_root
+        plan = runtime.plan
+        sub_slots = set(self._sub_slots(plan))
+        nodes: List[_TrieNode] = [root] * plan.slot_count
+        for slot in range(1, plan.slot_count):
+            parent_trie = nodes[plan.parent[slot]]
+            level_checked = plan.axis[slot] != AX_DESC
+            ntest = plan.ntests[slot]
+            step_map = parent_trie.child_map if level_checked else parent_trie.desc_map
+            node = step_map.get(ntest)
+            if node is None:
+                node = step_map[ntest] = _TrieNode()
+                # a fresh node is born finalized (empty maps and edge lists); only the
+                # parent's precomputed edge lists need the new edge
+                if level_checked:
+                    if ntest == "*":
+                        parent_trie.child_wild = node
+                    elif ntest == "@*":
+                        parent_trie.child_attr_wild = node
+                    else:
+                        parent_trie.child_concrete.append((ntest, node))
+                else:
+                    kind = 1 if ntest == "*" else 2 if ntest == "@*" else 0
+                    parent_trie.desc_edges.append((kind, ntest, node))
+            nodes[slot] = node
+            if slot in sub_slots:
+                node.subs.append((runtime, slot))
+        runtime.trie_nodes = nodes
+
+    def _splice_out(self, runtime: _Runtime) -> None:
+        """Remove one plan's steps from the live trie, pruning emptied nodes.
+
+        Slots are visited deepest-first (reversed pre-order), so a trie node that
+        loses its last step and has no children is unlinked from its parent before the
+        parent itself is considered — emptied chains prune bottom-up along the plan's
+        own path.  A node still carrying other plans' steps, or interior to another
+        plan's path, is left in place.
+        """
+        plan = runtime.plan
+        nodes = runtime.trie_nodes
+        if nodes is None:  # registered after an unregister-forced teardown; no trie
+            return
+        sub_slots = set(self._sub_slots(plan))
+        for slot in range(plan.slot_count - 1, 0, -1):
+            node = nodes[slot]
+            if slot in sub_slots:
+                node.subs.remove((runtime, slot))
+            if node.subs or node.child_map or node.desc_map:
+                continue
+            parent_trie = nodes[plan.parent[slot]]
+            level_checked = plan.axis[slot] != AX_DESC
+            ntest = plan.ntests[slot]
+            if level_checked:
+                if parent_trie.child_map.get(ntest) is node:
+                    del parent_trie.child_map[ntest]
+                    if ntest == "*":
+                        parent_trie.child_wild = None
+                    elif ntest == "@*":
+                        parent_trie.child_attr_wild = None
+                    else:
+                        parent_trie.child_concrete.remove((ntest, node))
+            else:
+                if parent_trie.desc_map.get(ntest) is node:
+                    del parent_trie.desc_map[ntest]
+                    kind = 1 if ntest == "*" else 2 if ntest == "@*" else 0
+                    parent_trie.desc_edges.remove((kind, ntest, node))
+        runtime.trie_nodes = None
 
     def trie_size(self) -> int:
         """Number of shared trie nodes (excluding the root).
@@ -397,7 +632,7 @@ class CompiledFilterBank:
     # ------------------------------------------------------------------ filtering
     def filter_events(self, events: Iterable[Event]) -> BankResult:
         """Feed one document event stream to every subscription (single pass)."""
-        return self._run(event_tokens(events), early_unregister=False)
+        return self._filter(event_tokens(events), early_unregister=False)
 
     def filter_document(self, document: XMLDocument) -> BankResult:
         """Convenience wrapper over :meth:`filter_events`."""
@@ -405,17 +640,18 @@ class CompiledFilterBank:
 
     def filter_text(self, text: str) -> BankResult:
         """Filter one document given as XML text, on the zero-copy token pipeline."""
-        return self._run(iter(document_tokens(text)), early_unregister=False)
+        return self._filter(iter(document_tokens(text)), early_unregister=False)
 
     def filter_stream(self, chunks: Iterable[Chunk], *,
                       encoding: str = "utf-8") -> BankResult:
         """Filter one document arriving as byte/text chunks, never materializing it."""
         parser = StreamingParser(encoding=encoding)
-        return self._run(parser.parse_tokens(chunks), early_unregister=False)
+        return self._filter(parser.parse_tokens(chunks), early_unregister=False)
 
-    def filter_tokens(self, tokens: Iterable[Token]) -> BankResult:
+    def filter_tokens(self, tokens: Iterable[Token], *,
+                      early_unregister: bool = False) -> BankResult:
         """Filter one document given as a raw token stream (the lowest-level entry)."""
-        return self._run(iter(tokens), early_unregister=False)
+        return self._filter(iter(tokens), early_unregister=early_unregister)
 
     def filter_many(self, documents: Iterable[DocumentLike]) -> List[BankResult]:
         """Batch mode with early decision, as in ``FilterBank.filter_many``."""
@@ -425,14 +661,21 @@ class CompiledFilterBank:
                 tokens = event_tokens(document.events())
             else:
                 tokens = event_tokens(document)
-            results.append(self._run(tokens, early_unregister=True))
+            results.append(self._filter(tokens, early_unregister=True))
         return results
+
+    def _filter(self, tokens: Iterator[Token], *, early_unregister: bool) -> BankResult:
+        if self._stats:
+            return self._run(tokens, early_unregister=early_unregister)
+        # the match-only fast path always retires decided runtimes mid-document:
+        # there are no statistics whose coverage the early exit could change
+        return self._run_fast(tokens)
 
     # ------------------------------------------------------------------ the hot loop
     def _run(self, tokens: Iterator[Token], *, early_unregister: bool) -> BankResult:
         trie_root = self._trie()
-        runtimes = list(self._subs.values())
-        outcomes: Dict[str, Optional[bool]] = {rt.name: None for rt in runtimes}
+        runtimes = list(self._runtimes.values())
+        outcomes: Dict[_Runtime, Optional[bool]] = {rt: None for rt in runtimes}
         decided: set = set()  # runtimes early-unregistered for the current document
         level = 0  # shared document-level counter (pre-event value, as in FilterBank)
         max_level = 0
@@ -455,46 +698,7 @@ class CompiledFilterBank:
         desc_attr_wild: dict = {}  # live descendant ``@*`` instances
 
         def build_frame(fired: List[_TrieNode]) -> Optional[tuple]:
-            expect = None
-            wild = None
-            attr_wild = None
-            desc_added = None
-            for node in fired:
-                if node.child_concrete:
-                    if expect is None:
-                        expect = {}
-                    for ntest, child in node.child_concrete:
-                        bucket = expect.get(ntest)
-                        if bucket is None:
-                            expect[ntest] = [child]
-                        else:
-                            bucket.append(child)
-                if node.child_wild is not None:
-                    if wild is None:
-                        wild = []
-                    wild.append(node.child_wild)
-                if node.child_attr_wild is not None:
-                    if attr_wild is None:
-                        attr_wild = []
-                    attr_wild.append(node.child_attr_wild)
-                if node.desc_edges:
-                    if desc_added is None:
-                        desc_added = []
-                    for kind, ntest, child in node.desc_edges:
-                        if kind == 0:
-                            bucket = desc_by_name.get(ntest)
-                            if bucket is None:
-                                bucket = desc_by_name[ntest] = {}
-                        elif kind == 1:
-                            bucket = desc_wild
-                        else:
-                            bucket = desc_attr_wild
-                        bucket[child] = bucket.get(child, 0) + 1
-                        desc_added.append((bucket, child))
-            if expect is None and wild is None and attr_wild is None \
-                    and desc_added is None:
-                return None
-            return (expect, wild, attr_wild, desc_added)
+            return _build_frame(fired, desc_by_name, desc_wild, desc_attr_wild)
 
         def observe_bits(runtime: _Runtime, observed_level: int) -> None:
             # the Theorem 8.8 bit cost of the runtime's live state at the given level
@@ -782,7 +986,7 @@ class CompiledFilterBank:
                             process_end(runtime, post_level)
                             if early_unregister and outcome_known(runtime):
                                 decided.add(runtime)
-                                outcomes[runtime.name] = True
+                                outcomes[runtime] = True
                     if len(frames) > 1:
                         frame = frames.pop()
                         if frame is not None and frame[3] is not None:
@@ -818,7 +1022,7 @@ class CompiledFilterBank:
                     del frames[:]
                     frames.append(build_frame([trie_root]))
                     for runtime in runtimes:
-                        outcomes[runtime.name] = None
+                        outcomes[runtime] = None
                         start_document(runtime)
                     level = 1
                 elif kind == TOK_END_DOC:
@@ -830,8 +1034,8 @@ class CompiledFilterBank:
                         touch(runtime)
                         resolve_children(runtime, post_level)
                         root_rec = runtime.root_rec
-                        outcomes[runtime.name] = (root_rec[1] if root_rec is not None
-                                                  else False)
+                        outcomes[runtime] = (root_rec[1] if root_rec is not None
+                                             else False)
                         observe(runtime, post_level)
                     level = post_level
                     in_document = False
@@ -849,13 +1053,426 @@ class CompiledFilterBank:
                 for runtime in runtimes:
                     runtime.reset()
 
-        matched: List[str] = []
-        stats: Dict[str, FilterStatistics] = {}
         for runtime in runtimes:
             # per-runtime counters only saw fire points; the shared counters saw all
             runtime.stats.events = events_seen
             runtime.stats.max_level = max_level
-            stats[runtime.name] = runtime.stats
-            if outcomes[runtime.name]:
-                matched.append(runtime.name)
+        # fan one outcome/statistics object per interned plan out to every name
+        # registered under it, in subscription registration order
+        matched: List[str] = []
+        stats: Dict[str, FilterStatistics] = {}
+        for name, runtime in self._subs.items():
+            stats[name] = runtime.stats
+            if outcomes[runtime]:
+                matched.append(name)
         return BankResult(matched=matched, per_query_stats=stats)
+
+    # ------------------------------------------------------------------ the fast path
+    def _run_fast(self, tokens: Iterator[Token]) -> BankResult:
+        """The match-only hot loop: ``matched`` bits only, no statistics.
+
+        Structural trie dispatch is identical to :meth:`_run`; the per-runtime state
+        machine is reduced to what the Boolean outcome depends on, in two tiers:
+
+        * **Path plans** (pure chains — the overwhelmingly common pub/sub shape) keep
+          *no frontier records at all*.  Only the chain leaf carries subscription
+          entries on the trie (see :meth:`_sub_slots`), because a structural fire of
+          the leaf is an exact candidate match of the whole chain.  A universal leaf
+          truth decides the outcome at the fire itself; a value test pushes the
+          subscription onto a *shared* value-buffer context that is evaluated once
+          per closing element — one buffered string for any number of subscriptions
+          watching that element.  Per-event per-subscription cost therefore drops to
+          O(matched leaf fires).
+
+        * **Branching plans** run the general record machinery.  Records are
+          ``[level, matched, alive, opens]`` — no insertion sequence numbers and no
+          frontier-scan-order replay (the outcome is order-independent: ``matched``
+          accumulates with OR and resolution groups are keyed by parent slot).
+
+        There is no ``FilterStatistics``, no frontier-size or peak accounting, no
+        high-water stack.  Per-document runtime state is initialized lazily at the
+        runtime's first fire point (a runtime can only be affected at a fire point,
+        and the trie guarantees the first relevant one touches it), and a runtime
+        whose outcome becomes known mid-document is retired immediately.
+        """
+        trie_root = self._trie()
+        level = 0
+        in_document = False
+        saw_end = False
+        completed = False
+        gen = self._generation  # bumped at each startDocument below
+
+        touched: List[_Runtime] = []  # record-plan runtimes initialized this document
+        text_open: set = set()  # record-plan runtimes with an open value buffer
+        resolvers: Dict[int, set] = {}  # post-event level -> runtimes to resolve
+
+        # the shared value buffer of the path-plan tier: one token list serves every
+        # open leaf context; a context remembers its start offset and the
+        # subscriptions to evaluate when its element closes
+        val_parts: List[Token] = []
+        val_size = 0
+        val_open = 0  # number of open contexts (gates text buffering)
+        val_contexts: Dict[int, list] = {}  # close level -> [(start, entries)]
+
+        frames: List[Optional[tuple]] = []
+        desc_by_name: Dict[str, dict] = {}
+        desc_wild: dict = {}
+        desc_attr_wild: dict = {}
+
+        def build_frame(fired: List[_TrieNode]) -> Optional[tuple]:
+            return _build_frame(fired, desc_by_name, desc_wild, desc_attr_wild)
+
+        def fast_start(runtime: _Runtime) -> None:
+            # lazy per-document initialization, run at the runtime's first fire point
+            plan = runtime.plan
+            runtime.doc_gen = gen
+            runtime.decided = False
+            runtime.outcome = False
+            runtime.recs = [[] for _ in range(plan.slot_count)]
+            root_rec = [0, False, True, None]
+            runtime.root_rec = root_rec
+            runtime.recs[0].append(root_rec)
+            pending = []
+            is_leaf = plan.is_leaf
+            for child in plan.root_children:
+                rec = [1, False, True, [] if is_leaf[child] else None]
+                runtime.recs[child].append(rec)
+                pending.append((child, rec))
+            runtime.recs_by_level = {1: pending} if pending else {}
+            runtime.leaf_opens = {}
+            runtime.buf_parts = []
+            runtime.buf_size = 0
+            runtime.ref_count = 0
+            touched.append(runtime)
+
+        def process_start(runtime: _Runtime, slots: List[int]) -> None:
+            plan = runtime.plan
+            recs = runtime.recs
+            axis = plan.axis
+            fires = None
+            for slot in slots:
+                live = recs[slot]
+                if not live:
+                    continue
+                if axis[slot] == AX_DESC:
+                    eligible = [(slot, r) for r in live if not r[1]]
+                else:
+                    eligible = [(slot, r) for r in live if not r[1] and r[0] == level]
+                if eligible:
+                    fires = eligible if fires is None else fires + eligible
+            if fires is None:
+                return
+            is_leaf = plan.is_leaf
+            insert_level = level + 1
+            pending = None
+            for slot, rec in fires:
+                if is_leaf[slot]:
+                    if runtime.ref_count == 0:
+                        text_open.add(runtime)
+                    runtime.ref_count += 1
+                    rec[3].append((level, runtime.buf_size))
+                    opens = runtime.leaf_opens.get(level)
+                    if opens is None:
+                        opens = runtime.leaf_opens[level] = []
+                    opens.append((rec, plan.truth[slot]))
+                else:
+                    if axis[slot] == AX_CHILD:
+                        rec[2] = False  # the line 10-11 removal optimization
+                        recs[slot].remove(rec)
+                    if pending is None:
+                        pending = runtime.recs_by_level.get(insert_level)
+                        if pending is None:
+                            pending = runtime.recs_by_level[insert_level] = []
+                    for child in plan.children[slot]:
+                        new_rec = [insert_level, False, True,
+                                   [] if is_leaf[child] else None]
+                        recs[child].append(new_rec)
+                        pending.append((child, new_rec))
+            waiting = resolvers.get(level)
+            if waiting is None:
+                waiting = resolvers[level] = set()
+            waiting.add(runtime)
+
+        def resolve_children(runtime: _Runtime, post_level: int) -> None:
+            entries = runtime.recs_by_level.pop(post_level + 1, None)
+            if not entries:
+                return
+            recs = runtime.recs
+            parent_of = runtime.plan.parent
+            axis = runtime.plan.axis
+            if len(entries) == 1:
+                slot, rec = entries[0]
+                if not rec[2]:
+                    return
+                parent = parent_of[slot]
+                all_matched = rec[1]
+                rec[2] = False
+                recs[slot].remove(rec)
+                if parent == 0 or axis[parent] == AX_DESC:
+                    if all_matched:
+                        for parent_rec in recs[parent]:
+                            parent_rec[1] = True
+                else:
+                    fresh = [post_level, all_matched, True, None]
+                    recs[parent].append(fresh)
+                    pending = runtime.recs_by_level.get(post_level)
+                    if pending is None:
+                        pending = runtime.recs_by_level[post_level] = []
+                    pending.append((parent, fresh))
+                return
+            by_parent: Optional[dict] = None
+            for slot, rec in entries:
+                if not rec[2]:
+                    continue
+                parent = parent_of[slot]
+                if by_parent is None:
+                    by_parent = {}
+                group = by_parent.get(parent)
+                if group is None:
+                    by_parent[parent] = [(slot, rec)]
+                else:
+                    group.append((slot, rec))
+            if by_parent is None:
+                return
+            for parent, group in by_parent.items():
+                all_matched = all(rec[1] for _slot, rec in group)
+                for slot, rec in group:
+                    rec[2] = False
+                    recs[slot].remove(rec)
+                if parent == 0 or axis[parent] == AX_DESC:
+                    if all_matched:
+                        for parent_rec in recs[parent]:
+                            parent_rec[1] = True
+                else:
+                    fresh = [post_level, all_matched, True, None]
+                    recs[parent].append(fresh)
+                    pending = runtime.recs_by_level.get(post_level)
+                    if pending is None:
+                        pending = runtime.recs_by_level[post_level] = []
+                    pending.append((parent, fresh))
+
+        def process_end(runtime: _Runtime, post_level: int) -> None:
+            opens = runtime.leaf_opens.pop(post_level, None)
+            if opens:
+                for rec, truth in opens:
+                    _open_level, start = rec[3].pop()
+                    if not rec[1]:
+                        if truth is None:
+                            rec[1] = True
+                        else:
+                            rec[1] = bool(truth(_slice_from(runtime, start)))
+                    runtime.ref_count -= 1
+                    if runtime.ref_count <= 0:
+                        runtime.ref_count = 0
+                        runtime.buf_parts = []
+                        runtime.buf_size = 0
+                        text_open.discard(runtime)
+            resolve_children(runtime, post_level)
+
+        def outcome_known(runtime: _Runtime) -> bool:
+            root_children = runtime.plan.root_children
+            if not root_children:
+                return False
+            recs = runtime.recs
+            for child in root_children:
+                live = recs[child]
+                if not live:
+                    return False
+                for rec in live:
+                    if not rec[1]:
+                        return False
+            return True
+
+        def retire(runtime: _Runtime) -> None:
+            # a True outcome is final (matched flags only accumulate with OR); drop
+            # the buffers eagerly, everything else is reclaimed at the next lazy init
+            runtime.decided = True
+            runtime.outcome = True
+            runtime.buf_parts = []
+            runtime.buf_size = 0
+            runtime.ref_count = 0
+            text_open.discard(runtime)
+
+        try:
+            for token in tokens:
+                kind = token[0]
+                if kind == TOK_START:
+                    name = token[1]
+                    fired = None
+                    top = frames[-1] if frames else None
+                    if top is not None:
+                        expect = top[0]
+                        if expect is not None:
+                            hit = expect.get(name)
+                            if hit:
+                                fired = list(hit)
+                        if name[:1] != "@":
+                            if top[1]:
+                                fired = top[1] if fired is None else fired + top[1]
+                        elif top[2]:
+                            fired = top[2] if fired is None else fired + top[2]
+                    bucket = desc_by_name.get(name)
+                    if bucket:
+                        nodes = list(bucket)
+                        fired = nodes if fired is None else fired + nodes
+                    if name[:1] != "@":
+                        if desc_wild:
+                            nodes = list(desc_wild)
+                            fired = nodes if fired is None else fired + nodes
+                    elif desc_attr_wild:
+                        nodes = list(desc_attr_wild)
+                        fired = nodes if fired is None else fired + nodes
+                    if fired:
+                        fan_out: Optional[Dict[_Runtime, List[int]]] = None
+                        leaf_entries = None  # path-plan value tests opened here
+                        for node in fired:
+                            for runtime, slot in node.subs:
+                                if runtime.doc_gen != gen:
+                                    if runtime.plan.is_path:
+                                        runtime.doc_gen = gen
+                                        runtime.decided = False
+                                        runtime.outcome = False
+                                    else:
+                                        fast_start(runtime)
+                                elif runtime.decided:
+                                    continue
+                                plan = runtime.plan
+                                if plan.is_path:
+                                    # an exact candidate match of the whole chain
+                                    truth = plan.truth[slot]
+                                    if truth is None:
+                                        runtime.decided = True
+                                        runtime.outcome = True
+                                    elif leaf_entries is None:
+                                        leaf_entries = [(runtime, truth)]
+                                    else:
+                                        leaf_entries.append((runtime, truth))
+                                    continue
+                                if fan_out is None:
+                                    fan_out = {runtime: [slot]}
+                                    continue
+                                slots = fan_out.get(runtime)
+                                if slots is None:
+                                    fan_out[runtime] = [slot]
+                                else:
+                                    slots.append(slot)
+                        if fan_out is not None:
+                            for runtime, slots in fan_out.items():
+                                process_start(runtime, slots)
+                        if leaf_entries is not None:
+                            contexts = val_contexts.get(level)
+                            if contexts is None:
+                                contexts = val_contexts[level] = []
+                            contexts.append((val_size, leaf_entries))
+                            val_open += 1
+                        frames.append(build_frame(fired))
+                    else:
+                        frames.append(None)
+                    level += 1
+                elif kind == TOK_END:
+                    post_level = level - 1
+                    contexts = val_contexts.pop(post_level, None)
+                    if contexts:
+                        for start, entries in contexts:
+                            value = None
+                            for runtime, truth in entries:
+                                if runtime.decided:
+                                    continue
+                                if value is None:
+                                    value = _slice_parts(val_parts, start)
+                                if truth(value):
+                                    runtime.decided = True
+                                    runtime.outcome = True
+                        val_open -= len(contexts)
+                        if val_open == 0 and val_parts:
+                            val_parts = []
+                            val_size = 0
+                    waiting = resolvers.pop(post_level, None)
+                    if waiting:
+                        for runtime in waiting:
+                            if runtime.decided:
+                                continue
+                            process_end(runtime, post_level)
+                            if outcome_known(runtime):
+                                retire(runtime)
+                    if len(frames) > 1:
+                        frame = frames.pop()
+                        if frame is not None and frame[3] is not None:
+                            for bucket, node in frame[3]:
+                                count = bucket[node] - 1
+                                if count:
+                                    bucket[node] = count
+                                else:
+                                    del bucket[node]
+                    level = post_level
+                elif kind == TOK_TEXT:
+                    if val_open:
+                        val_parts.append(token)
+                        val_size += token[3] - token[2]
+                    if text_open:
+                        length = token[3] - token[2]
+                        for runtime in text_open:
+                            runtime.buf_parts.append(token)
+                            runtime.buf_size += length
+                elif kind == TOK_START_DOC:
+                    in_document = True
+                    level = 0
+                    self._generation += 1
+                    gen = self._generation
+                    del touched[:]
+                    text_open.clear()
+                    resolvers.clear()
+                    val_parts = []
+                    val_size = 0
+                    val_open = 0
+                    val_contexts.clear()
+                    desc_by_name.clear()
+                    desc_wild.clear()
+                    desc_attr_wild.clear()
+                    del frames[:]
+                    frames.append(build_frame([trie_root]))
+                    level = 1
+                elif kind == TOK_END_DOC:
+                    post_level = level - 1
+                    for runtime in touched:
+                        if runtime.decided:
+                            continue
+                        resolve_children(runtime, post_level)
+                        root_rec = runtime.root_rec
+                        runtime.outcome = (root_rec[1] if root_rec is not None
+                                           else False)
+                    level = post_level
+                    in_document = False
+                    saw_end = True
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown token {token!r}")
+            if not saw_end or in_document:
+                raise ValueError("event stream did not contain an endDocument event")
+            completed = True
+        finally:
+            if not completed:
+                # never leave runtimes mid-document: a truncated stream must not
+                # corrupt the next filtering call
+                for runtime in touched:
+                    runtime.reset()
+                    runtime.doc_gen = 0
+                    runtime.decided = False
+                    runtime.outcome = False
+
+        matched = [name for name, runtime in self._subs.items()
+                   if runtime.doc_gen == gen and runtime.outcome]
+        return BankResult(matched=matched, per_query_stats={})
+
+
+class MatchOnlyFilterBank(CompiledFilterBank):
+    """:class:`CompiledFilterBank` preconfigured for the match-only fast path.
+
+    ``filter_*`` calls report the same matched sets as the stats-accurate engines but
+    skip all :class:`~repro.core.filter.FilterStatistics` bookkeeping
+    (``per_query_stats`` is empty), track only the ``matched`` bits the Boolean
+    outcome depends on, and retire subscriptions mid-document once their outcome is
+    decided.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(stats=False)

@@ -69,6 +69,24 @@ class BankResult:
         return sum(stats.peak_frontier_records
                    for stats in self.per_query_stats.values())
 
+    @classmethod
+    def merge(cls, results: Iterable["BankResult"],
+              order: Iterable[str]) -> "BankResult":
+        """Merge results over disjoint subscription sets into one.
+
+        ``order`` fixes the order of the merged ``matched`` list (the sharded bank
+        passes its global registration order, so a merged result is indistinguishable
+        from a single-bank run); names absent from every partial result are treated
+        as unmatched.  Per-query statistics dictionaries are unioned.
+        """
+        matched_union: set = set()
+        stats: Dict[str, FilterStatistics] = {}
+        for result in results:
+            matched_union.update(result.matched)
+            stats.update(result.per_query_stats)
+        matched = [name for name in order if name in matched_union]
+        return cls(matched=matched, per_query_stats=stats)
+
 
 @dataclass
 class _Subscription:

@@ -1,0 +1,325 @@
+"""A sharded, multi-process filter bank (the multi-core throughput layer).
+
+:class:`ShardedFilterBank` partitions subscriptions round-robin across worker
+processes, each holding its own :class:`~repro.core.compile.CompiledFilterBank`
+(match-only by default; ``stats=True`` for the statistics-accurate engine).  A
+filtering call tokenizes the document once in the parent, broadcasts the token stream
+in chunks to every shard, and merges the per-shard outcomes into one
+:class:`~repro.core.filterbank.BankResult` in global registration order.  Because the
+per-event cost of a bank is dominated by per-subscription fan-out work while the
+structural trie walk is cheap, splitting the subscription set across ``k`` cores
+parallelizes the dominant term and duplicates only the cheap one — near-linear
+scaling for large banks.
+
+Design notes:
+
+* **Workers are persistent.**  ``register``/``unregister`` are forwarded to the
+  owning shard as they happen, so the worker-side banks benefit from incremental trie
+  maintenance across subscription churn; nothing is re-sent per document.
+* **Queries travel as text.**  Compiled plans hold closures, so the parent sends the
+  query's canonical XPath serialization and the worker re-parses it.  Validation
+  (duplicate names, unsupported fragments) happens in the parent, which keeps the
+  authoritative name -> shard map.
+* **Text tokens are re-based before pickling.**  A zero-copy ``TOK_TEXT`` token is a
+  view ``(buf, start, end)`` into a potentially document-sized buffer; the parent
+  slices it to just the covered run so broadcasting never serializes the whole
+  document once per text node.
+* **Errors re-synchronize.**  A worker that fails mid-document (e.g. a truncated
+  stream) drains the remaining chunks of the broadcast, resets its bank, and reports
+  the error; the parent raises it after collecting every shard, so the bank stays
+  usable — the same hygiene the single-process engines guarantee.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.events import Event
+from ..xmlstream.parse import TOK_TEXT, Chunk, StreamingParser, Token, document_tokens
+from ..xpath.query import Query
+from .compile import CompiledFilterBank, DocumentLike, event_tokens
+from .filter import StreamingFilter
+from .filterbank import BankResult
+
+#: tokens per broadcast chunk — large enough to amortize one pickle per chunk per
+#: shard, small enough to keep the shards' pipelines overlapped on long documents
+DEFAULT_CHUNK_TOKENS = 4096
+
+
+def _worker_main(inbox, outbox, stats: bool) -> None:
+    """Worker process loop: apply registration ops, filter broadcast token streams."""
+    from ..xpath.parser import parse_query
+
+    bank = CompiledFilterBank(stats=stats)
+    pending_error: Optional[tuple] = None
+    while True:
+        message = inbox.get()
+        if type(message) is bytes:  # a pre-serialized broadcast chunk, out of band
+            message = pickle.loads(message)
+        op = message[0]
+        if op == "register":
+            try:
+                bank.register(message[1], parse_query(message[2]))
+            except Exception as exc:  # pragma: no cover - parent validates first
+                pending_error = (type(exc).__name__, str(exc))
+        elif op == "unregister":
+            try:
+                bank.unregister(message[1])
+            except Exception as exc:  # pragma: no cover - parent validates first
+                pending_error = (type(exc).__name__, str(exc))
+        elif op == "filter":
+            early = message[1]
+            state = {"ended": False}
+
+            def tokens() -> Iterator[Token]:
+                while True:
+                    item = inbox.get()
+                    if type(item) is bytes:
+                        item = pickle.loads(item)
+                    if item[0] == "chunk":
+                        yield from item[1]
+                    else:  # ("end",)
+                        state["ended"] = True
+                        return
+
+            if pending_error is not None:
+                error, pending_error = pending_error, None
+                _drain(inbox, state)
+                outbox.put(("error", error[0], error[1]))
+                continue
+            try:
+                result = bank.filter_tokens(tokens(), early_unregister=early)
+            except Exception as exc:
+                _drain(inbox, state)
+                outbox.put(("error", type(exc).__name__, str(exc)))
+            else:
+                outbox.put(("ok", result.matched, result.per_query_stats))
+        elif op == "stop":
+            return
+
+
+def _drain(inbox, state: dict) -> None:
+    """Consume the rest of a broadcast the filtering generator did not finish."""
+    while not state["ended"]:
+        item = inbox.get()
+        if type(item) is bytes:
+            item = pickle.loads(item)
+        if item[0] != "chunk":
+            state["ended"] = True
+
+
+class ShardedFilterBank:
+    """A filter bank partitioned across worker processes for multi-core throughput.
+
+    API-compatible with :class:`~repro.core.compile.CompiledFilterBank` for
+    ``register`` / ``unregister`` / ``subscriptions`` / ``filter_events`` /
+    ``filter_document`` / ``filter_text`` / ``filter_stream`` / ``filter_tokens`` /
+    ``filter_many``.  ``shards=None`` uses one shard per CPU.  Workers are spawned
+    lazily on first use and live until :meth:`close` (the bank is also a context
+    manager); they are daemonic, so an abandoned bank cannot keep the interpreter
+    alive.
+    """
+
+    def __init__(self, shards: Optional[int] = None, *, stats: bool = False,
+                 chunk_tokens: int = DEFAULT_CHUNK_TOKENS) -> None:
+        if shards is None:
+            shards = max(1, os.cpu_count() or 1)
+        if shards < 1:
+            raise ValueError("a sharded bank needs at least one shard")
+        self._shard_count = shards
+        self._stats = stats
+        self._chunk_tokens = chunk_tokens
+        self._subs: Dict[str, int] = {}  # name -> shard index, registration order
+        self._queries: Dict[str, str] = {}  # name -> canonical query text
+        self._next_shard = 0
+        self._workers: Optional[List[tuple]] = None  # (process, inbox, outbox)
+
+    # ------------------------------------------------------------------ registration
+    def register(self, name: str, query: Query) -> None:
+        """Register a subscription on the next shard (round-robin).
+
+        Raises ``ValueError`` for duplicate names and
+        :class:`~repro.core.errors.UnsupportedQueryError` for unsupported queries —
+        both checked in the parent process, so a raising call never desynchronizes
+        the workers.
+        """
+        if name in self._subs:
+            raise ValueError(f"a subscription named {name!r} is already registered")
+        StreamingFilter._check_supported(query)
+        text = query.to_xpath()
+        shard = self._next_shard
+        self._next_shard = (shard + 1) % self._shard_count
+        self._subs[name] = shard
+        self._queries[name] = text
+        self._send(shard, ("register", name, text))
+
+    def unregister(self, name: str) -> None:
+        """Remove a subscription; unknown names raise ``KeyError``."""
+        shard = self._subs.pop(name)
+        del self._queries[name]
+        self._send(shard, ("unregister", name))
+
+    def subscriptions(self) -> List[str]:
+        """The registered subscription names, in registration order."""
+        return list(self._subs)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    @property
+    def shard_count(self) -> int:
+        return self._shard_count
+
+    # ------------------------------------------------------------------ lifecycle
+    def _send(self, shard: int, message: tuple) -> None:
+        if self._workers is not None:
+            self._workers[shard][1].put(message)
+        # with no workers running, registrations are replayed from the parent-side
+        # name -> (shard, query text) records when the workers next spawn
+
+    def _ensure_workers(self) -> List[tuple]:
+        if self._workers is None:
+            context = multiprocessing.get_context()
+            workers = []
+            for shard in range(self._shard_count):
+                inbox = context.SimpleQueue()
+                # replies travel over a Queue (not SimpleQueue) so the parent can
+                # poll with a timeout and detect a dead worker instead of hanging
+                outbox = context.Queue()
+                process = context.Process(
+                    target=_worker_main, args=(inbox, outbox, self._stats),
+                    daemon=True, name=f"filterbank-shard-{shard}")
+                process.start()
+                workers.append((process, inbox, outbox))
+            for name, shard in self._subs.items():
+                workers[shard][1].put(("register", name, self._queries[name]))
+            self._workers = workers
+        return self._workers
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent).
+
+        Registrations are kept parent-side, so a closed bank that is filtered again
+        simply respawns its workers and replays them.
+        """
+        if self._workers is None:
+            return
+        workers, self._workers = self._workers, None
+        for _process, inbox, _outbox in workers:
+            inbox.put(("stop",))
+        for process, _inbox, _outbox in workers:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+    def __enter__(self) -> "ShardedFilterBank":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ filtering
+    def filter_events(self, events: Iterable[Event]) -> BankResult:
+        """Feed one document event stream to every shard (single broadcast pass)."""
+        return self._filter(event_tokens(events), early_unregister=False)
+
+    def filter_document(self, document: XMLDocument) -> BankResult:
+        """Convenience wrapper over :meth:`filter_events`."""
+        return self.filter_events(document.events())
+
+    def filter_text(self, text: str) -> BankResult:
+        """Filter one document given as XML text (tokenized once, in the parent)."""
+        return self._filter(iter(document_tokens(text)), early_unregister=False)
+
+    def filter_stream(self, chunks: Iterable[Chunk], *,
+                      encoding: str = "utf-8") -> BankResult:
+        """Filter one document arriving as byte/text chunks."""
+        parser = StreamingParser(encoding=encoding)
+        return self._filter(parser.parse_tokens(chunks), early_unregister=False)
+
+    def filter_tokens(self, tokens: Iterable[Token], *,
+                      early_unregister: bool = False) -> BankResult:
+        """Filter one document given as a raw token stream."""
+        return self._filter(iter(tokens), early_unregister=early_unregister)
+
+    def filter_many(self, documents: Iterable[DocumentLike]) -> List[BankResult]:
+        """Batch mode with early decision, as in ``FilterBank.filter_many``."""
+        results = []
+        for document in documents:
+            if isinstance(document, XMLDocument):
+                tokens = event_tokens(document.events())
+            else:
+                tokens = event_tokens(document)
+            results.append(self._filter(tokens, early_unregister=True))
+        return results
+
+    def _filter(self, tokens: Iterator[Token], *, early_unregister: bool) -> BankResult:
+        workers = self._ensure_workers()
+        for _process, inbox, _outbox in workers:
+            inbox.put(("filter", early_unregister))
+        chunk: List[Token] = []
+        chunk_tokens = self._chunk_tokens
+
+        def broadcast(message: tuple) -> None:
+            # serialize once, ship the same bytes to every shard (a bytes object
+            # re-pickles as a near-memcpy, so per-shard cost stays flat)
+            payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+            for _process, inbox, _outbox in workers:
+                inbox.put(payload)
+
+        try:
+            for token in tokens:
+                if token[0] == TOK_TEXT and (token[2] != 0
+                                             or token[3] != len(token[1])):
+                    # re-base the view so pickling ships only the covered run
+                    token = (TOK_TEXT, token[1][token[2]:token[3]], 0,
+                             token[3] - token[2])
+                chunk.append(token)
+                if len(chunk) >= chunk_tokens:
+                    broadcast(("chunk", chunk))
+                    chunk = []
+        except BaseException:
+            # the token source failed mid-broadcast (e.g. a parse error in the
+            # parent's tokenizer): terminate the broadcast so every worker returns
+            # to its command loop, discard their (error) replies, and re-raise —
+            # the bank must stay usable, exactly like the single-process engines
+            try:
+                broadcast(("end",))
+                for process, _inbox, outbox in workers:
+                    self._reply(process, outbox)
+            except Exception:
+                pass  # never mask the original failure with cleanup trouble
+            raise
+        if chunk:
+            broadcast(("chunk", chunk))
+        broadcast(("end",))
+        replies = [self._reply(process, outbox)
+                   for process, _inbox, outbox in workers]
+        error = next((reply for reply in replies if reply[0] == "error"), None)
+        if error is not None:
+            if error[1] == "ValueError":
+                raise ValueError(error[2])
+            raise RuntimeError(f"shard failed: {error[1]}: {error[2]}")
+        return BankResult.merge(
+            (BankResult(matched=reply[1], per_query_stats=reply[2])
+             for reply in replies),
+            self._subs,
+        )
+
+    def _reply(self, process, outbox) -> tuple:
+        """One worker reply, polling so a crashed worker raises instead of hanging."""
+        while True:
+            try:
+                return outbox.get(timeout=1.0)
+            except queue_module.Empty:
+                if not process.is_alive():
+                    self.close()
+                    raise RuntimeError(
+                        f"shard worker {process.name} died "
+                        f"(exit code {process.exitcode})"
+                    ) from None

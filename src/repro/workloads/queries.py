@@ -154,6 +154,66 @@ def shared_prefix_subscriptions(
     return subscriptions
 
 
+def subscription_churn(
+    ops: int,
+    *,
+    prefix: Sequence[str] = ("catalog", "product"),
+    branching: int = 4,
+    suffix_depth: int = 3,
+    duplication: float = 0.3,
+    unregister_fraction: float = 0.4,
+    descendant_fraction: float = 0.0,
+    wildcard_fraction: float = 0.0,
+    value_range: int = 50,
+    seed: int = 0,
+) -> List[tuple]:
+    """An interleaved register/unregister operation sequence over a live bank.
+
+    Returns ``ops`` operations, each either ``("register", name, xpath_text)`` or
+    ``("unregister", name)``, with every unregister naming a subscription that is
+    live at that point (so the sequence is valid against any bank API).  Queries are
+    drawn from the same trie-shaped space as
+    :func:`shared_prefix_subscriptions` — the ``branching``/``suffix_depth``/
+    ``descendant_fraction``/``wildcard_fraction`` knobs control how much the spliced
+    paths overlap in the shared trie, and ``duplication`` is the probability that a
+    register reuses an earlier query verbatim (exercising plan interning, where the
+    op must not touch the trie at all).  ``unregister_fraction`` is the probability
+    of an unregister whenever one is possible; the expected live-set size is then
+    stationary around churn, which is what an incremental-maintenance benchmark
+    wants to measure.
+    """
+    rng = random.Random(seed)
+    prefix_text = "".join(f"/{step}" for step in prefix)
+    live: List[str] = []
+    issued: List[str] = []
+    operations: List[tuple] = []
+    counter = 0
+    for _ in range(ops):
+        if live and rng.random() < unregister_fraction:
+            name = live.pop(rng.randrange(len(live)))
+            operations.append(("unregister", name))
+            continue
+        if issued and rng.random() < duplication:
+            text = rng.choice(issued)
+        else:
+            steps = []
+            for _depth in range(suffix_depth):
+                axis = "//" if rng.random() < descendant_fraction else "/"
+                if rng.random() < wildcard_fraction:
+                    label = "*"
+                else:
+                    label = f"s{rng.randrange(branching)}"
+                steps.append(f"{axis}{label}")
+            threshold = rng.randrange(value_range)
+            text = f"{prefix_text}{''.join(steps)}[value > {threshold}]"
+            issued.append(text)
+        name = f"churn{counter}"
+        counter += 1
+        live.append(name)
+        operations.append(("register", name, text))
+    return operations
+
+
 def frontier_sweep_queries(sizes: Sequence[int]) -> Dict[int, Query]:
     """Queries whose frontier sizes are exactly the requested values.
 
