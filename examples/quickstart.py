@@ -47,6 +47,8 @@ def main() -> None:
     print(f"redundancy-free: {info.redundancy_free}")
     print(f"frontier size FS(Q) = {query_frontier_size(query)} "
           "(the paper's lower bound on the memory any streaming algorithm needs)")
+    print("\nnext: examples/pubsub_server.py runs the long-lived pub/sub "
+          "service on top of this engine")
 
 
 if __name__ == "__main__":

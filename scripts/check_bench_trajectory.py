@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""CI gate over the BENCH_filterbank.json performance trajectory.
+
+The trajectory file is append-only: every benchmark run adds a timestamped entry,
+so the repository's committed file records the performance story across PRs.  Until
+now CI uploaded that file but never *checked* it — a PR that quietly regressed the
+compiled engine below the floors earlier PRs asserted would merge silently, as long
+as the (smoke-sized, assertion-skipping) CI benchmarks still ran.  This script is
+the missing check: it parses the trajectory and fails (exit code 1) if the most
+recent *full-size* run of any benchmark violates the speedup floors those PRs
+established:
+
+* ``filterbank_throughput`` — compiled >= 3x indexed and the match-only fast path
+  >= 5x compiled (shared-prefix workload, largest subscription count in the run);
+* ``filterbank_churn``      — incremental trie splicing >= 10x rebuild-per-op (at
+  the largest warm bank size);
+* ``service_throughput``    — batched service >= 2x the single-document-call
+  regime (at the largest document count).
+
+Smoke runs (``"smoke": true``) are informational: their sizes are deliberately too
+small for the ratios to be meaningful, so they are reported but never gated on —
+the gate reads the latest non-smoke entry per benchmark, which PRs append by
+running the full benchmarks and committing the updated trajectory.  Division of
+labor with the rest of CI: the *live* performance of the PR under test is asserted
+by the full-size benchmarks themselves (they run, floors asserted in-process, in
+the tier-1 ``test`` job), while this gate enforces the committed *ledger* — a PR
+cannot merge a trajectory whose own full-size entries violate the floors, and the
+file's history stays a trustworthy record.  A benchmark
+with no full-size entry at all is a hard failure unless ``--allow-missing``
+downgrades it to a warning.
+
+Usage::
+
+    python scripts/check_bench_trajectory.py [BENCH_filterbank.json]
+        [--allow-missing] [--last N] [--github-summary [PATH]] [--summary-only]
+
+``--github-summary`` also writes a Markdown table of the most recent run entries
+(default: the file named by ``$GITHUB_STEP_SUMMARY``), which is how the CI smoke
+step surfaces what it appended; ``--summary-only`` emits that table and always
+exits 0, so the reporting step can never mask the dedicated gate step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Tuple
+
+#: (benchmark name, floor key in this script's report) -> required minimum ratio
+FLOORS = {
+    ("filterbank_throughput", "compiled_vs_indexed"): 3.0,
+    ("filterbank_throughput", "fast_vs_compiled"): 5.0,
+    ("filterbank_churn", "incremental_vs_rebuild"): 10.0,
+    ("service_throughput", "batched_vs_serial"): 2.0,
+}
+
+#: benchmarks the gate expects to find a full-size run for
+GATED_BENCHMARKS = ("filterbank_throughput", "filterbank_churn",
+                    "service_throughput")
+
+
+class TrajectoryError(ValueError):
+    """Raised for files the gate cannot interpret at all."""
+
+
+def load_trajectory(path: str) -> dict:
+    """Load and structurally validate a schema-2 trajectory file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise TrajectoryError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise TrajectoryError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("runs"), list):
+        raise TrajectoryError(f"{path} is not a schema-2 trajectory "
+                              "({'schema': 2, 'runs': [...]})")
+    if data.get("schema") != 2:
+        raise TrajectoryError(f"unsupported trajectory schema: "
+                              f"{data.get('schema')!r}")
+    return data
+
+
+def latest_full_run(data: dict, benchmark: str) -> Optional[dict]:
+    """The most recently appended non-smoke run of one benchmark, if any."""
+    for run in reversed(data["runs"]):
+        if run.get("benchmark") == benchmark and not run.get("smoke"):
+            return run
+    return None
+
+
+def _throughput_ratios(run: dict) -> dict:
+    """The gated ratios of one filterbank_throughput run (prefix workload,
+    largest subscription count)."""
+    prefix = [entry for entry in run.get("results", [])
+              if entry.get("workload") == "prefix"]
+    if not prefix:
+        return {}
+    top = max(entry["subscriptions"] for entry in prefix)
+    ratios = {}
+    for entry in prefix:
+        if entry["subscriptions"] != top:
+            continue
+        if entry.get("engine") == "compiled" and "speedup_vs_indexed" in entry:
+            ratios["compiled_vs_indexed"] = entry["speedup_vs_indexed"]
+        if entry.get("engine") == "fast" and "speedup_vs_compiled" in entry:
+            ratios["fast_vs_compiled"] = entry["speedup_vs_compiled"]
+    return ratios
+
+
+def _churn_ratios(run: dict) -> dict:
+    incremental = [entry for entry in run.get("results", [])
+                   if entry.get("variant") == "incremental"
+                   and "speedup_vs_rebuild" in entry]
+    if not incremental:
+        return {}
+    top = max(incremental, key=lambda entry: entry["warm_subscriptions"])
+    return {"incremental_vs_rebuild": top["speedup_vs_rebuild"]}
+
+
+def _service_ratios(run: dict) -> dict:
+    batched = [entry for entry in run.get("results", [])
+               if entry.get("mode") == "batched" and "speedup_vs_serial" in entry]
+    if not batched:
+        return {}
+    top = max(batched, key=lambda entry: entry["documents"])
+    return {"batched_vs_serial": top["speedup_vs_serial"]}
+
+
+_RATIO_EXTRACTORS = {
+    "filterbank_throughput": _throughput_ratios,
+    "filterbank_churn": _churn_ratios,
+    "service_throughput": _service_ratios,
+}
+
+
+def check_trajectory(data: dict, *, require_full: bool = True
+                     ) -> Tuple[List[tuple], List[str]]:
+    """Evaluate every floor against the latest full-size runs.
+
+    Returns ``(rows, violations)``: one row per floor —
+    ``(benchmark, floor_key, required, observed, timestamp, ok)`` with ``observed``
+    ``None`` when no full-size run (or no ratio in it) exists — and a list of
+    human-readable violation messages (empty means the gate passes).
+    """
+    rows: List[tuple] = []
+    violations: List[str] = []
+    for benchmark in GATED_BENCHMARKS:
+        run = latest_full_run(data, benchmark)
+        ratios = _RATIO_EXTRACTORS[benchmark](run) if run is not None else {}
+        timestamp = run.get("timestamp") if run is not None else None
+        for (floor_benchmark, key), required in FLOORS.items():
+            if floor_benchmark != benchmark:
+                continue
+            observed = ratios.get(key)
+            ok = observed is not None and observed >= required
+            rows.append((benchmark, key, required, observed, timestamp, ok))
+            if observed is None:
+                message = (f"{benchmark}: no full-size run with a {key} ratio "
+                           f"in the trajectory")
+                if require_full:
+                    violations.append(message)
+                else:
+                    print(f"WARNING: {message}", file=sys.stderr)
+            elif not ok:
+                violations.append(
+                    f"{benchmark}: {key} = {observed}x is below the required "
+                    f"floor of {required}x (run from {timestamp})")
+    return rows, violations
+
+
+# --------------------------------------------------------------------- reporting
+def format_report(rows: List[tuple]) -> str:
+    lines = [f"{'benchmark':<24} {'floor':<24} {'required':>9} "
+             f"{'observed':>9}  {'status'}"]
+    for benchmark, key, required, observed, _timestamp, ok in rows:
+        shown = "-" if observed is None else f"{observed}x"
+        # missing floors print as 'missing' either way; whether that fails the
+        # gate is the caller's --allow-missing decision, reported via exit code
+        status = "ok" if ok else ("missing" if observed is None else "FAIL")
+        lines.append(f"{benchmark:<24} {key:<24} {required:>8}x "
+                     f"{shown:>9}  {status}")
+    return "\n".join(lines)
+
+
+def format_markdown_summary(data: dict, *, last: int = 8) -> str:
+    """A Markdown table of the most recent run entries (for the CI step summary)."""
+    lines = [
+        "### Benchmark trajectory — most recent runs",
+        "",
+        "| benchmark | timestamp | smoke | key ratios |",
+        "|---|---|---|---|",
+    ]
+    for run in data["runs"][-last:]:
+        benchmark = run.get("benchmark", "?")
+        extractor = _RATIO_EXTRACTORS.get(benchmark)
+        ratios = extractor(run) if extractor else {}
+        shown = ", ".join(f"{key} {value}x" for key, value in ratios.items()) \
+            or "-"
+        lines.append(f"| {benchmark} | {run.get('timestamp') or '-'} "
+                     f"| {'yes' if run.get('smoke') else 'no'} | {shown} |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when the benchmark trajectory violates the "
+                    "asserted speedup floors.")
+    parser.add_argument("path", nargs="?", default="BENCH_filterbank.json",
+                        help="trajectory file (default: BENCH_filterbank.json)")
+    parser.add_argument("--allow-missing", dest="require_full",
+                        action="store_false", default=True,
+                        help="only warn (instead of failing) when a gated "
+                             "benchmark has no full-size run")
+    parser.add_argument("--last", type=int, default=8,
+                        help="run entries to include in the Markdown summary")
+    parser.add_argument("--github-summary", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="append a Markdown run-entry table to PATH "
+                             "(default: $GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--summary-only", action="store_true",
+                        help="emit the Markdown summary and exit 0 without "
+                             "gating (the gate runs as its own CI step)")
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_trajectory(args.path)
+    except TrajectoryError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 1
+
+    if args.summary_only:
+        args.github_summary = "" if args.github_summary is None \
+            else args.github_summary
+    else:
+        rows, violations = check_trajectory(data,
+                                            require_full=args.require_full)
+        print(format_report(rows))
+
+    if args.github_summary is not None:
+        summary_path = args.github_summary or os.environ.get(
+            "GITHUB_STEP_SUMMARY", "")
+        summary = format_markdown_summary(data, last=args.last)
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(summary)
+        else:  # no summary file available (e.g. a local run): print it instead
+            print()
+            print(summary)
+
+    if args.summary_only:
+        return 0
+    if violations:
+        print()
+        for message in violations:
+            print(f"REGRESSION: {message}", file=sys.stderr)
+        return 1
+    checked = sum(1 for row in rows if row[3] is not None)
+    print(f"\ntrajectory ok: {len(data['runs'])} runs, "
+          f"{checked}/{len(FLOORS)} floors checked, none violated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ The package is organised as follows:
 * :mod:`repro.baselines`   -- DOM / NFA / DFA baselines for the memory comparison
 * :mod:`repro.workloads`   -- query and document workload generators
 * :mod:`repro.instrument`  -- bit-level memory accounting models
+* :mod:`repro.service`     -- the long-lived asyncio pub/sub service layer
 
 Quick start::
 

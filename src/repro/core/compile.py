@@ -466,8 +466,24 @@ class CompiledFilterBank:
         """The registered subscription names, in registration order."""
         return list(self._subs)
 
+    def subscription_queries(self) -> Dict[str, str]:
+        """name -> canonical XPath text, in registration order.
+
+        The canonical form is the plan-interning key, so two banks registered from
+        the same pairs intern identically; it is also the serialization the
+        snapshot/restore layer (:mod:`repro.service.snapshot`) persists, chosen over
+        pickling compiled plans because plans hold closures and a canonical string
+        round-trips through ``parse_query`` into an equal plan by construction.
+        """
+        return {name: runtime.keyform for name, runtime in self._subs.items()}
+
     def __len__(self) -> int:
         return len(self._subs)
+
+    @property
+    def stats_mode(self) -> bool:
+        """Whether this bank runs the statistics-accurate engine (``stats=True``)."""
+        return self._stats
 
     def distinct_plan_count(self) -> int:
         """Number of distinct interned plans (= runtimes) serving the subscriptions."""

@@ -28,6 +28,13 @@ Design notes:
   stream) drains the remaining chunks of the broadcast, resets its bank, and reports
   the error; the parent raises it after collecting every shard, so the bank stays
   usable — the same hygiene the single-process engines guarantee.
+* **Worker death is probe-able, not just submit-fatal.**  A killed worker used to
+  surface only as a ``RuntimeError`` on the *next* filtering call (which then tore
+  down every shard).  :meth:`ShardedFilterBank.worker_status` reports per-shard
+  liveness and :meth:`ShardedFilterBank.ensure_healthy` respawns exactly the dead
+  shards between documents, replaying their registrations from the parent-side
+  records — the long-lived service layer calls it from its health probe so one lost
+  process never costs a full bank restart.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional
 
 from ..xmlstream.document import XMLDocument
@@ -103,6 +111,19 @@ def _worker_main(inbox, outbox, stats: bool) -> None:
             return
 
 
+def _close_queues(inbox, outbox) -> None:
+    """Release a retired worker's queue resources in the parent process."""
+    try:
+        inbox.close()  # SimpleQueue: closes both pipe ends held by the parent
+    except (OSError, AttributeError):  # pragma: no cover - defensive
+        pass
+    try:
+        outbox.cancel_join_thread()  # unread replies must not block interpreter exit
+        outbox.close()
+    except (OSError, AttributeError):  # pragma: no cover - defensive
+        pass
+
+
 def _drain(inbox, state: dict) -> None:
     """Consume the rest of a broadcast the filtering generator did not finish."""
     while not state["ended"]:
@@ -138,6 +159,10 @@ class ShardedFilterBank:
         self._queries: Dict[str, str] = {}  # name -> canonical query text
         self._next_shard = 0
         self._workers: Optional[List[tuple]] = None  # (process, inbox, outbox)
+        # guards worker-set transitions (spawn/respawn/close): the service layer
+        # may drive a lazy spawn from an executor thread while start() runs in
+        # another, and a check-then-act race would leak a whole process set
+        self._lifecycle_lock = threading.Lock()
 
     # ------------------------------------------------------------------ registration
     def register(self, name: str, query: Query) -> None:
@@ -148,25 +173,51 @@ class ShardedFilterBank:
         both checked in the parent process, so a raising call never desynchronizes
         the workers.
         """
-        if name in self._subs:
-            raise ValueError(f"a subscription named {name!r} is already registered")
         StreamingFilter._check_supported(query)
         text = query.to_xpath()
-        shard = self._next_shard
-        self._next_shard = (shard + 1) % self._shard_count
-        self._subs[name] = shard
-        self._queries[name] = text
-        self._send(shard, ("register", name, text))
+        # the lock serializes the mutation+send against a concurrent spawn's
+        # registration replay (which iterates _subs per shard before _workers is
+        # assigned) — without it a registration can miss both the replay and the
+        # live send, existing parent-side but never reaching its worker
+        with self._lifecycle_lock:
+            if name in self._subs:
+                raise ValueError(
+                    f"a subscription named {name!r} is already registered")
+            shard = self._next_shard
+            self._next_shard = (shard + 1) % self._shard_count
+            self._subs[name] = shard
+            self._queries[name] = text
+            self._send(shard, ("register", name, text))
 
     def unregister(self, name: str) -> None:
         """Remove a subscription; unknown names raise ``KeyError``."""
-        shard = self._subs.pop(name)
-        del self._queries[name]
-        self._send(shard, ("unregister", name))
+        with self._lifecycle_lock:
+            shard = self._subs.pop(name)
+            del self._queries[name]
+            self._send(shard, ("unregister", name))
 
     def subscriptions(self) -> List[str]:
         """The registered subscription names, in registration order."""
         return list(self._subs)
+
+    def subscription_queries(self) -> Dict[str, str]:
+        """name -> canonical XPath text, in registration order (snapshot source).
+
+        The canonical serialization is exactly what the workers re-parse, so a bank
+        rebuilt from these pairs is behaviorally identical to this one.  Like
+        :meth:`worker_status`, never blocks on the lifecycle lock (a snapshot may
+        be taken from an event loop while a spawn holds the lock in a worker
+        thread) — without the lock the single C-level dict copy is still
+        consistent, because it runs GIL-atomically.
+        """
+        acquired = self._lifecycle_lock.acquire(blocking=False)
+        try:
+            # dict(d) is a single GIL-atomic C operation, so the copy is
+            # consistent even when the lock could not be taken
+            return dict(self._queries)
+        finally:
+            if acquired:
+                self._lifecycle_lock.release()
 
     def __len__(self) -> int:
         return len(self._subs)
@@ -175,6 +226,11 @@ class ShardedFilterBank:
     def shard_count(self) -> int:
         return self._shard_count
 
+    @property
+    def stats_mode(self) -> bool:
+        """Whether the worker banks run the statistics-accurate engine."""
+        return self._stats
+
     # ------------------------------------------------------------------ lifecycle
     def _send(self, shard: int, message: tuple) -> None:
         if self._workers is not None:
@@ -182,24 +238,110 @@ class ShardedFilterBank:
         # with no workers running, registrations are replayed from the parent-side
         # name -> (shard, query text) records when the workers next spawn
 
+    def _spawn_worker(self, shard: int) -> tuple:
+        """Spawn one shard worker and replay the registrations it owns."""
+        context = multiprocessing.get_context()
+        inbox = context.SimpleQueue()
+        # replies travel over a Queue (not SimpleQueue) so the parent can
+        # poll with a timeout and detect a dead worker instead of hanging
+        outbox = context.Queue()
+        process = context.Process(
+            target=_worker_main, args=(inbox, outbox, self._stats),
+            daemon=True, name=f"filterbank-shard-{shard}")
+        process.start()
+        for name, owner in self._subs.items():
+            if owner == shard:
+                inbox.put(("register", name, self._queries[name]))
+        return (process, inbox, outbox)
+
     def _ensure_workers(self) -> List[tuple]:
-        if self._workers is None:
-            context = multiprocessing.get_context()
-            workers = []
-            for shard in range(self._shard_count):
-                inbox = context.SimpleQueue()
-                # replies travel over a Queue (not SimpleQueue) so the parent can
-                # poll with a timeout and detect a dead worker instead of hanging
-                outbox = context.Queue()
-                process = context.Process(
-                    target=_worker_main, args=(inbox, outbox, self._stats),
-                    daemon=True, name=f"filterbank-shard-{shard}")
-                process.start()
-                workers.append((process, inbox, outbox))
-            for name, shard in self._subs.items():
-                workers[shard][1].put(("register", name, self._queries[name]))
-            self._workers = workers
-        return self._workers
+        with self._lifecycle_lock:
+            if self._workers is None:
+                self._workers = [self._spawn_worker(shard)
+                                 for shard in range(self._shard_count)]
+            return self._workers
+
+    def start(self) -> None:
+        """Spawn the worker processes eagerly (idempotent).
+
+        Workers otherwise spawn lazily on the first filtering call; a long-lived
+        service prewarms them at startup so the first published document does not pay
+        the spawn latency.
+        """
+        self._ensure_workers()
+
+    def worker_status(self) -> List[dict]:
+        """One liveness record per shard: the bank's health probe.
+
+        Each record carries ``shard``, ``spawned`` (whether a worker process exists
+        for the shard), ``alive`` (``process.is_alive()``; ``False`` for a spawned
+        worker that died, ``None`` when not spawned), ``pid``, and
+        ``subscriptions`` (how many registered names the shard owns).
+        """
+        owned = [0] * self._shard_count
+        # never *block* on the lifecycle lock: a spawn in progress holds it for
+        # the whole multi-process startup, and a health poll on an event loop
+        # must not stall behind that — the lock-free fallback snapshot is safe
+        # because each copy below is one GIL-atomic C-level operation
+        acquired = self._lifecycle_lock.acquire(blocking=False)
+        try:
+            # list(view) is a single GIL-atomic C operation, so the snapshot is
+            # consistent even when the lock could not be taken
+            shards = list(self._subs.values())
+            workers = self._workers
+        finally:
+            if acquired:
+                self._lifecycle_lock.release()
+        for shard in shards:
+            owned[shard] += 1
+        status = []
+        for shard in range(self._shard_count):
+            worker = workers[shard] if workers is not None else None
+            process = worker[0] if worker is not None else None
+            status.append({
+                "shard": shard,
+                "spawned": process is not None,
+                "alive": process.is_alive() if process is not None else None,
+                "pid": process.pid if process is not None else None,
+                "subscriptions": owned[shard],
+            })
+        return status
+
+    def has_dead_worker(self) -> bool:
+        """Lock-free liveness check: is any spawned worker dead?
+
+        Reads the worker list once without taking the lifecycle lock, so a hot
+        caller (the service probes before every batch, on the event loop) never
+        stalls behind an in-progress spawn; the answer may be momentarily stale,
+        which a once-per-batch probe tolerates by construction.
+        """
+        workers = self._workers
+        if workers is None:
+            return False
+        return any(not worker[0].is_alive() for worker in workers)
+
+    def ensure_healthy(self) -> List[int]:
+        """Respawn every dead worker, returning the respawned shard indexes.
+
+        Safe to call between documents (never during a broadcast).  A shard whose
+        worker died is given a fresh process with its registrations replayed from the
+        parent-side name -> (shard, query text) records, so the bank recovers without
+        tearing down the healthy shards and without clients re-registering.  With no
+        workers spawned this is a no-op: the next filtering call (or :meth:`start`)
+        spawns a full, healthy set anyway.
+        """
+        with self._lifecycle_lock:
+            if self._workers is None:
+                return []
+            respawned = []
+            for shard, (process, inbox, outbox) in enumerate(self._workers):
+                if process.is_alive():
+                    continue
+                process.join(timeout=0)  # reap the zombie before replacing it
+                _close_queues(inbox, outbox)  # else every respawn leaks pipe fds
+                self._workers[shard] = self._spawn_worker(shard)
+                respawned.append(shard)
+            return respawned
 
     def close(self) -> None:
         """Stop the worker processes (idempotent).
@@ -207,15 +349,17 @@ class ShardedFilterBank:
         Registrations are kept parent-side, so a closed bank that is filtered again
         simply respawns its workers and replays them.
         """
-        if self._workers is None:
+        with self._lifecycle_lock:
+            workers, self._workers = self._workers, None
+        if workers is None:
             return
-        workers, self._workers = self._workers, None
         for _process, inbox, _outbox in workers:
             inbox.put(("stop",))
-        for process, _inbox, _outbox in workers:
+        for process, inbox, outbox in workers:
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
+            _close_queues(inbox, outbox)
 
     def __enter__(self) -> "ShardedFilterBank":
         return self

@@ -1,0 +1,44 @@
+"""The long-lived asyncio pub/sub service layer over the filter-bank engines.
+
+:class:`PubSubService` owns one filter bank for its lifetime and serves it to many
+clients: per-client :class:`ClientSession`\\ s with session-local subscription
+names, a bounded ingest queue with backpressure and batch coalescing, snapshot/
+restore of the whole subscription state to JSON, worker health probing with
+automatic respawn (sharded banks), and graceful drain/shutdown.  See
+``examples/pubsub_server.py`` for a runnable demo and ``DESIGN.md`` for the
+lifecycle, backpressure and snapshot-format notes.
+"""
+
+from .server import (
+    Publishable,
+    PublishResult,
+    PubSubService,
+    ServiceClosedError,
+)
+from .session import ClientSession, Notification, SessionClosedError
+from .snapshot import (
+    SNAPSHOT_SCHEMA,
+    dump_bank,
+    dumps_bank,
+    load_bank,
+    loads_bank,
+    restore_bank,
+    snapshot_bank,
+)
+
+__all__ = [
+    "ClientSession",
+    "Notification",
+    "Publishable",
+    "PublishResult",
+    "PubSubService",
+    "SNAPSHOT_SCHEMA",
+    "ServiceClosedError",
+    "SessionClosedError",
+    "dump_bank",
+    "dumps_bank",
+    "load_bank",
+    "loads_bank",
+    "restore_bank",
+    "snapshot_bank",
+]

@@ -1,0 +1,732 @@
+"""The long-lived asyncio pub/sub service over the filter-bank engines.
+
+:class:`PubSubService` turns the one-shot library calls (`bank.filter_*`) into a
+front end a network server can sit on: clients connect, subscribe XPath queries under
+session-local names, and publish XML documents; every publisher learns which
+subscriptions its document matched, and every subscribed client receives a
+:class:`~repro.service.session.Notification` on its session queue.  The service owns
+one bank for its whole lifetime — a
+:class:`~repro.core.compile.CompiledFilterBank` in-process (match-only by default) or
+a :class:`~repro.core.shard.ShardedFilterBank` when ``shards`` is given — so
+subscriptions enjoy incremental trie maintenance and the sharded workers stay warm
+across documents.
+
+Ordering and backpressure
+-------------------------
+
+Every mutation travels through one bounded *ingest queue*: published documents and
+subscribe/unsubscribe operations alike.  That gives the service its entire
+consistency story for free — a subscription is in effect for exactly the documents
+published after it, registrations never interleave with an in-flight filtering call,
+and when ingest outruns the engine, ``publish`` simply awaits queue space
+(backpressure is lossless on the ingest side; the per-session *delivery* queues are
+bounded-lossy instead, see the session module).
+
+Batching
+--------
+
+A single ingest worker drains the queue in batches: it waits for the first item,
+yields once so every already-runnable publisher gets to enqueue, then takes
+everything buffered up to ``batch_max`` — an empty queue flushes immediately, so
+coalescing adapts to load and never *adds* latency.  ``flush_interval`` is an
+opt-in timed window on top (default off): a positive value holds the batch open
+for stragglers until the deadline, trading per-batch latency for larger batches.
+Each batch's run of consecutive documents is handed to the executor as *one* call
+that tokenizes and filters them back to back — one thread-pool round trip (and,
+for a sharded bank, one warm pipeline of broadcasts) amortized over the whole
+batch instead of paid per document.  Under bursty traffic this is where the >=2x
+over await-each-document throughput comes from (the service benchmark asserts it).
+
+Recovery
+--------
+
+Before each batch the service probes the bank's health:
+:meth:`~repro.core.shard.ShardedFilterBank.ensure_healthy` respawns any shard worker
+that died since the last batch (counted in ``metrics()["workers_respawned"]``), so a
+killed process costs one respawn, not a failed publish.  :meth:`PubSubService.snapshot`
+serializes the service's sessions and their canonical query forms to a JSON-able
+dict; :meth:`PubSubService.restore` rebuilds service, sessions and bank from it
+without clients re-issuing a single ``subscribe``.  :meth:`PubSubService.stop` drains
+the ingest queue (every accepted publish is answered), then closes the bank —
+sharded workers shut down cleanly and would be respawned from the parent-side
+registration records on a later start, so drain/shutdown never desynchronizes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..core.compile import CompiledFilterBank, event_tokens
+from ..core.shard import ShardedFilterBank
+from ..xmlstream.document import XMLDocument
+from ..xmlstream.parse import StreamingParser, document_tokens
+from ..xpath.parser import parse_query
+from ..xpath.query import Query
+from .session import ClientSession, Notification
+from .snapshot import SNAPSHOT_SCHEMA
+
+#: what ``publish`` accepts as one document: XML text, a parsed document, or a
+#: pre-tokenized stream (list of tokens, the zero-copy layer's representation)
+Publishable = Union[str, XMLDocument, list]
+
+
+class ServiceClosedError(RuntimeError):
+    """Raised when publishing to or subscribing on a stopped/stopping service."""
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """The outcome of one published document, as seen by its publisher."""
+
+    document_id: int  #: service-wide publish sequence number
+    matched: Tuple[str, ...]  #: matched subscriptions as global ``client:name`` ids
+    per_query_stats: dict = field(default_factory=dict, repr=False)
+
+
+# ingest-queue operation tags
+_OP_DOC = 0
+_OP_SUB = 1
+_OP_UNSUB = 2
+_OP_STOP = 3
+
+
+class PubSubService:
+    """An asyncio publish/subscribe service owning one filter bank for its lifetime.
+
+    Parameters
+    ----------
+    shards:
+        ``None`` (default) runs an in-process :class:`CompiledFilterBank`; an integer
+        runs a :class:`ShardedFilterBank` with that many worker processes.
+    stats:
+        ``False`` (default) selects the match-only fast path; ``True`` the
+        statistics-accurate engine (``PublishResult.per_query_stats`` is then
+        populated, keyed by global subscription id).
+    queue_limit:
+        Ingest queue bound — how many operations may be in flight before
+        ``publish``/``subscribe`` block (the backpressure knob).
+    batch_max / flush_interval:
+        Batch coalescing knobs.  A batch closes when the queue momentarily
+        empties or at ``batch_max`` buffered operations; with a positive
+        ``flush_interval`` (default ``0.0``: off) it instead stays open for
+        stragglers until that many seconds passed, trading latency for larger
+        batches.  ``batch_max=1`` disables coalescing (every document pays its
+        own executor round trip) — the benchmark's "single-document-call"
+        baseline.
+    session_queue_size:
+        Per-session delivery queue bound (oldest notifications are dropped beyond
+        it; see :class:`ClientSession`).
+    """
+
+    def __init__(self, *, shards: Optional[int] = None, stats: bool = False,
+                 queue_limit: int = 1024, batch_max: int = 32,
+                 flush_interval: float = 0.0,
+                 session_queue_size: int = 1024) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be at least 1")
+        self._shards = shards
+        self._stats = stats
+        if shards is None:
+            self._bank = CompiledFilterBank(stats=stats)
+        else:
+            self._bank = ShardedFilterBank(shards, stats=stats)
+        self._queue_limit = queue_limit
+        self._batch_max = batch_max
+        self._flush_interval = flush_interval
+        self._session_queue_size = session_queue_size
+
+        self._queue: Optional[asyncio.Queue] = None
+        self._worker: Optional[asyncio.Task] = None
+        self._worker_queue: Optional[asyncio.Queue] = None  # queue the worker serves
+        self._closing = False
+        self._stopped = False
+
+        self._sessions: Dict[str, ClientSession] = {}
+        self._routes: Dict[str, Tuple[ClientSession, str]] = {}  # global -> (s, local)
+        self._client_ids = itertools.count(1)
+        self._doc_ids = itertools.count(1)
+        self._counters = {
+            "published": 0, "documents_failed": 0, "batches": 0,
+            "largest_batch": 0, "notifications": 0, "workers_respawned": 0,
+        }
+        self._dropped_closed = 0  # drop counts inherited from closed sessions
+
+    # ------------------------------------------------------------------ lifecycle
+    async def start(self) -> None:
+        """Start the ingest worker (idempotent) and prewarm sharded workers."""
+        self._ensure_worker()
+        bank = self._bank
+        if isinstance(bank, ShardedFilterBank):
+            await asyncio.get_running_loop().run_in_executor(None, bank.start)
+
+    def _ensure_worker(self) -> asyncio.Queue:
+        if self._stopped or self._closing:
+            raise ServiceClosedError("the service is stopped")
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self._queue_limit)
+        worker = self._worker
+        if worker is None or worker.done() or self._worker_queue is not self._queue:
+            if worker is not None:
+                if worker.done():
+                    if not worker.cancelled():
+                        worker.exception()  # retrieve the crash; futures saw it
+                else:
+                    # a crashed worker still finishing its cleanup on a retired
+                    # queue: let its eventual exception be retrieved silently
+                    worker.add_done_callback(
+                        lambda task: task.cancelled() or task.exception())
+            self._worker = asyncio.get_running_loop().create_task(
+                self._ingest_loop(self._queue), name="pubsub-ingest")
+            self._worker_queue = self._queue
+        return self._queue
+
+    async def stop(self) -> None:
+        """Drain the ingest queue, stop the worker, and close the bank (idempotent).
+
+        Every operation accepted before ``stop`` is fully processed — publishers get
+        their results, subscribers their notifications — before the bank is closed.
+        New operations raise :class:`ServiceClosedError` as soon as ``stop`` begins.
+        """
+        if self._stopped:
+            return
+        self._closing = True
+        worker, queue = self._worker, self._queue
+        if worker is not None:
+            # await the worker even when the queue was retired by a crash —
+            # this retrieves the crash exception (else asyncio reports it as
+            # never-retrieved at GC time) and waits out any in-flight cleanup
+            try:
+                if not worker.done() and queue is not None:
+                    await queue.put((_OP_STOP,))
+                await worker
+            except Exception:
+                # an ingest-loop crash already failed its in-flight futures;
+                # swallowing it here (after retrieval) lets shutdown finish —
+                # sessions still get marked closed and the bank still closes
+                pass
+        if queue is not None:
+            # safety net: anything still queued (a worker that previously
+            # crashed, for instance) is answered with a closed error, not a hang
+            await self._drain_failing(
+                queue, ServiceClosedError("the service is stopped"))
+        self._stopped = True
+        for session in list(self._sessions.values()):
+            session._mark_closed()
+            self._dropped_closed += session.dropped
+        self._sessions.clear()
+        self._routes.clear()
+        bank = self._bank
+        if isinstance(bank, ShardedFilterBank):
+            await asyncio.get_running_loop().run_in_executor(None, bank.close)
+
+    async def __aenter__(self) -> "PubSubService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ sessions
+    async def connect(self, client_id: Optional[str] = None) -> ClientSession:
+        """Open a client session.  ``client_id`` defaults to a fresh ``c<n>`` id."""
+        if self._closing or self._stopped:
+            raise ServiceClosedError("the service is stopped")
+        if client_id is None:
+            client_id = f"c{next(self._client_ids)}"
+            while client_id in self._sessions:  # pragma: no cover - defensive
+                client_id = f"c{next(self._client_ids)}"
+        elif ":" in client_id:
+            # ':' separates client id from local name in global bank names; a
+            # colon inside the id would make ids collide across sessions
+            # (client 'a' + local 'b:c' vs client 'a:b' + local 'c')
+            raise ValueError(f"client id {client_id!r} must not contain ':'")
+        elif client_id in self._sessions:
+            raise ValueError(f"a session named {client_id!r} is already connected")
+        session = ClientSession(self, client_id,
+                                queue_size=self._session_queue_size)
+        self._sessions[client_id] = session
+        return session
+
+    def session(self, client_id: str) -> ClientSession:
+        """The connected session with the given id (KeyError if unknown)."""
+        return self._sessions[client_id]
+
+    def sessions(self) -> List[ClientSession]:
+        """Every connected session, in connection order."""
+        return list(self._sessions.values())
+
+    def _detach(self, session: ClientSession) -> None:
+        if self._sessions.pop(session.client_id, None) is not None:
+            # keep the aggregate drop counter monotonic across session churn
+            self._dropped_closed += session.dropped
+
+    @staticmethod
+    def _global_name(client_id: str, local: str) -> str:
+        return f"{client_id}:{local}"
+
+    @staticmethod
+    def _applied(future: "asyncio.Future") -> bool:
+        """Did the worker already apply this op? (despite our own cancellation)"""
+        return (future.done() and not future.cancelled()
+                and future.exception() is None)
+
+    async def _register(self, session: ClientSession, local: str,
+                        query: Query) -> str:
+        queue = self._ensure_worker()
+        global_name = self._global_name(session.client_id, local)
+        future = asyncio.get_running_loop().create_future()
+        await queue.put((_OP_SUB, global_name, query, future))
+        try:
+            canonical = await future
+        except asyncio.CancelledError:
+            # cancelled between the worker's set_result and our resumption: the
+            # registration exists but the caller will never record it — undo it
+            # in the background or it would filter documents forever, unowned
+            if self._applied(future):
+                asyncio.get_running_loop().create_task(
+                    self._compensate_unregister(global_name))
+            raise
+        self._routes[global_name] = (session, local)
+        return canonical
+
+    async def _compensate_unregister(self, global_name: str) -> None:
+        try:
+            queue = self._ensure_worker()
+            future = asyncio.get_running_loop().create_future()
+            await queue.put((_OP_UNSUB, global_name, future))
+            await future
+        except Exception:
+            pass  # service stopping: the whole bank is going away anyway
+
+    async def _unregister(self, session: ClientSession, local: str) -> None:
+        queue = self._ensure_worker()
+        global_name = self._global_name(session.client_id, local)
+        future = asyncio.get_running_loop().create_future()
+        await queue.put((_OP_UNSUB, global_name, future))
+        try:
+            await future
+        except asyncio.CancelledError:
+            if self._applied(future):
+                # the bank entry is gone; complete the caller-side bookkeeping
+                # too, or a later close() would try to unregister it again
+                self._routes.pop(global_name, None)
+                session._subs.pop(local, None)
+            raise
+        self._routes.pop(global_name, None)
+
+    # ------------------------------------------------------------------ publishing
+    async def publish(self, document: Publishable) -> PublishResult:
+        """Publish one document and await its filtering outcome.
+
+        Accepts XML text, an :class:`XMLDocument`, or a pre-tokenized list.  Blocks
+        (asynchronously) while the ingest queue is full — publishers are throttled
+        to engine speed rather than queueing unboundedly.  Malformed documents
+        raise their parse error here, without affecting other in-flight documents.
+        """
+        queue = self._ensure_worker()
+        future = asyncio.get_running_loop().create_future()
+        doc_id = next(self._doc_ids)
+        await queue.put((_OP_DOC, document, future, doc_id))
+        matched, stats = await future
+        return PublishResult(document_id=doc_id, matched=matched,
+                             per_query_stats=stats)
+
+    async def publish_many(self, documents: Iterable[Publishable]
+                           ) -> List[PublishResult]:
+        """Publish a burst of documents, awaiting all their outcomes at once.
+
+        Semantically identical to awaiting :meth:`publish` per document, but the
+        whole burst is enqueued from one coroutine — no task per document — so the
+        ingest worker sees the burst back to back and coalesces it into full
+        batches.  Enqueueing still honors the queue bound: once the ingest queue
+        fills, enqueueing overlaps with the worker draining it (pipelining, not
+        unbounded buffering).  Results come back in publish order; a document that
+        failed to parse carries its exception, raised on access via
+        :func:`asyncio.Future.result` semantics — here, re-raised immediately, so
+        a malformed document in a burst raises after the whole burst settled.
+        """
+        queue = self._ensure_worker()
+        loop = asyncio.get_running_loop()
+        entries = []
+        for document in documents:
+            future = loop.create_future()
+            doc_id = next(self._doc_ids)
+            await queue.put((_OP_DOC, document, future, doc_id))
+            entries.append((doc_id, future))
+        if entries:
+            await asyncio.gather(*(future for _id, future in entries),
+                                 return_exceptions=True)
+        results = []
+        for doc_id, future in entries:
+            matched, stats = future.result()  # re-raises a failed document's error
+            results.append(PublishResult(document_id=doc_id, matched=matched,
+                                         per_query_stats=stats))
+        return results
+
+    async def publish_stream(self, chunks) -> PublishResult:
+        """Publish one document arriving as (optionally async) byte/text chunks.
+
+        The chunks are tokenized incrementally as they arrive — a network-sized
+        chunk costs one ``feed_tokens`` call and the document is never materialized
+        as a single string — and the completed token stream is then published like
+        any other document.
+        """
+        parser = StreamingParser()
+        tokens: list = []
+        if hasattr(chunks, "__aiter__"):
+            async for chunk in chunks:
+                tokens.extend(parser.feed_tokens(chunk))
+        else:
+            for chunk in chunks:
+                tokens.extend(parser.feed_tokens(chunk))
+        tokens.extend(parser.close_tokens())
+        return await self.publish(tokens)
+
+    # ------------------------------------------------------------------ the worker
+    async def _ingest_loop(self, queue: asyncio.Queue) -> None:
+        batch: List[tuple] = []
+        try:
+            await self._ingest_until_stopped(queue, batch)
+        except BaseException as exc:
+            # an unexpected failure (e.g. a respawn hitting EMFILE inside the
+            # health probe) must never strand publishers awaiting their futures.
+            # Retire the queue first — operations arriving from now on build a
+            # fresh queue + worker — then fail the in-flight batch and every op
+            # on the retired queue (including ones from putters we wake while
+            # draining), and re-raise so the task records the crash.
+            if self._queue is queue:
+                self._queue = None
+            failure = RuntimeError(f"ingest worker crashed: {exc!r}")
+            failure.__cause__ = exc if isinstance(exc, Exception) else None
+            for op in batch:
+                self._fail_op(op, failure)
+            await self._drain_failing(queue, failure)
+            raise
+
+    @staticmethod
+    async def _drain_failing(queue: asyncio.Queue, error: BaseException) -> None:
+        """Fail everything queued, *including* ops from publishers that were
+        blocked on a full queue: each drained item frees a slot and wakes a
+        putter, whose op only lands after a scheduling tick — so keep draining
+        until one tick passes with the queue still empty."""
+        while True:
+            while not queue.empty():
+                PubSubService._fail_op(queue.get_nowait(), error)
+            await asyncio.sleep(0)
+            if queue.empty():
+                return
+
+    @staticmethod
+    def _fail_op(op: tuple, error: BaseException) -> None:
+        if op[0] == _OP_DOC or op[0] == _OP_UNSUB:
+            future = op[2]
+        elif op[0] == _OP_SUB:
+            future = op[3]
+        else:  # _OP_STOP carries no future
+            return
+        if not future.done():
+            future.set_exception(error)
+
+    async def _ingest_until_stopped(self, queue: asyncio.Queue,
+                                    batch: List[tuple]) -> None:
+        loop = asyncio.get_running_loop()
+        flush = self._flush_interval
+        batch_max = self._batch_max
+        stopping = False
+        while True:
+            if stopping:
+                # the STOP marker can overtake publishers blocked on a full
+                # queue (their put was accepted before stop() was called, so
+                # they must still be answered): keep draining without blocking
+                # until a scheduling tick leaves the queue empty — each drained
+                # item frees a slot, and the freed putter runs before our next
+                # sleep(0) resumes, so nothing accepted can be stranded
+                await asyncio.sleep(0)
+                if queue.empty():
+                    break
+                batch.append(queue.get_nowait())
+            else:
+                batch.append(await queue.get())
+            if batch[0][0] != _OP_STOP and batch_max > 1:
+                # one yield lets every already-runnable publisher enqueue, then the
+                # batch takes whatever accumulated: coalescing adapts to load and
+                # an idle queue flushes immediately (no waiting out a window)
+                await asyncio.sleep(0)
+                while len(batch) < batch_max and not queue.empty():
+                    batch.append(queue.get_nowait())
+                    if batch[-1][0] == _OP_STOP:
+                        break
+                if flush > 0 and not stopping:
+                    # opt-in timed window: hold the batch open for stragglers
+                    # until the deadline (trades latency for larger batches);
+                    # pointless once stopping — nothing new can arrive
+                    deadline = loop.time() + flush
+                    while batch[-1][0] != _OP_STOP and len(batch) < batch_max:
+                        remaining = deadline - loop.time()
+                        if remaining <= 0:
+                            break
+                        try:
+                            batch.append(await asyncio.wait_for(
+                                queue.get(), remaining))
+                        except asyncio.TimeoutError:
+                            break
+            self._counters["batches"] += 1
+            if len(batch) > self._counters["largest_batch"]:
+                self._counters["largest_batch"] = len(batch)
+            await self._probe_bank_health(loop)
+            docs: List[tuple] = []
+            for op in batch:
+                if op[0] == _OP_DOC:
+                    docs.append(op)
+                    continue
+                await self._run_docs(loop, docs)
+                docs = []
+                # bank mutations run in the executor like every other bank
+                # interaction: a sharded register can block on the lifecycle
+                # lock behind an in-progress worker spawn, and that wait must
+                # not freeze the event loop.  Ordering is unaffected — the
+                # worker awaits each op in place.
+                if op[0] == _OP_SUB:
+                    _tag, global_name, query, future = op
+                    if future.cancelled():
+                        continue  # awaiter gone: registering would orphan it
+                    try:
+                        await loop.run_in_executor(
+                            None, self._bank.register, global_name, query)
+                    except Exception as exc:
+                        if not future.cancelled():
+                            future.set_exception(exc)
+                        continue
+                    if future.cancelled():
+                        # the awaiter vanished while we applied it: undo now,
+                        # or the registration would survive unowned
+                        try:
+                            await loop.run_in_executor(
+                                None, self._bank.unregister, global_name)
+                        except Exception:  # pragma: no cover - defensive
+                            pass
+                        continue
+                    future.set_result(query.to_xpath())
+                elif op[0] == _OP_UNSUB:
+                    _tag, global_name, future = op
+                    if future.cancelled():
+                        continue  # awaiter gone: leave its session state as-is
+                    try:
+                        await loop.run_in_executor(
+                            None, self._bank.unregister, global_name)
+                    except Exception as exc:
+                        if not future.cancelled():
+                            future.set_exception(exc)
+                        continue
+                    if future.cancelled():
+                        # applied, but the awaiter (whose compensation handles
+                        # only the result-was-set case) is gone: finish the
+                        # caller-side bookkeeping here
+                        route = self._routes.pop(global_name, None)
+                        if route is not None:
+                            route[0]._subs.pop(route[1], None)
+                        continue
+                    future.set_result(None)
+                else:  # _OP_STOP: everything queued before it has been processed
+                    stopping = True
+            await self._run_docs(loop, docs)
+            del batch[:]
+
+    async def _probe_bank_health(self, loop) -> None:
+        """Between-documents health probe: respawn shard workers that died.
+
+        A respawn runs in the executor because it is real work (process spawn
+        plus a full registration replay over a pipe) and must not stall the
+        loop — the same rule every other bank interaction follows.
+        """
+        bank = self._bank
+        if isinstance(bank, ShardedFilterBank):
+            # the lock-free liveness check is a handful of non-blocking waitpid
+            # probes — run it inline and pay the executor hop (and the lifecycle
+            # lock) only when a dead worker actually needs respawning
+            if not bank.has_dead_worker():
+                return
+            respawned = await loop.run_in_executor(None, bank.ensure_healthy)
+            if respawned:
+                self._counters["workers_respawned"] += len(respawned)
+
+    async def _run_docs(self, loop, docs: List[tuple]) -> None:
+        """Filter one batch-run of documents in a single executor call."""
+        if not docs:
+            return
+        payloads = [op[1] for op in docs]
+        outcomes = await loop.run_in_executor(None, self._filter_batch, payloads)
+        for (_tag, _payload, future, doc_id), outcome in zip(docs, outcomes):
+            if isinstance(outcome, BaseException):
+                self._counters["documents_failed"] += 1
+                if not future.cancelled():
+                    future.set_exception(outcome)
+                continue
+            self._counters["published"] += 1
+            matched: Tuple[str, ...] = tuple(outcome.matched)
+            self._dispatch(doc_id, matched)
+            if not future.cancelled():
+                future.set_result((matched, outcome.per_query_stats))
+
+    def _filter_batch(self, payloads: List[Publishable]) -> list:
+        """Executor side: tokenize and filter each document, back to back.
+
+        One thread-pool round trip serves the whole run; per-document failures are
+        returned (not raised) so one malformed document cannot steal the batch —
+        the engines guarantee a failed call leaves the bank reset and usable.
+        """
+        outcomes = []
+        for payload in payloads:
+            try:
+                if isinstance(payload, str):
+                    tokens = document_tokens(payload)
+                elif isinstance(payload, XMLDocument):
+                    tokens = event_tokens(payload.events())
+                else:
+                    tokens = iter(payload)
+                outcomes.append(self._bank.filter_tokens(tokens))
+            except Exception as exc:
+                outcomes.append(exc)
+        return outcomes
+
+    def _dispatch(self, doc_id: int, matched: Tuple[str, ...]) -> None:
+        """Fan a document's matched global names out to the owning sessions."""
+        if not matched:
+            return
+        per_session: Dict[ClientSession, List[str]] = {}
+        for global_name in matched:
+            route = self._routes.get(global_name)
+            if route is None:  # unsubscribed while the document was in flight
+                continue
+            session, local = route
+            per_session.setdefault(session, []).append(local)
+        for session, locals_ in per_session.items():
+            session._deliver(Notification(document_id=doc_id,
+                                          matched=tuple(locals_)))
+            self._counters["notifications"] += 1
+
+    # ------------------------------------------------------------------ insight
+    def metrics(self) -> dict:
+        """Operational counters plus queue depth and session/subscription counts."""
+        queue = self._queue
+        return {
+            **self._counters,
+            "queue_depth": queue.qsize() if queue is not None else 0,
+            "sessions": len(self._sessions),
+            "subscriptions": len(self._bank),
+            "dropped_notifications": self._dropped_closed + sum(
+                s.dropped for s in self._sessions.values()),
+        }
+
+    def health(self) -> dict:
+        """A liveness snapshot: worker task state, queue depth, shard status."""
+        bank = self._bank
+        worker = self._worker
+        return {
+            "running": worker is not None and not worker.done(),
+            "closing": self._closing,
+            "stopped": self._stopped,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "bank": type(bank).__name__,
+            "stats_mode": self._stats,
+            "workers": (bank.worker_status()
+                        if isinstance(bank, ShardedFilterBank) else None),
+        }
+
+    @property
+    def bank(self):
+        """The owned filter bank (read-only use; mutations must go through ops)."""
+        return self._bank
+
+    # ------------------------------------------------------------------ snapshots
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot of the service's subscription state.
+
+        Captures the bank configuration and, per session, the canonical XPath form
+        of every subscription (exactly what the bank would re-parse), so a restarted
+        service rebuilds its bank without any client re-subscribing.  In-flight
+        documents and undelivered notifications are deliberately *not* captured —
+        they are transient traffic, not state.  Must be taken *before* ``stop()``
+        (which discards the sessions): snapshotting a stopped service raises
+        instead of silently returning an empty-session snapshot.
+        """
+        if self._stopped:
+            raise ServiceClosedError(
+                "the service is stopped; snapshot() before stop()")
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "kind": "service",
+            "bank": {
+                "shards": self._shards,
+                "stats": self._stats,
+            },
+            # global bank registration order: restore replays it so round-robin
+            # shard assignment and matched/notification ordering survive the
+            # restart (per-session lists alone would interleave differently)
+            "registration_order": list(self._bank.subscription_queries()),
+            "sessions": [
+                {
+                    "client": session.client_id,
+                    "subscriptions": [
+                        [local, canonical]
+                        for local, canonical
+                        in session.subscription_queries().items()
+                    ],
+                }
+                for session in self._sessions.values()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, **overrides) -> "PubSubService":
+        """Rebuild a service (sessions, subscriptions, bank) from a snapshot.
+
+        Keyword overrides are passed to the constructor in place of the snapshot's
+        bank configuration (e.g. restore a sharded service in-process for a test).
+        The bank is registered directly from the canonical query forms — no client
+        interaction, no ingest traffic — and sessions come back under their old
+        client ids with empty delivery queues.
+        """
+        schema = snapshot.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(f"unsupported service snapshot schema: {schema!r}")
+        kind = snapshot.get("kind")
+        if kind != "service" or not isinstance(snapshot.get("sessions"), list):
+            raise ValueError(
+                f"not a service snapshot (kind={kind!r}); bank-level snapshots "
+                "are restored with repro.service.restore_bank")
+        bank_config = snapshot.get("bank", {})
+        config = {"shards": bank_config.get("shards"),
+                  "stats": bool(bank_config.get("stats", False))}
+        config.update(overrides)
+        service = cls(**config)
+        pending: Dict[str, tuple] = {}  # global name -> (session, local, text)
+        for record in snapshot["sessions"]:
+            client_id = record["client"]
+            if ":" in client_id:  # same invariant connect() enforces
+                raise ValueError(f"client id {client_id!r} must not contain ':'")
+            if client_id in service._sessions:  # ditto: overwriting would
+                raise ValueError(  # silently misroute the first record's subs
+                    f"duplicate client {client_id!r} in service snapshot")
+            session = ClientSession(service, client_id,
+                                    queue_size=service._session_queue_size)
+            service._sessions[client_id] = session
+            for local, canonical in record.get("subscriptions", []):
+                pending[cls._global_name(client_id, local)] = \
+                    (session, local, canonical)
+        # replay in the snapshotted global registration order (falling back to
+        # session order for any name the order list is missing), so round-robin
+        # shard assignment and result ordering match the pre-restart service
+        order = [name for name in snapshot.get("registration_order", [])
+                 if name in pending]
+        seen = set(order)
+        order.extend(name for name in pending if name not in seen)
+        for global_name in order:
+            session, local, canonical = pending[global_name]
+            service._bank.register(global_name, parse_query(canonical))
+            service._routes[global_name] = (session, local)
+            session._subs[local] = canonical
+        return service

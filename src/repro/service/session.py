@@ -1,0 +1,246 @@
+"""Per-client sessions of the pub/sub service.
+
+A :class:`ClientSession` is one client's handle on a running
+:class:`~repro.service.server.PubSubService`: it owns the client's subscriptions
+(named *locally*; the service namespaces them as ``"<client>:<name>"`` on the
+underlying bank so two clients can both call a subscription ``"news"``) and a
+bounded delivery queue of :class:`Notification` objects, one per published document
+that matched at least one of the client's subscriptions.
+
+Delivery is lossy by declaration, not by accident: a slow consumer must not be able
+to stall the ingest pipeline for everyone else, so when a session's delivery queue
+is full the oldest notification is dropped and counted in
+:attr:`ClientSession.dropped` — the standard pub/sub backpressure trade (the
+*ingest* side, by contrast, is lossless and blocks publishers; see the server
+module).  Consumers that keep up never lose anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
+
+from ..xpath.parser import parse_query
+from ..xpath.query import Query
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One matched document, as delivered to one client session."""
+
+    document_id: int  #: the service-wide sequence number of the published document
+    matched: Tuple[str, ...]  #: the client's local subscription names that matched
+
+
+class SessionClosedError(RuntimeError):
+    """Raised when using a session that was closed (or whose service stopped)."""
+
+
+#: delivery-queue sentinel enqueued at close so blocked consumers wake immediately
+_CLOSE = object()
+
+
+class ClientSession:
+    """One connected client: local subscription names plus a delivery queue.
+
+    Created by :meth:`~repro.service.server.PubSubService.connect`; not constructed
+    directly.  All methods must be called from the service's event loop.
+    """
+
+    def __init__(self, service, client_id: str, *, queue_size: int) -> None:
+        self._service = service
+        self._client_id = client_id
+        self._subs: Dict[str, str] = {}  # local name -> query canonical text
+        # created lazily at first use: constructing an asyncio.Queue outside a
+        # running loop binds it to the wrong loop on Python 3.9, and snapshot
+        # restore builds sessions from synchronous code
+        self._queue: Optional[asyncio.Queue] = None
+        self._queue_size = max(1, queue_size)
+        self._close_queued = False  # the _CLOSE sentinel sits in the queue
+        self._closed = False
+        self.dropped = 0  #: notifications dropped because the delivery queue was full
+
+    # ------------------------------------------------------------------ identity
+    @property
+    def client_id(self) -> str:
+        return self._client_id
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def subscriptions(self) -> List[str]:
+        """The session's local subscription names, in subscription order."""
+        return list(self._subs)
+
+    def subscription_queries(self) -> Dict[str, str]:
+        """local name -> canonical XPath text (the session's snapshot record)."""
+        return dict(self._subs)
+
+    # ------------------------------------------------------------------ subscribe
+    async def subscribe(self, name: str, query: Union[str, Query]) -> None:
+        """Register a subscription under a session-local name.
+
+        ``query`` may be XPath text or a parsed :class:`~repro.xpath.query.Query`.
+        Raises ``ValueError`` for duplicate local names,
+        :class:`~repro.xpath.parser.XPathSyntaxError` for unparsable text, and
+        :class:`~repro.core.errors.UnsupportedQueryError` for queries outside the
+        engine's fragment.  The subscription takes effect for every document
+        published after this call returns (ingest-queue order).
+        """
+        self._check_open()
+        if name in self._subs:
+            raise ValueError(
+                f"session {self._client_id!r} already has a subscription {name!r}")
+        if isinstance(query, str):
+            query = parse_query(query)
+        canonical = await self._service._register(self, name, query)
+        if self._closed:
+            # the session closed while our register op was in flight; its
+            # unregister sweep ran off a _subs snapshot that predates us, so
+            # undo the registration or it would survive as an unowned orphan
+            try:
+                await self._service._unregister(self, name)
+            except Exception:  # service stopping: the bank is going away anyway
+                pass
+            raise SessionClosedError(f"session {self._client_id!r} is closed")
+        self._subs[name] = canonical
+
+    async def unsubscribe(self, name: str) -> None:
+        """Remove one of this session's subscriptions; unknown names raise KeyError."""
+        self._check_open()
+        if name not in self._subs:
+            raise KeyError(name)
+        await self._service._unregister(self, name)
+        del self._subs[name]
+
+    # ------------------------------------------------------------------ publish
+    async def publish(self, document):
+        """Publish through this session (see ``PubSubService.publish``)."""
+        self._check_open()
+        return await self._service.publish(document)
+
+    async def publish_stream(self, chunks):
+        """Publish one chunked document (see ``PubSubService.publish_stream``)."""
+        self._check_open()
+        return await self._service.publish_stream(chunks)
+
+    # ------------------------------------------------------------------ delivery
+    def _delivery_queue(self) -> asyncio.Queue:
+        if self._queue is None:
+            self._queue = asyncio.Queue(maxsize=self._queue_size)
+        return self._queue
+
+    def _deliver(self, notification: Notification) -> None:
+        """Enqueue a notification, dropping the oldest one on overflow."""
+        queue = self._delivery_queue()
+        while True:
+            try:
+                queue.put_nowait(notification)
+                break
+            except asyncio.QueueFull:
+                try:
+                    evicted = queue.get_nowait()
+                    if evicted is _CLOSE:  # displaced, not a lost notification
+                        self._close_queued = False
+                    else:
+                        self.dropped += 1
+                except asyncio.QueueEmpty:  # pragma: no cover - single-threaded loop
+                    pass
+        if self._closed and not self._close_queued:
+            self._wake_consumers()  # keep the sentinel behind the newest item
+
+    def _wake_consumers(self) -> None:
+        """Enqueue the close sentinel so consumers blocked on the queue wake.
+
+        A full queue needs no sentinel: nothing can be blocked on ``get`` while
+        items are available, and once a consumer drains the queue the closed+empty
+        pre-check in :meth:`next_notification` terminates it.
+        """
+        if self._queue is None or self._close_queued:
+            return
+        try:
+            self._queue.put_nowait(_CLOSE)
+            self._close_queued = True
+        except asyncio.QueueFull:
+            pass
+
+    async def next_notification(self,
+                                timeout: Optional[float] = None) -> Notification:
+        """Wait for the next notification (``asyncio.TimeoutError`` on timeout).
+
+        Raises :class:`SessionClosedError` once the session is closed *and* its
+        queue has been fully drained, so a consumer loop terminates cleanly —
+        including consumers already blocked here when the session closes.
+        """
+        queue = self._delivery_queue()
+        if self._closed:
+            # nothing can ever be delivered again: drain what remains without
+            # blocking (a closed session must never strand a consumer, even
+            # when the close sentinel could not be enqueued because the queue
+            # was full at close time)
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                item = _CLOSE
+        elif timeout is None:
+            item = await queue.get()
+        else:
+            item = await asyncio.wait_for(queue.get(), timeout)
+        if item is _CLOSE:
+            self._close_queued = False
+            self._wake_consumers()  # re-arm for any other blocked consumer
+            raise SessionClosedError(f"session {self._client_id!r} is closed")
+        return item
+
+    def pending_notifications(self) -> int:
+        """How many notifications are waiting in the delivery queue."""
+        if self._queue is None:
+            return 0
+        return self._queue.qsize() - (1 if self._close_queued else 0)
+
+    async def notifications(self) -> AsyncIterator[Notification]:
+        """Iterate notifications until the session is closed and drained."""
+        while True:
+            try:
+                yield await self.next_notification()
+            except SessionClosedError:
+                return
+
+    # ------------------------------------------------------------------ lifecycle
+    async def close(self) -> None:
+        """Unregister every subscription and detach from the service (idempotent)."""
+        if self._closed:
+            return
+        # flip the flag before the first await: a subscribe() interleaving with
+        # the unregister round trips below must be rejected, or its registration
+        # would outlive the session as an unowned orphan on the bank
+        self._closed = True
+        from .server import ServiceClosedError  # at module scope it would cycle
+
+        try:
+            for name in list(self._subs):
+                await self._service._unregister(self, name)
+        except ServiceClosedError:
+            pass  # the service is stopping: the whole bank is going away anyway
+        finally:
+            # even if an unregister failed unexpectedly (e.g. the ingest worker
+            # crashed mid-close), the session must end up detached and its
+            # consumers woken — _closed is already True, so a retry would no-op
+            self._subs.clear()
+            self._service._detach(self)
+            self._wake_consumers()
+
+    def _mark_closed(self) -> None:
+        """Service-side teardown: flips the flag without touching the bank."""
+        self._closed = True
+        self._wake_consumers()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(f"session {self._client_id!r} is closed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ClientSession {self._client_id!r} subs={len(self._subs)} "
+                f"pending={self.pending_notifications()}>")

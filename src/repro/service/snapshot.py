@@ -1,0 +1,107 @@
+"""Snapshot/restore of filter-bank subscription state, as JSON.
+
+A long-lived service must survive restarts without every client re-issuing its
+subscriptions.  The durable state of a bank is exactly its ``name -> query`` map —
+compiled plans, tries and shard workers are all derived — and queries serialize
+losslessly as their *canonical XPath form* (``query.to_xpath()``, the same string
+used as the plan-interning key and shipped to shard workers).  A snapshot is
+therefore a small JSON document::
+
+    {"schema": 1,
+     "kind": "sharded" | "compiled",
+     "stats": false,
+     "shards": 4,                    # sharded banks only, else null
+     "subscriptions": [["name", "/catalog/product/s1[value > 3]"], ...]}
+
+Restoring re-parses each canonical form and registers it under its original name in
+the original order, so the restored bank interns plans identically, assigns
+subscriptions to the same shards (round-robin is order-determined), and produces
+:class:`~repro.core.filterbank.BankResult`\\ s identical to the snapshotted bank's on
+any document stream — a property test asserts exactly that.  Service-level
+snapshots (:meth:`~repro.service.server.PubSubService.snapshot`) add the session
+layout on top of the same subscription records.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from ..core.compile import CompiledFilterBank
+from ..core.shard import ShardedFilterBank
+from ..xpath.parser import parse_query
+
+#: current snapshot layout version (bank-level and service-level alike)
+SNAPSHOT_SCHEMA = 1
+
+BankLike = Union[CompiledFilterBank, ShardedFilterBank]
+
+
+def snapshot_bank(bank: BankLike) -> dict:
+    """Capture a bank's subscriptions (canonical forms) and configuration."""
+    if isinstance(bank, ShardedFilterBank):
+        kind, shards = "sharded", bank.shard_count
+    elif isinstance(bank, CompiledFilterBank):
+        kind, shards = "compiled", None
+    else:
+        raise TypeError(f"cannot snapshot a {type(bank).__name__}")
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "kind": kind,
+        "stats": bank.stats_mode,
+        "shards": shards,
+        "subscriptions": [[name, canonical] for name, canonical
+                          in bank.subscription_queries().items()],
+    }
+
+
+def restore_bank(snapshot: dict, **overrides) -> BankLike:
+    """Rebuild a bank from a snapshot dict (keyword overrides win over it).
+
+    ``kind``, ``stats`` and ``shards`` may be overridden — e.g. restore a sharded
+    snapshot into an in-process bank, or flip a match-only bank to the
+    statistics-accurate engine; the subscription set is restored either way, in
+    its original registration order.
+    """
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(f"unsupported bank snapshot schema: {schema!r}")
+    kind = overrides.get("kind", snapshot.get("kind"))
+    if kind == "service":
+        raise ValueError("this is a service-level snapshot; restore it with "
+                         "PubSubService.restore")
+    subscriptions = snapshot.get("subscriptions")
+    if not isinstance(subscriptions, list):
+        raise ValueError("not a bank snapshot: no 'subscriptions' list")
+    stats = overrides.get("stats", snapshot.get("stats", False))
+    shards = overrides.get("shards", snapshot.get("shards"))
+    if kind == "sharded":
+        bank: BankLike = ShardedFilterBank(shards, stats=stats)
+    elif kind == "compiled":
+        bank = CompiledFilterBank(stats=stats)
+    else:
+        raise ValueError(f"unknown bank kind: {kind!r}")
+    for name, canonical in subscriptions:
+        bank.register(name, parse_query(canonical))
+    return bank
+
+
+def dump_bank(bank: BankLike, file: IO[str]) -> None:
+    """Write a bank snapshot as JSON to an open text file."""
+    json.dump(snapshot_bank(bank), file, indent=2)
+    file.write("\n")
+
+
+def load_bank(file: IO[str], **overrides) -> BankLike:
+    """Rebuild a bank from a JSON snapshot file (see :func:`restore_bank`)."""
+    return restore_bank(json.load(file), **overrides)
+
+
+def dumps_bank(bank: BankLike) -> str:
+    """The bank snapshot as a JSON string."""
+    return json.dumps(snapshot_bank(bank), indent=2)
+
+
+def loads_bank(text: str, **overrides) -> BankLike:
+    """Rebuild a bank from a JSON snapshot string (see :func:`restore_bank`)."""
+    return restore_bank(json.loads(text), **overrides)

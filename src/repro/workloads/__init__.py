@@ -31,6 +31,11 @@ from .queries import (
     subscription_churn,
     value_predicate_query,
 )
+from .service_traffic import (
+    service_document,
+    service_traffic,
+    traffic_summary,
+)
 
 __all__ = [
     "PAPER_QUERIES",
@@ -51,11 +56,14 @@ __all__ = [
     "path_query",
     "random_labelled_document",
     "recursive_branch_document",
+    "service_document",
+    "service_traffic",
     "shared_prefix_feed",
     "shared_prefix_subscriptions",
     "subscription_churn",
     "topic_feed",
     "topic_subscriptions",
+    "traffic_summary",
     "value_predicate_query",
     "wide_text_document",
 ]

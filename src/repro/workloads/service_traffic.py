@@ -1,0 +1,118 @@
+"""Bursty multi-client publish/subscribe traffic for the service layer.
+
+Real dissemination traffic is not a steady drip of single documents: publishers
+emit *bursts* (a crawler finishing a site, a feed flushing its buffer), many clients
+publish concurrently, and subscription churn is interleaved with the document flow.
+:func:`service_traffic` generates exactly that shape as a flat operation script any
+service front end can replay::
+
+    ("subscribe",   client, name, xpath_text)
+    ("unsubscribe", client, name)
+    ("publish",     client, xml_text)
+
+The script starts with each client's initial subscriptions, then emits publish
+bursts — a burst picks one publishing client and a geometric-ish burst length around
+``burst`` — with occasional churn operations between bursts (``churn_fraction``).
+Every unsubscribe names a subscription that is live at that point, so the script is
+valid against any service/bank API, in order, exactly once.
+
+Documents are topic-feed shaped (``<feed><topicK><headlineK>..</headlineK>``
+``<scoreK>N</scoreK></topicK>..</feed>``, matching
+:func:`~repro.workloads.datasets.topic_subscriptions` semantics) and are emitted as
+*XML text*, because that is what arrives over a network: the service pays
+tokenization per document, just like production ingest.  Subscriptions use the same
+``/feed/topicK[scoreK > T]`` shape with per-client thresholds, so a busy topic
+notifies several clients at once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+#: one scripted operation (see module docstring for the three forms)
+TrafficOp = Tuple[str, ...]
+
+
+def service_document(rng: random.Random, *, topics: int, entries: int) -> str:
+    """One topic-feed document as XML text (``entries`` random topic entries)."""
+    parts = ["<feed>"]
+    for _ in range(entries):
+        topic = rng.randrange(topics)
+        score = rng.randint(0, 100)
+        parts.append(
+            f"<topic{topic}><headline{topic}>h{score}</headline{topic}>"
+            f"<score{topic}>{score}</score{topic}></topic{topic}>"
+        )
+    parts.append("</feed>")
+    return "".join(parts)
+
+
+def service_traffic(
+    documents: int,
+    *,
+    clients: int = 8,
+    subscriptions_per_client: int = 12,
+    topics: int = 40,
+    burst: int = 8,
+    churn_fraction: float = 0.08,
+    entries: int = 3,
+    seed: int = 0,
+) -> List[TrafficOp]:
+    """A bursty multi-client operation script with ``documents`` publish ops.
+
+    ``burst`` is the mean publish-burst length (actual lengths vary 1..2*burst);
+    ``churn_fraction`` is the probability that a burst boundary churns the
+    subscription set — one unsubscribe of a random *live* subscription (initial
+    or churn-added alike) paired with one fresh subscribe from the same query
+    space, so the expected live-set size stays stationary while both churn
+    paths see real traffic.  Client ids are ``client0 .. client{clients-1}``;
+    subscription names are unique per client for the whole script (churn never
+    reuses a name), so replaying the script can never collide.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    rng = random.Random(seed)
+    ops: List[TrafficOp] = []
+    client_ids = [f"client{i}" for i in range(clients)]
+    next_sub = {client: 0 for client in client_ids}
+    live: List[Tuple[str, str]] = []  # (client, name) of every live subscription
+
+    def subscription(client: str) -> TrafficOp:
+        index = next_sub[client]
+        next_sub[client] = index + 1
+        topic = rng.randrange(topics)
+        threshold = rng.randint(30, 90)
+        return ("subscribe", client, f"s{index}",
+                f"/feed/topic{topic}[score{topic} > {threshold}]")
+
+    def subscribe(client: str) -> None:
+        op = subscription(client)
+        ops.append(op)
+        live.append((op[1], op[2]))
+
+    for client in client_ids:
+        for _ in range(subscriptions_per_client):
+            subscribe(client)
+    published = 0
+    while published < documents:
+        if rng.random() < churn_fraction:
+            if live:
+                client, name = live.pop(rng.randrange(len(live)))
+                ops.append(("unsubscribe", client, name))
+            subscribe(rng.choice(client_ids))
+        length = min(rng.randint(1, 2 * burst), documents - published)
+        publisher = rng.choice(client_ids)
+        for _ in range(length):
+            ops.append(("publish", publisher,
+                        service_document(rng, topics=topics, entries=entries)))
+        published += length
+    return ops
+
+
+def traffic_summary(ops: List[TrafficOp]) -> dict:
+    """Operation counts by kind (for benchmark reporting and sanity checks)."""
+    counts = {"subscribe": 0, "unsubscribe": 0, "publish": 0}
+    for op in ops:
+        counts[op[0]] += 1
+    return counts

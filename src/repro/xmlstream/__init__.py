@@ -32,6 +32,7 @@ from .generate import (
 )
 from .node import ATTRIBUTE, ELEMENT, ROOT, TEXT, XMLNode
 from .parse import (
+    DocumentFramer,
     StreamingParser,
     XMLParseError,
     parse_document,
@@ -55,6 +56,7 @@ __all__ = [
     "Text",
     "XMLDocument",
     "XMLNode",
+    "DocumentFramer",
     "StreamingParser",
     "XMLParseError",
     "build_document",

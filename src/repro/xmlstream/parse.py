@@ -414,6 +414,158 @@ class StreamingParser:
                 )
 
 
+class DocumentFramer:
+    """Frames a long-lived chunk stream into consecutive complete documents.
+
+    A network connection to a pub/sub service carries *many* documents back to back
+    over one byte stream; :class:`StreamingParser` is one-shot (one document envelope
+    per parser).  The framer keeps an incremental tokenizer alive across documents
+    and tracks element nesting: every time the depth returns to zero, the tokens
+    accumulated since the previous boundary are emitted as one complete document
+    token stream, wrapped in the usual ``startDocument``/``endDocument`` envelope and
+    ready for any ``filter_tokens`` engine.
+
+    Framing is by nesting, so each document must be single-rooted (the normal wire
+    format; the paper's compact multi-root fragments need explicit framing by the
+    transport instead).  Nesting is validated online — a mismatched closing tag
+    raises :class:`XMLParseError` at the chunk that contains it — and non-whitespace
+    character data *between* documents is rejected, since it belongs to no document.
+    Byte chunks are decoded incrementally (UTF-8 by default), exactly as in
+    :class:`StreamingParser`.
+    """
+
+    def __init__(self, *, encoding: str = "utf-8") -> None:
+        self._tokenizer = _IncrementalTokenizer()
+        self._decoder = codecs.getincrementaldecoder(encoding)(errors="strict")
+        self._stack: List[str] = []
+        self._current: List[Token] = []
+        self._ready: List[List[Token]] = []  # completed, not yet handed out
+        self._closed = False
+        self._failed = False  # poisoned by a framing error; see feed()
+
+    def feed(self, chunk: Chunk) -> List[List[Token]]:
+        """Consume one chunk, returning every document that completed within it.
+
+        If the chunk contains a protocol error *after* complete documents (e.g.
+        ``"<a></a><b></c>"`` in one chunk), the error is raised but the completed
+        documents are retained — :meth:`take_completed` salvages them, so whether
+        a valid document is delivered never depends on how the transport chunked
+        the bytes around a later error.
+
+        A framing error *poisons* the framer: the nesting state is no longer
+        trustworthy (the offending construct was partially consumed), so every
+        later ``feed``/``close`` fails fast instead of mis-framing a malformed
+        stream into "complete" documents.  Resynchronizing after a protocol
+        error means starting a fresh framer on a fresh connection.
+        """
+        if self._closed:
+            raise XMLParseError("feed() called after close()")
+        if self._failed:
+            raise XMLParseError(
+                "the framer is unusable after a framing error; "
+                "start a fresh DocumentFramer")
+        if isinstance(chunk, str):
+            text = chunk
+        else:
+            text = self._decoder.decode(bytes(chunk))
+        try:
+            self._collect(self._tokenizer.feed_tokens(text))
+        except XMLParseError:
+            self._failed = True
+            raise
+        ready, self._ready = self._ready, []
+        return ready
+
+    def take_completed(self) -> List[List[Token]]:
+        """Documents that completed before a :meth:`feed` error was raised."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    def close(self) -> None:
+        """Flush the framer and verify no document was left incomplete."""
+        if self._closed:
+            raise XMLParseError("close() called twice")
+        if self._failed:
+            raise XMLParseError(
+                "the framer is unusable after a framing error; "
+                "start a fresh DocumentFramer")
+        self._closed = True
+        tail = self._decoder.decode(b"", True)
+        self._collect(
+            self._tokenizer.feed_tokens(tail) + self._tokenizer.finish_tokens())
+        if self._ready:  # pragma: no cover - a doc can only complete at a '>'
+            raise XMLParseError("document completed during close()")
+        if self._stack or self._current:
+            raise XMLParseError(
+                f"stream ended mid-document (open tags: {self._stack})")
+
+    @property
+    def mid_document(self) -> bool:
+        """Whether the stream currently sits inside an incomplete document.
+
+        True when elements are open, and also when a partial construct is still
+        buffered — an unterminated tag held by the tokenizer or an undecoded
+        multi-byte tail in the incremental decoder — so a transport checking
+        this at connection EOF correctly classifies ``"<a"`` as truncation, not
+        a clean boundary.  A pending whitespace-only character run does not
+        count: it would be dropped, not lost.
+        """
+        if self._current or self._stack:
+            return True
+        if self._decoder.getstate()[0]:  # undecoded byte tail
+            return True
+        pending = self._tokenizer._buf
+        return bool(pending) and _NON_WS_RE.search(pending) is not None
+
+    def frame(self, chunks: Iterable[Chunk]) -> Iterator[List[Token]]:
+        """Lazily frame an iterable of chunks into document token streams.
+
+        A protocol error still surfaces as :class:`XMLParseError`, but every
+        document completed before it is yielded first.
+        """
+        for chunk in chunks:
+            try:
+                documents = self.feed(chunk)
+            except XMLParseError:
+                yield from self.take_completed()
+                raise
+            yield from documents
+        self.close()
+
+    def _collect(self, tokens: Iterable[Token]) -> None:
+        """Track nesting, stashing each completed document onto ``_ready``.
+
+        Stashing (rather than returning) means documents completed earlier in a
+        chunk survive a parse error raised later in the same chunk.
+        """
+        current = self._current
+        stack = self._stack
+        for token in tokens:
+            kind = token[0]
+            if kind == TOK_START:
+                stack.append(token[1])
+                current.append(token)
+            elif kind == TOK_END:
+                if not stack:
+                    raise XMLParseError(f"unmatched closing tag </{token[1]}>")
+                expected = stack.pop()
+                if expected != token[1]:
+                    raise XMLParseError(
+                        f"mismatched closing tag: expected </{expected}>, "
+                        f"got </{token[1]}>")
+                current.append(token)
+                if not stack:  # depth returned to zero: one document completed
+                    self._ready.append(
+                        [(TOK_START_DOC,), *current, (TOK_END_DOC,)])
+                    current = self._current = []
+            else:  # TOK_TEXT (whitespace-only runs were already dropped)
+                if not stack:
+                    raise XMLParseError(
+                        "character data between documents: "
+                        f"{token_text(token)[:40]!r}")
+                current.append(token)
+
+
 def _check_token_nesting(tokens: Sequence[Token]) -> None:
     stack: List[str] = []
     for token in tokens:

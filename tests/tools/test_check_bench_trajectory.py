@@ -1,0 +1,189 @@
+"""The benchmark regression gate must demonstrably fail on a regressed trajectory.
+
+``scripts/check_bench_trajectory.py`` is CI's only defense against silently merging
+a perf regression, so the gate itself is tested here against doctored trajectories:
+a healthy file passes (exit 0), lowering any single speedup ratio below its floor
+fails (exit 1) and names the violated floor, smoke runs never satisfy or trip the
+gate, and structurally broken files fail rather than passing vacuously.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)))), "scripts", "check_bench_trajectory.py")
+
+spec = importlib.util.spec_from_file_location("check_bench_trajectory", _SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def _throughput_run(*, smoke=False, compiled_speedup=6.0, fast_speedup=80.0,
+                    timestamp="2026-01-01T00:00:00Z"):
+    return {
+        "benchmark": "filterbank_throughput",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"workload": "topic", "engine": "indexed", "subscriptions": 1000},
+            {"workload": "prefix", "engine": "compiled", "subscriptions": 100,
+             "speedup_vs_indexed": 1.1},  # sub-floor at a smaller size is fine
+            {"workload": "prefix", "engine": "compiled", "subscriptions": 1000,
+             "speedup_vs_indexed": compiled_speedup},
+            {"workload": "prefix", "engine": "fast", "subscriptions": 1000,
+             "speedup_vs_indexed": 900.0, "speedup_vs_compiled": fast_speedup},
+        ],
+    }
+
+
+def _churn_run(*, smoke=False, speedup=22.0, timestamp="2026-01-01T00:01:00Z"):
+    return {
+        "benchmark": "filterbank_churn",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"variant": "incremental", "warm_subscriptions": 100,
+             "speedup_vs_rebuild": 6.0},  # below floor, but not the largest size
+            {"variant": "rebuild", "warm_subscriptions": 1000},
+            {"variant": "incremental", "warm_subscriptions": 1000,
+             "speedup_vs_rebuild": speedup},
+        ],
+    }
+
+
+def _service_run(*, smoke=False, speedup=2.5, timestamp="2026-01-01T00:02:00Z"):
+    return {
+        "benchmark": "service_throughput",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"mode": "serial", "documents": 400},
+            {"mode": "batched", "documents": 100, "speedup_vs_serial": 1.2},
+            {"mode": "batched", "documents": 400, "speedup_vs_serial": speedup},
+        ],
+    }
+
+
+def _healthy():
+    return {"schema": 2,
+            "runs": [_throughput_run(), _churn_run(), _service_run()]}
+
+
+def _write(tmp_path, data) -> str:
+    path = tmp_path / "BENCH_filterbank.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestGateVerdicts:
+    def test_healthy_trajectory_passes(self, tmp_path, capsys):
+        assert gate.main([_write(tmp_path, _healthy())]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 floors checked, none violated" in out
+
+    @pytest.mark.parametrize("doctor, floor", [
+        (lambda runs: runs.__setitem__(0, _throughput_run(compiled_speedup=2.9)),
+         "compiled_vs_indexed"),
+        (lambda runs: runs.__setitem__(0, _throughput_run(fast_speedup=4.5)),
+         "fast_vs_compiled"),
+        (lambda runs: runs.__setitem__(1, _churn_run(speedup=9.9)),
+         "incremental_vs_rebuild"),
+        (lambda runs: runs.__setitem__(2, _service_run(speedup=1.9)),
+         "batched_vs_serial"),
+    ])
+    def test_each_floor_violation_fails(self, tmp_path, capsys, doctor, floor):
+        data = _healthy()
+        doctor(data["runs"])
+        assert gate.main([_write(tmp_path, data)]) == 1
+        captured = capsys.readouterr()
+        assert floor in captured.err
+        assert "REGRESSION" in captured.err
+
+    def test_latest_full_run_wins(self, tmp_path):
+        """A newer full-size run supersedes an older healthy one — a regression
+        appended after a good run must still fail."""
+        data = _healthy()
+        data["runs"].append(_throughput_run(
+            compiled_speedup=1.5, timestamp="2026-02-01T00:00:00Z"))
+        assert gate.main([_write(tmp_path, data)]) == 1
+        # and a healthy run appended after the regression recovers the gate
+        data["runs"].append(_throughput_run(
+            timestamp="2026-03-01T00:00:00Z"))
+        assert gate.main([_write(tmp_path, data)]) == 0
+
+    def test_smoke_runs_are_ignored_by_the_gate(self, tmp_path):
+        """A regressed smoke entry after a healthy full run must not trip the
+        gate (smoke sizes make the ratios meaningless) — and smoke entries can
+        never satisfy it either."""
+        data = _healthy()
+        data["runs"].append(_throughput_run(
+            smoke=True, compiled_speedup=0.5, timestamp="2026-02-01T00:00:00Z"))
+        assert gate.main([_write(tmp_path, data)]) == 0
+
+        smoke_only = {"schema": 2, "runs": [
+            _throughput_run(smoke=True), _churn_run(smoke=True),
+            _service_run(smoke=True)]}
+        assert gate.main([_write(tmp_path, smoke_only)]) == 1
+
+    def test_missing_benchmark_fails_by_default_and_warns_when_allowed(
+            self, tmp_path, capsys):
+        data = {"schema": 2, "runs": [_throughput_run(), _churn_run()]}
+        path = _write(tmp_path, data)
+        assert gate.main([path]) == 1
+        assert gate.main([path, "--allow-missing"]) == 0
+        assert "WARNING" in capsys.readouterr().err
+
+
+class TestStructuralValidation:
+    def test_unreadable_and_invalid_files_fail(self, tmp_path, capsys):
+        assert gate.main([str(tmp_path / "missing.json")]) == 1
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert gate.main([str(bad)]) == 1
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(json.dumps({"schema": 1, "results": []}))
+        assert gate.main([str(legacy)]) == 1
+        assert "ERROR" in capsys.readouterr().err
+
+    def test_repository_trajectory_passes_the_gate(self):
+        """The committed trajectory must itself satisfy every floor — this is the
+        invariant the CI gate enforces on every PR."""
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        data = gate.load_trajectory(os.path.join(root, "BENCH_filterbank.json"))
+        _rows, violations = gate.check_trajectory(data)
+        assert violations == []
+
+
+class TestMarkdownSummary:
+    def test_summary_lists_recent_runs_with_ratios(self, tmp_path):
+        summary = gate.format_markdown_summary(_healthy(), last=2)
+        assert "| filterbank_churn |" in summary
+        assert "incremental_vs_rebuild 22.0x" in summary
+        assert "filterbank_throughput" not in summary  # trimmed by last=2
+
+    def test_summary_only_never_gates(self, tmp_path):
+        """The CI reporting step must not steal a regression failure from the
+        dedicated gate step: --summary-only exits 0 even on a regressed file."""
+        data = _healthy()
+        data["runs"][0] = _throughput_run(compiled_speedup=0.1)
+        target = tmp_path / "summary.md"
+        path = _write(tmp_path, data)
+        assert gate.main([path, "--summary-only",
+                          "--github-summary", str(target)]) == 0
+        assert "Benchmark trajectory" in target.read_text()
+        assert gate.main([path]) == 1  # the real gate still fails
+
+    def test_github_summary_file_is_appended(self, tmp_path):
+        target = tmp_path / "summary.md"
+        target.write_text("existing\n")
+        assert gate.main([_write(tmp_path, _healthy()),
+                          "--github-summary", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("existing\n")
+        assert "Benchmark trajectory" in content

@@ -1,0 +1,143 @@
+"""The DocumentFramer splits one chunk stream into many complete documents."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlstream import DocumentFramer, XMLParseError, parse_events
+from repro.xmlstream.parse import _token_to_event, document_tokens
+
+
+def _frame_all(chunks):
+    framer = DocumentFramer()
+    return list(framer.frame(chunks))
+
+
+def _events(tokens):
+    """Compare frames semantically: zero-copy text tokens are views into
+    whatever buffer they arrived in, so raw token tuples differ by buffer."""
+    return [_token_to_event(token) for token in tokens]
+
+
+class TestFraming:
+    def test_single_document_equals_document_tokens(self):
+        text = "<a><b>6</b><c x='1'/></a>"
+        assert [_events(f) for f in _frame_all([text])] == \
+            [_events(document_tokens(text))]
+
+    def test_multiple_documents_in_one_chunk(self):
+        frames = _frame_all(["<a><b/></a><c>5</c><d/>"])
+        assert [f[1][1] for f in frames] == ["a", "c", "d"]
+        assert _events(frames[1]) == _events(document_tokens("<c>5</c>"))
+
+    def test_document_split_across_arbitrary_chunks(self):
+        text = "<feed><topic1><score1>88</score1></topic1></feed><feed><x/></feed>"
+        for size in (1, 3, 7, 1000):
+            chunks = [text[i:i + size] for i in range(0, len(text), size)]
+            frames = _frame_all(chunks)
+            assert len(frames) == 2
+            assert _events(frames[0]) == _events(document_tokens(text[:49]))
+            assert _events(frames[1]) == \
+                _events(document_tokens("<feed><x/></feed>"))
+
+    def test_byte_chunks_with_split_multibyte_characters(self):
+        payload = "<a>héllo wörld</a><b/>".encode("utf-8")
+        chunks = [payload[i:i + 2] for i in range(0, len(payload), 2)]
+        frames = _frame_all(chunks)
+        events = [_token_to_event(t) for t in frames[0]]
+        assert events == parse_events("<a>héllo wörld</a>")
+
+    def test_whitespace_between_documents_is_ignored(self):
+        frames = _frame_all(["<a/>\n  <b/>\n"])
+        assert len(frames) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(docs=st.lists(st.sampled_from(
+        ["<a><b>6</b></a>", "<c/>", "<d x='2'>t</d>", "<e><e><e/></e></e>"]),
+        min_size=1, max_size=6),
+        size=st.integers(min_value=1, max_value=9))
+    def test_any_concatenation_reframes_to_the_same_documents(self, docs, size):
+        text = "".join(docs)
+        chunks = [text[i:i + size] for i in range(0, len(text), size)]
+        assert [_events(f) for f in _frame_all(chunks)] == \
+            [_events(document_tokens(doc)) for doc in docs]
+
+
+class TestErrors:
+    def test_mid_document_end_of_stream_raises(self):
+        framer = DocumentFramer()
+        framer.feed("<a><b>")
+        assert framer.mid_document
+        with pytest.raises(XMLParseError, match="mid-document"):
+            framer.close()
+
+    def test_mid_document_sees_buffered_partial_constructs(self):
+        """A partial tag held by the tokenizer, or an undecoded multi-byte
+        tail in the decoder, is truncation — not a clean boundary."""
+        framer = DocumentFramer()
+        framer.feed("<a/><b")  # partial tag, no open elements
+        assert framer.mid_document
+        framer = DocumentFramer()
+        framer.feed("é".encode("utf-8")[:1])  # half a multi-byte character
+        assert framer.mid_document
+        framer = DocumentFramer()
+        framer.feed("<a/>  \n")  # trailing whitespace would be dropped
+        assert not framer.mid_document
+        framer.close()
+
+    def test_documents_completed_before_an_error_are_salvageable(self):
+        """Delivery must not depend on chunk boundaries: a document fully
+        received before a protocol error in the same chunk is retained."""
+        framer = DocumentFramer()
+        with pytest.raises(XMLParseError, match="mismatched"):
+            framer.feed("<a></a><b></c>")
+        salvaged = framer.take_completed()
+        assert [_events(f) for f in salvaged] == \
+            [_events(document_tokens("<a></a>"))]
+        assert framer.take_completed() == []  # handed out exactly once
+
+    def test_frame_yields_completed_documents_before_raising(self):
+        framer = DocumentFramer()
+        produced = []
+        with pytest.raises(XMLParseError):
+            for tokens in framer.frame(["<a/><b/>", "<c></d>"]):
+                produced.append(tokens)
+        assert [f[1][1] for f in produced] == ["a", "b"]
+
+    def test_mismatched_and_unmatched_tags_raise(self):
+        with pytest.raises(XMLParseError, match="mismatched"):
+            DocumentFramer().feed("<a></b>")
+        with pytest.raises(XMLParseError, match="unmatched"):
+            DocumentFramer().feed("</a>")
+
+    def test_character_data_between_documents_raises(self):
+        framer = DocumentFramer()
+        framer.feed("<a/>")
+        with pytest.raises(XMLParseError, match="between documents"):
+            framer.feed("stray text<b/>")
+
+    def test_framing_error_poisons_the_framer(self):
+        """After an error the nesting state is untrustworthy: continuing to
+        feed must fail fast, never mis-frame a malformed stream as complete."""
+        framer = DocumentFramer()
+        with pytest.raises(XMLParseError, match="mismatched"):
+            framer.feed("<a><b></x>")
+        with pytest.raises(XMLParseError, match="unusable"):
+            framer.feed("</a>")
+        with pytest.raises(XMLParseError, match="unusable"):
+            framer.close()
+
+    def test_use_after_close_raises(self):
+        framer = DocumentFramer()
+        framer.feed("<a/>")
+        framer.close()
+        with pytest.raises(XMLParseError):
+            framer.feed("<b/>")
+        with pytest.raises(XMLParseError):
+            framer.close()
+
+    def test_clean_close_after_complete_documents(self):
+        framer = DocumentFramer()
+        assert len(framer.feed("<a/><b/>")) == 2
+        assert not framer.mid_document
+        framer.close()
