@@ -15,12 +15,19 @@ established:
 * ``filterbank_churn``      — incremental trie splicing >= 10x rebuild-per-op (at
   the largest warm bank size);
 * ``service_throughput``    — batched service >= 2x the single-document-call
-  regime (at the largest document count).
+  regime (at the largest document count);
+* ``wire_throughput``       — pipelined wire client >= 2x request-response over
+  localhost TCP (at the largest document count).
 
 Smoke runs (``"smoke": true``) are informational: their sizes are deliberately too
 small for the ratios to be meaningful, so they are reported but never gated on —
 the gate reads the latest non-smoke entry per benchmark, which PRs append by
-running the full benchmarks and committing the updated trajectory.  Division of
+running the full benchmarks and committing the updated trajectory.  For the same
+reason smoke entries have no business being *committed*: a committed trajectory
+polluted with smoke runs stops being a trustworthy full-size record, so gate mode
+fails when any committed run is a smoke run — run ``--prune-smoke`` to rewrite
+the file without them (CI orders its steps so that the gate checks the committed
+file *before* the smoke benchmarks append to the working copy).  Division of
 labor with the rest of CI: the *live* performance of the PR under test is asserted
 by the full-size benchmarks themselves (they run, floors asserted in-process, in
 the tier-1 ``test`` job), while this gate enforces the committed *ledger* — a PR
@@ -32,7 +39,8 @@ downgrades it to a warning.
 Usage::
 
     python scripts/check_bench_trajectory.py [BENCH_filterbank.json]
-        [--allow-missing] [--last N] [--github-summary [PATH]] [--summary-only]
+        [--allow-missing] [--allow-smoke] [--prune-smoke] [--last N]
+        [--github-summary [PATH]] [--summary-only]
 
 ``--github-summary`` also writes a Markdown table of the most recent run entries
 (default: the file named by ``$GITHUB_STEP_SUMMARY``), which is how the CI smoke
@@ -54,11 +62,12 @@ FLOORS = {
     ("filterbank_throughput", "fast_vs_compiled"): 5.0,
     ("filterbank_churn", "incremental_vs_rebuild"): 10.0,
     ("service_throughput", "batched_vs_serial"): 2.0,
+    ("wire_throughput", "pipelined_vs_request_response"): 2.0,
 }
 
 #: benchmarks the gate expects to find a full-size run for
 GATED_BENCHMARKS = ("filterbank_throughput", "filterbank_churn",
-                    "service_throughput")
+                    "service_throughput", "wire_throughput")
 
 
 class TrajectoryError(ValueError):
@@ -129,11 +138,37 @@ def _service_ratios(run: dict) -> dict:
     return {"batched_vs_serial": top["speedup_vs_serial"]}
 
 
+def _wire_ratios(run: dict) -> dict:
+    pipelined = [entry for entry in run.get("results", [])
+                 if entry.get("mode") == "pipelined"
+                 and "speedup_vs_request_response" in entry]
+    if not pipelined:
+        return {}
+    top = max(pipelined, key=lambda entry: entry["documents"])
+    return {"pipelined_vs_request_response":
+            top["speedup_vs_request_response"]}
+
+
 _RATIO_EXTRACTORS = {
     "filterbank_throughput": _throughput_ratios,
     "filterbank_churn": _churn_ratios,
     "service_throughput": _service_ratios,
+    "wire_throughput": _wire_ratios,
 }
+
+
+def smoke_run_indices(data: dict) -> List[int]:
+    """Positions of smoke entries in the trajectory (should be empty when
+    committed; see the module docstring)."""
+    return [index for index, run in enumerate(data["runs"])
+            if run.get("smoke")]
+
+
+def prune_smoke(data: dict) -> Tuple[dict, int]:
+    """A copy of the trajectory without its smoke runs, plus the removed count."""
+    kept = [run for run in data["runs"] if not run.get("smoke")]
+    removed = len(data["runs"]) - len(kept)
+    return {**data, "runs": kept}, removed
 
 
 def check_trajectory(data: dict, *, require_full: bool = True
@@ -173,14 +208,15 @@ def check_trajectory(data: dict, *, require_full: bool = True
 
 # --------------------------------------------------------------------- reporting
 def format_report(rows: List[tuple]) -> str:
-    lines = [f"{'benchmark':<24} {'floor':<24} {'required':>9} "
+    width = max([len("floor")] + [len(row[1]) for row in rows])
+    lines = [f"{'benchmark':<24} {'floor':<{width}} {'required':>9} "
              f"{'observed':>9}  {'status'}"]
     for benchmark, key, required, observed, _timestamp, ok in rows:
         shown = "-" if observed is None else f"{observed}x"
         # missing floors print as 'missing' either way; whether that fails the
         # gate is the caller's --allow-missing decision, reported via exit code
         status = "ok" if ok else ("missing" if observed is None else "FAIL")
-        lines.append(f"{benchmark:<24} {key:<24} {required:>8}x "
+        lines.append(f"{benchmark:<24} {key:<{width}} {required:>8}x "
                      f"{shown:>9}  {status}")
     return "\n".join(lines)
 
@@ -214,6 +250,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         action="store_false", default=True,
                         help="only warn (instead of failing) when a gated "
                              "benchmark has no full-size run")
+    parser.add_argument("--allow-smoke", dest="forbid_smoke",
+                        action="store_false", default=True,
+                        help="do not fail the gate over smoke runs present in "
+                             "the file (for gating a freshly appended working "
+                             "copy rather than the committed trajectory)")
+    parser.add_argument("--prune-smoke", action="store_true",
+                        help="rewrite the trajectory file without its smoke "
+                             "runs and exit (no gating)")
     parser.add_argument("--last", type=int, default=8,
                         help="run entries to include in the Markdown summary")
     parser.add_argument("--github-summary", nargs="?", const="", default=None,
@@ -231,12 +275,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"ERROR: {exc}", file=sys.stderr)
         return 1
 
+    if args.prune_smoke:
+        pruned, removed = prune_smoke(data)
+        with open(args.path, "w", encoding="utf-8") as handle:
+            json.dump(pruned, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"pruned {removed} smoke run(s); "
+              f"{len(pruned['runs'])} runs remain in {args.path}")
+        return 0
+
     if args.summary_only:
         args.github_summary = "" if args.github_summary is None \
             else args.github_summary
     else:
         rows, violations = check_trajectory(data,
                                             require_full=args.require_full)
+        if args.forbid_smoke:
+            smoke = smoke_run_indices(data)
+            if smoke:
+                violations.append(
+                    f"{len(smoke)} smoke run(s) committed in the trajectory "
+                    f"(run indices {smoke}); smoke entries are CI ephemera — "
+                    f"rewrite with --prune-smoke before committing")
         print(format_report(rows))
 
     if args.github_summary is not None:

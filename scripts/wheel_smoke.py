@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Packaging smoke test: exercise an *installed* ``repro`` end to end.
+
+CI's packaging job builds the wheel, installs it into a clean venv (no
+checkout on ``sys.path``, no PYTHONPATH) and runs this script with the venv's
+interpreter — so a subpackage missing from the wheel, broken package metadata,
+or an import that only works from the source layout fails CI instead of a
+user.  The script lives in ``scripts/`` precisely because that directory does
+NOT contain the package: ``sys.path[0]`` points here, so ``import repro`` can
+only resolve against the installed distribution (a guard below enforces it).
+"""
+
+import asyncio
+import os
+import sys
+
+
+def main() -> None:
+    import repro
+    from repro.core.compile import CompiledFilterBank
+    from repro.net import WireClient, WireServer
+    from repro.xpath.parser import parse_query
+
+    package_dir = os.path.dirname(os.path.abspath(repro.__file__))
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    if os.path.dirname(package_dir) == repo_src:
+        raise SystemExit("repro resolved to the source checkout, not the "
+                         "installed wheel; run me with a clean interpreter")
+
+    bank = CompiledFilterBank()
+    bank.register("q", parse_query("/catalog/book[price < 20]"))
+    result = bank.filter_text(
+        "<catalog><book><price>12</price></book></catalog>")
+    assert result.matched == ["q"], result.matched
+
+    async def wire() -> None:
+        async with WireServer() as server:
+            host, port = server.address
+            client = await WireClient.connect(host, port, client_id="smoke")
+            await client.subscribe("cheap", "/catalog/book[price < 20]")
+            publish = await client.publish(
+                "<catalog><book><price>12</price></book></catalog>")
+            assert publish.matched == ("smoke:cheap",), publish
+            note = await client.next_match(timeout=5)
+            assert note.matched == ("cheap",), note
+            await client.close()
+
+    asyncio.run(wire())
+    print(f"wheel smoke-run ok (repro {getattr(repro, '__version__', '?')} "
+          f"from {package_dir})")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

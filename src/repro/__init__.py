@@ -15,6 +15,7 @@ The package is organised as follows:
 * :mod:`repro.workloads`   -- query and document workload generators
 * :mod:`repro.instrument`  -- bit-level memory accounting models
 * :mod:`repro.service`     -- the long-lived asyncio pub/sub service layer
+* :mod:`repro.net`         -- the TCP wire protocol, server and client over it
 
 Quick start::
 
@@ -42,7 +43,7 @@ from .semantics import bool_eval, full_eval, full_eval_values
 from .xmlstream import StreamingParser, XMLDocument, XMLNode, parse_document, parse_events
 from .xpath import Query, parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledFilterBank",

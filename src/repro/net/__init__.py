@@ -1,0 +1,33 @@
+"""The wire layer: a TCP front end over the pub/sub service.
+
+``protocol`` defines the length-prefixed frame format (JSON header + raw XML
+body), ``server`` the asyncio TCP server mapping connections to
+:class:`~repro.service.session.ClientSession`\\ s with socket-level
+backpressure, and ``client`` the pipelining asyncio client library.  See
+``examples/wire_demo.py`` for a runnable end-to-end demo (including reconnect
+from a snapshot) and ``DESIGN.md`` for the frame format and drain semantics.
+"""
+
+from .client import (
+    ConnectionClosedError,
+    RemoteError,
+    WireClient,
+    WireError,
+    WireMatch,
+    WirePublishResult,
+)
+from .protocol import MAX_FRAME, FrameDecoder, ProtocolError
+from .server import WireServer
+
+__all__ = [
+    "ConnectionClosedError",
+    "FrameDecoder",
+    "MAX_FRAME",
+    "ProtocolError",
+    "RemoteError",
+    "WireClient",
+    "WireError",
+    "WireMatch",
+    "WirePublishResult",
+    "WireServer",
+]

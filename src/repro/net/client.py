@@ -1,0 +1,369 @@
+"""The asyncio client library of the TCP pub/sub front end.
+
+:class:`WireClient` speaks the framed protocol of :mod:`repro.net.protocol`
+against a :class:`~repro.net.server.WireServer`.  One background task reads the
+socket and demultiplexes: ``ack``/``error`` frames resolve the pending request
+they correlate to (by ``seq``), ``match`` frames land on a notification queue
+exposed as the :meth:`WireClient.notifications` async iterator — so match pushes
+never wait behind request/response traffic and vice versa.
+
+Pipelining is the point of the design: :meth:`submit` writes a publish frame and
+returns a future *without* waiting for the ack, so a burst goes out back to back
+and the server's ingest batching coalesces it (:meth:`publish_many` is the
+convenience wrapper: submit all, drain once, gather).  :meth:`publish` is the
+request-response form — await each ack before the next send — and exists mostly
+as the slow baseline the wire benchmark compares against.
+
+Reconnecting after a server restart from a snapshot is plain ``connect`` with
+the old ``client_id``: the server adopts the restored session and the handshake
+ack reports ``resumed`` plus the still-live subscription names.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
+
+from . import protocol
+from .protocol import MAX_FRAME, encode_frame, read_frame
+
+
+class WireError(Exception):
+    """Base class of everything this module raises."""
+
+
+class ConnectionClosedError(WireError):
+    """The connection ended (or died) with requests still outstanding."""
+
+
+class RemoteError(WireError):
+    """An ``error`` frame from the server, re-raised at the awaiting caller.
+
+    ``error_type`` carries the server-side exception class name (e.g.
+    ``XMLParseError``, ``UnsupportedQueryError``) so callers can branch without
+    string-matching the message.
+    """
+
+    def __init__(self, error_type: str, message: str, header: dict) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+        self.header = header
+
+
+@dataclass(frozen=True)
+class WireMatch:
+    """One pushed match notification."""
+
+    document_id: int  #: service-wide publish sequence number of the document
+    matched: Tuple[str, ...]  #: this client's local subscription names
+
+
+@dataclass(frozen=True)
+class WirePublishResult:
+    """One acknowledged publish."""
+
+    document_id: int  #: service-wide publish sequence number
+    matched: Tuple[str, ...]  #: matched subscriptions as global ``client:name`` ids
+
+
+#: end-of-stream sentinel on the match queue
+_EOS = object()
+
+
+class WireClient:
+    """One connection to a wire server.  Create with :meth:`connect`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, *, max_frame: int) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame = max_frame
+        self._seq = itertools.count(1)
+        # the server allows one open stream per connection, so stream send
+        # phases are serialized here; other requests interleave freely
+        self._stream_lock = asyncio.Lock()
+        #: seq -> ("raw"|"pub", future) or ("stream", future, partial results)
+        self._pending: Dict[int, tuple] = {}
+        self._matches: asyncio.Queue = asyncio.Queue()
+        self._reader_task: Optional[asyncio.Task] = None
+        self._client_id: Optional[str] = None
+        self._resumed = False
+        self._server_subscriptions: List[str] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------ lifecycle
+    @classmethod
+    async def connect(cls, host: str, port: int, *,
+                      client_id: Optional[str] = None,
+                      max_frame: int = MAX_FRAME) -> "WireClient":
+        """Open a connection and complete the ``hello`` handshake.
+
+        ``client_id`` names the session: pass the previous id after a server
+        restart to adopt the session the snapshot restored (check
+        :attr:`resumed` and :attr:`server_subscriptions` afterwards); ``None``
+        lets the server assign a fresh one.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, max_frame=max_frame)
+        writer.write(encode_frame({"type": protocol.HELLO, "seq": 0,
+                                   "client": client_id},
+                                  max_frame=max_frame))
+        await writer.drain()
+        frame = await read_frame(reader, max_frame=max_frame)
+        if frame is None:
+            raise ConnectionClosedError("server closed during the handshake")
+        header, _body = frame
+        if header["type"] == protocol.ERROR:
+            writer.close()
+            raise RemoteError(header.get("error", "?"),
+                              header.get("message", ""), header)
+        client._client_id = header["client"]
+        client._resumed = bool(header.get("resumed"))
+        client._server_subscriptions = list(header.get("subscriptions", []))
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop(), name="wire-client-reader")
+        return client
+
+    @property
+    def client_id(self) -> str:
+        """The session id the server assigned (or adopted)."""
+        return self._client_id
+
+    @property
+    def resumed(self) -> bool:
+        """Whether the handshake adopted an existing (restored) session."""
+        return self._resumed
+
+    @property
+    def server_subscriptions(self) -> List[str]:
+        """Local subscription names live on the session at handshake time."""
+        return list(self._server_subscriptions)
+
+    async def close(self) -> None:
+        """Close the connection (idempotent).  Outstanding requests fail."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        if self._reader_task is not None:
+            await self._reader_task
+
+    async def __aenter__(self) -> "WireClient":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ requests
+    def _register(self, kind: str) -> Tuple[int, asyncio.Future]:
+        if self._closed:
+            raise ConnectionClosedError("the client is closed")
+        seq = next(self._seq)
+        future = asyncio.get_running_loop().create_future()
+        record = (kind, future, []) if kind == "stream" else (kind, future)
+        self._pending[seq] = record
+        return seq, future
+
+    async def _request(self, header: dict, body: bytes = b"") -> tuple:
+        seq, future = self._register("raw")
+        header["seq"] = seq
+        self._writer.write(encode_frame(header, body,
+                                        max_frame=self._max_frame))
+        await self._writer.drain()
+        return await future
+
+    async def subscribe(self, name: str, query: str) -> str:
+        """Register a subscription; returns its canonical XPath form."""
+        header, _body = await self._request(
+            {"type": protocol.SUBSCRIBE, "name": name, "query": query})
+        return header.get("canonical")
+
+    async def unsubscribe(self, name: str) -> None:
+        """Remove one of this connection's subscriptions."""
+        await self._request({"type": protocol.UNSUBSCRIBE, "name": name})
+
+    async def snapshot(self) -> dict:
+        """The server's service snapshot (JSON-decoded)."""
+        _header, body = await self._request({"type": protocol.SNAPSHOT})
+        return json.loads(body.decode("utf-8"))
+
+    # ------------------------------------------------------------------ publishing
+    def submit(self, document: Union[str, bytes]) -> "asyncio.Future":
+        """Write one publish frame and return its result future (pipelined).
+
+        The write lands in the transport buffer without waiting for the ack —
+        call :meth:`drain` (or just await the futures) after a burst.  The
+        future resolves to a :class:`WirePublishResult` or raises
+        :class:`RemoteError` / :class:`ConnectionClosedError`.
+        """
+        seq, future = self._register("pub")
+        body = document.encode("utf-8") if isinstance(document, str) \
+            else bytes(document)
+        self._writer.write(encode_frame({"type": protocol.PUBLISH, "seq": seq},
+                                        body, max_frame=self._max_frame))
+        return future
+
+    async def drain(self) -> None:
+        """Flow control: wait until the transport buffer is below high water."""
+        await self._writer.drain()
+
+    async def publish(self, document: Union[str, bytes]) -> WirePublishResult:
+        """Request-response publish: one document, ack awaited before returning."""
+        future = self.submit(document)
+        await self.drain()
+        return await future
+
+    async def publish_many(self, documents) -> List[WirePublishResult]:
+        """Pipelined burst: submit everything, drain once, await all acks.
+
+        Results come back in submission order; the first failed document's
+        error is re-raised after the whole burst settled (matching
+        ``PubSubService.publish_many`` semantics).
+        """
+        futures = [self.submit(document) for document in documents]
+        await self.drain()
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+        return [future.result() for future in futures]
+
+    async def publish_stream(self, chunks) -> List[WirePublishResult]:
+        """Publish documents arriving as raw byte/text chunks.
+
+        The server frames documents out of the chunk stream by element nesting
+        (chunks may split tags, entities, multi-byte characters — and one chunk
+        may hold many documents); each completed document is filtered and
+        acknowledged individually, and the list of per-document results is
+        returned once the stream's end is acknowledged.  ``chunks`` may be a
+        plain or async iterable.  Concurrent calls are safe: the server allows
+        one open stream per connection, so send phases queue on an internal
+        lock (awaiting the final ack happens outside it, so a slow ack never
+        blocks the next stream's chunks).
+        """
+        async with self._stream_lock:
+            seq, future = self._register("stream")
+            header = {"type": protocol.PUBLISH_STREAM, "seq": seq}
+            if hasattr(chunks, "__aiter__"):
+                async for chunk in chunks:
+                    self._writer.write(encode_frame(
+                        header, _chunk_bytes(chunk),
+                        max_frame=self._max_frame))
+                    await self.drain()
+            else:
+                for chunk in chunks:
+                    self._writer.write(encode_frame(
+                        header, _chunk_bytes(chunk),
+                        max_frame=self._max_frame))
+                    await self.drain()
+            self._writer.write(encode_frame({**header, "end": True},
+                                            max_frame=self._max_frame))
+            await self.drain()
+        return await future
+
+    # ------------------------------------------------------------------ matches
+    async def next_match(self, timeout: Optional[float] = None) -> WireMatch:
+        """Wait for the next pushed match (``asyncio.TimeoutError`` on timeout).
+
+        Raises :class:`ConnectionClosedError` once the connection ended and
+        every already-received match has been consumed.
+        """
+        if self._matches.qsize() == 0 and self._reader_task is not None \
+                and self._reader_task.done():
+            raise ConnectionClosedError("the connection is closed")
+        if timeout is None:
+            item = await self._matches.get()
+        else:
+            item = await asyncio.wait_for(self._matches.get(), timeout)
+        if item is _EOS:
+            self._matches.put_nowait(_EOS)  # re-arm for other consumers
+            raise ConnectionClosedError("the connection is closed")
+        return item
+
+    async def notifications(self) -> AsyncIterator[WireMatch]:
+        """Iterate pushed matches until the connection closes."""
+        while True:
+            try:
+                yield await self.next_match()
+            except ConnectionClosedError:
+                return
+
+    def pending_matches(self) -> int:
+        """Pushed matches received but not yet consumed."""
+        size = self._matches.qsize()
+        if size and self._reader_task is not None and self._reader_task.done():
+            size -= 1  # the EOS sentinel
+        return max(0, size)
+
+    # ------------------------------------------------------------------ demux
+    async def _read_loop(self) -> None:
+        error: Exception = ConnectionClosedError("the connection is closed")
+        try:
+            while True:
+                frame = await read_frame(self._reader,
+                                         max_frame=self._max_frame)
+                if frame is None:
+                    break
+                header, body = frame
+                kind = header["type"]
+                if kind == protocol.MATCH:
+                    self._matches.put_nowait(WireMatch(
+                        document_id=header["document_id"],
+                        matched=tuple(header["matched"])))
+                elif kind in (protocol.ACK, protocol.ERROR):
+                    self._dispatch(header, body)
+                # unknown pushes are ignored: forward compatibility
+        except Exception as exc:
+            error = ConnectionClosedError(f"the connection died: {exc!r}")
+            error.__cause__ = exc
+        finally:
+            self._closed = True
+            pending, self._pending = self._pending, {}
+            for record in pending.values():
+                future = record[1]
+                if not future.done():
+                    future.set_exception(error)
+            self._matches.put_nowait(_EOS)
+
+    def _dispatch(self, header: dict, body: bytes) -> None:
+        record = self._pending.get(header.get("seq"))
+        if record is None:
+            return  # response to a request nobody awaits anymore
+        kind, future = record[0], record[1]
+        if header["type"] == protocol.ERROR:
+            self._pending.pop(header["seq"], None)
+            if not future.done():
+                future.set_exception(RemoteError(
+                    header.get("error", "?"), header.get("message", ""),
+                    header))
+            return
+        if kind == "stream":
+            partials = record[2]
+            if header.get("partial"):
+                partials.append(WirePublishResult(
+                    document_id=header["document_id"],
+                    matched=tuple(header["matched"])))
+                return  # the stream stays pending until its end ack
+            self._pending.pop(header["seq"], None)
+            if not future.done():
+                future.set_result(list(partials))
+        elif kind == "pub":
+            self._pending.pop(header["seq"], None)
+            if not future.done():
+                future.set_result(WirePublishResult(
+                    document_id=header["document_id"],
+                    matched=tuple(header["matched"])))
+        else:  # raw request/response: hand back the frame itself
+            self._pending.pop(header["seq"], None)
+            if not future.done():
+                future.set_result((header, body))
+
+
+def _chunk_bytes(chunk: Union[str, bytes, bytearray, memoryview]) -> bytes:
+    return chunk.encode("utf-8") if isinstance(chunk, str) else bytes(chunk)

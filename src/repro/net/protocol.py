@@ -1,0 +1,165 @@
+"""The length-prefixed wire protocol of the TCP pub/sub front end.
+
+One *frame* is the unit of transmission in both directions::
+
+    +----------------+---------------------+------+----------------+
+    | length (u32 BE)| JSON header (utf-8) | \\n  | raw body bytes |
+    +----------------+---------------------+------+----------------+
+
+``length`` covers everything after the prefix (header + separator + body).  The
+header is a flat JSON object whose ``"type"`` field names the message; the body
+carries whatever bulk payload the message moves — raw XML text for ``publish``,
+a raw chunk for ``publish_stream``, a JSON service snapshot for the ``snapshot``
+reply — so documents never pay JSON string-escaping on the wire and the server
+can hand publish bodies straight to the tokenizer.
+
+Message types
+-------------
+
+Client to server: ``hello`` (handshake, optional ``client`` id to resume a
+restored session), ``subscribe``/``unsubscribe`` (``name``, ``query``),
+``publish`` (XML body), ``publish_stream`` (one chunk per frame, terminated by
+``end: true``; the server frames documents out of the chunk stream by element
+nesting via :class:`~repro.xmlstream.parse.DocumentFramer`), ``snapshot``.
+
+Server to client: ``ack`` / ``error`` (correlated to the request by its ``seq``
+header field, so responses may arrive out of order with respect to *other*
+requests — pipelining), and ``match`` — an unsolicited push notification for a
+document that matched one of the connection's subscriptions.
+
+The JSON header never contains a raw newline (``json.dumps`` escapes control
+characters inside strings), so the first ``\\n`` of the payload is always the
+header/body separator.  Frames larger than ``max_frame`` are refused on both
+send and receive: a garbage length prefix must not make the receiver allocate
+gigabytes.
+
+Two decoding front ends are provided: :func:`read_frame` for asyncio stream
+readers (the server and client use it), and the sans-IO :class:`FrameDecoder`
+for tests and non-asyncio transports — both tolerate arbitrary chunking, down
+to one byte at a time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import List, Optional, Tuple
+
+#: refuse frames larger than this many payload bytes (send and receive)
+MAX_FRAME = 16 * 1024 * 1024
+
+_LEN = struct.Struct("!I")
+
+# message types (the "type" header field)
+HELLO = "hello"
+SUBSCRIBE = "subscribe"
+UNSUBSCRIBE = "unsubscribe"
+PUBLISH = "publish"
+PUBLISH_STREAM = "publish_stream"
+SNAPSHOT = "snapshot"
+MATCH = "match"
+ERROR = "error"
+ACK = "ack"
+
+#: one decoded frame: (header dict, raw body bytes)
+Frame = Tuple[dict, bytes]
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed frames; connection-fatal (framing is lost)."""
+
+
+def encode_frame(header: dict, body: bytes = b"", *,
+                 max_frame: int = MAX_FRAME) -> bytes:
+    """Encode one frame (header must be a JSON-able dict with a ``type``).
+
+    ``max_frame`` must match the receiving side's limit: an endpoint
+    configured for larger frames passes its own limit here too, so the
+    send/receive symmetry holds at whatever size a deployment chose.
+    """
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    length = len(head) + 1 + len(body)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit")
+    return b"".join((_LEN.pack(length), head, b"\n", body))
+
+
+def decode_payload(payload: bytes) -> Frame:
+    """Split one frame payload into its header dict and raw body."""
+    sep = payload.find(b"\n")
+    if sep < 0:
+        raise ProtocolError("frame has no header/body separator")
+    try:
+        header = json.loads(payload[:sep].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or not isinstance(header.get("type"), str):
+        raise ProtocolError(f"frame header must be an object with a 'type': "
+                            f"{header!r}")
+    return header, payload[sep + 1:]
+
+
+async def read_frame(reader: "asyncio.StreamReader", *,
+                     max_frame: int = MAX_FRAME) -> Optional[Frame]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` on a clean EOF (the connection closed *between* frames);
+    an EOF inside a frame — truncation — raises :class:`ProtocolError`, as does
+    a length prefix beyond ``max_frame``.
+    """
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame's length "
+                            "prefix") from exc
+    (length,) = _LEN.unpack(prefix)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte limit")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed {len(exc.partial)}/{length} bytes into a "
+            "frame") from exc
+    return decode_payload(payload)
+
+
+class FrameDecoder:
+    """Sans-IO incremental frame decoder: feed bytes, collect complete frames.
+
+    Tolerates arbitrary chunk boundaries (the length prefix itself may arrive
+    one byte at a time).  Mirrors :func:`read_frame` exactly — the two can
+    never disagree on what constitutes a frame.
+    """
+
+    def __init__(self, *, max_frame: int = MAX_FRAME) -> None:
+        self._max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Consume one chunk, returning every frame that completed within it."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buffer)
+            if length > self._max_frame:
+                raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                    f"{self._max_frame}-byte limit")
+            end = _LEN.size + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[_LEN.size:end])
+            del self._buffer[:end]
+            frames.append(decode_payload(payload))
+
+    @property
+    def at_boundary(self) -> bool:
+        """Whether the stream currently sits exactly between frames."""
+        return not self._buffer

@@ -1,0 +1,481 @@
+"""The asyncio TCP server fronting one :class:`~repro.service.PubSubService`.
+
+:class:`WireServer` binds a listening socket and maps each accepted connection to
+one :class:`~repro.service.session.ClientSession`: the ``hello`` handshake either
+opens a fresh session or — when the client names a session that already exists on
+the service and has no live connection, the snapshot-restore reconnect path —
+*adopts* it, subscriptions intact.  After the handshake three per-connection
+coroutines cooperate:
+
+* the **reader** consumes frames in order.  Control operations (subscribe,
+  unsubscribe, snapshot) are answered inline; ``publish`` bodies are *submitted*
+  (:meth:`~repro.service.server.PubSubService.submit`) without awaiting their
+  outcome, so a pipelining client keeps the service's batch coalescing fed;
+  ``publish_stream`` chunks feed a per-stream
+  :class:`~repro.xmlstream.parse.DocumentFramer`, and every document that
+  completes is submitted the same way (pre-tokenized — the framer's output goes
+  straight to the bank, the text is never re-parsed).
+* the **ack pump** awaits submitted outcomes in submission order and writes one
+  ``ack`` (or ``error``) frame per document.
+* the **notifier** drains the session's delivery queue into unsolicited
+  ``match`` frames.
+
+Backpressure reaches the socket instead of server memory: the pending-ack queue
+between reader and pump is bounded (``max_pipeline``), and the service's ingest
+queue bounds submission itself — when either fills, the reader simply stops
+reading, the kernel receive buffer fills, and the client's ``drain()`` blocks.
+Nothing on this path buffers unboundedly.
+
+Disconnect and shutdown drain rather than drop: on EOF the reader waits for
+every accepted publish to be answered before the session closes; on
+:meth:`WireServer.stop` the listener closes first, each live connection is
+drained the same way, and the owned service's own ``stop()`` (which answers
+everything its ingest queue accepted) runs last.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Dict, Optional, Set, Tuple
+
+from ..service import PendingPublish, PubSubService
+from ..service.session import ClientSession, SessionClosedError
+from ..xmlstream.parse import DocumentFramer, XMLParseError
+from . import protocol
+from .protocol import MAX_FRAME, ProtocolError, encode_frame, read_frame
+
+
+class WireServer:
+    """A TCP front end over one pub/sub service.
+
+    Parameters
+    ----------
+    service:
+        An existing :class:`PubSubService` to front (e.g. one rebuilt by
+        :meth:`~repro.service.PubSubService.restore`).  ``None`` constructs a
+        fresh service from ``service_config`` and owns it: :meth:`stop` then
+        stops the service too.  Pass ``close_service=True`` to extend that
+        ownership to a provided service.
+    host / port:
+        Listen address; port ``0`` (the default) picks an ephemeral port,
+        published as :attr:`address` after :meth:`start`.
+    max_pipeline:
+        Per-connection bound on publishes submitted but not yet acknowledged —
+        the knob that turns a runaway pipelining client into socket
+        backpressure instead of server-side memory.
+    """
+
+    def __init__(self, service: Optional[PubSubService] = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_pipeline: int = 256, max_frame: int = MAX_FRAME,
+                 drain_timeout: float = 5.0,
+                 close_service: Optional[bool] = None,
+                 **service_config) -> None:
+        if service is not None and service_config:
+            raise ValueError("pass either a service or a service configuration")
+        self._service = service if service is not None \
+            else PubSubService(**service_config)
+        self._close_service = close_service if close_service is not None \
+            else service is None
+        self._host = host
+        self._port = port
+        self._max_pipeline = max_pipeline
+        self._max_frame = max_frame
+        #: how long a drain (disconnect or stop) may wait on a client that
+        #: stopped reading its acks before the socket is cut anyway
+        self._drain_timeout = drain_timeout
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set["_Connection"] = set()
+        self._bound: Set[str] = set()  # client ids with a live connection
+        self._stopping = False
+
+    @classmethod
+    def restore(cls, snapshot: dict, **kwargs) -> "WireServer":
+        """A server fronting a service rebuilt from a snapshot (and owning it).
+
+        The reconnect path: clients that ``hello`` with their old client id
+        adopt their restored session, subscriptions intact, without a single
+        re-``subscribe`` on the wire.
+        """
+        overrides = kwargs.pop("service_overrides", {})
+        server = cls(PubSubService.restore(snapshot, **overrides), **kwargs)
+        server._close_service = True
+        return server
+
+    # ------------------------------------------------------------------ lifecycle
+    @property
+    def service(self) -> PubSubService:
+        """The fronted service (for metrics/snapshots; mutations go on-wire)."""
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — call after :meth:`start`."""
+        if self._server is None:
+            raise RuntimeError("the server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> Tuple[str, int]:
+        """Start the service's ingest worker and begin accepting connections."""
+        if self._server is not None:
+            return self.address
+        self._stopping = False
+        await self._service.start()
+        self._server = await asyncio.start_server(
+            self._accept, self._host, self._port)
+        return self.address
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain connections, stop the service.
+
+        Every publish accepted from every connection is answered before its
+        socket closes; the owned service is stopped (draining its own ingest
+        queue) last.  Idempotent.
+        """
+        self._stopping = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        connections = list(self._connections)
+        if connections:
+            # drain concurrently: each connection already bounds its own drain
+            # with drain_timeout, so shutdown is one drain window, not N
+            await asyncio.gather(
+                *(connection.drain_and_close() for connection in connections),
+                return_exceptions=True)
+        if self._connections:
+            await asyncio.gather(
+                *(c.finished() for c in list(self._connections)),
+                return_exceptions=True)
+        if self._close_service:
+            await self._service.stop()
+
+    async def __aenter__(self) -> "WireServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    def _accept(self, reader: asyncio.StreamReader,
+                writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(self, reader, writer)
+        self._connections.add(connection)
+        connection.task = asyncio.get_running_loop().create_task(
+            connection.run(), name="wire-connection")
+
+    def connection_count(self) -> int:
+        """Live (accepted, not yet torn down) connections."""
+        return len(self._connections)
+
+
+class _Connection:
+    """One accepted socket: reader loop + ack pump + match notifier."""
+
+    def __init__(self, server: WireServer, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._server = server
+        self._reader = reader
+        self._writer = writer
+        self._write_lock = asyncio.Lock()
+        self._session: Optional[ClientSession] = None
+        self._acks: asyncio.Queue = asyncio.Queue(maxsize=server._max_pipeline)
+        self._pump_task: Optional[asyncio.Task] = None
+        self._notify_task: Optional[asyncio.Task] = None
+        self._stream: Optional[dict] = None  # in-progress publish_stream state
+        self._failed_stream = None  # seq of a stream whose tail must be dropped
+        self.task: Optional[asyncio.Task] = None
+
+    async def finished(self) -> None:
+        if self.task is not None:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await self.task
+
+    # ------------------------------------------------------------------ main loop
+    async def run(self) -> None:
+        try:
+            if await self._handshake():
+                self._pump_task = asyncio.get_running_loop().create_task(
+                    self._ack_pump(), name="wire-ack-pump")
+                self._notify_task = asyncio.get_running_loop().create_task(
+                    self._notify_pump(), name="wire-notifier")
+                await self._serve()
+                # drain on disconnect: answer everything accepted (bounded by
+                # the drain timeout in case the peer also stopped reading)
+                with contextlib.suppress(asyncio.TimeoutError):
+                    await asyncio.wait_for(self._acks.join(),
+                                           self._server._drain_timeout)
+        except (ProtocolError, XMLParseError) as exc:
+            # framing is lost (or the stream framer is poisoned): report once,
+            # best effort, then close — resynchronizing means reconnecting
+            with contextlib.suppress(Exception):
+                await self._send_error(None, exc)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished: nothing to answer to
+        finally:
+            await self._teardown()
+
+    async def _handshake(self) -> bool:
+        frame = await read_frame(self._reader, max_frame=self._server._max_frame)
+        if frame is None:
+            return False  # connected and left without a word
+        header, _body = frame
+        if header["type"] != protocol.HELLO:
+            raise ProtocolError(
+                f"expected hello, got {header['type']!r}")
+        seq = header.get("seq")
+        requested = header.get("client")
+        service = self._server._service
+        resumed = False
+        try:
+            session = None
+            if requested is not None and requested not in self._server._bound:
+                try:
+                    candidate = service.session(requested)
+                except KeyError:
+                    candidate = None
+                if candidate is not None and not candidate.closed:
+                    session = candidate  # adopt (snapshot-restore reconnect)
+                    resumed = True
+            if session is None:
+                session = await service.connect(requested)
+        except Exception as exc:
+            await self._send_error(seq, exc)
+            return False
+        self._session = session
+        self._server._bound.add(session.client_id)
+        await self._send({"type": protocol.ACK, "seq": seq,
+                          "client": session.client_id, "resumed": resumed,
+                          "subscriptions": session.subscriptions()})
+        return True
+
+    async def _serve(self) -> None:
+        service = self._server._service
+        session = self._session
+        while True:
+            frame = await read_frame(self._reader,
+                                     max_frame=self._server._max_frame)
+            if frame is None:
+                return  # clean EOF between frames
+            header, body = frame
+            kind = header["type"]
+            seq = header.get("seq")
+            if kind == protocol.PUBLISH:
+                try:
+                    text = body.decode("utf-8")
+                except UnicodeDecodeError as exc:
+                    await self._send_error(seq, exc)
+                    continue
+                # both awaits are backpressure points: ingest-queue admission
+                # and the pending-ack bound — a full one pauses reading
+                handle = await service.submit(text)
+                await self._acks.put(("pub", seq, handle))
+            elif kind == protocol.PUBLISH_STREAM:
+                await self._stream_chunk(seq, header, body)
+            elif kind == protocol.SUBSCRIBE:
+                try:
+                    canonical = await session.subscribe(
+                        header["name"], header["query"])
+                except Exception as exc:
+                    await self._send_error(seq, exc)
+                else:
+                    await self._send({"type": protocol.ACK, "seq": seq,
+                                      "canonical": canonical})
+            elif kind == protocol.UNSUBSCRIBE:
+                try:
+                    await session.unsubscribe(header["name"])
+                except Exception as exc:
+                    await self._send_error(seq, exc)
+                else:
+                    await self._send({"type": protocol.ACK, "seq": seq})
+            elif kind == protocol.SNAPSHOT:
+                try:
+                    snapshot = service.snapshot()
+                except Exception as exc:
+                    await self._send_error(seq, exc)
+                else:
+                    await self._send({"type": protocol.ACK, "seq": seq},
+                                     json.dumps(snapshot).encode("utf-8"))
+            elif kind == protocol.HELLO:
+                raise ProtocolError("duplicate hello")
+            else:
+                raise ProtocolError(f"unknown message type {kind!r}")
+
+    # ------------------------------------------------------------------ streaming
+    async def _stream_chunk(self, seq, header: dict, body: bytes) -> None:
+        """One ``publish_stream`` chunk: feed the framer, submit what completed.
+
+        Documents are framed by element nesting (depth returning to zero), so
+        the client never declares boundaries; chunks may split tags, entities
+        and multi-byte characters arbitrarily.  A framing error fails the
+        stream (``error`` frame) but not the connection — documents that
+        completed before the error are salvaged and still filtered, so delivery
+        never depends on how the transport chunked bytes around the failure,
+        while the failed stream's still-in-flight tail chunks are *discarded*
+        up to its end marker (the client was told the stream failed; publishing
+        its tail would silently deliver documents from a failed stream).
+        """
+        stream = self._stream
+        if stream is None:
+            if seq is not None and seq == self._failed_stream:
+                # the tail of a stream that already failed: its documents must
+                # NOT be published (the client was told the stream failed), so
+                # discard chunks until the end marker closes the failed stream
+                if header.get("end"):
+                    self._failed_stream = None
+                return
+            stream = self._stream = {"seq": seq, "framer": DocumentFramer(),
+                                     "count": 0}
+        elif stream["seq"] != seq:
+            raise ProtocolError(
+                f"publish_stream {seq!r} interleaved with open stream "
+                f"{stream['seq']!r}")
+        service = self._server._service
+        try:
+            documents = stream["framer"].feed(body) if body else []
+        except XMLParseError as exc:
+            documents = stream["framer"].take_completed()
+            await self._submit_stream_docs(service, stream, documents)
+            await self._acks.put(("stream_error", seq, exc, stream["count"]))
+            self._stream = None
+            if not header.get("end"):
+                self._failed_stream = seq
+            return
+        await self._submit_stream_docs(service, stream, documents)
+        if header.get("end"):
+            try:
+                stream["framer"].close()
+            except XMLParseError as exc:
+                await self._acks.put(("stream_error", seq, exc, stream["count"]))
+            else:
+                await self._acks.put(("stream_end", seq, stream["count"]))
+            self._stream = None
+
+    async def _submit_stream_docs(self, service: PubSubService, stream: dict,
+                                  documents) -> None:
+        for tokens in documents:  # pre-tokenized: straight to the bank
+            handle = await service.submit(tokens)
+            stream["count"] += 1
+            await self._acks.put(
+                ("stream_doc", stream["seq"], stream["count"], handle))
+
+    # ------------------------------------------------------------------ ack pump
+    async def _ack_pump(self) -> None:
+        """Answer submitted publishes in submission order (= outcome order).
+
+        A dead socket must not wedge the pump: once a send fails, remaining
+        entries are *retired* — their outcomes still awaited, so the service's
+        futures are consumed and a drain (`.join()`) still completes — without
+        attempting further writes.
+        """
+        broken = False
+        while True:
+            entry = await self._acks.get()
+            try:
+                if broken:
+                    await self._retire(entry)
+                else:
+                    try:
+                        await self._process_ack(entry)
+                    except Exception:
+                        broken = True
+                        await self._retire(entry)
+            finally:
+                self._acks.task_done()
+
+    async def _process_ack(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "pub":
+            _kind, seq, handle = entry
+            await self._ack_outcome(seq, handle, {})
+        elif kind == "stream_doc":
+            _kind, seq, index, handle = entry
+            await self._ack_outcome(seq, handle,
+                                    {"index": index, "partial": True})
+        elif kind == "stream_end":
+            _kind, seq, count = entry
+            await self._send({"type": protocol.ACK, "seq": seq,
+                              "end": True, "documents": count})
+        else:  # stream_error
+            _kind, seq, exc, count = entry
+            await self._send_error(seq, exc, end=True, documents=count)
+
+    @staticmethod
+    async def _retire(entry: tuple) -> None:
+        """Consume an entry's outcome without writing (awaiting a done handle
+        twice is harmless, so retiring after a half-processed entry is safe)."""
+        if entry[0] in ("pub", "stream_doc"):
+            handle = entry[2] if entry[0] == "pub" else entry[3]
+            with contextlib.suppress(Exception):
+                await handle.wait()
+
+    async def _ack_outcome(self, seq, handle: PendingPublish,
+                           extra: dict) -> None:
+        try:
+            result = await handle.wait()
+        except Exception as exc:
+            await self._send_error(seq, exc, **extra)
+        else:
+            await self._send({"type": protocol.ACK, "seq": seq,
+                              "document_id": result.document_id,
+                              "matched": list(result.matched), **extra})
+
+    async def _notify_pump(self) -> None:
+        """Push the session's delivery queue as unsolicited ``match`` frames."""
+        with contextlib.suppress(ConnectionError):
+            async for note in self._session.notifications():
+                await self._send({"type": protocol.MATCH,
+                                  "document_id": note.document_id,
+                                  "matched": list(note.matched)})
+
+    # ------------------------------------------------------------------ plumbing
+    async def _send(self, header: dict, body: bytes = b"") -> None:
+        # one frame at a time on the socket: the pump, the notifier and inline
+        # control acks all write here, and drain() runs under the same lock so
+        # a slow-reading client backpressures every producer equally
+        async with self._write_lock:
+            self._writer.write(encode_frame(
+                header, body, max_frame=self._server._max_frame))
+            await self._writer.drain()
+
+    async def _send_error(self, seq, exc: BaseException, **extra) -> None:
+        await self._send({"type": protocol.ERROR, "seq": seq,
+                          "error": type(exc).__name__, "message": str(exc),
+                          **extra})
+
+    async def drain_and_close(self) -> None:
+        """Server-stop path: answer everything accepted, then cut the socket."""
+        with contextlib.suppress(Exception, asyncio.TimeoutError):
+            await asyncio.wait_for(self._acks.join(),
+                                   self._server._drain_timeout)
+        self._writer.close()
+
+    async def _teardown(self) -> None:
+        for task in (self._pump_task, self._notify_task):
+            if task is not None and not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
+        # anything the cancelled pump left queued still carries service futures
+        # whose outcomes must be consumed (else asyncio reports never-retrieved
+        # exceptions at GC time)
+        while not self._acks.empty():
+            entry = self._acks.get_nowait()
+            await self._retire(entry)
+            self._acks.task_done()
+        session = self._session
+        if session is not None:
+            self._server._bound.discard(session.client_id)
+            if not self._server._stopping and not session.closed:
+                # a plain disconnect ends the subscription contract; restored
+                # sessions awaiting reconnect were never bound here, and a
+                # stopping server leaves teardown to the service's own stop()
+                with contextlib.suppress(SessionClosedError):
+                    await session.close()
+        self._server._connections.discard(self)
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()

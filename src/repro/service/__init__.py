@@ -10,6 +10,7 @@ lifecycle, backpressure and snapshot-format notes.
 """
 
 from .server import (
+    PendingPublish,
     Publishable,
     PublishResult,
     PubSubService,
@@ -29,6 +30,7 @@ from .snapshot import (
 __all__ = [
     "ClientSession",
     "Notification",
+    "PendingPublish",
     "Publishable",
     "PublishResult",
     "PubSubService",

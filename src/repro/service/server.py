@@ -86,6 +86,34 @@ class PublishResult:
     per_query_stats: dict = field(default_factory=dict, repr=False)
 
 
+class PendingPublish:
+    """A submitted-but-not-yet-filtered document (the pipelining handle).
+
+    Returned by :meth:`PubSubService.submit`: the document already sits in the
+    ingest queue (its ``document_id`` is assigned), but its outcome has not been
+    awaited.  Front ends that pipeline — a wire server reading the next frame
+    while earlier documents are still filtering — hold one handle per in-flight
+    document and :meth:`wait` for them in submission order; outcomes complete in
+    exactly that order because the ingest queue is the service's only pipeline.
+    """
+
+    __slots__ = ("document_id", "_future")
+
+    def __init__(self, document_id: int, future: "asyncio.Future") -> None:
+        self.document_id = document_id
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the document's outcome (result or error) is already known."""
+        return self._future.done()
+
+    async def wait(self) -> PublishResult:
+        """Await the document's filtering outcome (re-raises its parse error)."""
+        matched, stats = await self._future
+        return PublishResult(document_id=self.document_id, matched=matched,
+                             per_query_stats=stats)
+
+
 # ingest-queue operation tags
 _OP_DOC = 0
 _OP_SUB = 1
@@ -318,6 +346,21 @@ class PubSubService:
         self._routes.pop(global_name, None)
 
     # ------------------------------------------------------------------ publishing
+    async def submit(self, document: Publishable) -> PendingPublish:
+        """Enqueue one document and return without awaiting its outcome.
+
+        The pipelining primitive under :meth:`publish`: the await covers only
+        ingest-queue admission (the backpressure point — a full queue throttles
+        the submitter), so a front end can keep accepting new documents while
+        earlier ones filter, holding one :class:`PendingPublish` per in-flight
+        document.  Outcomes complete in submission order.
+        """
+        queue = self._ensure_worker()
+        future = asyncio.get_running_loop().create_future()
+        doc_id = next(self._doc_ids)
+        await queue.put((_OP_DOC, document, future, doc_id))
+        return PendingPublish(doc_id, future)
+
     async def publish(self, document: Publishable) -> PublishResult:
         """Publish one document and await its filtering outcome.
 
@@ -326,13 +369,8 @@ class PubSubService:
         to engine speed rather than queueing unboundedly.  Malformed documents
         raise their parse error here, without affecting other in-flight documents.
         """
-        queue = self._ensure_worker()
-        future = asyncio.get_running_loop().create_future()
-        doc_id = next(self._doc_ids)
-        await queue.put((_OP_DOC, document, future, doc_id))
-        matched, stats = await future
-        return PublishResult(document_id=doc_id, matched=matched,
-                             per_query_stats=stats)
+        pending = await self.submit(document)
+        return await pending.wait()
 
     async def publish_many(self, documents: Iterable[Publishable]
                            ) -> List[PublishResult]:

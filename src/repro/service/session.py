@@ -79,11 +79,13 @@ class ClientSession:
         return dict(self._subs)
 
     # ------------------------------------------------------------------ subscribe
-    async def subscribe(self, name: str, query: Union[str, Query]) -> None:
+    async def subscribe(self, name: str, query: Union[str, Query]) -> str:
         """Register a subscription under a session-local name.
 
         ``query`` may be XPath text or a parsed :class:`~repro.xpath.query.Query`.
-        Raises ``ValueError`` for duplicate local names,
+        Returns the canonical XPath form the bank registered (what a snapshot
+        records and the wire protocol acknowledges).  Raises ``ValueError`` for
+        duplicate local names,
         :class:`~repro.xpath.parser.XPathSyntaxError` for unparsable text, and
         :class:`~repro.core.errors.UnsupportedQueryError` for queries outside the
         engine's fragment.  The subscription takes effect for every document
@@ -106,6 +108,7 @@ class ClientSession:
                 pass
             raise SessionClosedError(f"session {self._client_id!r} is closed")
         self._subs[name] = canonical
+        return canonical
 
     async def unsubscribe(self, name: str) -> None:
         """Remove one of this session's subscriptions; unknown names raise KeyError."""

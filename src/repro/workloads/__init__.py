@@ -36,6 +36,11 @@ from .service_traffic import (
     service_traffic,
     traffic_summary,
 )
+from .wire_traffic import (
+    split_setup,
+    wire_summary,
+    wire_traffic,
+)
 
 __all__ = [
     "PAPER_QUERIES",
@@ -60,10 +65,13 @@ __all__ = [
     "service_traffic",
     "shared_prefix_feed",
     "shared_prefix_subscriptions",
+    "split_setup",
     "subscription_churn",
     "topic_feed",
     "topic_subscriptions",
     "traffic_summary",
     "value_predicate_query",
     "wide_text_document",
+    "wire_summary",
+    "wire_traffic",
 ]

@@ -1,0 +1,84 @@
+"""Multi-connection traffic scripts for the TCP wire layer.
+
+The wire benchmark and demos need the same bursty pub/sub traffic shape as
+:func:`~repro.workloads.service_traffic.service_traffic`, but sliced per
+*connection*: each wire client owns one session and replays only its own
+operations, concurrently with every other connection.  :func:`wire_traffic`
+reuses the service-traffic generator — same subscription space, same topic-feed
+documents, same burst structure — and splits the flat script by client, which
+preserves exactly the ordering that matters: every client's operations stay in
+their original relative order (in particular each ``subscribe`` still precedes
+any ``unsubscribe`` of the same name, because churn only ever unsubscribes a
+live subscription and names are never reused).
+
+Cross-client interleaving is *deliberately* surrendered to the scheduler — that
+is what concurrent connections do — so scripts meant for deterministic
+cross-mode comparisons (the benchmark's correctness trail) should disable churn
+(``churn_fraction=0``): with a static post-setup subscription set, a document's
+matched set depends only on its text, not on when other connections' churn
+landed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .service_traffic import TrafficOp, service_traffic, traffic_summary
+
+
+def wire_traffic(
+    documents: int,
+    *,
+    connections: int = 4,
+    subscriptions_per_client: int = 12,
+    topics: int = 40,
+    burst: int = 8,
+    churn_fraction: float = 0.08,
+    entries: int = 3,
+    seed: int = 0,
+) -> List[List[TrafficOp]]:
+    """Per-connection operation scripts totalling ``documents`` publish ops.
+
+    Returns one script per connection (client ids ``client0 ..``, connection
+    ``i`` owning ``client{i}``); concatenating them respects no particular
+    global order — replay them concurrently.  All other knobs are passed
+    through to :func:`~repro.workloads.service_traffic.service_traffic`.
+    """
+    if connections < 1:
+        raise ValueError("need at least one connection")
+    flat = service_traffic(
+        documents, clients=connections,
+        subscriptions_per_client=subscriptions_per_client,
+        topics=topics, burst=burst, churn_fraction=churn_fraction,
+        entries=entries, seed=seed)
+    scripts: List[List[TrafficOp]] = [[] for _ in range(connections)]
+    index = {f"client{i}": i for i in range(connections)}
+    for op in flat:
+        scripts[index[op[1]]].append(op)
+    return scripts
+
+
+def split_setup(script: List[TrafficOp]) -> (
+        "tuple[List[TrafficOp], List[TrafficOp]]"):
+    """Split one connection's script into (leading subscribes, the rest).
+
+    The generator opens every script with the client's initial subscriptions;
+    benchmarks replay that prefix untimed (both modes pay it identically) and
+    time only the traffic that follows.
+    """
+    setup: List[TrafficOp] = []
+    for position, op in enumerate(script):
+        if op[0] != "subscribe":
+            return setup, script[position:]
+        setup.append(op)
+    return setup, []
+
+
+def wire_summary(scripts: List[List[TrafficOp]]) -> dict:
+    """Aggregate operation counts across all connections' scripts."""
+    total = {"subscribe": 0, "unsubscribe": 0, "publish": 0}
+    for script in scripts:
+        for kind, count in traffic_summary(script).items():
+            total[kind] += count
+    total["connections"] = len(scripts)
+    return total

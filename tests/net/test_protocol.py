@@ -1,0 +1,160 @@
+"""Frame-level tests of the wire protocol (no sockets involved)."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.protocol import (
+    MAX_FRAME,
+    FrameDecoder,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    read_frame,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        header = {"type": "publish", "seq": 7}
+        frame = encode_frame(header, b"<a/>")
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == len(frame) - 4
+        decoded_header, body = decode_payload(frame[4:])
+        assert decoded_header == header
+        assert body == b"<a/>"
+
+    def test_empty_body_and_unicode_header(self):
+        frame = encode_frame({"type": "error", "message": "héllo\nwörld"})
+        header, body = decode_payload(frame[4:])
+        assert header["message"] == "héllo\nwörld"  # \n escaped inside JSON
+        assert body == b""
+
+    def test_body_may_contain_newlines_and_binary(self):
+        body = b"\n\x00\xff<doc/>\n"
+        _header, decoded = decode_payload(encode_frame({"type": "x"}, body)[4:])
+        assert decoded == body
+
+    def test_oversized_frame_refused_on_send(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "publish"}, b"x" * (MAX_FRAME + 1))
+
+    def test_send_limit_is_configurable_like_the_receive_limit(self):
+        """An endpoint configured for larger frames must be able to SEND them
+        too — the limit is symmetric, not hard-coded at the default."""
+        big = b"x" * (MAX_FRAME + 1)
+        frame = encode_frame({"type": "publish"}, big,
+                             max_frame=MAX_FRAME * 2)
+        _header, body = decode_payload(frame[4:])
+        assert body == big
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"type": "publish"}, b"x" * 100, max_frame=50)
+
+    def test_malformed_payloads_raise(self):
+        with pytest.raises(ProtocolError, match="separator"):
+            decode_payload(b'{"type":"x"}')  # no newline at all
+        with pytest.raises(ProtocolError, match="JSON"):
+            decode_payload(b"{not json\nbody")
+        with pytest.raises(ProtocolError, match="type"):
+            decode_payload(b'{"no_type":1}\n')
+        with pytest.raises(ProtocolError, match="type"):
+            decode_payload(b'[1,2]\n')  # header must be an object
+
+
+class TestFrameDecoder:
+    def test_multiple_frames_in_one_chunk(self):
+        data = encode_frame({"type": "a"}) + encode_frame({"type": "b"}, b"x")
+        frames = FrameDecoder().feed(data)
+        assert [header["type"] for header, _body in frames] == ["a", "b"]
+        assert frames[1][1] == b"x"
+
+    def test_one_byte_at_a_time(self):
+        data = encode_frame({"type": "publish", "seq": 1}, b"<a>&amp;</a>")
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(data)):
+            frames.extend(decoder.feed(data[index:index + 1]))
+            # the frame must complete exactly at the last byte, never before
+            assert bool(frames) == (index == len(data) - 1)
+        assert frames[0][1] == b"<a>&amp;</a>"
+        assert decoder.at_boundary
+
+    def test_boundary_tracking(self):
+        decoder = FrameDecoder()
+        assert decoder.at_boundary
+        decoder.feed(b"\x00")
+        assert not decoder.at_boundary
+        decoder.feed(encode_frame({"type": "a"})[1:])
+        assert decoder.at_boundary
+
+    def test_oversized_length_prefix_refused(self):
+        decoder = FrameDecoder(max_frame=64)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decoder.feed(struct.pack("!I", 65))
+
+    @settings(max_examples=30, deadline=None)
+    @given(bodies=st.lists(st.binary(max_size=40), min_size=1, max_size=5),
+           size=st.integers(min_value=1, max_value=11))
+    def test_any_chunking_yields_the_same_frames(self, bodies, size):
+        data = b"".join(encode_frame({"type": "publish", "seq": index}, body)
+                        for index, body in enumerate(bodies))
+        decoder = FrameDecoder()
+        frames = []
+        for start in range(0, len(data), size):
+            frames.extend(decoder.feed(data[start:start + size]))
+        assert [body for _header, body in frames] == bodies
+        assert decoder.at_boundary
+
+
+class TestReadFrame:
+    """The asyncio reader front end agrees with the sans-IO decoder."""
+
+    @staticmethod
+    def _reader(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    def test_reads_frames_then_clean_eof(self):
+        async def scenario():
+            data = encode_frame({"type": "a"}) + encode_frame({"type": "b"})
+            reader = self._reader(data)
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            assert (first[0]["type"], second[0]["type"]) == ("a", "b")
+            assert await read_frame(reader) is None  # EOF between frames
+        run(scenario())
+
+    def test_eof_inside_prefix_or_payload_raises(self):
+        async def scenario():
+            whole = encode_frame({"type": "a"}, b"body")
+            with pytest.raises(ProtocolError, match="length"):
+                await read_frame(self._reader(whole[:2]))
+            with pytest.raises(ProtocolError, match="into a frame"):
+                await read_frame(self._reader(whole[:-1]))
+        run(scenario())
+
+    def test_oversized_frame_refused(self):
+        async def scenario():
+            reader = self._reader(struct.pack("!I", 1024) + b"x" * 1024)
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame(reader, max_frame=100)
+        run(scenario())
+
+    def test_decode_error_propagates(self):
+        async def scenario():
+            payload = b"{broken\n"
+            reader = self._reader(struct.pack("!I", len(payload)) + payload)
+            with pytest.raises(ProtocolError, match="JSON"):
+                await read_frame(reader)
+        run(scenario())

@@ -1,0 +1,402 @@
+"""End-to-end tests of the TCP front end: real sockets, real server, real client.
+
+Every test drives a live localhost :class:`~repro.net.WireServer` through
+:class:`~repro.net.WireClient` — subscribe, publish (request-response, pipelined
+and streamed), pushed match notifications, error isolation, graceful drain, and
+the snapshot/restore reconnect path the demo exercises.  Everything runs through
+``asyncio.run`` so the suite needs no asyncio pytest plugin.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import (
+    ConnectionClosedError,
+    RemoteError,
+    WireClient,
+    WireServer,
+)
+
+CATALOG = "<catalog><book><price>12</price></book></catalog>"
+PRICEY = "<catalog><book><price>90</price></book></catalog>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBasics:
+    def test_subscribe_publish_match_notification(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                alice = await WireClient.connect(host, port, client_id="alice")
+                bob = await WireClient.connect(host, port)
+                canonical = await alice.subscribe(
+                    "cheap", "/catalog/book[price < 20]")
+                assert canonical == "/catalog/book[price < 20]"
+                await bob.subscribe("books", "/catalog/book")
+                result = await alice.publish(CATALOG)
+                assert result.matched == ("alice:cheap",
+                                          f"{bob.client_id}:books")
+                assert result.document_id == 1
+                note = await alice.next_match(timeout=2)
+                assert (note.document_id, note.matched) == (1, ("cheap",))
+                assert (await bob.next_match(timeout=2)).matched == ("books",)
+                # non-matching document: no push for alice
+                await alice.publish(PRICEY)
+                assert (await bob.next_match(timeout=2)).matched == ("books",)
+                assert alice.pending_matches() == 0
+                await alice.close()
+                await bob.close()
+        run(scenario())
+
+    def test_fresh_ids_are_assigned_and_hello_metadata(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                one = await WireClient.connect(host, port)
+                two = await WireClient.connect(host, port)
+                assert one.client_id != two.client_id
+                assert not one.resumed and one.server_subscriptions == []
+                await one.close()
+                await two.close()
+        run(scenario())
+
+    def test_duplicate_client_id_is_refused(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                first = await WireClient.connect(host, port, client_id="c")
+                with pytest.raises(RemoteError, match="already connected"):
+                    await WireClient.connect(host, port, client_id="c")
+                await first.close()
+        run(scenario())
+
+    def test_unsubscribe_stops_matching(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                await client.subscribe("q", "/catalog/book")
+                assert (await client.publish(CATALOG)).matched
+                await client.unsubscribe("q")
+                assert (await client.publish(CATALOG)).matched == ()
+                with pytest.raises(RemoteError, match="KeyError"):
+                    await client.unsubscribe("q")
+                await client.close()
+        run(scenario())
+
+    def test_disconnect_closes_the_session(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="gone")
+                await client.subscribe("q", "/catalog/book")
+                await client.close()
+                for _ in range(50):  # teardown runs behind the event loop
+                    if not server.service.sessions():
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.service.sessions() == []
+                assert len(server.service.bank) == 0
+        run(scenario())
+
+
+class TestPipelining:
+    def test_publish_many_preserves_order_and_results(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                results = await client.publish_many(
+                    [CATALOG, PRICEY, CATALOG, PRICEY, CATALOG])
+                assert [bool(result.matched) for result in results] == \
+                    [True, False, True, False, True]
+                ids = [result.document_id for result in results]
+                assert ids == sorted(ids)  # submission order
+                await client.close()
+        run(scenario())
+
+    def test_error_isolation_inside_a_pipelined_burst(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("q", "/catalog/book")
+                futures = [client.submit(CATALOG),
+                           client.submit("<bad><nesting></bad>"),
+                           client.submit(CATALOG)]
+                await client.drain()
+                good_first = await futures[0]
+                with pytest.raises(RemoteError, match="XMLParseError"):
+                    await futures[1]
+                good_last = await futures[2]
+                assert good_first.matched and good_last.matched
+                # the connection survived the malformed document
+                assert (await client.publish(CATALOG)).matched
+                await client.close()
+        run(scenario())
+
+    def test_pipelined_error_surfaces_after_burst_settles(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                with pytest.raises(RemoteError):
+                    await client.publish_many([CATALOG, "</broken>", CATALOG])
+                await client.close()
+        run(scenario())
+
+
+class TestStreaming:
+    def test_stream_chunks_frame_documents_server_side(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                text = CATALOG + PRICEY + CATALOG
+                for size in (1, 3, 7, 1000):
+                    chunks = [text[i:i + size]
+                              for i in range(0, len(text), size)]
+                    results = await client.publish_stream(chunks)
+                    assert [bool(result.matched) for result in results] == \
+                        [True, False, True]
+                await client.close()
+        run(scenario())
+
+    def test_stream_byte_chunks_split_multibyte_characters(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                await client.subscribe("q", "/a[b = \"héllo\"]")
+                payload = "<a><b>héllo</b></a>".encode("utf-8")
+                chunks = [payload[i:i + 2]
+                          for i in range(0, len(payload), 2)]
+                results = await client.publish_stream(chunks)
+                assert len(results) == 1 and results[0].matched
+                await client.close()
+        run(scenario())
+
+    def test_async_iterable_of_chunks(self):
+        async def scenario():
+            async def chunks():
+                for piece in (CATALOG[:10], CATALOG[10:], PRICEY):
+                    yield piece
+
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                await client.subscribe("q", "/catalog/book")
+                results = await client.publish_stream(chunks())
+                assert len(results) == 2
+                await client.close()
+        run(scenario())
+
+    def test_framing_error_fails_the_stream_not_the_connection(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("q", "/catalog/book")
+                with pytest.raises(RemoteError, match="XMLParseError"):
+                    await client.publish_stream([CATALOG, "<a></b>"])
+                # documents framed before the error were still filtered …
+                note = await client.next_match(timeout=2)
+                assert note.matched == ("q",)
+                # … and the connection takes fresh streams afterwards
+                results = await client.publish_stream([CATALOG])
+                assert len(results) == 1 and results[0].matched
+                await client.close()
+        run(scenario())
+
+    def test_failed_stream_tail_is_discarded_not_published(self):
+        """Once a stream has failed, documents in its still-in-flight tail
+        chunks must NOT be silently published — the client was told the whole
+        stream failed."""
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("q", "/catalog/book")
+                with pytest.raises(RemoteError, match="XMLParseError"):
+                    # chunk 1 poisons the stream; chunk 2 is a complete,
+                    # well-formed document riding behind it
+                    await client.publish_stream(["<a></b>", CATALOG])
+                sentinel = await client.publish(CATALOG)
+                # the tail document was dropped: the first (and only) push is
+                # the sentinel's, and nothing else was ever published
+                note = await client.next_match(timeout=2)
+                assert note.document_id == sentinel.document_id
+                assert server.service.metrics()["published"] == 1
+                await client.close()
+        run(scenario())
+
+    def test_concurrent_streams_serialize_instead_of_dying(self):
+        """Two tasks streaming on one connection must both complete (the
+        client serializes send phases; the server allows one open stream)."""
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="c")
+                await client.subscribe("q", "/catalog/book")
+                first, second = await asyncio.gather(
+                    client.publish_stream([CATALOG, PRICEY]),
+                    client.publish_stream([PRICEY, CATALOG]))
+                assert len(first) == 2 and len(second) == 2
+                assert (await client.publish(CATALOG)).matched  # still alive
+                await client.close()
+        run(scenario())
+
+    def test_unclosed_document_at_stream_end_fails(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                with pytest.raises(RemoteError, match="mid-document"):
+                    await client.publish_stream(["<catalog><book>"])
+                await client.close()
+        run(scenario())
+
+
+class TestSnapshotReconnect:
+    def test_reconnect_restores_subscriptions_from_snapshot(self):
+        """The acceptance-criterion path: subscribe → publish → match → server
+        gone → restore from snapshot → reconnect → still matching, no
+        re-subscribe on the wire."""
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="alice")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                await client.subscribe("all", "/catalog/book")
+                assert (await client.publish(CATALOG)).matched == \
+                    ("alice:cheap", "alice:all")
+                assert (await client.next_match(timeout=2)).matched == \
+                    ("cheap", "all")
+                snapshot = await client.snapshot()
+                await client.close()
+
+            restored = WireServer.restore(snapshot)
+            await restored.start()
+            try:
+                host, port = restored.address
+                client = await WireClient.connect(host, port,
+                                                  client_id="alice")
+                assert client.resumed
+                assert client.server_subscriptions == ["cheap", "all"]
+                result = await client.publish(CATALOG)
+                assert result.matched == ("alice:cheap", "alice:all")
+                note = await client.next_match(timeout=2)
+                assert note.matched == ("cheap", "all")
+                await client.close()
+            finally:
+                await restored.stop()
+        run(scenario())
+
+    def test_unknown_id_on_restored_server_gets_a_fresh_session(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                await client.subscribe("q", "/catalog/book")
+                snapshot = await client.snapshot()
+                await client.close()
+            restored = WireServer.restore(snapshot)
+            await restored.start()
+            try:
+                host, port = restored.address
+                stranger = await WireClient.connect(host, port,
+                                                    client_id="other")
+                assert not stranger.resumed
+                assert stranger.server_subscriptions == []
+                # the restored 'a' session still matches independently
+                result = await stranger.publish(CATALOG)
+                assert result.matched == ("a:q",)
+                await stranger.close()
+            finally:
+                await restored.stop()
+        run(scenario())
+
+
+class TestLifecycleAndErrors:
+    def test_server_stop_fails_cleanly_for_connected_clients(self):
+        async def scenario():
+            server = WireServer()
+            await server.start()
+            host, port = server.address
+            client = await WireClient.connect(host, port)
+            await client.subscribe("q", "/catalog/book")
+            await server.stop()
+            with pytest.raises((ConnectionClosedError, RemoteError,
+                                ConnectionError)):
+                await client.publish(CATALOG)
+            await client.close()
+            assert server.connection_count() == 0
+        run(scenario())
+
+    def test_stop_is_idempotent_and_context_manager_stops(self):
+        async def scenario():
+            server = WireServer()
+            async with server:
+                assert server.address[1] > 0
+            await server.stop()
+        run(scenario())
+
+    def test_unknown_message_type_kills_the_connection(self):
+        async def scenario():
+            from repro.net.protocol import encode_frame
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                client._writer.write(encode_frame({"type": "bogus"}))
+                await client.drain()
+                with pytest.raises(ConnectionClosedError):
+                    while True:
+                        await client.next_match(timeout=2)
+                await client.close()
+        run(scenario())
+
+    def test_subscribe_errors_are_reported_not_fatal(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                with pytest.raises(RemoteError, match="XPathSyntaxError"):
+                    await client.subscribe("bad", "///")
+                with pytest.raises(RemoteError, match="UnsupportedQueryError"):
+                    await client.subscribe("bad", "//a[not(b)]")
+                await client.subscribe("good", "/catalog/book")
+                with pytest.raises(RemoteError, match="ValueError"):
+                    await client.subscribe("good", "/catalog/book")
+                assert (await client.publish(CATALOG)).matched
+                await client.close()
+        run(scenario())
+
+    def test_requests_after_close_raise(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                await client.close()
+                with pytest.raises(ConnectionClosedError):
+                    await client.publish(CATALOG)
+        run(scenario())
+
+    def test_sharded_service_config_passes_through(self):
+        """The wire layer composes with the sharded bank exactly like the
+        in-process service does."""
+        async def scenario():
+            async with WireServer(shards=2) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                await client.subscribe("a", "/catalog/book")
+                await client.subscribe("b", "/catalog/book[price < 20]")
+                result = await client.publish(CATALOG)
+                assert len(result.matched) == 2
+                await client.close()
+        run(scenario())

@@ -69,9 +69,25 @@ def _service_run(*, smoke=False, speedup=2.5, timestamp="2026-01-01T00:02:00Z"):
     }
 
 
+def _wire_run(*, smoke=False, speedup=2.4, timestamp="2026-01-01T00:03:00Z"):
+    return {
+        "benchmark": "wire_throughput",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"mode": "request_response", "documents": 500},
+            {"mode": "pipelined", "documents": 150,
+             "speedup_vs_request_response": 1.1},  # sub-floor at smaller size
+            {"mode": "pipelined", "documents": 500,
+             "speedup_vs_request_response": speedup},
+        ],
+    }
+
+
 def _healthy():
     return {"schema": 2,
-            "runs": [_throughput_run(), _churn_run(), _service_run()]}
+            "runs": [_throughput_run(), _churn_run(), _service_run(),
+                     _wire_run()]}
 
 
 def _write(tmp_path, data) -> str:
@@ -84,7 +100,7 @@ class TestGateVerdicts:
     def test_healthy_trajectory_passes(self, tmp_path, capsys):
         assert gate.main([_write(tmp_path, _healthy())]) == 0
         out = capsys.readouterr().out
-        assert "4/4 floors checked, none violated" in out
+        assert "5/5 floors checked, none violated" in out
 
     @pytest.mark.parametrize("doctor, floor", [
         (lambda runs: runs.__setitem__(0, _throughput_run(compiled_speedup=2.9)),
@@ -95,6 +111,8 @@ class TestGateVerdicts:
          "incremental_vs_rebuild"),
         (lambda runs: runs.__setitem__(2, _service_run(speedup=1.9)),
          "batched_vs_serial"),
+        (lambda runs: runs.__setitem__(3, _wire_run(speedup=1.8)),
+         "pipelined_vs_request_response"),
     ])
     def test_each_floor_violation_fails(self, tmp_path, capsys, doctor, floor):
         data = _healthy()
@@ -118,17 +136,18 @@ class TestGateVerdicts:
 
     def test_smoke_runs_are_ignored_by_the_gate(self, tmp_path):
         """A regressed smoke entry after a healthy full run must not trip the
-        gate (smoke sizes make the ratios meaningless) — and smoke entries can
-        never satisfy it either."""
+        floor checks (smoke sizes make the ratios meaningless) — and smoke
+        entries can never satisfy them either.  ``--allow-smoke`` scopes the
+        check to the floors alone (the hygiene check is tested separately)."""
         data = _healthy()
         data["runs"].append(_throughput_run(
             smoke=True, compiled_speedup=0.5, timestamp="2026-02-01T00:00:00Z"))
-        assert gate.main([_write(tmp_path, data)]) == 0
+        assert gate.main([_write(tmp_path, data), "--allow-smoke"]) == 0
 
         smoke_only = {"schema": 2, "runs": [
             _throughput_run(smoke=True), _churn_run(smoke=True),
-            _service_run(smoke=True)]}
-        assert gate.main([_write(tmp_path, smoke_only)]) == 1
+            _service_run(smoke=True), _wire_run(smoke=True)]}
+        assert gate.main([_write(tmp_path, smoke_only), "--allow-smoke"]) == 1
 
     def test_missing_benchmark_fails_by_default_and_warns_when_allowed(
             self, tmp_path, capsys):
@@ -137,6 +156,58 @@ class TestGateVerdicts:
         assert gate.main([path]) == 1
         assert gate.main([path, "--allow-missing"]) == 0
         assert "WARNING" in capsys.readouterr().err
+
+
+class TestSmokeHygiene:
+    """Committed smoke runs fail gate mode; --prune-smoke repairs the file."""
+
+    def test_committed_smoke_run_fails_the_gate(self, tmp_path, capsys):
+        data = _healthy()
+        data["runs"].append(_service_run(
+            smoke=True, timestamp="2026-02-01T00:00:00Z"))
+        assert gate.main([_write(tmp_path, data)]) == 1
+        err = capsys.readouterr().err
+        assert "smoke run(s) committed" in err
+        assert "--prune-smoke" in err
+
+    def test_allow_smoke_downgrades_the_hygiene_check(self, tmp_path):
+        data = _healthy()
+        data["runs"].append(_service_run(
+            smoke=True, timestamp="2026-02-01T00:00:00Z"))
+        assert gate.main([_write(tmp_path, data), "--allow-smoke"]) == 0
+
+    def test_prune_smoke_rewrites_and_gate_recovers(self, tmp_path, capsys):
+        data = _healthy()
+        data["runs"].insert(1, _churn_run(
+            smoke=True, timestamp="2026-02-01T00:00:00Z"))
+        data["runs"].append(_wire_run(
+            smoke=True, timestamp="2026-02-01T00:01:00Z"))
+        path = _write(tmp_path, data)
+        assert gate.main([path]) == 1
+        assert gate.main([path, "--prune-smoke"]) == 0
+        assert "pruned 2 smoke run(s)" in capsys.readouterr().out
+        rewritten = json.loads(open(path).read())
+        assert len(rewritten["runs"]) == 4
+        assert not any(run.get("smoke") for run in rewritten["runs"])
+        assert rewritten["schema"] == 2
+        assert gate.main([path]) == 0  # hygiene restored, floors intact
+
+    def test_prune_smoke_is_a_no_op_on_a_clean_file(self, tmp_path, capsys):
+        path = _write(tmp_path, _healthy())
+        before = json.loads(open(path).read())
+        assert gate.main([path, "--prune-smoke"]) == 0
+        assert "pruned 0 smoke run(s)" in capsys.readouterr().out
+        assert json.loads(open(path).read())["runs"] == before["runs"]
+
+    def test_summary_only_reports_smoke_without_failing(self, tmp_path):
+        """The reporting step must keep working on a freshly appended working
+        copy that legitimately contains smoke entries."""
+        data = _healthy()
+        data["runs"].append(_service_run(smoke=True))
+        target = tmp_path / "summary.md"
+        assert gate.main([_write(tmp_path, data), "--summary-only",
+                          "--github-summary", str(target)]) == 0
+        assert "| yes |" in target.read_text()
 
 
 class TestStructuralValidation:
@@ -151,20 +222,22 @@ class TestStructuralValidation:
         assert "ERROR" in capsys.readouterr().err
 
     def test_repository_trajectory_passes_the_gate(self):
-        """The committed trajectory must itself satisfy every floor — this is the
-        invariant the CI gate enforces on every PR."""
+        """The committed trajectory must itself satisfy every floor and contain
+        no smoke runs — this is the invariant the CI gate enforces on every PR."""
         root = os.path.dirname(os.path.dirname(os.path.dirname(
             os.path.abspath(__file__))))
         data = gate.load_trajectory(os.path.join(root, "BENCH_filterbank.json"))
         _rows, violations = gate.check_trajectory(data)
         assert violations == []
+        assert gate.smoke_run_indices(data) == []
 
 
 class TestMarkdownSummary:
     def test_summary_lists_recent_runs_with_ratios(self, tmp_path):
         summary = gate.format_markdown_summary(_healthy(), last=2)
-        assert "| filterbank_churn |" in summary
-        assert "incremental_vs_rebuild 22.0x" in summary
+        assert "| service_throughput |" in summary
+        assert "| wire_throughput |" in summary
+        assert "pipelined_vs_request_response 2.4x" in summary
         assert "filterbank_throughput" not in summary  # trimmed by last=2
 
     def test_summary_only_never_gates(self, tmp_path):

@@ -196,3 +196,62 @@ class TestSharedPrefixWorkload:
         assert results[0].matched == results[1].matched == results[2].matched
         assert results[0].per_query_stats == results[1].per_query_stats \
             == results[2].per_query_stats
+
+
+class TestWireTraffic:
+    """The per-connection split of the bursty service-traffic script."""
+
+    def _scripts(self, **overrides):
+        from repro.workloads import wire_traffic
+        config = dict(connections=4, subscriptions_per_client=3, topics=10,
+                      burst=5, churn_fraction=0.2, seed=3)
+        config.update(overrides)
+        return wire_traffic(60, **config)
+
+    def test_split_preserves_per_client_validity(self):
+        """Each connection's script must be self-contained and replayable in
+        isolation: only its own client's ops, every unsubscribe preceded by
+        the matching subscribe, no name reused."""
+        scripts = self._scripts()
+        assert len(scripts) == 4
+        for index, script in enumerate(scripts):
+            live, ever = set(), set()
+            for op in script:
+                assert op[1] == f"client{index}"
+                if op[0] == "subscribe":
+                    assert op[2] not in ever  # names never reused
+                    live.add(op[2])
+                    ever.add(op[2])
+                elif op[0] == "unsubscribe":
+                    assert op[2] in live
+                    live.discard(op[2])
+
+    def test_totals_match_the_flat_script(self):
+        from repro.workloads import service_traffic, traffic_summary, \
+            wire_summary
+        flat = traffic_summary(service_traffic(
+            60, clients=4, subscriptions_per_client=3, topics=10, burst=5,
+            churn_fraction=0.2, seed=3))
+        split = wire_summary(self._scripts())
+        assert split["publish"] == flat["publish"] == 60
+        assert split["subscribe"] == flat["subscribe"]
+        assert split["unsubscribe"] == flat["unsubscribe"]
+        assert split["connections"] == 4
+
+    def test_split_setup_isolates_leading_subscribes(self):
+        from repro.workloads import split_setup
+        for script in self._scripts():
+            setup, rest = split_setup(script)
+            assert [op[0] for op in setup] == ["subscribe"] * len(setup)
+            assert len(setup) >= 3  # the initial per-client subscriptions
+            assert not rest or rest[0][0] != "subscribe"
+
+    def test_churn_free_scripts_are_publish_only_after_setup(self):
+        from repro.workloads import split_setup
+        for script in self._scripts(churn_fraction=0.0):
+            _setup, rest = split_setup(script)
+            assert all(op[0] == "publish" for op in rest)
+
+    def test_zero_connections_rejected(self):
+        with pytest.raises(ValueError):
+            self._scripts(connections=0)

@@ -63,6 +63,99 @@ class TestFraming:
             [_events(document_tokens(doc)) for doc in docs]
 
 
+class TestSocketShapedChunkings:
+    """Adversarial transport chunkings: the wire server feeds the framer
+    whatever byte runs the kernel hands it, so framing must be invariant under
+    1-byte reads, boundaries splitting tags/entities/attributes/comments, and
+    multi-byte characters cut anywhere."""
+
+    DOCS = [
+        "<feed><topic1 kind='hot &amp; new'>h&lt;1&gt;</topic1></feed>",
+        "<a><b>6</b><c x=\"q&quot;v\"/></a>",
+        "<solo/>",
+        "<t><!-- a comment, <not> a tag --><u>text &amp; more</u></t>",
+    ]
+
+    def _expected(self):
+        return [_events(document_tokens(doc)) for doc in self.DOCS]
+
+    def test_one_byte_reads(self):
+        text = "".join(self.DOCS)
+        frames = _frame_all([char for char in text])
+        assert [_events(f) for f in frames] == self._expected()
+
+    def test_one_byte_reads_over_utf8_bytes(self):
+        docs = ["<a>héllo &amp; wörld</a>", "<b attr='ému'>☃</b>"]
+        payload = "".join(docs).encode("utf-8")
+        frames = _frame_all([payload[i:i + 1] for i in range(len(payload))])
+        assert [_events(f) for f in frames] == \
+            [_events(document_tokens(doc)) for doc in docs]
+
+    def test_boundary_inside_an_entity_reference(self):
+        # "&am" + "p;" must still decode to one '&' in the right text run
+        frames = _frame_all(["<a>x&am", "p;y</a><b/>"])
+        assert [_events(f) for f in frames] == \
+            [_events(document_tokens("<a>x&amp;y</a>")),
+             _events(document_tokens("<b/>"))]
+
+    def test_boundary_inside_tags_attributes_and_comments(self):
+        chunkings = [
+            ["<fe", "ed><t ", "x='1", "'/></f", "eed>"],
+            ["<a", "><!--", " split -", "-><b/>", "</a>"],
+            ["<x y=\"a", "b\"></", "x>"],
+        ]
+        wholes = ["<feed><t x='1'/></feed>", "<a><b/></a>",
+                  "<x y=\"ab\"></x>"]
+        for chunks, whole in zip(chunkings, wholes):
+            assert [_events(f) for f in _frame_all(chunks)] == \
+                [_events(document_tokens(whole))]
+
+    def test_document_boundary_split_from_next_document_start(self):
+        # ">" of one document and "<" of the next arrive in separate reads
+        frames = _frame_all(["<a></a", ">", "<b", "></b>"])
+        assert [f[1][1] for f in frames] == ["a", "b"]
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data(), size=st.integers(min_value=1, max_value=6))
+    def test_random_byte_chunkings_are_framing_invariant(self, data, size):
+        docs = data.draw(st.lists(st.sampled_from(self.DOCS),
+                                  min_size=1, max_size=4))
+        payload = "".join(docs).encode("utf-8")
+        chunks = [payload[i:i + size] for i in range(0, len(payload), size)]
+        framer = DocumentFramer()
+        frames = [frame for chunk in chunks for frame in framer.feed(chunk)]
+        framer.close()
+        assert [_events(f) for f in frames] == \
+            [_events(document_tokens(doc)) for doc in docs]
+
+    def test_salvage_after_a_poisoned_connection(self):
+        """The wire server's stream-error path: everything completed before
+        the poison is salvaged exactly once, the poisoned framer refuses all
+        further use, and a fresh framer (fresh connection) starts clean —
+        regardless of how the bytes around the error were chunked."""
+        good = "<a><b>6</b></a><c/>"
+        poison = "<d><e></wrong>"
+        whole = good + poison
+        for size in (1, 2, 5, len(whole)):
+            framer = DocumentFramer()
+            salvaged = []
+            with pytest.raises(XMLParseError, match="mismatched"):
+                for i in range(0, len(whole), size):
+                    salvaged.extend(framer.feed(whole[i:i + size]))
+            salvaged.extend(framer.take_completed())
+            assert [_events(f) for f in salvaged] == \
+                [_events(document_tokens("<a><b>6</b></a>")),
+                 _events(document_tokens("<c/>"))]
+            assert framer.take_completed() == []  # handed out exactly once
+            with pytest.raises(XMLParseError, match="unusable"):
+                framer.feed("<f/>")
+            with pytest.raises(XMLParseError, match="unusable"):
+                framer.close()
+            # the reconnect path: a fresh framer is immediately serviceable
+            replacement = DocumentFramer()
+            assert [f[1][1] for f in replacement.feed("<g/>")] == ["g"]
+
+
 class TestErrors:
     def test_mid_document_end_of_stream_raises(self):
         framer = DocumentFramer()
