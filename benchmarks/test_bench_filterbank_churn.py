@@ -33,7 +33,7 @@ import time
 
 import pytest
 
-from repro.core import CompiledFilterBank, MatchOnlyFilterBank
+from repro.core import MatchOnlyFilterBank
 from repro.workloads import (
     shared_prefix_feed,
     shared_prefix_subscriptions,

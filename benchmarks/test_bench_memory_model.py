@@ -1,0 +1,194 @@
+"""Static memory model vs. measured high-water marks (the analyzer cross-check).
+
+``repro.analysis.costmodel`` predicts, per compiled plan, a worst-case memory
+bound in the paper's Theorem 8.8 accounting: ``predicted_frontier_records``
+(the ``FS(Q) + 1`` record bound for closure-free queries, the depth-multiplied
+recurrence otherwise) instantiated at an assumed document depth ``D`` and text
+size ``B``, priced with the same ``bits_for`` formula the engine's
+``observe_bits`` instrumentation charges per event.  That makes the prediction
+*falsifiable*: running the instrumented engine over a real document stream
+yields per-subscription ``peak_memory_bits`` high-water marks that the static
+bound — instantiated at the document's actual depth — must dominate.
+
+This benchmark runs the shared-prefix workload (with descendant-axis steps and
+a recursive document, the regime where the bounds are loosest *and* most
+load-bearing) and asserts, for every subscription:
+
+* measured ``peak_frontier_records``  <= predicted ``frontier`` records,
+* measured ``peak_memory_bits``       <= predicted memory bits,
+* measured ``peak_buffer_chars``      <= the assumed ``B`` (else the bound was
+  instantiated at the wrong text size and the comparison is vacuous).
+
+The appended ``memory_model`` trajectory entry records
+``bound_over_measured`` — the *minimum* ratio of bound to measurement across
+subscriptions — and ``scripts/check_bench_trajectory.py`` gates it at >= 1.0:
+a PR that makes the analyzer under-predict real memory cannot merge.  Unlike
+the throughput benchmarks these assertions are correctness, not performance,
+so they run in smoke mode too (smaller sizes only).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.costmodel import analyze_query
+from repro.core import CompiledFilterBank
+from repro.workloads import shared_prefix_feed, shared_prefix_subscriptions
+from repro.xpath import parse_query
+
+from .conftest import append_bench_run, print_table
+
+SMOKE = os.environ.get("FILTERBANK_BENCH_SMOKE") == "1"
+
+SUBSCRIPTION_COUNTS = [25] if SMOKE else [100, 1000]
+ENTRIES = 10 if SMOKE else 60
+
+#: workload shape: descendant steps + a recursive document stress the
+#: depth-sensitive branch of the record bound
+BRANCHING = 4
+SUFFIX_DEPTH = 3
+DESCENDANT_FRACTION = 0.15
+RECURSION = 2
+
+#: assumed max text-node size the bound is instantiated at; the benchmark
+#: asserts the document never buffers more than this
+MAX_TEXT_CHARS = 16
+
+#: (subscriptions,) -> measurement dict
+_measurements = {}
+
+
+def _measure(subscriptions: int) -> dict:
+    key = (subscriptions,)
+    if key in _measurements:
+        return _measurements[key]
+
+    bank = CompiledFilterBank(stats=True)
+    queries = {}
+    for index, text in enumerate(shared_prefix_subscriptions(
+            subscriptions, branching=BRANCHING, suffix_depth=SUFFIX_DEPTH,
+            descendant_fraction=DESCENDANT_FRACTION, seed=7)):
+        name = f"sub{index}"
+        queries[name] = parse_query(text)
+        bank.register(name, queries[name])
+
+    document = shared_prefix_feed(
+        ENTRIES, branching=BRANCHING, suffix_depth=SUFFIX_DEPTH,
+        recursion=RECURSION, seed=13)
+    depth = document.depth()
+    events = document.events()
+
+    start = time.perf_counter()
+    result = bank.filter_events(iter(events))
+    seconds = time.perf_counter() - start
+
+    per_sub = []
+    for name, stats in sorted(result.per_query_stats.items()):
+        facts = analyze_query(
+            queries[name], max_depth=depth, max_text_chars=MAX_TEXT_CHARS)
+        per_sub.append({
+            "name": name,
+            "canonical": facts.canonical,
+            "measured_bits": stats.peak_memory_bits,
+            "measured_records": stats.peak_frontier_records,
+            "measured_chars": stats.peak_buffer_chars,
+            "bound_bits": facts.predicted_memory_bits,
+            "bound_records": facts.predicted_frontier_records,
+            "closure_free": facts.closure_free,
+        })
+
+    _measurements[key] = {
+        "subscriptions": subscriptions,
+        "depth": depth,
+        "events": len(events),
+        "seconds": seconds,
+        "matched": len(result.matched),
+        "per_sub": per_sub,
+    }
+    return _measurements[key]
+
+
+def _min_ratio(per_sub) -> float:
+    """Bound/measured, minimized over subscriptions that used any memory."""
+    ratios = [entry["bound_bits"] / entry["measured_bits"]
+              for entry in per_sub if entry["measured_bits"]]
+    return min(ratios) if ratios else float("inf")
+
+
+@pytest.mark.parametrize("subscriptions", SUBSCRIPTION_COUNTS)
+def test_static_bound_dominates_measured(subscriptions):
+    """Every per-subscription high-water mark sits under its static bound."""
+    m = _measure(subscriptions)
+    for entry in m["per_sub"]:
+        assert entry["measured_chars"] <= MAX_TEXT_CHARS, (
+            f"{entry['name']}: buffered {entry['measured_chars']} chars, bound "
+            f"instantiated at B={MAX_TEXT_CHARS} — raise MAX_TEXT_CHARS")
+        assert entry["measured_records"] <= entry["bound_records"], (
+            f"{entry['name']} ({entry['canonical']}): measured "
+            f"{entry['measured_records']} frontier records > predicted "
+            f"{entry['bound_records']}")
+        assert entry["measured_bits"] <= entry["bound_bits"], (
+            f"{entry['name']} ({entry['canonical']}): measured "
+            f"{entry['measured_bits']} bits > predicted {entry['bound_bits']}")
+    assert _min_ratio(m["per_sub"]) >= 1.0
+
+
+def _run_entry() -> dict:
+    results = []
+    for (subscriptions,), m in sorted(_measurements.items()):
+        per_sub = m["per_sub"]
+        used = [entry for entry in per_sub if entry["measured_bits"]]
+        results.append({
+            "subscriptions": subscriptions,
+            "events": m["events"],
+            "document_depth": m["depth"],
+            "max_text_chars": MAX_TEXT_CHARS,
+            "seconds": round(m["seconds"], 6),
+            "matched": m["matched"],
+            "subscriptions_exercised": len(used),
+            "max_measured_bits": max(
+                (entry["measured_bits"] for entry in per_sub), default=0),
+            "max_bound_bits": max(
+                (entry["bound_bits"] for entry in per_sub), default=0),
+            "bound_violations": sum(
+                1 for entry in per_sub
+                if entry["measured_bits"] > entry["bound_bits"]
+                or entry["measured_records"] > entry["bound_records"]),
+            "bound_over_measured": round(_min_ratio(per_sub), 2),
+        })
+    return {
+        "benchmark": "memory_model",
+        "smoke": SMOKE,
+        "required_min_ratio": 1.0,
+        "workload": {
+            "entries": ENTRIES, "branching": BRANCHING,
+            "suffix_depth": SUFFIX_DEPTH, "recursion": RECURSION,
+            "descendant_fraction": DESCENDANT_FRACTION,
+        },
+        "subscription_counts": SUBSCRIPTION_COUNTS,
+        "results": results,
+    }
+
+
+def teardown_module(module):  # noqa: D103
+    if not _measurements:
+        return
+    append_bench_run(_run_entry())
+    rows = []
+    for (subscriptions,), m in sorted(_measurements.items()):
+        per_sub = m["per_sub"]
+        rows.append((
+            subscriptions, m["depth"],
+            max((e["measured_bits"] for e in per_sub), default=0),
+            max((e["bound_bits"] for e in per_sub), default=0),
+            f"{_min_ratio(per_sub):.2f}",
+        ))
+    print_table(
+        "static memory bound vs measured high-water (per-subscription)",
+        ("subs", "doc depth", "max measured bits", "max bound bits",
+         "min bound/measured"),
+        rows,
+    )

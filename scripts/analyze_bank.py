@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Static-analysis CLI over a subscription bank: cost facts + subsumption.
+
+Loads a subscription workload — either XPath expressions from a file
+(``--queries``, one per line, ``#`` comments allowed) or the generated
+shared-prefix workload (``--count``) — registers it in a
+:class:`~repro.core.compile.CompiledFilterBank`, and emits the
+:meth:`~repro.core.compile.CompiledFilterBank.analyze` report as JSON:
+
+* per-plan static cost facts: ``FS(Q)`` (paper Definition 4.1), recursion and
+  depth sensitivity, fast-path eligibility, and the predicted Theorem 8.8
+  memory bound at the stated ``--max-depth``/``--max-text`` assumptions;
+* trie-sharing aggregates (shared trie nodes vs. the unshared step count);
+* subsumption findings: duplicate registrations, equivalent plans, and
+  properly subsumed subscriptions (container matches a superset of documents).
+
+``--self-check`` is the CI mode: it builds a 1000-subscription shared-prefix
+workload, injects one exact duplicate and one strictly-more-general container
+query, and asserts the report finds them (and covers every subscription with
+cost facts).  Exit code 1 on any self-check failure.
+
+Usage::
+
+    python scripts/analyze_bank.py [--count N | --queries FILE]
+        [--max-depth D] [--max-text B] [--pair-limit N] [--no-subsumption]
+        [--output PATH] [--indent N] [--summary-only] [--self-check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.compile import CompiledFilterBank  # noqa: E402
+from repro.workloads.queries import shared_prefix_subscriptions  # noqa: E402
+from repro.xpath.parser import parse_query  # noqa: E402
+
+
+def load_workload(args: argparse.Namespace) -> list:
+    """The named (name, xpath_text) subscription list to analyze."""
+    if args.queries:
+        named = []
+        with open(args.queries, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, 1):
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                named.append((f"line{number}", text))
+        return named
+    texts = shared_prefix_subscriptions(
+        args.count,
+        suffix_depth=args.suffix_depth,
+        descendant_fraction=args.descendant_fraction,
+        seed=args.seed,
+    )
+    return [(f"q{index:04d}", text) for index, text in enumerate(texts)]
+
+
+def inject_redundancy(named: list) -> dict:
+    """Append one exact duplicate and one strictly-more-general container of
+    the first subscription; returns the injected names for verification."""
+    base_name, base_text = named[0]
+    duplicate_name = "injected_duplicate"
+    named.append((duplicate_name, base_text))
+    # generalize the last child step to the descendant axis: the container
+    # matches everywhere the original does (and on deeper documents too)
+    head, _slash, tail = base_text.rpartition("/")
+    container_text = f"{head}//{tail}"
+    container_name = "injected_container"
+    named.append((container_name, container_text))
+    return {
+        "base": base_name,
+        "duplicate": duplicate_name,
+        "container": container_name,
+        "container_query": container_text,
+    }
+
+
+def build_report(args: argparse.Namespace, named: list):
+    bank = CompiledFilterBank()
+    for name, text in named:
+        bank.register(name, parse_query(text))
+    return bank.analyze(
+        max_depth=args.max_depth,
+        max_text_chars=args.max_text,
+        subsumption=not args.no_subsumption,
+        pair_limit=args.pair_limit,
+    )
+
+
+def self_check(analysis, injected: dict) -> list:
+    """Assertions the CI gate runs over the self-generated workload; returns
+    the list of failure messages (empty = pass)."""
+    failures = []
+    summary = analysis.summary()
+    if analysis.subscription_count < 1000:
+        failures.append(
+            f"expected a 1000+ subscription workload, got "
+            f"{analysis.subscription_count}")
+    uncovered = [name for name, canonical in analysis.subscriptions.items()
+                 if canonical not in analysis.plans]
+    if uncovered:
+        failures.append(f"subscriptions without cost facts: {uncovered[:5]}")
+    bad_fs = [name for name in analysis.subscriptions
+              if analysis.facts_for(name).frontier_size < 1]
+    if bad_fs:
+        failures.append(f"frontier_size < 1 for: {bad_fs[:5]}")
+    if summary["fast_path_subscriptions"] < 1:
+        failures.append("no fast-path-eligible subscription found in a "
+                        "conjunctive shared-prefix workload")
+    if summary["trie_sharing_factor"] is None or summary["trie_sharing_factor"] <= 1.0:
+        failures.append(
+            f"shared-prefix workload shows no trie sharing "
+            f"(factor={summary['trie_sharing_factor']})")
+    findings = {(f.kind, f.container, f.contained)
+                for f in analysis.subsumptions}
+    if not any(kind == "duplicate" and contained == injected["duplicate"]
+               for kind, _container, contained in findings):
+        failures.append("injected exact duplicate was not reported")
+    if not any(kind in ("subsumed", "equivalent")
+               and injected["container"] in (container, contained)
+               for kind, container, contained in findings):
+        failures.append(
+            f"injected container {injected['container_query']!r} was not "
+            "reported as subsuming its original")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--queries", metavar="FILE",
+                        help="file of XPath subscriptions, one per line")
+    source.add_argument("--count", type=int, default=1000,
+                        help="generated shared-prefix workload size "
+                             "(default 1000)")
+    parser.add_argument("--suffix-depth", type=int, default=3)
+    parser.add_argument("--descendant-fraction", type=float, default=0.1,
+                        help="fraction of generated steps on the // axis")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-depth", type=int, default=32,
+                        help="document depth the memory bound is stated at")
+    parser.add_argument("--max-text", type=int, default=256,
+                        help="text-node size the memory bound is stated at")
+    parser.add_argument("--pair-limit", type=int, default=None,
+                        help="cap on pairwise subsumption checks "
+                             "(default exhaustive)")
+    parser.add_argument("--no-subsumption", action="store_true",
+                        help="skip the pairwise subsumption sweep")
+    parser.add_argument("--inject-duplicates", action="store_true",
+                        help="append an exact duplicate + a more-general "
+                             "container of the first subscription")
+    parser.add_argument("--self-check", action="store_true",
+                        help="CI mode: generated workload + injected "
+                             "redundancy, assert the report finds it")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the JSON report here instead of stdout")
+    parser.add_argument("--indent", type=int, default=2)
+    parser.add_argument("--summary-only", action="store_true",
+                        help="emit only the summary block of the report")
+    args = parser.parse_args(argv)
+
+    named = load_workload(args)
+    if not named:
+        print("analyze_bank: empty workload", file=sys.stderr)
+        return 1
+    injected = None
+    if args.self_check or args.inject_duplicates:
+        injected = inject_redundancy(named)
+
+    analysis = build_report(args, named)
+    report = analysis.summary() if args.summary_only else analysis.to_dict()
+    text = json.dumps(report, indent=args.indent, sort_keys=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    else:
+        print(text)
+
+    if args.self_check:
+        failures = self_check(analysis, injected)
+        for failure in failures:
+            print(f"analyze_bank: SELF-CHECK FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        summary = analysis.summary()
+        print(
+            "analyze_bank: self-check OK — "
+            f"{analysis.subscription_count} subscriptions, "
+            f"{analysis.distinct_plan_count} distinct plans, "
+            f"sharing factor {summary['trie_sharing_factor']:.2f}, "
+            f"findings {summary['subsumption_findings']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,10 @@ established:
 * ``service_throughput``    — batched service >= 2x the single-document-call
   regime (at the largest document count);
 * ``wire_throughput``       — pipelined wire client >= 2x request-response over
-  localhost TCP (at the largest document count).
+  localhost TCP (at the largest document count);
+* ``memory_model``          — the static analyzer's predicted Theorem 8.8 memory
+  bound >= the measured per-subscription high-water bits (ratio >= 1.0, i.e. the
+  bound stays sound on the shared-prefix workload).
 
 Smoke runs (``"smoke": true``) are informational: their sizes are deliberately too
 small for the ratios to be meaningful, so they are reported but never gated on —
@@ -63,11 +66,12 @@ FLOORS = {
     ("filterbank_churn", "incremental_vs_rebuild"): 10.0,
     ("service_throughput", "batched_vs_serial"): 2.0,
     ("wire_throughput", "pipelined_vs_request_response"): 2.0,
+    ("memory_model", "bound_over_measured"): 1.0,
 }
 
 #: benchmarks the gate expects to find a full-size run for
 GATED_BENCHMARKS = ("filterbank_throughput", "filterbank_churn",
-                    "service_throughput", "wire_throughput")
+                    "service_throughput", "wire_throughput", "memory_model")
 
 
 class TrajectoryError(ValueError):
@@ -149,11 +153,25 @@ def _wire_ratios(run: dict) -> dict:
             top["speedup_vs_request_response"]}
 
 
+def _memory_model_ratios(run: dict) -> dict:
+    """The static-analyzer soundness ratio of one memory_model run: the
+    predicted Theorem 8.8 bound divided by the measured per-subscription
+    high-water bits, minimized over subscriptions — a value below 1.0 means
+    the analyzer under-predicted real memory (the bound is unsound)."""
+    entries = [entry for entry in run.get("results", [])
+               if "bound_over_measured" in entry]
+    if not entries:
+        return {}
+    top = max(entries, key=lambda entry: entry.get("subscriptions", 0))
+    return {"bound_over_measured": top["bound_over_measured"]}
+
+
 _RATIO_EXTRACTORS = {
     "filterbank_throughput": _throughput_ratios,
     "filterbank_churn": _churn_ratios,
     "service_throughput": _service_ratios,
     "wire_throughput": _wire_ratios,
+    "memory_model": _memory_model_ratios,
 }
 
 

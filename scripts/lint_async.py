@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""CI gate for the repo's async-discipline linter (``repro.analysis.astlint``).
+
+Checks that every ``asyncio.Queue`` is bounded (ASY101), task cancellation is
+never swallowed (ASY102), coroutines make no blocking calls (ASY103), and
+every spawned task is retained (ASY104).  Deliberate violations carry a
+``# lint-async: allow[CODE]`` waiver comment.
+
+Usage::
+
+    python scripts/lint_async.py [PATH ...]
+
+Paths default to ``src/repro``; directories are walked recursively.  Exit
+code 1 when any finding is reported, 0 on a clean pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.analysis.astlint import lint_paths  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint (default src/repro)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the clean-pass summary line")
+    args = parser.parse_args(argv)
+
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"lint_async: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"lint_async: clean ({', '.join(args.paths)})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

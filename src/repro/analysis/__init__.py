@@ -1,0 +1,51 @@
+"""Static analysis of query plans and of the codebase's async discipline.
+
+The paper's central claim is that the memory a streaming XPath filter needs is
+*statically predictable*: the query frontier size ``FS(Q)``, the document depth
+and the recursion depth bound the space of any correct filter.  This package
+turns that claim into tooling, in two independent prongs:
+
+* **Plan analysis** (:mod:`~repro.analysis.costmodel`,
+  :mod:`~repro.analysis.subsumption`, :mod:`~repro.analysis.bank`): given a
+  :class:`~repro.core.compile.CompiledFilterBank` (or a plain query set),
+  compute per-subscription cost facts — ``FS(Q)``, depth/recursion
+  sensitivity, fast-path eligibility, trie sharing, and a predicted
+  bytes-per-subscription memory bound in the Theorem 8.8 accounting — plus
+  subsumption/duplicate detection between subscriptions, so redundant
+  registrations are reported before they cost memory.  The static bits bound
+  is cross-checked against :mod:`repro.instrument.memory` high-water
+  measurements by ``benchmarks/test_bench_memory_model.py`` and enforced as a
+  trajectory floor, making the paper's space guarantee a CI invariant.
+
+* **Async-discipline linting** (:mod:`~repro.analysis.astlint`): an AST-based
+  checker for the invariants the service/net layers rely on — every
+  ``asyncio.Queue`` bounded, no swallowed ``CancelledError``, no blocking
+  calls inside coroutines, no orphaned tasks — run by
+  ``scripts/lint_async.py`` and as a tier-1 test over the real source tree.
+"""
+
+from .astlint import LintFinding, lint_paths, lint_source
+from .bank import BankAnalysis, analyze_bank, analyze_queries
+from .costmodel import (
+    QueryCostFacts,
+    analyze_query,
+    predicted_frontier_records,
+    predicted_memory_bits,
+)
+from .subsumption import SubsumptionFinding, find_subsumptions, query_contains
+
+__all__ = [
+    "BankAnalysis",
+    "LintFinding",
+    "QueryCostFacts",
+    "SubsumptionFinding",
+    "analyze_bank",
+    "analyze_queries",
+    "analyze_query",
+    "find_subsumptions",
+    "lint_paths",
+    "lint_source",
+    "predicted_frontier_records",
+    "predicted_memory_bits",
+    "query_contains",
+]

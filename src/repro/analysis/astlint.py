@@ -1,0 +1,313 @@
+"""AST linter for the repo's async discipline (the codebase prong).
+
+The service and net layers rely on a handful of concurrency invariants that
+Python will not enforce and that unit tests only catch probabilistically:
+
+* **ASY101 — every ``asyncio.Queue`` is bounded.**  An unbounded queue turns
+  a slow consumer into unbounded memory growth; delivery queues here are
+  bounded + lossy-oldest by design, so an unbounded constructor is always a
+  bug or needs an explicit waiver.
+* **ASY102 — cancellation is never swallowed.**  ``contextlib.suppress`` over
+  ``CancelledError``/``BaseException``, or an ``except`` clause catching them
+  (or a bare ``except:``) without re-raising, breaks task teardown: the
+  awaiting coroutine absorbs its own cancellation and keeps running.
+  (``except Exception`` is fine — ``CancelledError`` derives from
+  ``BaseException`` on all supported interpreters.)
+* **ASY103 — no blocking calls inside ``async def``.**  ``time.sleep``, sync
+  ``subprocess``/``os`` process helpers, ``open``, sync socket connects and
+  ``urllib`` requests stall the entire event loop.
+* **ASY104 — every spawned task is retained.**  A bare
+  ``create_task(...)``/``ensure_future(...)`` expression statement leaves the
+  task unreferenced: the event loop holds only a weak reference, so the task
+  can be garbage-collected mid-flight, and its exception is lost either way.
+
+A violation that is deliberate is waived with a trailing comment on the
+offending line (or the line above it)::
+
+    task = loop.create_task(work())  # lint-async: allow[ASY104]
+
+The comment must name the exact code; a waiver without a reason comment next
+to it should not survive review.  Run via ``scripts/lint_async.py`` (the CI
+gate) or :func:`lint_paths`; the linter is itself regression-tested against
+fixture files in ``tests/analysis/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+#: constructors that must receive a non-zero bound (positional or ``maxsize=``)
+_QUEUE_TYPES = {"asyncio.Queue", "asyncio.LifoQueue", "asyncio.PriorityQueue"}
+
+#: exception names whose suppression swallows task cancellation
+_CANCEL_NAMES = {"asyncio.CancelledError", "BaseException"}
+
+#: calls that block the event loop when made from a coroutine
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "open",
+}
+
+#: task-spawning calls whose result must be retained (ASY104); matched both as
+#: qualified names and as bare method names so ``loop.create_task`` and
+#: ``asyncio.get_running_loop().create_task`` are caught
+_SPAWN_QUALNAMES = {"asyncio.create_task", "asyncio.ensure_future"}
+_SPAWN_METHODS = {"create_task", "ensure_future"}
+
+_ALLOW_RE = re.compile(r"#\s*lint-async:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _allowed_codes(lines: Sequence[str], line: int) -> Set[str]:
+    """Waiver codes applying to 1-indexed ``line``: a trailing comment on the
+    line itself, or a comment-*only* line directly above (a trailing waiver
+    never leaks onto the next statement)."""
+    codes: Set[str] = set()
+    candidates = [line - 1]
+    if 0 <= line - 2 < len(lines) and lines[line - 2].lstrip().startswith("#"):
+        candidates.append(line - 2)
+    for idx in candidates:
+        if 0 <= idx < len(lines):
+            match = _ALLOW_RE.search(lines[idx])
+            if match:
+                codes.update(c.strip() for c in match.group(1).split(","))
+    return codes
+
+
+class _ImportTable:
+    """Resolves local names back to canonical dotted names.
+
+    Tracks ``import x [as y]`` and ``from x import y [as z]`` so that e.g.
+    ``from asyncio import Queue`` still trips ASY101 and ``import time as t``
+    still trips ASY103.  Resolution is best-effort: unknown names resolve to
+    themselves.
+    """
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, str] = {}  # local alias -> module dotted name
+        self._names: Dict[str, str] = {}  # local alias -> module.name
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self._modules[local] = alias.name if alias.asname else local
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never shadow the stdlib names we match
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self._names[local] = f"{node.module}.{alias.name}"
+
+    def qualify(self, node: ast.expr) -> Optional[str]:
+        """Dotted name of an expression, with aliases resolved; None if it is
+        not a plain name/attribute chain (calls in the chain keep their
+        trailing attribute path, so ``asyncio.get_running_loop().create_task``
+        qualifies as ``create_task``)."""
+        if isinstance(node, ast.Name):
+            if node.id in self._names:
+                return self._names[node.id]
+            if node.id in self._modules:
+                return self._modules[node.id]
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self.qualify(node.value)
+            if base is None:
+                return node.attr
+            return f"{base}.{node.attr}"
+        return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.imports = _ImportTable()
+        self.findings: List[LintFinding] = []
+        self._async_depth = 0
+
+    # ------------------------------------------------------------------ helpers
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if code in _allowed_codes(self.lines, line):
+            return
+        self.findings.append(
+            LintFinding(self.path, line, getattr(node, "col_offset", 0), code, message)
+        )
+
+    def _is_cancel_catcher(self, expr: Optional[ast.expr]) -> bool:
+        """Does this except/suppress type include CancelledError (or a base)?"""
+        if expr is None:
+            return True  # bare ``except:`` catches everything
+        if isinstance(expr, ast.Tuple):
+            return any(self._is_cancel_catcher(item) for item in expr.elts)
+        qualified = self.imports.qualify(expr)
+        return qualified in _CANCEL_NAMES
+
+    # ------------------------------------------------------------------ imports
+    def visit_Import(self, node: ast.Import) -> None:
+        self.imports.add_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.imports.add_import_from(node)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ async scope
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._async_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # a sync def nested in a coroutine is its own (non-async) execution
+        # context: don't attribute its calls to the enclosing coroutine
+        depth, self._async_depth = self._async_depth, 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth = depth
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        depth, self._async_depth = self._async_depth, 0
+        try:
+            self.generic_visit(node)
+        finally:
+            self._async_depth = depth
+
+    # ------------------------------------------------------------------ ASY101/103
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self.imports.qualify(node.func)
+        if qualified in _QUEUE_TYPES:
+            self._check_queue_bound(node, qualified)
+        if self._async_depth and qualified in _BLOCKING_CALLS:
+            self._report(
+                node,
+                "ASY103",
+                f"blocking call {qualified}() inside an async function stalls "
+                "the event loop; use an async equivalent or run_in_executor",
+            )
+        if qualified == "contextlib.suppress":
+            for arg in node.args:
+                if self._is_cancel_catcher(arg):
+                    self._report(
+                        node,
+                        "ASY102",
+                        "contextlib.suppress() over CancelledError/BaseException "
+                        "swallows task cancellation; catch narrowly and re-raise "
+                        "CancelledError",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def _check_queue_bound(self, node: ast.Call, qualified: str) -> None:
+        bound: Optional[ast.expr] = None
+        if node.args:
+            bound = node.args[0]
+        for keyword in node.keywords:
+            if keyword.arg == "maxsize":
+                bound = keyword.value
+        unbounded = bound is None or (
+            isinstance(bound, ast.Constant) and not bound.value
+        )
+        if unbounded:
+            self._report(
+                node,
+                "ASY101",
+                f"{qualified}() without a positive maxsize is unbounded; a slow "
+                "consumer then grows memory without limit — pass maxsize and "
+                "choose a full-queue policy",
+            )
+
+    # ------------------------------------------------------------------ ASY102
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self._is_cancel_catcher(node.type):
+            if not any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                what = "bare except:" if node.type is None else (
+                    f"except {ast.unparse(node.type)}:"
+                )
+                self._report(
+                    node,
+                    "ASY102",
+                    f"{what} catches CancelledError without re-raising; task "
+                    "cancellation is swallowed — re-raise CancelledError (or "
+                    "catch Exception instead)",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ ASY104
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            qualified = self.imports.qualify(value.func)
+            if qualified is not None and (
+                qualified in _SPAWN_QUALNAMES
+                or qualified.rsplit(".", 1)[-1] in _SPAWN_METHODS
+            ):
+                self._report(
+                    node,
+                    "ASY104",
+                    f"task from {qualified}() is not retained: the loop keeps "
+                    "only a weak reference, so the task can be collected "
+                    "mid-flight and its exception is lost — keep a reference "
+                    "(and add a done callback) or await it",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one module's source text; syntax errors are reported as ASY000."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(path, exc.lineno or 0, exc.offset or 0, "ASY000",
+                        f"syntax error: {exc.msg}")
+        ]
+    linter = _Linter(path, source.splitlines())
+    linter.visit(tree)
+    return sorted(linter.findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def lint_paths(paths: Iterable[Union[str, Path]]) -> List[LintFinding]:
+    """Lint ``.py`` files; directories are walked recursively (sorted order)."""
+    findings: List[LintFinding] = []
+    for entry in paths:
+        root = Path(entry)
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings.extend(
+                lint_source(file.read_text(encoding="utf-8"), str(file))
+            )
+    return findings

@@ -1,0 +1,189 @@
+"""Whole-bank analysis: cost facts + subsumption over a subscription set.
+
+This is the aggregation layer over :mod:`~repro.analysis.costmodel` and
+:mod:`~repro.analysis.subsumption`: given the subscriptions of a
+:class:`~repro.core.compile.CompiledFilterBank` (or any named query set), it
+produces one JSON-serializable report with
+
+* per-plan static cost facts (``FS(Q)``, fast-path eligibility, the
+  Theorem 8.8 memory bound at the stated depth/text assumptions), computed
+  once per *distinct canonical form* — the bank's plan-interning key — and
+  fanned out to subscription names exactly as the bank fans out runtimes;
+* trie-sharing aggregates (shared trie nodes vs the unshared step count);
+* subsumption findings (duplicates, equivalent and properly contained
+  subscriptions).
+
+Entry points: :meth:`CompiledFilterBank.analyze` and
+``scripts/analyze_bank.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..xpath.query import Query
+from .costmodel import QueryCostFacts, analyze_query
+from .subsumption import SubsumptionFinding, find_subsumptions
+
+
+@dataclass
+class BankAnalysis:
+    """The full static-analysis report for one subscription set."""
+
+    subscription_count: int
+    distinct_plan_count: int
+    unshared_step_count: int  #: total query steps if no trie sharing happened
+    trie_size: Optional[int]  #: shared trie nodes (None when no bank was given)
+    assumed_max_depth: int
+    assumed_max_text_chars: int
+    subscriptions: Dict[str, str]  #: subscription name -> canonical form
+    plans: Dict[str, QueryCostFacts]  #: canonical form -> static cost facts
+    subsumptions: List[SubsumptionFinding] = field(default_factory=list)
+    subsumption_pairs_checked: int = 0
+    subsumption_truncated: bool = False
+
+    # ------------------------------------------------------------------ aggregates
+    @property
+    def trie_sharing_factor(self) -> Optional[float]:
+        """Unshared steps per shared trie node (1.0 = no sharing at all)."""
+        if self.trie_size is None or self.trie_size == 0:
+            return None
+        return self.unshared_step_count / self.trie_size
+
+    def facts_for(self, name: str) -> QueryCostFacts:
+        """The cost facts of the plan serving subscription ``name``."""
+        return self.plans[self.subscriptions[name]]
+
+    def predicted_total_bytes(self) -> int:
+        """Predicted worst-case live state, summed over all subscriptions."""
+        return sum(
+            self.plans[canonical].predicted_bytes_per_subscription
+            for canonical in self.subscriptions.values()
+        )
+
+    def summary(self) -> dict:
+        per_sub = [self.plans[c] for c in self.subscriptions.values()]
+        kinds: Dict[str, int] = {}
+        for finding in self.subsumptions:
+            kinds[finding.kind] = kinds.get(finding.kind, 0) + 1
+        return {
+            "subscription_count": self.subscription_count,
+            "distinct_plan_count": self.distinct_plan_count,
+            "trie_size": self.trie_size,
+            "unshared_step_count": self.unshared_step_count,
+            "trie_sharing_factor": self.trie_sharing_factor,
+            "fast_path_subscriptions": sum(
+                1 for f in per_sub if f.fast_path_eligible
+            ),
+            "closure_free_subscriptions": sum(
+                1 for f in per_sub if f.closure_free
+            ),
+            "depth_sensitive_subscriptions": sum(
+                1 for f in per_sub if f.depth_sensitive
+            ),
+            "max_frontier_size": max((f.frontier_size for f in per_sub), default=0),
+            "predicted_total_bytes": self.predicted_total_bytes(),
+            "predicted_max_bytes_per_subscription": max(
+                (f.predicted_bytes_per_subscription for f in per_sub), default=0
+            ),
+            "subsumption_findings": kinds,
+            "subsumption_pairs_checked": self.subsumption_pairs_checked,
+            "subsumption_truncated": self.subsumption_truncated,
+        }
+
+    def to_dict(self) -> dict:
+        """The JSON report emitted by ``scripts/analyze_bank.py``."""
+        return {
+            "assumptions": {
+                "max_depth": self.assumed_max_depth,
+                "max_text_chars": self.assumed_max_text_chars,
+            },
+            "summary": self.summary(),
+            "plans": {c: facts.to_dict() for c, facts in self.plans.items()},
+            "subscriptions": dict(self.subscriptions),
+            "subsumptions": [f.to_dict() for f in self.subsumptions],
+        }
+
+
+def analyze_queries(
+    subscriptions: Iterable[Tuple[str, Query]],
+    *,
+    max_depth: int = 32,
+    max_text_chars: int = 256,
+    subsumption: bool = True,
+    pair_limit: Optional[int] = None,
+    trie_size: Optional[int] = None,
+) -> BankAnalysis:
+    """Analyze a named query set without needing a bank instance.
+
+    ``pair_limit`` caps the pairwise containment checks of the subsumption
+    sweep (``None`` = exhaustive); when the cap bites, the report carries
+    ``subsumption_truncated=True`` rather than silently under-reporting.
+    """
+    named: List[Tuple[str, Query]] = list(subscriptions)
+    name_to_canonical: Dict[str, str] = {}
+    plans: Dict[str, QueryCostFacts] = {}
+    representatives: List[Tuple[str, Query]] = []
+    for name, query in named:
+        if name in name_to_canonical:
+            raise ValueError(f"duplicate subscription name {name!r}")
+        canonical = query.to_xpath()
+        name_to_canonical[name] = canonical
+        if canonical not in plans:
+            plans[canonical] = analyze_query(
+                query, max_depth=max_depth, max_text_chars=max_text_chars
+            )
+            representatives.append((name, query))
+
+    findings: List[SubsumptionFinding] = []
+    pairs_checked = 0
+    truncated = False
+    if subsumption:
+        findings = find_subsumptions(named, pair_limit=pair_limit)
+        potential = len(representatives) * (len(representatives) - 1) // 2
+        pairs_checked = (
+            potential if pair_limit is None else min(potential, pair_limit)
+        )
+        truncated = pair_limit is not None and potential > pair_limit
+
+    return BankAnalysis(
+        subscription_count=len(named),
+        distinct_plan_count=len(plans),
+        unshared_step_count=sum(
+            query.size() for _name, query in representatives
+        ),
+        trie_size=trie_size,
+        assumed_max_depth=max_depth,
+        assumed_max_text_chars=max_text_chars,
+        subscriptions=name_to_canonical,
+        plans=plans,
+        subsumptions=findings,
+        subsumption_pairs_checked=pairs_checked,
+        subsumption_truncated=truncated,
+    )
+
+
+def analyze_bank(
+    bank,
+    *,
+    max_depth: int = 32,
+    max_text_chars: int = 256,
+    subsumption: bool = True,
+    pair_limit: Optional[int] = None,
+) -> BankAnalysis:
+    """Analyze a live :class:`~repro.core.compile.CompiledFilterBank`.
+
+    Reads the registered subscriptions and the shared-trie geometry from the
+    bank; the bank is not mutated (``trie_size`` forces the trie build, which
+    ``register`` performs lazily anyway).
+    """
+    named = [(name, bank.query(name)) for name in bank.subscriptions()]
+    return analyze_queries(
+        named,
+        max_depth=max_depth,
+        max_text_chars=max_text_chars,
+        subsumption=subsumption,
+        pair_limit=pair_limit,
+        trie_size=bank.trie_size() if named else 0,
+    )

@@ -1,0 +1,161 @@
+"""Static per-query cost facts in the paper's accounting.
+
+Everything here is computed from the query tree alone (no documents, no
+running bank): the quantities the paper proves bounds in — frontier size
+``FS(Q)`` (Definition 4.1), depth, closure-freeness — plus the facts the
+compiled engine's behavior depends on (fast-path eligibility, value tests).
+
+The headline output is a *predicted memory bound*: the number of frontier
+records the Section 8 filter can hold live at once, instantiated for an
+assumed maximum document depth, and converted to bits with exactly the
+:class:`~repro.instrument.memory.FrontierMemoryModel` accounting the engines
+measure themselves with (``FilterStatistics.peak_memory_bits``).  Because the
+static formula and the runtime observation share the same model, "measured
+stays within the static bound" is a meaningful, enforceable invariant rather
+than a unit-mismatched comparison:
+
+* **Closure-free queries** (no ``descendant`` axis): the filter's live
+  frontier never exceeds ``FS(Q) + 1`` records (the ``+1`` is the root
+  record; Theorem 8.8 — every record the engine holds at a fire point is the
+  fired node or one of its super-siblings, and the child-axis removal
+  optimization evicts the fired record itself).  This bound is *tight*: the
+  fooling-set families of :mod:`repro.lowerbounds` reach it.
+
+* **Queries with closures**: records are no longer level-locked, so the
+  bound picks up document-depth factors.  A record of step ``u`` can occupy
+  one level per open element once any ancestor step of ``u`` uses the
+  descendant axis, and each level holds at most as many records as the
+  parent step can hold — giving the (sound but loose) recurrence
+  ``live(u) = live(parent(u)) * (depth if depth-exposed else 1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..core.frontier import query_frontier_size
+from ..instrument.memory import bits_for
+from ..xpath.query import DESCENDANT, Query, QueryNode
+from ..xpath.truthset import is_value_restricted
+
+
+def _closure_free(query: Query) -> bool:
+    return all(node.axis != DESCENDANT for node in query.non_root_nodes())
+
+
+def _is_path(query: Query) -> bool:
+    """A pure chain: every node has at most one child (fast-path eligible)."""
+    return all(len(node.children) <= 1 for node in query.nodes())
+
+
+def _depth_exposed(node: QueryNode) -> bool:
+    """Whether records of this step can occupy more than one document level.
+
+    True once any step on the root path (this one included) uses the
+    descendant axis: below that point candidate matches are no longer pinned
+    to a single document level.
+    """
+    current: QueryNode = node
+    while not current.is_root():
+        if current.axis == DESCENDANT:
+            return True
+        assert current.parent is not None
+        current = current.parent
+    return False
+
+
+def predicted_frontier_records(query: Query, *, max_depth: int) -> int:
+    """Upper bound on the filter's live frontier records for this query.
+
+    ``max_depth`` is the assumed maximum document depth (elements open at
+    once); it only matters for queries with descendant axes.  The bound
+    counts the root record, hence the ``+ 1`` against ``FS(Q)``.
+    """
+    if max_depth < 1:
+        raise ValueError("max_depth must be at least 1")
+    if _closure_free(query):
+        return query_frontier_size(query) + 1
+    total = 1  # the root record
+    live: dict = {id(query.root): 1}
+    for node in query.nodes():
+        if node.is_root():
+            continue
+        assert node.parent is not None
+        parent_live = live[id(node.parent)]
+        factor = max_depth if _depth_exposed(node) else 1
+        live[id(node)] = parent_live * factor
+        total += live[id(node)]
+    return total
+
+
+def predicted_memory_bits(query: Query, *, max_depth: int,
+                          max_text_chars: int) -> int:
+    """Static Theorem 8.8 bit bound for the filter's live state.
+
+    Mirrors the engine's per-event observation
+    (``FrontierMemoryModel.bits``): each live record costs a query-node
+    reference, a level, a buffer offset and the matched flag; the text buffer
+    costs 8 bits per buffered character; plus the level counter.  The bound
+    is valid whenever the document keeps its depth within ``max_depth`` and
+    the filter never buffers more than ``max_text_chars`` characters (i.e.
+    no single value-tested element's subtree holds more text than that).
+    ``bits_for`` is monotone, so instantiating at the maxima dominates every
+    per-event observation.
+    """
+    if max_text_chars < 0:
+        raise ValueError("max_text_chars must be non-negative")
+    records = predicted_frontier_records(query, max_depth=max_depth)
+    qnode_bits = bits_for(max(query.size(), 1) + 1)
+    level_bits = bits_for(max_depth + 2)
+    tuple_bits = qnode_bits + level_bits + bits_for(max_text_chars + 2) + 1
+    return records * tuple_bits + max_text_chars * 8 + level_bits
+
+
+@dataclass(frozen=True)
+class QueryCostFacts:
+    """Statically derived cost facts for one subscription query."""
+
+    canonical: str  #: deterministic XPath serialization (the interning key)
+    size: int  #: ``|Q|``: nodes excluding the root
+    depth: int  #: longest root-to-leaf path, in edges
+    frontier_size: int  #: ``FS(Q)`` (Definition 4.1)
+    closure_free: bool  #: no descendant axis: memory independent of depth
+    depth_sensitive: bool  #: records (hence memory) grow with document depth
+    wildcard_steps: int  #: steps whose node test is ``*`` / ``@*``
+    value_tests: int  #: leaves carrying a proper (non-universal) truth set
+    fast_path_eligible: bool  #: pure chain: match-only engine keeps no records
+    predicted_frontier_records: int  #: live-record bound at ``assumed_max_depth``
+    predicted_memory_bits: int  #: Theorem 8.8 bit bound at the assumptions
+    predicted_bytes_per_subscription: int  #: the bit bound, in whole bytes
+    assumed_max_depth: int  #: document-depth assumption the bound is valid for
+    assumed_max_text_chars: int  #: buffered-text assumption the bound is valid for
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def analyze_query(query: Query, *, max_depth: int = 32,
+                  max_text_chars: int = 256) -> QueryCostFacts:
+    """Compute the full static cost profile of one query."""
+    records = predicted_frontier_records(query, max_depth=max_depth)
+    bits = predicted_memory_bits(query, max_depth=max_depth,
+                                 max_text_chars=max_text_chars)
+    closure_free = _closure_free(query)
+    return QueryCostFacts(
+        canonical=query.to_xpath(),
+        size=query.size(),
+        depth=query.depth(),
+        frontier_size=query_frontier_size(query),
+        closure_free=closure_free,
+        depth_sensitive=not closure_free,
+        wildcard_steps=sum(1 for node in query.non_root_nodes()
+                           if node.is_wildcard()),
+        value_tests=sum(1 for node in query.non_root_nodes()
+                        if node.is_leaf() and is_value_restricted(node)),
+        fast_path_eligible=_is_path(query),
+        predicted_frontier_records=records,
+        predicted_memory_bits=bits,
+        predicted_bytes_per_subscription=(bits + 7) // 8,
+        assumed_max_depth=max_depth,
+        assumed_max_text_chars=max_text_chars,
+    )

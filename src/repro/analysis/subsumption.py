@@ -1,0 +1,351 @@
+"""Query containment and subscription subsumption detection.
+
+A subscription is *redundant* when another subscription's query matches every
+document its own query matches: the bank pays frontier records, trie slots and
+delivery work for a filter whose answers are implied by an existing one.
+Canonical-form interning (``core/compile.py``) already collapses textually
+identical queries; this module goes further and detects *semantic* containment
+between distinct plans.
+
+Containment of tree-pattern queries is decided by homomorphism (the classic
+Miklau–Suciu characterization): ``container`` contains ``contained`` if there
+is a mapping of ``container``'s query tree into ``contained``'s that preserves
+the root, maps child/attribute edges to like-axis edges, maps descendant edges
+to arbitrary element paths, never weakens a node test, and only strengthens
+value tests.  Any document matching ``contained`` provides a witness embedding
+of ``contained``'s tree; composing it with the homomorphism yields a witness
+for ``container``.  This direction is always sound; for queries mixing
+wildcards with descendant axes it is incomplete, so :func:`query_contains`
+returning ``False`` means "could not prove", never "provably incomparable".
+
+Soundness relies on two certifications tied to this repo's predicate
+semantics (:mod:`repro.xpath.evalexpr`):
+
+* **Container side** — every predicate conjunct must be an atomic predicate
+  with at most one variable (plus bare existence refs).  Atomic conjuncts are
+  evaluated *existentially* over the selected value sequences (rule 4 of
+  Definition 3.5), so a single witness embedding satisfies them; conjuncts we
+  cannot fully mirror in the tree-pattern reading (``not(...)``, ``or``,
+  multivariate comparisons) make the proof unsound and the check bails out.
+
+* **Contained side** — homomorphism targets must be *guaranteed to exist* in
+  every matching document.  A predicate child is guaranteed exactly when its
+  conjunct is an atomic predicate: with existential semantics an empty
+  selection yields an empty combination product, so the conjunct is false
+  unless the full chain exists.  Children of ``not``/``or`` conjuncts are not
+  guaranteed and are simply excluded as mapping targets.
+
+Value-test implication is decided on the truth sets of Definition 5.6:
+syntactically equal predicates, or single-variable comparisons against
+*numeric literal* constants, where the implication table over the reals is
+exact (both predicates already exclude values that do not cast to a number).
+String-literal comparisons fall back to string ordering for non-numeric
+values, which breaks the numeric table (``"2x" > "10"`` holds but
+``"2x" > "5"`` does not), so only syntactic equality certifies those.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..xpath.ast import Comparison, Constant, NodeRef, conjuncts, is_atomic_predicate
+from ..xpath.evalexpr import evaluate_predicate
+from ..xpath.query import (
+    CHILD,
+    DESCENDANT,
+    Query,
+    QueryNode,
+    iter_succession_chain,
+)
+from ..xpath.truthset import (
+    AtomicPredicateTruthSet,
+    TruthSet,
+    atomic_predicate_of,
+    truth_set,
+)
+from ..xpath.values import compare_atomic
+
+# ---------------------------------------------------------------------------
+# value-test implication
+# ---------------------------------------------------------------------------
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+def _numeric_atom(predicate) -> Optional[Tuple[str, float]]:
+    """Extract ``(op, constant)`` from ``ref op number`` / ``number op ref``.
+
+    Only *numeric literal* constants qualify: they force the engine's
+    comparison onto the numeric branch (non-numeric values compare false), so
+    implication over the reals is exact.  A numeric *string* constant would
+    fall back to string comparison for non-numeric values, where the table
+    below is wrong.
+    """
+    if not isinstance(predicate, Comparison):
+        return None
+    op = predicate.op
+    if isinstance(predicate.left, NodeRef) and isinstance(predicate.right, Constant):
+        const = predicate.right.value
+    elif isinstance(predicate.right, NodeRef) and isinstance(predicate.left, Constant):
+        const = predicate.left.value
+        op = _FLIP[op]
+    else:
+        return None
+    if isinstance(const, bool) or not isinstance(const, (int, float)):
+        return None
+    if math.isnan(const):
+        return None
+    return op, float(const)
+
+
+def _numeric_implies(sub: Tuple[str, float], sup: Tuple[str, float]) -> bool:
+    """Does ``x op2 c2`` imply ``x op1 c1`` for every real ``x``?"""
+    op2, c2 = sub
+    op1, c1 = sup
+    if op2 == "=":
+        return compare_atomic(op1, c2, c1)
+    if op1 == "!=":
+        if op2 == "!=":
+            return c1 == c2
+        return (
+            (op2 == ">" and c1 <= c2)
+            or (op2 == ">=" and c1 < c2)
+            or (op2 == "<" and c1 >= c2)
+            or (op2 == "<=" and c1 > c2)
+        )
+    if op2 == ">":
+        return op1 in (">", ">=") and c1 <= c2
+    if op2 == ">=":
+        return (op1 == ">=" and c1 <= c2) or (op1 == ">" and c1 < c2)
+    if op2 == "<":
+        return op1 in ("<", "<=") and c1 >= c2
+    if op2 == "<=":
+        return (op1 == "<=" and c1 >= c2) or (op1 == "<" and c1 > c2)
+    return False
+
+
+def _truth_implies(sub: TruthSet, sup: TruthSet) -> bool:
+    """Certify ``sub ⊆ sup``; False means "could not prove"."""
+    if sup.is_universal():
+        return True
+    if not isinstance(sub, AtomicPredicateTruthSet) or not isinstance(
+        sup, AtomicPredicateTruthSet
+    ):
+        return False
+    if sub.predicate.to_xpath() == sup.predicate.to_xpath():
+        return True
+    sub_atom = _numeric_atom(sub.predicate)
+    sup_atom = _numeric_atom(sup.predicate)
+    if sub_atom is not None and sup_atom is not None:
+        return _numeric_implies(sub_atom, sup_atom)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# certification of the two sides
+# ---------------------------------------------------------------------------
+
+def _container_supported(query: Query) -> bool:
+    """All of the container's constraints are expressible in the tree-pattern
+    reading the homomorphism proves: atomic conjuncts with at most one
+    variable (constant conjuncts must be vacuously true)."""
+    for node in query.nodes():
+        if node.predicate is None:
+            continue
+        for conjunct in conjuncts(node.predicate):
+            if not is_atomic_predicate(conjunct):
+                return False
+            refs = conjunct.node_refs()
+            if len(refs) > 1:
+                return False
+            if not refs and not evaluate_predicate(conjunct, lambda _ref: []):
+                return False
+    return True
+
+
+def _guaranteed_ids(query: Query) -> Set[int]:
+    """Nodes guaranteed to have a document image in every match of ``query``.
+
+    The main succession chain always matches; a predicate child's chain is
+    guaranteed when its conjunct is an atomic predicate (existential
+    evaluation over an empty selection is false, so the conjunct forces the
+    chain to exist).  Children referenced from ``not``/``or`` conjuncts stay
+    out of the set.
+    """
+    guaranteed: Set[int] = set()
+
+    def add_chain(start: QueryNode) -> None:
+        for node in iter_succession_chain(start):
+            guaranteed.add(id(node))
+            for child in node.predicate_children():
+                conjunct = atomic_predicate_of(child)
+                if conjunct is not None and is_atomic_predicate(conjunct):
+                    add_chain(child)
+
+    add_chain(query.root)
+    return guaranteed
+
+
+# ---------------------------------------------------------------------------
+# the homomorphism search
+# ---------------------------------------------------------------------------
+
+def _element_descendants(node: QueryNode) -> List[QueryNode]:
+    """Proper descendants reachable through element (child/descendant) edges."""
+    out: List[QueryNode] = []
+    stack = [c for c in node.children if c.axis in (CHILD, DESCENDANT)]
+    while stack:
+        current = stack.pop()
+        out.append(current)
+        stack.extend(c for c in current.children if c.axis in (CHILD, DESCENDANT))
+    return out
+
+
+def _compatible(u: QueryNode, v: QueryNode) -> bool:
+    """Node test and value test of container node ``u`` hold at image ``v``."""
+    if not u.is_wildcard() and u.ntest != v.ntest:
+        return False
+    required = truth_set(u)
+    if required.is_universal():
+        return True
+    return _truth_implies(truth_set(v), required)
+
+
+def _embeds(container: Query, contained: Query, guaranteed: Set[int]) -> bool:
+    memo: Dict[Tuple[int, int], bool] = {}
+
+    def images(u: QueryNode, v: QueryNode) -> List[QueryNode]:
+        if u.axis == DESCENDANT:
+            candidates = _element_descendants(v)
+        else:
+            candidates = [c for c in v.children if c.axis == u.axis]
+        return [c for c in candidates if id(c) in guaranteed and _compatible(u, c)]
+
+    def children_embed(u: QueryNode, v: QueryNode) -> bool:
+        # Homomorphisms need not be injective, so each child of ``u`` just
+        # needs some valid image below ``v``, independently of its siblings.
+        key = (id(u), id(v))
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        ok = all(
+            any(children_embed(cu, cv) for cv in images(cu, v))
+            for cu in u.children
+        )
+        memo[key] = ok
+        return ok
+
+    return children_embed(container.root, contained.root)
+
+
+def query_contains(container: Query, contained: Query) -> bool:
+    """Certify that every document matched by ``contained`` is matched by
+    ``container`` (boolean filter semantics; output nodes are ignored).
+
+    Sound but incomplete: ``False`` means the containment could not be
+    proved, not that the queries are incomparable.
+    """
+    if container.to_xpath() == contained.to_xpath():
+        return True
+    if not _container_supported(container):
+        return False
+    if not set(container.element_names()) <= set(contained.element_names()):
+        return False
+    return _embeds(container, contained, _guaranteed_ids(contained))
+
+
+# ---------------------------------------------------------------------------
+# bank-level sweep
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SubsumptionFinding:
+    """One redundancy between two subscriptions.
+
+    ``container`` is the subscription whose query is at least as general;
+    ``contained`` is the one whose matches it implies (the redundant side).
+    """
+
+    kind: str  #: ``duplicate`` (same canonical form), ``equivalent``, or ``subsumed``
+    container: str
+    contained: str
+    container_query: str
+    contained_query: str
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def find_subsumptions(
+    subscriptions: Iterable[Tuple[str, Query]],
+    *,
+    pair_limit: Optional[int] = None,
+) -> List[SubsumptionFinding]:
+    """Report duplicate, equivalent and subsumed subscriptions.
+
+    Subscriptions sharing a canonical form are reported as ``duplicate``
+    against the first registrant (mirroring the bank's plan interning).  The
+    distinct canonical forms are then compared pairwise with
+    :func:`query_contains` in both directions; ``pair_limit`` caps the number
+    of candidate pairs examined (``None`` = exhaustive).
+    """
+    groups: Dict[str, List[str]] = {}
+    representative: Dict[str, Query] = {}
+    order: List[str] = []
+    for name, query in subscriptions:
+        canonical = query.to_xpath()
+        if canonical not in groups:
+            groups[canonical] = []
+            representative[canonical] = query
+            order.append(canonical)
+        groups[canonical].append(name)
+
+    findings: List[SubsumptionFinding] = []
+    for canonical in order:
+        names = groups[canonical]
+        findings.extend(
+            SubsumptionFinding("duplicate", names[0], name, canonical, canonical)
+            for name in names[1:]
+        )
+
+    # Per-representative facts, computed once: certification, guaranteed
+    # nodes, and concrete-label sets (a container's concrete labels must all
+    # occur in the contained query — a cheap necessary condition).
+    reps = [(groups[c][0], representative[c], c) for c in order]
+    supported = [_container_supported(q) for (_n, q, _c) in reps]
+    guaranteed = [_guaranteed_ids(q) for (_n, q, _c) in reps]
+    labels = [set(q.element_names()) for (_n, q, _c) in reps]
+
+    checked = 0
+    for i in range(len(reps)):
+        for j in range(i + 1, len(reps)):
+            if pair_limit is not None and checked >= pair_limit:
+                return findings
+            checked += 1
+            name_i, query_i, canon_i = reps[i]
+            name_j, query_j, canon_j = reps[j]
+            forward = (
+                supported[i]
+                and labels[i] <= labels[j]
+                and _embeds(query_i, query_j, guaranteed[j])
+            )
+            backward = (
+                supported[j]
+                and labels[j] <= labels[i]
+                and _embeds(query_j, query_i, guaranteed[i])
+            )
+            if forward and backward:
+                findings.append(
+                    SubsumptionFinding("equivalent", name_i, name_j, canon_i, canon_j)
+                )
+            elif forward:
+                findings.append(
+                    SubsumptionFinding("subsumed", name_i, name_j, canon_i, canon_j)
+                )
+            elif backward:
+                findings.append(
+                    SubsumptionFinding("subsumed", name_j, name_i, canon_j, canon_i)
+                )
+    return findings

@@ -21,7 +21,7 @@ subsets) or lazily (on demand while a document is being filtered).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..core.errors import UnsupportedQueryError
 from ..xpath.query import CHILD, DESCENDANT, Query, WILDCARD

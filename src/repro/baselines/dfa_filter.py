@@ -16,7 +16,7 @@ from typing import Iterable, List
 from ..instrument.memory import AutomatonMemoryModel, bits_for
 from ..xmlstream.events import EndElement, Event, StartDocument, StartElement
 from ..xpath.query import Query
-from .automata import DFA, OTHER, PathNFA, determinize
+from .automata import DFA, PathNFA, determinize
 from .base import BaselineFilter, MemoryReport
 
 

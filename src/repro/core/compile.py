@@ -626,6 +626,26 @@ class CompiledFilterBank:
                 stack.extend(step_map.values())
         return count
 
+    def analyze(self, *, max_depth: int = 32, max_text_chars: int = 256,
+                subsumption: bool = True,
+                pair_limit: Optional[int] = None):
+        """Static-analysis report over the registered subscriptions.
+
+        Per-plan cost facts (``FS(Q)``, fast-path eligibility, the predicted
+        Theorem 8.8 memory bound at the stated depth/text assumptions),
+        trie-sharing aggregates, and subsumption/duplicate findings.  Returns
+        a :class:`repro.analysis.bank.BankAnalysis`; the bank is not mutated.
+        """
+        from ..analysis.bank import analyze_bank  # late: analysis sits above core
+
+        return analyze_bank(
+            self,
+            max_depth=max_depth,
+            max_text_chars=max_text_chars,
+            subsumption=subsumption,
+            pair_limit=pair_limit,
+        )
+
     def index_fanout(self, name: str) -> int:
         """How many (query, step) pairs sit on trie nodes reachable by label ``name``.
 

@@ -7,6 +7,12 @@ they correlate to (by ``seq``), ``match`` frames land on a notification queue
 exposed as the :meth:`WireClient.notifications` async iterator — so match pushes
 never wait behind request/response traffic and vice versa.
 
+The match queue is bounded and lossy-oldest, mirroring the service's session
+delivery queues: a consumer that stops calling :meth:`WireClient.next_match`
+must not grow client memory without limit, so on overflow the oldest unread
+match is dropped and counted in :attr:`WireClient.dropped_matches` (consumers
+that keep up never lose anything; the socket reader never blocks on delivery).
+
 Pipelining is the point of the design: :meth:`submit` writes a publish frame and
 returns a future *without* waiting for the ack, so a burst goes out back to back
 and the server's ingest batching coalesces it (:meth:`publish_many` is the
@@ -78,7 +84,8 @@ class WireClient:
     """One connection to a wire server.  Create with :meth:`connect`."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter, *, max_frame: int) -> None:
+                 writer: asyncio.StreamWriter, *, max_frame: int,
+                 max_pending_matches: int = 1024) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
@@ -88,7 +95,11 @@ class WireClient:
         self._stream_lock = asyncio.Lock()
         #: seq -> ("raw"|"pub", future) or ("stream", future, partial results)
         self._pending: Dict[int, tuple] = {}
-        self._matches: asyncio.Queue = asyncio.Queue()
+        # bounded + lossy-oldest, like the service's session delivery queues:
+        # an abandoned consumer must not let pushed matches grow without limit
+        self._matches: asyncio.Queue = asyncio.Queue(
+            maxsize=max(1, max_pending_matches))
+        self.dropped_matches = 0  #: matches dropped because the queue was full
         self._reader_task: Optional[asyncio.Task] = None
         self._client_id: Optional[str] = None
         self._resumed = False
@@ -99,16 +110,20 @@ class WireClient:
     @classmethod
     async def connect(cls, host: str, port: int, *,
                       client_id: Optional[str] = None,
-                      max_frame: int = MAX_FRAME) -> "WireClient":
+                      max_frame: int = MAX_FRAME,
+                      max_pending_matches: int = 1024) -> "WireClient":
         """Open a connection and complete the ``hello`` handshake.
 
         ``client_id`` names the session: pass the previous id after a server
         restart to adopt the session the snapshot restored (check
         :attr:`resumed` and :attr:`server_subscriptions` afterwards); ``None``
-        lets the server assign a fresh one.
+        lets the server assign a fresh one.  ``max_pending_matches`` bounds the
+        pushed-match queue; on overflow the oldest unread match is dropped and
+        counted in :attr:`dropped_matches`.
         """
         reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer, max_frame=max_frame)
+        client = cls(reader, writer, max_frame=max_frame,
+                     max_pending_matches=max_pending_matches)
         writer.write(encode_frame({"type": protocol.HELLO, "seq": 0,
                                    "client": client_id},
                                   max_frame=max_frame))
@@ -282,7 +297,7 @@ class WireClient:
         else:
             item = await asyncio.wait_for(self._matches.get(), timeout)
         if item is _EOS:
-            self._matches.put_nowait(_EOS)  # re-arm for other consumers
+            self._deliver_match(_EOS)  # re-arm for other consumers
             raise ConnectionClosedError("the connection is closed")
         return item
 
@@ -301,6 +316,22 @@ class WireClient:
             size -= 1  # the EOS sentinel
         return max(0, size)
 
+    def _deliver_match(self, item) -> None:
+        """Enqueue a pushed match (or the EOS sentinel), dropping the oldest
+        unread match on overflow — the reader must never block on a slow
+        consumer, and the sentinel must always land so consumers wake."""
+        while True:
+            try:
+                self._matches.put_nowait(item)
+                return
+            except asyncio.QueueFull:
+                try:
+                    evicted = self._matches.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - maxsize >= 1
+                    continue
+                if evicted is not _EOS:
+                    self.dropped_matches += 1
+
     # ------------------------------------------------------------------ demux
     async def _read_loop(self) -> None:
         error: Exception = ConnectionClosedError("the connection is closed")
@@ -313,7 +344,7 @@ class WireClient:
                 header, body = frame
                 kind = header["type"]
                 if kind == protocol.MATCH:
-                    self._matches.put_nowait(WireMatch(
+                    self._deliver_match(WireMatch(
                         document_id=header["document_id"],
                         matched=tuple(header["matched"])))
                 elif kind in (protocol.ACK, protocol.ERROR):
@@ -329,7 +360,7 @@ class WireClient:
                 future = record[1]
                 if not future.done():
                     future.set_exception(error)
-            self._matches.put_nowait(_EOS)
+            self._deliver_match(_EOS)
 
     def _dispatch(self, header: dict, body: bytes) -> None:
         record = self._pending.get(header.get("seq"))

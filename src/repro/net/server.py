@@ -38,7 +38,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from ..service import PendingPublish, PubSubService
 from ..service.session import ClientSession, SessionClosedError
@@ -191,8 +191,13 @@ class _Connection:
 
     async def finished(self) -> None:
         if self.task is not None:
-            with contextlib.suppress(Exception, asyncio.CancelledError):
+            try:
                 await self.task
+            except asyncio.CancelledError:
+                if not self.task.cancelled():
+                    raise  # the cancellation targeted this awaiter, not the task
+            except Exception:
+                pass  # the connection's own failure was handled in run()
 
     # ------------------------------------------------------------------ main loop
     async def run(self) -> None:
@@ -457,8 +462,13 @@ class _Connection:
         for task in (self._pump_task, self._notify_task):
             if task is not None and not task.done():
                 task.cancel()
-                with contextlib.suppress(asyncio.CancelledError, Exception):
+                try:
                     await task
+                except asyncio.CancelledError:
+                    if not task.cancelled():
+                        raise  # teardown itself was cancelled mid-await
+                except Exception:
+                    pass  # pump failures already landed on their ack futures
         # anything the cancelled pump left queued still carries service futures
         # whose outcomes must be consumed (else asyncio reports never-retrieved
         # exceptions at GC time)

@@ -9,7 +9,7 @@ of (structural) subsumption-freeness.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Set
 
 from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode, WILDCARD
 

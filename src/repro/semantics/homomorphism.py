@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, Optional
 
 from ..xmlstream.document import XMLDocument
-from ..xmlstream.node import ELEMENT, ROOT, TEXT, XMLNode
+from ..xmlstream.node import TEXT, XMLNode
 
 #: A node mapping keyed by the id of the source node.
 NodeMap = Dict[int, XMLNode]

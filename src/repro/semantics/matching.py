@@ -13,7 +13,7 @@ from typing import Dict, Iterator, List, Optional
 
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.node import ELEMENT, XMLNode
-from ..xpath.query import CHILD, DESCENDANT, Query, QueryNode
+from ..xpath.query import DESCENDANT, Query, QueryNode
 from ..xpath.truthset import truth_set
 from .evaluator import name_passes_node_test, relates_by_axis
 

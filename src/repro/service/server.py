@@ -181,6 +181,7 @@ class PubSubService:
             "largest_batch": 0, "notifications": 0, "workers_respawned": 0,
         }
         self._dropped_closed = 0  # drop counts inherited from closed sessions
+        self._compensations: set = set()  # keep compensation tasks referenced
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self) -> None:
@@ -314,8 +315,10 @@ class PubSubService:
             # registration exists but the caller will never record it — undo it
             # in the background or it would filter documents forever, unowned
             if self._applied(future):
-                asyncio.get_running_loop().create_task(
+                task = asyncio.get_running_loop().create_task(
                     self._compensate_unregister(global_name))
+                self._compensations.add(task)
+                task.add_done_callback(self._compensations.discard)
             raise
         self._routes[global_name] = (session, local)
         return canonical

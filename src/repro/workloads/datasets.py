@@ -15,7 +15,7 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.node import XMLNode

@@ -21,7 +21,7 @@ def serialize_query(query: Query) -> str:
 
 
 def _step_text(node: QueryNode) -> str:
-    from .query import CHILD, DESCENDANT
+    from .query import DESCENDANT
 
     if node.axis == DESCENDANT:
         prefix = "//"

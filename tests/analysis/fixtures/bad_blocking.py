@@ -1,0 +1,29 @@
+"""ASY103 fixture: blocking calls inside coroutines (every variant caught)."""
+
+import subprocess
+import time
+import time as clock
+
+
+async def sleepy():
+    time.sleep(1)  # line 9
+    clock.sleep(1)  # line 10: aliased module import
+
+
+async def shells_out():
+    subprocess.run(["true"])  # line 14
+
+
+async def reads_a_file(path):
+    with open(path) as handle:  # line 18
+        return handle.read()
+
+
+def sync_helper_is_fine():
+    time.sleep(0)  # sync context: not the event loop's problem
+
+
+async def nested_sync_def_is_fine():
+    def helper():
+        time.sleep(0)  # runs only if called; a sync def is its own context
+    return helper

@@ -1,0 +1,43 @@
+"""ASY102 fixture: swallowed task cancellation (every variant must be caught)."""
+
+import asyncio
+import contextlib
+
+
+async def suppress_cancelled(task):
+    with contextlib.suppress(asyncio.CancelledError):  # line 8
+        await task
+
+
+async def suppress_base(task):
+    with contextlib.suppress(ValueError, BaseException):  # line 13
+        await task
+
+
+async def except_cancelled(task):
+    try:
+        await task
+    except asyncio.CancelledError:  # line 20: no re-raise
+        pass
+
+
+async def bare_except(task):
+    try:
+        await task
+    except:  # noqa: E722  line 27: catches everything, no re-raise
+        pass
+
+
+async def except_exception_is_fine(task):
+    try:
+        await task
+    except Exception:  # CancelledError is a BaseException: not caught here
+        pass
+
+
+async def reraising_handler_is_fine(task):
+    try:
+        await task
+    except asyncio.CancelledError:
+        if not task.cancelled():
+            raise

@@ -1,0 +1,29 @@
+"""ASY104 fixture: spawned tasks that nobody retains (every variant caught)."""
+
+import asyncio
+
+
+async def orphan_direct(work):
+    asyncio.create_task(work())  # line 7
+
+
+async def orphan_ensure(work):
+    asyncio.ensure_future(work())  # line 11
+
+
+async def orphan_via_loop(work):
+    loop = asyncio.get_event_loop()
+    loop.create_task(work())  # line 16: method call on a non-asyncio name
+
+
+async def orphan_via_running_loop(work):
+    asyncio.get_running_loop().create_task(work())  # line 20: chained call
+
+
+async def retained_is_fine(work):
+    task = asyncio.create_task(work())
+    await task
+
+
+async def gathered_is_fine(work):
+    await asyncio.gather(asyncio.create_task(work()))  # used as an argument

@@ -1,0 +1,13 @@
+"""ASY101 fixture: unbounded asyncio queues (every variant must be caught)."""
+
+import asyncio
+from asyncio import Queue as AliasedQueue
+
+plain = asyncio.Queue()  # line 6: no maxsize at all
+explicit_zero = asyncio.Queue(maxsize=0)  # line 7: constant-falsy bound
+positional_zero = asyncio.LifoQueue(0)  # line 8: positional constant-falsy
+from_import = AliasedQueue()  # line 9: resolved through the import table
+
+bounded = asyncio.Queue(maxsize=128)  # fine
+positional_bound = asyncio.PriorityQueue(16)  # fine
+dynamic_bound = asyncio.Queue(maxsize=max(1, 0))  # non-constant: benefit of doubt

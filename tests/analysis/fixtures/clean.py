@@ -1,0 +1,47 @@
+"""Clean fixture: async code obeying every rule, including explicit waivers."""
+
+import asyncio
+import contextlib
+import time
+
+
+async def bounded_delivery():
+    queue = asyncio.Queue(maxsize=64)
+    await queue.put("item")
+    return await queue.get()
+
+
+async def cancellation_aware(task):
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        if not task.cancelled():
+            raise
+    except Exception:
+        pass
+
+
+async def narrow_suppression(writer):
+    with contextlib.suppress(ConnectionError, TimeoutError):
+        await writer.drain()
+
+
+async def retained_background(work, registry):
+    task = asyncio.create_task(work())
+    registry.add(task)
+    task.add_done_callback(registry.discard)
+
+
+async def waived_unbounded_queue():
+    # a test-only queue whose producer is strictly bounded elsewhere
+    return asyncio.Queue()  # lint-async: allow[ASY101]
+
+
+async def waived_on_previous_line(work):
+    # lint-async: allow[ASY104]
+    asyncio.create_task(work())
+
+
+def sync_sleep_is_allowed():
+    time.sleep(0)

@@ -1,0 +1,104 @@
+"""The async-discipline linter: fixtures must trip it, the real tree must not.
+
+The linter (``repro.analysis.astlint``) is a CI gate, so its two failure modes
+are both tested here: *missing* a violation (each fixture file in
+``fixtures/`` exists to demonstrably fail with the expected rule codes at the
+expected lines) and *inventing* one (the clean fixture and — the actual
+shipped invariant — the entire ``src/repro`` tree must pass with zero
+findings).
+"""
+
+from __future__ import annotations
+
+import os
+import textwrap
+
+from repro.analysis.astlint import LintFinding, lint_paths, lint_source
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+SRC_REPRO = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)))), "src", "repro")
+
+
+def _codes_by_line(findings):
+    return sorted((finding.line, finding.code) for finding in findings)
+
+
+def _lint_fixture(name: str):
+    return lint_paths([os.path.join(FIXTURES, name)])
+
+
+class TestFixturesFail:
+    def test_unbounded_queues_every_variant(self):
+        assert _codes_by_line(_lint_fixture("bad_queue.py")) == [
+            (6, "ASY101"), (7, "ASY101"), (8, "ASY101"), (9, "ASY101")]
+
+    def test_swallowed_cancellation_every_variant(self):
+        assert _codes_by_line(_lint_fixture("bad_cancel.py")) == [
+            (8, "ASY102"), (13, "ASY102"), (20, "ASY102"), (27, "ASY102")]
+
+    def test_blocking_calls_every_variant(self):
+        assert _codes_by_line(_lint_fixture("bad_blocking.py")) == [
+            (9, "ASY103"), (10, "ASY103"), (14, "ASY103"), (18, "ASY103")]
+
+    def test_orphaned_tasks_every_variant(self):
+        assert _codes_by_line(_lint_fixture("bad_orphan.py")) == [
+            (7, "ASY104"), (11, "ASY104"), (16, "ASY104"), (20, "ASY104")]
+
+
+class TestCleanCode:
+    def test_clean_fixture_passes(self):
+        assert _lint_fixture("clean.py") == []
+
+    def test_shipped_tree_is_lint_clean(self):
+        """The invariant CI enforces: src/repro has no async-discipline
+        violations (bounded queues, propagated cancellation, no blocking
+        calls in coroutines, every spawned task retained)."""
+        findings = lint_paths([SRC_REPRO])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+
+class TestMechanics:
+    def test_waiver_comment_suppresses_only_the_named_code(self):
+        source = textwrap.dedent("""\
+            import asyncio
+            q = asyncio.Queue()  # lint-async: allow[ASY101]
+            r = asyncio.Queue()  # lint-async: allow[ASY104]
+        """)
+        findings = lint_source(source)
+        assert _codes_by_line(findings) == [(3, "ASY101")]
+
+    def test_waiver_on_the_previous_line(self):
+        source = textwrap.dedent("""\
+            import asyncio
+            # lint-async: allow[ASY101, ASY104]
+            q = asyncio.Queue()
+        """)
+        assert lint_source(source) == []
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path="oops.py")
+        assert len(findings) == 1
+        assert findings[0].code == "ASY000"
+        assert findings[0].path == "oops.py"
+
+    def test_import_aliases_are_resolved(self):
+        source = textwrap.dedent("""\
+            import time as clock
+            from asyncio import Queue
+
+            async def spin():
+                clock.sleep(1)
+                Queue()
+        """)
+        assert sorted(f.code for f in lint_source(source)) == [
+            "ASY101", "ASY103"]
+
+    def test_finding_format_is_clickable(self):
+        finding = LintFinding("src/x.py", 12, 4, "ASY101", "message")
+        assert finding.format() == "src/x.py:12:4: ASY101 message"
+
+    def test_findings_are_sorted_and_stable(self):
+        findings = _lint_fixture("bad_queue.py")
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.code))

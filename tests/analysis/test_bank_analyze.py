@@ -1,0 +1,135 @@
+"""Whole-bank analysis: the report aggregates correctly and the CLI gates.
+
+``CompiledFilterBank.analyze()`` must mirror the bank's own interning (one
+cost-facts entry per distinct canonical plan, fanned out to names), report the
+trie-sharing factor against the real trie, and serialize to the JSON shape
+``scripts/analyze_bank.py`` emits; the CLI itself is exercised end-to-end,
+including its ``--self-check`` mode on a workload with injected redundancy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.bank import analyze_queries
+from repro.core import CompiledFilterBank
+from repro.xpath import parse_query
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+def _bank(*texts):
+    bank = CompiledFilterBank()
+    for index, text in enumerate(texts):
+        bank.register(f"q{index}", parse_query(text))
+    return bank
+
+
+class TestBankAnalysis:
+    def test_plans_are_interned_by_canonical_form(self):
+        bank = _bank("/a/b[c = 1]", "/a/b[c=1]", "/a//b")
+        analysis = bank.analyze()
+        assert analysis.subscription_count == 3
+        assert analysis.distinct_plan_count == 2
+        assert analysis.subscriptions["q0"] == analysis.subscriptions["q1"]
+        assert analysis.facts_for("q0") is analysis.facts_for("q1")
+
+    def test_trie_sharing_factor_matches_the_real_trie(self):
+        bank = _bank("/a/b/c", "/a/b/d", "/a/b/e")
+        analysis = bank.analyze()
+        assert analysis.trie_size == bank.trie_size()
+        # 9 unshared steps over a 5-node trie (a, b shared; c, d, e split)
+        assert analysis.unshared_step_count == 9
+        assert analysis.trie_sharing_factor == pytest.approx(9 / 5)
+
+    def test_summary_counts_and_totals(self):
+        bank = _bank("/a/b", "//a[b and .//c]")
+        summary = bank.analyze().summary()
+        assert summary["subscription_count"] == 2
+        assert summary["closure_free_subscriptions"] == 1
+        assert summary["depth_sensitive_subscriptions"] == 1
+        assert summary["predicted_total_bytes"] == (
+            bank.analyze().predicted_total_bytes())
+        assert summary["max_frontier_size"] >= 2  # the conjunctive query
+
+    def test_report_is_json_serializable(self):
+        analysis = _bank("/a/b[c > 5]", "/a//b").analyze()
+        report = json.loads(json.dumps(analysis.to_dict()))
+        assert report["assumptions"] == {"max_depth": 32,
+                                         "max_text_chars": 256}
+        assert set(report["plans"]) == set(analysis.plans)
+        for facts in report["plans"].values():
+            assert facts["frontier_size"] >= 1
+            assert facts["predicted_memory_bits"] > 0
+
+    def test_subsumption_can_be_disabled_and_limited(self):
+        bank = _bank("/a//b", "/a/b")
+        assert bank.analyze(subsumption=False).subsumptions == []
+        limited = bank.analyze(pair_limit=0)
+        assert limited.subsumption_truncated
+        assert limited.subsumptions == []
+        full = bank.analyze()
+        assert not full.subsumption_truncated
+        assert [f.kind for f in full.subsumptions] == ["subsumed"]
+
+    def test_duplicate_names_rejected_without_a_bank(self):
+        with pytest.raises(ValueError, match="duplicate subscription name"):
+            analyze_queries([("q", parse_query("/a")),
+                             ("q", parse_query("/b"))])
+
+    def test_empty_bank_analyzes_cleanly(self):
+        analysis = CompiledFilterBank().analyze()
+        assert analysis.subscription_count == 0
+        assert analysis.summary()["max_frontier_size"] == 0
+        json.dumps(analysis.to_dict())
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, os.path.join(ROOT, "scripts", "analyze_bank.py"),
+         *args],
+        capture_output=True, text=True, cwd=ROOT)
+
+
+class TestAnalyzeBankCli:
+    def test_generated_workload_report(self):
+        proc = _run_cli("--count", "40", "--inject-duplicates")
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(proc.stdout)
+        assert report["summary"]["subscription_count"] == 42
+        assert "injected_duplicate" in report["subscriptions"]
+        kinds = report["summary"]["subsumption_findings"]
+        assert kinds.get("duplicate", 0) >= 1
+
+    def test_self_check_passes_on_small_injected_workload(self):
+        # the CI job runs the full 1000-subscription default; the suite keeps
+        # it small — the assertions are size-independent except the floor,
+        # so only verify the wiring end-to-end here
+        proc = _run_cli("--count", "30", "--inject-duplicates",
+                        "--summary-only")
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["subsumption_findings"].get("duplicate", 0) >= 1
+        assert summary["trie_sharing_factor"] > 1.0
+
+    def test_queries_file_mode(self, tmp_path):
+        queries = tmp_path / "subs.txt"
+        queries.write_text("# comment\n/a/b\n\n/a//b\n")
+        proc = _run_cli("--queries", str(queries), "--summary-only")
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["subscription_count"] == 2
+        assert summary["subsumption_findings"] == {"subsumed": 1}
+
+    def test_output_file(self, tmp_path):
+        target = tmp_path / "report.json"
+        proc = _run_cli("--count", "5", "--output", str(target))
+        assert proc.returncode == 0, proc.stderr
+        report = json.loads(target.read_text())
+        assert report["summary"]["subscription_count"] == 5

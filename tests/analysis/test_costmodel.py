@@ -1,0 +1,135 @@
+"""The static cost model: facts are right, and the memory bound is *sound*.
+
+Soundness is the load-bearing claim: for any supported query and any document,
+the engine's measured high-water marks (``peak_frontier_records``,
+``peak_memory_bits`` from the Theorem 8.8 ``observe_bits`` accounting) must
+sit under the static prediction instantiated at the document's actual depth.
+That is checked three ways: directed facts on paper queries, the fooling-set
+families from ``repro.lowerbounds`` (the worst documents the paper knows how
+to build for a query's frontier), and hypothesis-random query/document pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.costmodel import (
+    analyze_query,
+    predicted_frontier_records,
+    predicted_memory_bits,
+)
+from repro.core import CompiledFilterBank, query_frontier_size
+from repro.lowerbounds import build_frontier_family
+from repro.xpath import parse_query
+
+from ..strategies import documents, supported_queries
+
+#: text-size assumption safely above anything the shared strategies generate
+B = 256
+
+
+def _measure(query, document):
+    """Per-query high-water stats from the instrumented compiled engine."""
+    bank = CompiledFilterBank(stats=True)
+    bank.register("q", query)
+    result = bank.filter_document(document)
+    return result.per_query_stats["q"]
+
+
+class TestDirectedFacts:
+    def test_closure_free_record_bound_is_frontier_plus_root(self):
+        query = parse_query("/a[c[e and f] and b > 5]")
+        facts = analyze_query(query)
+        assert facts.closure_free
+        assert facts.frontier_size == query_frontier_size(query)
+        assert facts.predicted_frontier_records == facts.frontier_size + 1
+
+    def test_closure_chain_multiplies_by_depth(self):
+        # //a//b: both steps are depth-exposed, so records scale with D per
+        # level of the chain — 1 (root) + D (a) + D^2 (b)
+        query = parse_query("//a//b")
+        assert predicted_frontier_records(query, max_depth=5) == 1 + 5 + 25
+        assert predicted_frontier_records(query, max_depth=1) == 3
+
+    def test_depth_sensitivity_flags(self):
+        assert analyze_query(parse_query("/a/b")).depth_sensitive is False
+        assert analyze_query(parse_query("//a[b and c]")).depth_sensitive
+        assert analyze_query(parse_query("/a[.//b]")).depth_sensitive
+
+    def test_fast_path_and_value_facts(self):
+        facts = analyze_query(parse_query("/a/b[value > 7]"))
+        assert facts.fast_path_eligible
+        assert facts.value_tests == 1
+        assert facts.wildcard_steps == 0
+        wild = analyze_query(parse_query("/a/*[b]"))
+        assert wild.wildcard_steps == 1
+
+    def test_memory_bits_monotone_in_assumptions(self):
+        query = parse_query("//a[b and .//c]")
+        base = predicted_memory_bits(query, max_depth=8, max_text_chars=32)
+        assert predicted_memory_bits(query, max_depth=16,
+                                     max_text_chars=32) > base
+        assert predicted_memory_bits(query, max_depth=8,
+                                     max_text_chars=512) > base
+        facts = analyze_query(query, max_depth=8, max_text_chars=32)
+        assert facts.predicted_bytes_per_subscription == (
+            facts.predicted_memory_bits + 7) // 8
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_frontier_records(parse_query("/a"), max_depth=0)
+
+
+class TestFoolingFamilies:
+    """The bound must survive the paper's own worst-case documents."""
+
+    FAMILY_QUERIES = [
+        "/a[c[.//e and f] and b > 5]",   # Theorem 4.2's query
+        "/r[c0 and c1 and c2]",          # flat conjunction, FS = 3
+        "//a[b and c]",                  # recursive query, FS = 2
+        "/a[b > 12 and .//b < 3]",       # value-separated same-name leaves
+    ]
+
+    @pytest.mark.parametrize("text", FAMILY_QUERIES)
+    def test_measured_high_water_under_static_bound(self, text):
+        query = parse_query(text)
+        family = build_frontier_family(query, max_subsets=8)
+        for pair in family.pairs:
+            document = family.document_for(pair)
+            if document is None:
+                continue
+            stats = _measure(query, document)
+            depth = document.depth()
+            records = predicted_frontier_records(query, max_depth=depth)
+            bits = predicted_memory_bits(query, max_depth=depth,
+                                         max_text_chars=B)
+            assert stats.peak_buffer_chars <= B
+            assert stats.peak_frontier_records <= records, pair.label
+            assert stats.peak_memory_bits <= bits, pair.label
+
+    def test_closure_free_bound_is_reached(self):
+        """FS + 1 is tight, not just safe: the full-subset fooling document
+        drives the engine to exactly the predicted record count."""
+        query = parse_query("/r[c0 and c1 and c2]")
+        family = build_frontier_family(query)
+        peaks = []
+        for pair in family.pairs:
+            document = family.document_for(pair)
+            if document is not None:
+                peaks.append(_measure(query, document).peak_frontier_records)
+        assert max(peaks) == predicted_frontier_records(query, max_depth=4)
+
+
+class TestRandomizedSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(query=supported_queries(), document=documents())
+    def test_measured_never_exceeds_prediction(self, query, document):
+        stats = _measure(query, document)
+        depth = document.depth()
+        records = predicted_frontier_records(query, max_depth=max(depth, 1))
+        bits = predicted_memory_bits(query, max_depth=max(depth, 1),
+                                     max_text_chars=B)
+        assert stats.peak_buffer_chars <= B
+        assert stats.peak_frontier_records <= records, query.to_xpath()
+        assert stats.peak_memory_bits <= bits, query.to_xpath()

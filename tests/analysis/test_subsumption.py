@@ -1,0 +1,209 @@
+"""Subsumption verdicts are *sound*: True must mean match-set containment.
+
+``query_contains(A, B)`` claims every document matched by B is matched by A.
+A wrong True verdict would let an optimizer drop a live subscription, so the
+hypothesis suite generates structurally related query pairs (a query and a
+mutated generalization — axes widened, labels wildcarded, predicates dropped
+or loosened), and for every True verdict cross-checks the claim against the
+reference evaluator on random documents.  False verdicts carry no claim
+(the prover is deliberately incomplete), so only directed cases pin them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.analysis.subsumption import find_subsumptions, query_contains
+from repro.semantics import bool_eval
+from repro.xpath import parse_query
+
+from ..strategies import LABELS, documents
+
+CONTAINED = [
+    # (container, contained): the homomorphism prover must say True
+    ("/a/b", "/a/b"),
+    ("/a//b", "/a/b"),              # child specializes descendant
+    ("//a//b", "/a/c/b"),           # deeper chain under both closures
+    ("/a/*", "/a/b"),               # wildcard generalizes a label
+    ("/a", "/a[b]"),                # dropping a predicate generalizes
+    ("/a[b]", "/a[b and c]"),       # dropping one conjunct generalizes
+    ("/a[.//b]", "/a/c[b]"),        # predicate chain found deeper down
+    ("/a[b > 5]", "/a[b > 7]"),     # numeric loosening: > over >
+    ("/a[b > 5]", "/a[b >= 6]"),    # > over >=
+    ("/a[b > 5]", "/a[b = 9]"),     # equality implies strict bound
+    ("/a[b != 3]", "/a[b = 5]"),    # equality implies disequality
+    ("/a[b < 10]", "/a[b <= 9]"),   # < over <=
+]
+
+NOT_CONTAINED = [
+    # (container, contained): False — either provably wrong or unprovable
+    ("/a/b", "/a/c"),               # different labels
+    ("/a/b", "/a//b"),              # descendant is strictly more general
+    ("/a/b", "/a/*"),               # concrete cannot contain a wildcard
+    ("/a[b]", "/a"),                # extra predicate narrows, not widens
+    ("/a[b > 7]", "/a[b > 5]"),     # numeric tightening
+    ("/a[b = 9]", "/a[b > 5]"),     # equality does not cover a range
+    ("/a[b or c]", "/a[b]"),        # disjunctive container: prover bails
+    ("/a[not(b)]", "/a"),           # negated container: prover bails
+    ("/a/b/c", "/a/b"),             # longer path cannot embed
+]
+
+
+class TestDirectedVerdicts:
+    @pytest.mark.parametrize("container, contained", CONTAINED)
+    def test_containment_proved(self, container, contained):
+        assert query_contains(parse_query(container), parse_query(contained))
+
+    @pytest.mark.parametrize("container, contained", NOT_CONTAINED)
+    def test_containment_not_claimed(self, container, contained):
+        assert not query_contains(parse_query(container),
+                                  parse_query(contained))
+
+    @pytest.mark.parametrize("container, contained", CONTAINED)
+    def test_directed_verdicts_are_semantically_sound(self, container,
+                                                      contained):
+        """Spot-check each directed True pair against the evaluator on the
+        contained query's own shape (a document it certainly matches)."""
+        a, b = parse_query(container), parse_query(contained)
+        rng = random.Random(1234)
+        checked = 0
+        for _ in range(200):
+            document = _random_document(rng)
+            if bool_eval(b, document):
+                checked += 1
+                assert bool_eval(a, document), (container, contained,
+                                                document.serialize())
+        assert checked, f"no random document matched {contained}"
+
+
+def _random_document(rng):
+    """A small random document biased toward the directed fixtures' labels."""
+    from repro.xmlstream import XMLDocument, XMLNode
+
+    def build(depth):
+        node = XMLNode.element(rng.choice(LABELS))
+        if rng.random() < 0.5:
+            node.append_child(XMLNode.text(str(rng.choice((3, 5, 6, 7, 9)))))
+        if depth < 4:
+            for _ in range(rng.randint(0, 3)):
+                node.append_child(build(depth + 1))
+        return node
+
+    root = XMLNode.element("a")
+    for _ in range(rng.randint(0, 3)):
+        root.append_child(build(1))
+    if rng.random() < 0.5:
+        root.append_child(XMLNode.text(str(rng.choice((3, 5, 7)))))
+    return XMLDocument.from_top_element(root)
+
+
+@st.composite
+def generalization_pairs(draw):
+    """A random query plus a structural generalization of it.
+
+    The mutations mirror exactly the rewrites the prover claims to handle:
+    widening a child axis to descendant, wildcarding a label, dropping the
+    value predicate, or loosening its numeric threshold.
+    """
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    depth = rng.randint(1, 3)
+    contained_steps, container_steps = [], []
+    for index in range(depth):
+        label = rng.choice(LABELS)
+        axis = "//" if rng.random() < 0.3 else "/"
+        contained_steps.append(f"{axis}{label}")
+        general_axis = "//" if axis == "//" or rng.random() < 0.4 else "/"
+        general_label = "*" if rng.random() < 0.25 else label
+        container_steps.append(f"{general_axis}{general_label}")
+    contained_text = "".join(contained_steps)
+    container_text = "".join(container_steps)
+    if rng.random() < 0.6:
+        leaf = rng.choice(LABELS)
+        threshold = rng.choice((2, 5, 7))
+        contained_text += f"[{leaf} > {threshold}]"
+        keep = rng.random()
+        if keep < 0.4:
+            pass  # container drops the predicate entirely
+        elif keep < 0.7:
+            container_text += f"[{leaf} > {threshold}]"
+        else:
+            container_text += f"[{leaf} > {threshold - 1}]"  # loosened
+    return parse_query(container_text), parse_query(contained_text)
+
+
+class TestRandomizedSoundness:
+    @settings(max_examples=80, deadline=None)
+    @given(pair=generalization_pairs(),
+           docs=st.lists(documents(), min_size=1, max_size=4))
+    def test_true_verdicts_imply_matchset_containment(self, pair, docs):
+        container, contained = pair
+        if not query_contains(container, contained):
+            return  # False carries no claim
+        for document in docs:
+            if bool_eval(contained, document):
+                assert bool_eval(container, document), (
+                    container.to_xpath(), contained.to_xpath(),
+                    document.serialize())
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=generalization_pairs())
+    def test_constructed_generalizations_are_proved(self, pair):
+        """Completeness on the mutation set: every pair built from rewrites
+        the prover documents as supported must come back True."""
+        container, contained = pair
+        assert query_contains(container, contained), (
+            container.to_xpath(), contained.to_xpath())
+
+
+class TestFindSubsumptions:
+    def test_kinds_and_registration_order(self):
+        named = [
+            ("first", parse_query("/a/b[c = 1]")),
+            ("dup", parse_query("/a/b[c = 1]")),
+            ("wider", parse_query("/a//b")),
+            ("other", parse_query("/d/e")),
+        ]
+        findings = find_subsumptions(named)
+        by_kind = {}
+        for finding in findings:
+            by_kind.setdefault(finding.kind, []).append(finding)
+        assert [(f.container, f.contained) for f in by_kind["duplicate"]] == [
+            ("first", "dup")]
+        assert ("wider", "first") in [
+            (f.container, f.contained) for f in by_kind["subsumed"]]
+        assert all(finding.contained != "other" and finding.container != "other"
+                   for finding in findings)
+
+    def test_equivalent_kind_for_mutual_containment(self):
+        named = [
+            ("one", parse_query("/a[b > 5]")),
+            ("two", parse_query("/a[b>5]")),
+        ]
+        findings = find_subsumptions(named)
+        # same canonical form -> interned as a duplicate, not 'equivalent'
+        assert [f.kind for f in findings] == ["duplicate"]
+
+    def test_pair_limit_truncates(self):
+        named = [(f"q{i}", parse_query(f"/a/b{i}")) for i in range(6)]
+        unlimited = find_subsumptions(named)
+        limited = find_subsumptions(named, pair_limit=3)
+        assert unlimited == []  # pairwise-disjoint labels: nothing subsumed
+        assert limited == []
+
+        nested = [("outer", parse_query("/a//b")),
+                  ("inner", parse_query("/a/b")),
+                  ("unrelated", parse_query("/x/y"))]
+        assert find_subsumptions(nested, pair_limit=0) == []
+        assert len(find_subsumptions(nested)) == 1
+
+    def test_finding_roundtrips_to_dict(self):
+        named = [("w", parse_query("/a//b")), ("n", parse_query("/a/b"))]
+        (finding,) = find_subsumptions(named)
+        data = finding.to_dict()
+        assert data["kind"] == "subsumed"
+        assert data["container"] == "w" and data["contained"] == "n"
+        assert data["container_query"] == "/a//b"

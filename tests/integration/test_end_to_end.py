@@ -3,7 +3,6 @@
 import pytest
 
 from repro import (
-    StreamingFilter,
     bool_eval,
     build_canonical_document,
     classify,

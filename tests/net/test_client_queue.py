@@ -1,0 +1,96 @@
+"""The client's pushed-match queue is bounded and lossy-oldest (regression).
+
+The wire client's socket reader used to enqueue match pushes into an
+*unbounded* queue: a consumer that stopped calling ``next_match`` grew client
+memory without limit.  The queue is now bounded (``max_pending_matches``) with
+the same lossy-oldest overflow policy as the service's session delivery
+queues; these tests pin the eviction order, the drop counter, and the one
+invariant that policy must never break — the end-of-stream sentinel is not
+counted as a dropped match and consumers still wake on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.client import _EOS, WireClient, WireMatch
+
+
+def _client(max_pending_matches):
+    # the reader/writer are never touched by the delivery path under test
+    return WireClient(reader=None, writer=None, max_frame=1 << 16,
+                      max_pending_matches=max_pending_matches)
+
+
+def _match(document_id):
+    return WireMatch(document_id=document_id, matched=("s",))
+
+
+class TestLossyOldestDelivery:
+    def test_overflow_drops_the_oldest_and_counts(self):
+        client = _client(3)
+        for document_id in range(5):
+            client._deliver_match(_match(document_id))
+        kept = [client._matches.get_nowait().document_id for _ in range(3)]
+        assert kept == [2, 3, 4]  # newest three survive, oldest two dropped
+        assert client.dropped_matches == 2
+
+    def test_no_drops_when_the_consumer_keeps_up(self):
+        client = _client(2)
+        for document_id in range(10):
+            client._deliver_match(_match(document_id))
+            assert client._matches.get_nowait().document_id == document_id
+        assert client.dropped_matches == 0
+
+    def test_queue_floor_is_one_slot(self):
+        client = _client(0)  # silly value: clamped, never unbounded-or-zero
+        client._deliver_match(_match(1))
+        client._deliver_match(_match(2))
+        assert client._matches.get_nowait().document_id == 2
+        assert client.dropped_matches == 1
+
+    def test_evicted_sentinel_is_not_counted_as_a_drop(self):
+        client = _client(1)
+        client._deliver_match(_EOS)
+        client._deliver_match(_match(7))  # evicts the sentinel
+        assert client._matches.get_nowait().document_id == 7
+        assert client.dropped_matches == 0
+
+    def test_sentinel_lands_even_on_a_full_queue(self):
+        client = _client(2)
+        for document_id in range(4):
+            client._deliver_match(_match(document_id))
+        client._deliver_match(_EOS)
+        first = client._matches.get_nowait()
+        second = client._matches.get_nowait()
+        assert first.document_id == 3  # one real match had to make room
+        assert second is _EOS
+        assert client.dropped_matches == 3
+
+
+class TestConsumerVisibleBehavior:
+    def test_next_match_sees_newest_after_overflow(self):
+        async def scenario():
+            client = _client(2)
+            for document_id in range(5):
+                client._deliver_match(_match(document_id))
+            return [await client.next_match() for _ in range(2)]
+
+        matches = asyncio.run(scenario())
+        assert [m.document_id for m in matches] == [3, 4]
+
+    def test_next_match_still_ends_on_sentinel_after_drops(self):
+        async def scenario():
+            client = _client(1)
+            client._deliver_match(_match(1))
+            client._deliver_match(_match(2))
+            client._closed = True
+            client._deliver_match(_EOS)  # what _read_loop does on shutdown
+            with pytest.raises(Exception):
+                await client.next_match()
+            return client.dropped_matches
+
+        # matches 1 and 2 were both displaced (2 by the sentinel): 2 drops
+        assert asyncio.run(scenario()) == 2

@@ -84,10 +84,22 @@ def _wire_run(*, smoke=False, speedup=2.4, timestamp="2026-01-01T00:03:00Z"):
     }
 
 
+def _memory_run(*, smoke=False, ratio=3.5, timestamp="2026-01-01T00:04:00Z"):
+    return {
+        "benchmark": "memory_model",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"subscriptions": 100, "bound_over_measured": 0.8},  # smaller size
+            {"subscriptions": 1000, "bound_over_measured": ratio},
+        ],
+    }
+
+
 def _healthy():
     return {"schema": 2,
             "runs": [_throughput_run(), _churn_run(), _service_run(),
-                     _wire_run()]}
+                     _wire_run(), _memory_run()]}
 
 
 def _write(tmp_path, data) -> str:
@@ -100,7 +112,7 @@ class TestGateVerdicts:
     def test_healthy_trajectory_passes(self, tmp_path, capsys):
         assert gate.main([_write(tmp_path, _healthy())]) == 0
         out = capsys.readouterr().out
-        assert "5/5 floors checked, none violated" in out
+        assert "6/6 floors checked, none violated" in out
 
     @pytest.mark.parametrize("doctor, floor", [
         (lambda runs: runs.__setitem__(0, _throughput_run(compiled_speedup=2.9)),
@@ -113,6 +125,8 @@ class TestGateVerdicts:
          "batched_vs_serial"),
         (lambda runs: runs.__setitem__(3, _wire_run(speedup=1.8)),
          "pipelined_vs_request_response"),
+        (lambda runs: runs.__setitem__(4, _memory_run(ratio=0.97)),
+         "bound_over_measured"),
     ])
     def test_each_floor_violation_fails(self, tmp_path, capsys, doctor, floor):
         data = _healthy()
@@ -146,7 +160,8 @@ class TestGateVerdicts:
 
         smoke_only = {"schema": 2, "runs": [
             _throughput_run(smoke=True), _churn_run(smoke=True),
-            _service_run(smoke=True), _wire_run(smoke=True)]}
+            _service_run(smoke=True), _wire_run(smoke=True),
+            _memory_run(smoke=True)]}
         assert gate.main([_write(tmp_path, smoke_only), "--allow-smoke"]) == 1
 
     def test_missing_benchmark_fails_by_default_and_warns_when_allowed(
@@ -187,7 +202,7 @@ class TestSmokeHygiene:
         assert gate.main([path, "--prune-smoke"]) == 0
         assert "pruned 2 smoke run(s)" in capsys.readouterr().out
         rewritten = json.loads(open(path).read())
-        assert len(rewritten["runs"]) == 4
+        assert len(rewritten["runs"]) == 5
         assert not any(run.get("smoke") for run in rewritten["runs"])
         assert rewritten["schema"] == 2
         assert gate.main([path]) == 0  # hygiene restored, floors intact
@@ -234,11 +249,13 @@ class TestStructuralValidation:
 
 class TestMarkdownSummary:
     def test_summary_lists_recent_runs_with_ratios(self, tmp_path):
-        summary = gate.format_markdown_summary(_healthy(), last=2)
+        summary = gate.format_markdown_summary(_healthy(), last=3)
         assert "| service_throughput |" in summary
         assert "| wire_throughput |" in summary
+        assert "| memory_model |" in summary
         assert "pipelined_vs_request_response 2.4x" in summary
-        assert "filterbank_throughput" not in summary  # trimmed by last=2
+        assert "bound_over_measured 3.5x" in summary
+        assert "filterbank_throughput" not in summary  # trimmed by last=3
 
     def test_summary_only_never_gates(self, tmp_path):
         """The CI reporting step must not steal a regression failure from the

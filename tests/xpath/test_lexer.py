@@ -11,7 +11,6 @@ from repro.xpath.lexer import (
     SLASH,
     STAR,
     STRING,
-    Token,
     TokenStream,
     XPathSyntaxError,
     tokenize,

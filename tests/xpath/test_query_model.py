@@ -4,7 +4,7 @@ import pytest
 
 from repro.xpath import Query, QueryNode, parse_query
 from repro.xpath.ast import NodeRef
-from repro.xpath.query import CHILD, DESCENDANT, collect_leaves, iter_succession_chain
+from repro.xpath.query import CHILD, collect_leaves, iter_succession_chain
 
 
 class TestQueryNodeInvariants:
