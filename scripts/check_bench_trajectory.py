@@ -20,7 +20,10 @@ established:
   localhost TCP (at the largest document count);
 * ``memory_model``          — the static analyzer's predicted Theorem 8.8 memory
   bound >= the measured per-subscription high-water bits (ratio >= 1.0, i.e. the
-  bound stays sound on the shared-prefix workload).
+  bound stays sound on the shared-prefix workload);
+* ``wal_throughput``        — the durability tax: publish throughput with the
+  write-ahead log on (``fsync="interval"``) >= 0.5x the in-memory throughput
+  (at the largest document count).
 
 Smoke runs (``"smoke": true``) are informational: their sizes are deliberately too
 small for the ratios to be meaningful, so they are reported but never gated on —
@@ -67,11 +70,13 @@ FLOORS = {
     ("service_throughput", "batched_vs_serial"): 2.0,
     ("wire_throughput", "pipelined_vs_request_response"): 2.0,
     ("memory_model", "bound_over_measured"): 1.0,
+    ("wal_throughput", "wal_overhead"): 0.5,
 }
 
 #: benchmarks the gate expects to find a full-size run for
 GATED_BENCHMARKS = ("filterbank_throughput", "filterbank_churn",
-                    "service_throughput", "wire_throughput", "memory_model")
+                    "service_throughput", "wire_throughput", "memory_model",
+                    "wal_throughput")
 
 
 class TrajectoryError(ValueError):
@@ -166,12 +171,27 @@ def _memory_model_ratios(run: dict) -> dict:
     return {"bound_over_measured": top["bound_over_measured"]}
 
 
+def _wal_ratios(run: dict) -> dict:
+    """The durability-tax ratio of one wal_throughput run: WAL-on
+    (``fsync="interval"``) throughput divided by in-memory throughput, at the
+    largest document count — below 0.5 the write-ahead log is eating more
+    than half the service's ingest capacity."""
+    wal = [entry for entry in run.get("results", [])
+           if entry.get("mode") == "wal_interval"
+           and "throughput_vs_memory" in entry]
+    if not wal:
+        return {}
+    top = max(wal, key=lambda entry: entry["documents"])
+    return {"wal_overhead": top["throughput_vs_memory"]}
+
+
 _RATIO_EXTRACTORS = {
     "filterbank_throughput": _throughput_ratios,
     "filterbank_churn": _churn_ratios,
     "service_throughput": _service_ratios,
     "wire_throughput": _wire_ratios,
     "memory_model": _memory_model_ratios,
+    "wal_throughput": _wal_ratios,
 }
 
 

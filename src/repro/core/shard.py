@@ -50,8 +50,10 @@ from ..xmlstream.document import XMLDocument
 from ..xmlstream.events import Event
 from ..xmlstream.parse import TOK_TEXT, Chunk, StreamingParser, Token, document_tokens
 from ..xpath.query import Query
+from dataclasses import replace
+
 from .compile import CompiledFilterBank, DocumentLike, event_tokens
-from .filter import StreamingFilter
+from .filter import FilterStatistics, StreamingFilter
 from .filterbank import BankResult
 
 #: tokens per broadcast chunk — large enough to amortize one pickle per chunk per
@@ -159,6 +161,14 @@ class ShardedFilterBank:
         self._queries: Dict[str, str] = {}  # name -> canonical query text
         self._next_shard = 0
         self._workers: Optional[List[tuple]] = None  # (process, inbox, outbox)
+        # per-query cumulative statistics, accumulated parent-side after each
+        # merge: worker-side state dies with a killed process, but these totals
+        # live in the parent, so respawn-replay cannot reset them — stats-mode
+        # totals stay monotonic across worker death (the service layer's
+        # respawn probe relies on exactly that continuity)
+        self._cumulative: Dict[str, FilterStatistics] = {}
+        self._cumulative_documents = 0
+        self._cumulative_lock = threading.Lock()
         # guards worker-set transitions (spawn/respawn/close): the service layer
         # may drive a lazy spawn from an executor thread while start() runs in
         # another, and a check-then-act race would leak a whole process set
@@ -449,11 +459,57 @@ class ShardedFilterBank:
             if error[1] == "ValueError":
                 raise ValueError(error[2])
             raise RuntimeError(f"shard failed: {error[1]}: {error[2]}")
-        return BankResult.merge(
+        result = BankResult.merge(
             (BankResult(matched=reply[1], per_query_stats=reply[2])
              for reply in replies),
             self._subs,
         )
+        if self._stats:
+            self._accumulate(result.per_query_stats)
+        return result
+
+    # ------------------------------------------------------------------ statistics
+    def _accumulate(self, per_query_stats: Dict[str, FilterStatistics]) -> None:
+        with self._cumulative_lock:
+            self._cumulative_documents += 1
+            for name, stats in per_query_stats.items():
+                total = self._cumulative.get(name)
+                if total is None:
+                    self._cumulative[name] = replace(stats)
+                    continue
+                total.events += stats.events
+                total.candidate_matches += stats.candidate_matches
+                total.real_match_evaluations += stats.real_match_evaluations
+                total.peak_frontier_records = max(
+                    total.peak_frontier_records, stats.peak_frontier_records)
+                total.peak_buffer_chars = max(
+                    total.peak_buffer_chars, stats.peak_buffer_chars)
+                total.peak_memory_bits = max(
+                    total.peak_memory_bits, stats.peak_memory_bits)
+                total.max_level = max(total.max_level, stats.max_level)
+
+    def cumulative_stats(self) -> Dict[str, FilterStatistics]:
+        """Per-query statistics totals over every document this bank filtered.
+
+        Counter fields (``events``, ``candidate_matches``,
+        ``real_match_evaluations``) are summed across documents; peak fields
+        (``peak_frontier_records``, ``peak_buffer_chars``,
+        ``peak_memory_bits``, ``max_level``) take the lifetime maximum.  Only
+        populated in stats mode.  The totals are kept in the *parent* process
+        and survive worker death and :meth:`ensure_healthy` respawns — they
+        are strictly monotonic for as long as the bank object lives, including
+        across subscription churn (an unregistered query's totals are
+        retained).  Returned values are copies; mutating them is safe.
+        """
+        with self._cumulative_lock:
+            return {name: replace(stats)
+                    for name, stats in self._cumulative.items()}
+
+    @property
+    def documents_filtered(self) -> int:
+        """How many stats-mode documents contributed to the cumulative totals."""
+        with self._cumulative_lock:
+            return self._cumulative_documents
 
     def _reply(self, process, outbox) -> tuple:
         """One worker reply, polling so a crashed worker raises instead of hanging."""

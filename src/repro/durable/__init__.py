@@ -1,0 +1,35 @@
+"""Durability primitives: the write-ahead log and the typed publish log.
+
+This package is what turns the pub/sub service's delivery from best-effort
+into at-least-once: :class:`WriteAheadLog` is the generic CRC-framed,
+LSN-stamped append-only log (torn-write-tolerant reader, configurable fsync
+policy), and :class:`PublishLog` layers the service's two record types on it —
+published documents and per-client delivery cursors — plus cursor-floor
+compaction.  See DESIGN.md's "Durability" section for the invariants.
+"""
+
+from .publog import (
+    DEFAULT_COMPACT_THRESHOLD,
+    LoggedDocument,
+    LogScan,
+    PublishLog,
+)
+from .wal import (
+    FSYNC_POLICIES,
+    WalError,
+    WalRecord,
+    WriteAheadLog,
+    scan_wal,
+)
+
+__all__ = [
+    "DEFAULT_COMPACT_THRESHOLD",
+    "FSYNC_POLICIES",
+    "LoggedDocument",
+    "LogScan",
+    "PublishLog",
+    "WalError",
+    "WalRecord",
+    "WriteAheadLog",
+    "scan_wal",
+]

@@ -1,0 +1,220 @@
+"""The publish log: typed WAL records for documents and delivery cursors.
+
+:class:`PublishLog` narrows the opaque :class:`~repro.durable.wal.WriteAheadLog`
+to the two record types the pub/sub service needs for at-least-once delivery:
+
+* a **document record** — ``b"D"`` + document id (u64 BE) + the document's XML
+  text (UTF-8).  Written *before* the document is admitted to the ingest
+  queue, so a crash after the append can always re-derive the publish.
+* a **cursor record** — ``b"C"`` + document id (u64 BE) + the client id
+  (UTF-8).  Written when a client durably acknowledges delivery of every
+  match up to and including that document; the highest cursor per client is
+  the replay lower bound for that client.
+
+Recovery scans the log once (:meth:`PublishLog.scan`) and gets back the
+documents in publish order plus the latest cursor per client; the service
+re-delivers each document above a client's cursor, flagging those at or below
+any *other* evidence of delivery as potential duplicates.
+
+Compaction
+----------
+
+The log only needs documents that some live client might still have to
+re-receive — everything at or below the *minimum* live cursor is dead weight.
+:meth:`maybe_compact` rewrites the log (atomically, via the WAL's temp-file
+``rewrite``) keeping only documents above that minimum plus one latest cursor
+record per client, and only bothers when the log has grown past a size
+threshold.  Compaction never moves a cursor and never drops a document a
+cursor has not covered, so replay semantics are unchanged by it.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from .wal import WalRecord, WriteAheadLog
+
+_DOC_ID = struct.Struct("!Q")
+
+#: record type tags (first payload byte after the LSN)
+_TAG_DOC = b"D"
+_TAG_CURSOR = b"C"
+
+#: default compaction trigger: don't rewrite logs smaller than this
+DEFAULT_COMPACT_THRESHOLD = 1 << 20
+
+
+class LoggedDocument(NamedTuple):
+    """A recovered document record: its id, text, and WAL sequence number."""
+
+    document_id: int
+    text: str
+    lsn: int
+
+
+class LogScan(NamedTuple):
+    """Everything one pass over the log yields for recovery."""
+
+    documents: List[LoggedDocument]
+    cursors: Dict[str, int]
+
+
+def _encode_doc(document_id: int, text: str) -> bytes:
+    return _TAG_DOC + _DOC_ID.pack(document_id) + text.encode("utf-8")
+
+
+def _encode_cursor(client: str, document_id: int) -> bytes:
+    return _TAG_CURSOR + _DOC_ID.pack(document_id) + client.encode("utf-8")
+
+
+def _decode(record: WalRecord) -> Optional[Tuple[bytes, int, str]]:
+    body = record.body
+    if len(body) < 1 + _DOC_ID.size:
+        return None
+    tag = body[:1]
+    if tag not in (_TAG_DOC, _TAG_CURSOR):
+        return None
+    (document_id,) = _DOC_ID.unpack_from(body, 1)
+    try:
+        text = body[1 + _DOC_ID.size:].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    return tag, document_id, text
+
+
+class PublishLog:
+    """Typed document/cursor records over a single write-ahead log file."""
+
+    def __init__(self, path: str, *, fsync: str = "interval",
+                 fsync_interval: float = 0.05,
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD) -> None:
+        self._wal = WriteAheadLog(path, fsync=fsync,
+                                  fsync_interval=fsync_interval)
+        self._compact_threshold = compact_threshold
+        # latest known cursor per client, kept in memory so compaction and
+        # duplicate detection don't need a log scan per ack
+        self._cursors: Dict[str, int] = {}
+        for record in self._wal.records():
+            decoded = _decode(record)
+            if decoded is not None and decoded[0] == _TAG_CURSOR:
+                _tag, document_id, client = decoded
+                if document_id > self._cursors.get(client, 0):
+                    self._cursors[client] = document_id
+
+    # ------------------------------------------------------------------ writing
+    def append_document(self, document_id: int, text: str) -> int:
+        """Log a publish before it is admitted; returns the record's LSN."""
+        return self._wal.append(_encode_doc(document_id, text))
+
+    def append_cursor(self, client: str, document_id: int) -> int:
+        """Log a client's delivery cursor advancing to ``document_id``.
+
+        Cursors only move forward; a stale ack (at or below the recorded
+        cursor) is logged anyway for simplicity but does not move the
+        in-memory cursor, so replay bounds never regress.
+        """
+        lsn = self._wal.append(_encode_cursor(client, document_id))
+        if document_id > self._cursors.get(client, 0):
+            self._cursors[client] = document_id
+        return lsn
+
+    def sync(self) -> None:
+        self._wal.sync()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    # ------------------------------------------------------------------ reading
+    def scan(self) -> LogScan:
+        """One recovery pass: documents in publish order + latest cursors."""
+        documents: List[LoggedDocument] = []
+        cursors: Dict[str, int] = {}
+        for record in self._wal.records():
+            decoded = _decode(record)
+            if decoded is None:
+                continue
+            tag, document_id, text = decoded
+            if tag == _TAG_DOC:
+                documents.append(LoggedDocument(document_id, text, record.lsn))
+            elif document_id > cursors.get(text, 0):
+                cursors[text] = document_id
+        return LogScan(documents, cursors)
+
+    def cursor(self, client: str) -> int:
+        """The client's latest logged cursor (0 if it never acked)."""
+        return self._cursors.get(client, 0)
+
+    def cursors(self) -> Dict[str, int]:
+        """A copy of every client's latest logged cursor."""
+        return dict(self._cursors)
+
+    def forget(self, client: str) -> None:
+        """Drop a disconnected client's cursor from the compaction floor.
+
+        Only affects which documents future compactions may discard; records
+        already on disk are untouched.
+        """
+        self._cursors.pop(client, None)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._wal.size_bytes
+
+    @property
+    def path(self) -> str:
+        return self._wal.path
+
+    # ------------------------------------------------------------------ compaction
+    def _retention_floor(self, live_clients: Optional[Iterable[str]]) -> int:
+        """Documents at or below this id are safe to discard."""
+        if live_clients is None:
+            relevant = list(self._cursors.values())
+        else:
+            relevant = [self._cursors.get(c, 0) for c in live_clients]
+        if not relevant:
+            return 0  # no cursor evidence: keep everything
+        return min(relevant)
+
+    def compact(self, live_clients: Optional[Iterable[str]] = None) -> int:
+        """Rewrite the log below the minimum live cursor; returns bytes freed.
+
+        Keeps every document record above the floor and the single latest
+        cursor record per client (older cursor records are subsumed).  With
+        ``live_clients`` given, only those clients' cursors bound the floor —
+        a departed client must not pin the log forever; without it, every
+        cursor ever logged counts (conservative).
+        """
+        floor = self._retention_floor(live_clients)
+        before = self._wal.size_bytes
+        latest_cursor_lsn: Dict[str, int] = {}
+        for record in self._wal.records():
+            decoded = _decode(record)
+            if decoded is not None and decoded[0] == _TAG_CURSOR:
+                latest_cursor_lsn[decoded[2]] = record.lsn
+        keep: List[WalRecord] = []
+        for record in self._wal.records():
+            decoded = _decode(record)
+            if decoded is None:
+                continue
+            tag, document_id, text = decoded
+            if tag == _TAG_DOC:
+                if document_id > floor:
+                    keep.append(record)
+            elif latest_cursor_lsn.get(text) == record.lsn:
+                keep.append(record)
+        self._wal.rewrite(keep)
+        return before - self._wal.size_bytes
+
+    def maybe_compact(self,
+                      live_clients: Optional[Iterable[str]] = None) -> int:
+        """Compact only once the log outgrows the size threshold."""
+        if self._wal.size_bytes < self._compact_threshold:
+            return 0
+        return self.compact(live_clients)
+
+    def __enter__(self) -> "PublishLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

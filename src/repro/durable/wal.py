@@ -1,0 +1,243 @@
+"""The append-only write-ahead log: CRC-framed, LSN-stamped records on disk.
+
+A :class:`WriteAheadLog` is the durability primitive under the pub/sub service's
+at-least-once delivery: callers append opaque record bodies *before* acting on
+them, and a crashed process replays the log tail on restart instead of losing
+its in-flight work.  One record on disk is::
+
+    +------------------+----------------+--------------------------+
+    | length (u32 BE)  | crc32 (u32 BE) | payload                  |
+    +------------------+----------------+--------------------------+
+                                          payload = lsn (u64 BE) + body
+
+``length`` covers the payload only; ``crc32`` is computed over the payload, so
+a record is self-validating.  The *log sequence number* is assigned by the log,
+strictly monotonic across appends — it survives compaction (retained records
+keep their original LSNs) and restarts (the next LSN continues above the last
+valid record on disk), so an LSN names one append forever.
+
+Torn writes
+-----------
+
+A crash can truncate the file mid-record (or, with ``fsync='never'``, leave a
+partially-persisted tail after an OS crash).  The reader treats the first
+record that fails validation — a length running past EOF, a CRC mismatch, a
+non-monotonic LSN — as the end of the log and stops *there*, returning every
+record before it: a torn tail costs the torn record, never the log.  Opening a
+log for appending truncates such a tail away first, so new records are never
+written after garbage (they would be unreachable behind the reader's stop).
+
+Fsync policy
+------------
+
+Every append is flushed to the operating system (a ``kill -9`` of the process
+therefore loses nothing already appended); how often the OS buffers are forced
+to the device is the ``fsync`` policy:
+
+* ``'always'`` — fsync after every append.  Survives power loss per record;
+  the slowest option (one device round trip per append).
+* ``'interval'`` — fsync at most every ``fsync_interval`` seconds, checked at
+  append time (plus on :meth:`sync`/:meth:`close`).  Bounds the power-loss
+  window to the interval at near-``'never'`` throughput; the default.
+* ``'never'`` — flush only.  Process crashes lose nothing; an OS crash may
+  lose the un-synced tail (which the torn-tail reader then skips cleanly).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+import zlib
+from typing import Iterable, Iterator, List, NamedTuple, Optional
+
+#: record framing: payload length (u32 BE) + crc32 of the payload (u32 BE)
+_HEAD = struct.Struct("!II")
+#: payload prefix: the record's log sequence number (u64 BE)
+_LSN = struct.Struct("!Q")
+
+#: accepted fsync policies (see module docstring)
+FSYNC_POLICIES = ("always", "interval", "never")
+
+
+class WalRecord(NamedTuple):
+    """One validated log record: its sequence number and opaque body."""
+
+    lsn: int
+    body: bytes
+
+
+class WalError(ValueError):
+    """Raised for unusable logs (bad policy, closed log, rewrite misuse)."""
+
+
+def _encode(lsn: int, body: bytes) -> bytes:
+    payload = _LSN.pack(lsn) + body
+    return _HEAD.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_wal(path: str) -> Iterator[WalRecord]:
+    """Yield the valid record prefix of a log file (torn-write tolerant).
+
+    Stops silently at the first record that fails validation: a header or
+    payload truncated by EOF, a CRC mismatch, or an LSN that does not increase
+    — everything before it is intact (CRC-verified) and is yielded in order.
+    A missing file is an empty log.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return
+    last_lsn = 0
+    with handle:
+        while True:
+            head = handle.read(_HEAD.size)
+            if len(head) < _HEAD.size:
+                return  # clean EOF between records, or a torn header
+            length, crc = _HEAD.unpack(head)
+            if length < _LSN.size:
+                return  # garbage length: a payload cannot be shorter than its LSN
+            payload = handle.read(length)
+            if len(payload) < length:
+                return  # torn payload
+            if zlib.crc32(payload) != crc:
+                return  # corrupt record: stop, do not resynchronize past it
+            (lsn,) = _LSN.unpack_from(payload)
+            if lsn <= last_lsn:
+                return  # LSNs are strictly monotonic; a repeat is corruption
+            last_lsn = lsn
+            yield WalRecord(lsn, payload[_LSN.size:])
+
+
+class WriteAheadLog:
+    """An append-only record log with CRC framing and monotonic LSNs.
+
+    Opening a path scans its valid record prefix (so the next LSN continues
+    where the log left off) and truncates any torn tail before appending.
+    """
+
+    def __init__(self, path: str, *, fsync: str = "interval",
+                 fsync_interval: float = 0.05) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise WalError(f"unknown fsync policy {fsync!r}; "
+                           f"expected one of {FSYNC_POLICIES}")
+        self.path = path
+        self._fsync = fsync
+        self._fsync_interval = max(0.0, fsync_interval)
+        self._last_sync = time.monotonic()
+        last_lsn, valid_bytes = self._scan_tail()
+        if os.path.exists(path) and os.path.getsize(path) > valid_bytes:
+            # torn tail from a previous crash: cut it before appending, or the
+            # new records would sit behind the reader's corruption stop
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+        self._file: Optional[object] = open(path, "ab")
+        self._next_lsn = last_lsn + 1
+        self._size = valid_bytes
+
+    def _scan_tail(self) -> "tuple[int, int]":
+        last_lsn = 0
+        valid_bytes = 0
+        for record in scan_wal(self.path):
+            last_lsn = record.lsn
+            valid_bytes += _HEAD.size + _LSN.size + len(record.body)
+        return last_lsn, valid_bytes
+
+    # ------------------------------------------------------------------ appending
+    def append(self, body: bytes) -> int:
+        """Append one record, flush it to the OS, and return its LSN.
+
+        Durability beyond the OS (device-level) follows the fsync policy; the
+        flush alone already makes the record survive a process ``kill -9``.
+        """
+        if self._file is None:
+            raise WalError("the log is closed")
+        lsn = self._next_lsn
+        encoded = _encode(lsn, body)
+        self._file.write(encoded)  # type: ignore[attr-defined]
+        self._file.flush()  # type: ignore[attr-defined]
+        self._next_lsn = lsn + 1
+        self._size += len(encoded)
+        if self._fsync == "always":
+            os.fsync(self._file.fileno())  # type: ignore[attr-defined]
+        elif self._fsync == "interval":
+            now = time.monotonic()
+            if now - self._last_sync >= self._fsync_interval:
+                os.fsync(self._file.fileno())  # type: ignore[attr-defined]
+                self._last_sync = now
+        return lsn
+
+    def sync(self) -> None:
+        """Force the log to the device now (regardless of policy, unless closed)."""
+        if self._file is None:
+            return
+        self._file.flush()  # type: ignore[attr-defined]
+        if self._fsync != "never":
+            os.fsync(self._file.fileno())  # type: ignore[attr-defined]
+        self._last_sync = time.monotonic()
+
+    def close(self) -> None:
+        """Sync (per policy) and close the log (idempotent)."""
+        if self._file is None:
+            return
+        self.sync()
+        self._file.close()  # type: ignore[attr-defined]
+        self._file = None
+
+    # ------------------------------------------------------------------ reading
+    def records(self) -> List[WalRecord]:
+        """Every valid record currently in the log, in LSN order."""
+        if self._file is not None:
+            self._file.flush()  # type: ignore[attr-defined]
+        return list(scan_wal(self.path))
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of valid records on disk (the compaction trigger input)."""
+        return self._size
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next append will receive."""
+        return self._next_lsn
+
+    # ------------------------------------------------------------------ compaction
+    def rewrite(self, records: Iterable[WalRecord]) -> None:
+        """Atomically replace the log's contents with the given records.
+
+        The compaction primitive: the caller passes the records worth keeping
+        (a subsequence of :meth:`records`, so LSNs stay strictly monotonic) and
+        the log is rewritten via a temp file + ``os.replace``, then reopened
+        for appending — a crash during the rewrite leaves either the old or the
+        new file, never a mix.  LSN assignment is unaffected: retained records
+        keep their LSNs and the next append continues above the old maximum.
+        """
+        if self._file is None:
+            raise WalError("the log is closed")
+        tmp_path = self.path + ".compact"
+        last_lsn = 0
+        size = 0
+        with open(tmp_path, "wb") as tmp:
+            for record in records:
+                if record.lsn <= last_lsn:
+                    raise WalError("rewrite records must keep strictly "
+                                   "increasing LSNs")
+                last_lsn = record.lsn
+                encoded = _encode(record.lsn, record.body)
+                tmp.write(encoded)
+                size += len(encoded)
+            tmp.flush()
+            if self._fsync != "never":
+                os.fsync(tmp.fileno())
+        self._file.close()  # type: ignore[attr-defined]
+        os.replace(tmp_path, self.path)
+        self._file = open(self.path, "ab")
+        self._size = size
+        # LSNs never move backwards, even when the rewrite dropped the tail
+        self._next_lsn = max(self._next_lsn, last_lsn + 1)
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

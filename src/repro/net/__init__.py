@@ -17,14 +17,16 @@ from .client import (
     WirePublishResult,
 )
 from .protocol import MAX_FRAME, FrameDecoder, ProtocolError
-from .server import WireServer
+from .server import PublishAbandonedError, SessionBusyError, WireServer
 
 __all__ = [
     "ConnectionClosedError",
     "FrameDecoder",
     "MAX_FRAME",
     "ProtocolError",
+    "PublishAbandonedError",
     "RemoteError",
+    "SessionBusyError",
     "WireClient",
     "WireError",
     "WireMatch",

@@ -23,6 +23,16 @@ as the slow baseline the wire benchmark compares against.
 Reconnecting after a server restart from a snapshot is plain ``connect`` with
 the old ``client_id``: the server adopts the restored session and the handshake
 ack reports ``resumed`` plus the still-live subscription names.
+
+Durable delivery: the client acknowledges consumed matches with fire-and-forget
+``cursor`` frames (automatic by default — every match handed to the consumer by
+:meth:`WireClient.next_match` advances and acks the cursor; pass
+``auto_ack=False`` to call :meth:`WireClient.ack` yourself at transaction
+boundaries).  After a connection dies, :meth:`WireClient.reconnect`
+re-establishes it *in place* with exponential backoff plus jitter and capped
+retries, adopting the same session: the handshake ack carries the server-side
+cursor, re-deliveries arrive flagged :attr:`WireMatch.duplicate`, and matches
+already received but not yet consumed are preserved across the swap.
 """
 
 from __future__ import annotations
@@ -30,11 +40,25 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 from dataclasses import dataclass
 from typing import AsyncIterator, Dict, List, Optional, Tuple, Union
 
 from . import protocol
 from .protocol import MAX_FRAME, encode_frame, read_frame
+
+
+def _backoff_delay(attempt: int, base: float, cap: float,
+                   jitter: float) -> float:
+    """Exponential backoff with multiplicative jitter (attempt counts from 0).
+
+    Jitter de-synchronizes a fleet of clients all reconnecting to a restarted
+    server: without it every retry wave lands at the same instant.
+    """
+    delay = min(cap, base * (2 ** attempt))
+    if jitter > 0:
+        delay *= 1.0 + jitter * random.random()
+    return delay
 
 
 class WireError(Exception):
@@ -66,6 +90,9 @@ class WireMatch:
 
     document_id: int  #: service-wide publish sequence number of the document
     matched: Tuple[str, ...]  #: this client's local subscription names
+    #: True for an at-least-once re-delivery after crash recovery: the match
+    #: may have been delivered before — idempotent consumers branch on this
+    duplicate: bool = False
 
 
 @dataclass(frozen=True)
@@ -85,10 +112,15 @@ class WireClient:
 
     def __init__(self, reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter, *, max_frame: int,
-                 max_pending_matches: int = 1024) -> None:
+                 max_pending_matches: int = 1024,
+                 auto_ack: bool = True) -> None:
         self._reader = reader
         self._writer = writer
         self._max_frame = max_frame
+        self._auto_ack = auto_ack
+        self._host: Optional[str] = None  # set by connect(); reconnect() needs it
+        self._port: Optional[int] = None
+        self.cursor = 0  #: highest document id acked (locally or by the server)
         self._seq = itertools.count(1)
         # the server allows one open stream per connection, so stream send
         # phases are serialized here; other requests interleave freely
@@ -111,7 +143,11 @@ class WireClient:
     async def connect(cls, host: str, port: int, *,
                       client_id: Optional[str] = None,
                       max_frame: int = MAX_FRAME,
-                      max_pending_matches: int = 1024) -> "WireClient":
+                      max_pending_matches: int = 1024,
+                      auto_ack: bool = True,
+                      retries: int = 0, backoff_base: float = 0.05,
+                      backoff_max: float = 2.0,
+                      jitter: float = 0.5) -> "WireClient":
         """Open a connection and complete the ``hello`` handshake.
 
         ``client_id`` names the session: pass the previous id after a server
@@ -119,29 +155,68 @@ class WireClient:
         :attr:`resumed` and :attr:`server_subscriptions` afterwards); ``None``
         lets the server assign a fresh one.  ``max_pending_matches`` bounds the
         pushed-match queue; on overflow the oldest unread match is dropped and
-        counted in :attr:`dropped_matches`.
+        counted in :attr:`dropped_matches`.  ``auto_ack`` acknowledges each
+        match as :meth:`next_match` hands it to the consumer (see
+        :meth:`ack`).  ``retries`` > 0 retries a refused/failed connection
+        that many times with exponential backoff (``backoff_base`` doubling up
+        to ``backoff_max`` seconds, times ``1 + jitter*random``) — the knob
+        that makes connecting to a still-restarting server a wait, not a
+        crash.  A typed server *rejection* (:class:`RemoteError`, e.g. a busy
+        session) is never retried: the server answered; asking again louder
+        would not change it.
         """
-        reader, writer = await asyncio.open_connection(host, port)
+        attempt = 0
+        while True:
+            try:
+                reader, writer, header = await cls._hello(
+                    host, port, client_id, max_frame)
+                break
+            except (ConnectionError, OSError, ConnectionClosedError):
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(_backoff_delay(
+                    attempt, backoff_base, backoff_max, jitter))
+                attempt += 1
         client = cls(reader, writer, max_frame=max_frame,
-                     max_pending_matches=max_pending_matches)
-        writer.write(encode_frame({"type": protocol.HELLO, "seq": 0,
-                                   "client": client_id},
-                                  max_frame=max_frame))
-        await writer.drain()
-        frame = await read_frame(reader, max_frame=max_frame)
+                     max_pending_matches=max_pending_matches,
+                     auto_ack=auto_ack)
+        client._host, client._port = host, port
+        client._apply_hello(header)
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop(), name="wire-client-reader")
+        return client
+
+    @staticmethod
+    async def _hello(host: str, port: int, client_id: Optional[str],
+                     max_frame: int) -> tuple:
+        """One connection attempt: open the socket, run the handshake."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(encode_frame({"type": protocol.HELLO, "seq": 0,
+                                       "client": client_id},
+                                      max_frame=max_frame))
+            await writer.drain()
+            frame = await read_frame(reader, max_frame=max_frame)
+        except Exception:
+            writer.close()
+            raise
         if frame is None:
+            writer.close()
             raise ConnectionClosedError("server closed during the handshake")
         header, _body = frame
         if header["type"] == protocol.ERROR:
             writer.close()
             raise RemoteError(header.get("error", "?"),
                               header.get("message", ""), header)
-        client._client_id = header["client"]
-        client._resumed = bool(header.get("resumed"))
-        client._server_subscriptions = list(header.get("subscriptions", []))
-        client._reader_task = asyncio.get_running_loop().create_task(
-            client._read_loop(), name="wire-client-reader")
-        return client
+        return reader, writer, header
+
+    def _apply_hello(self, header: dict) -> None:
+        self._client_id = header["client"]
+        self._resumed = bool(header.get("resumed"))
+        self._server_subscriptions = list(header.get("subscriptions", []))
+        server_cursor = header.get("cursor")
+        if isinstance(server_cursor, int) and server_cursor > self.cursor:
+            self.cursor = server_cursor
 
     @property
     def client_id(self) -> str:
@@ -176,6 +251,71 @@ class WireClient:
 
     async def __aexit__(self, *_exc) -> None:
         await self.close()
+
+    async def reconnect(self, *, retries: int = 8,
+                        backoff_base: float = 0.05, backoff_max: float = 2.0,
+                        jitter: float = 0.5) -> None:
+        """Re-establish a dead connection in place, adopting the same session.
+
+        Tears down the old transport (outstanding request futures fail with
+        :class:`ConnectionClosedError` — pipelined publishes must be
+        re-submitted; on a durable server their documents are in the WAL and
+        their matches will be re-delivered), then dials again with exponential
+        backoff + jitter, capped at ``retries`` attempts, sending ``hello``
+        with the original client id.  On success the client is live again:
+        :attr:`cursor` reflects the server's acked position, matches received
+        before the drop but not yet consumed are preserved, and re-deliveries
+        above the cursor arrive flagged :attr:`WireMatch.duplicate`.  The
+        final error is re-raised when every retry fails.  Unlike
+        :meth:`connect`, a ``SessionBusyError`` rejection *is* retried here:
+        the "live" connection holding the session is this client's own dead
+        transport, which the server reaps within a scheduling beat — every
+        other typed rejection is raised immediately, unretried.
+        """
+        if self._host is None or self._port is None:
+            raise WireError("reconnect() needs a client created by connect()")
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        if self._reader_task is not None:
+            await self._reader_task  # fails outstanding requests, queues EOS
+        attempt = 0
+        while True:
+            try:
+                reader, writer, header = await self._hello(
+                    self._host, self._port, self._client_id, self._max_frame)
+                break
+            except RemoteError as exc:
+                # our own dead transport still holds the session until the
+                # server reaps it — that busy answer is transient, retry it
+                if exc.error_type != "SessionBusyError" or attempt >= retries:
+                    raise
+                await asyncio.sleep(_backoff_delay(
+                    attempt, backoff_base, backoff_max, jitter))
+                attempt += 1
+            except (ConnectionError, OSError, ConnectionClosedError):
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(_backoff_delay(
+                    attempt, backoff_base, backoff_max, jitter))
+                attempt += 1
+        self._reader, self._writer = reader, writer
+        # drop the EOS sentinels the dead connection queued (consumers must
+        # not see a spurious close) while keeping every unconsumed match
+        backlog = []
+        while not self._matches.empty():
+            item = self._matches.get_nowait()
+            if item is not _EOS:
+                backlog.append(item)
+        for item in backlog:
+            self._matches.put_nowait(item)
+        self._apply_hello(header)
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="wire-client-reader")
 
     # ------------------------------------------------------------------ requests
     def _register(self, kind: str) -> Tuple[int, asyncio.Future]:
@@ -299,7 +439,33 @@ class WireClient:
         if item is _EOS:
             self._deliver_match(_EOS)  # re-arm for other consumers
             raise ConnectionClosedError("the connection is closed")
+        if self._auto_ack:
+            self.ack(item.document_id)
         return item
+
+    def ack(self, document_id: int) -> None:
+        """Acknowledge every match up to ``document_id`` (fire-and-forget).
+
+        Advances the local :attr:`cursor` and, when the connection is live,
+        sends a ``cursor`` frame — the durable server logs it, and after a
+        crash nothing at or below the cursor is re-delivered.  With the
+        default ``auto_ack=True`` this happens as :meth:`next_match` hands
+        each match over; acking manually (``auto_ack=False``) moves the
+        at-least-once boundary to wherever the consumer's own processing
+        becomes durable.  Safe to call on a dead connection: the cursor is
+        re-announced by the server on reconnect, and anything un-acked is
+        simply re-delivered.
+        """
+        if document_id > self.cursor:
+            self.cursor = document_id
+        if self._closed:
+            return
+        try:
+            self._writer.write(encode_frame(
+                {"type": protocol.CURSOR, "document_id": document_id},
+                max_frame=self._max_frame))
+        except Exception:
+            pass  # a dying transport: the un-acked tail re-delivers later
 
     async def notifications(self) -> AsyncIterator[WireMatch]:
         """Iterate pushed matches until the connection closes."""
@@ -346,7 +512,8 @@ class WireClient:
                 if kind == protocol.MATCH:
                     self._deliver_match(WireMatch(
                         document_id=header["document_id"],
-                        matched=tuple(header["matched"])))
+                        matched=tuple(header["matched"]),
+                        duplicate=bool(header.get("duplicate"))))
                 elif kind in (protocol.ACK, protocol.ERROR):
                     self._dispatch(header, body)
                 # unknown pushes are ignored: forward compatibility

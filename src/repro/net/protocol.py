@@ -20,12 +20,17 @@ Client to server: ``hello`` (handshake, optional ``client`` id to resume a
 restored session), ``subscribe``/``unsubscribe`` (``name``, ``query``),
 ``publish`` (XML body), ``publish_stream`` (one chunk per frame, terminated by
 ``end: true``; the server frames documents out of the chunk stream by element
-nesting via :class:`~repro.xmlstream.parse.DocumentFramer`), ``snapshot``.
+nesting via :class:`~repro.xmlstream.parse.DocumentFramer`), ``snapshot``, and
+``cursor`` — a fire-and-forget acknowledgement that the client durably consumed
+every match up to ``document_id`` (the durable service logs it; no reply).
 
 Server to client: ``ack`` / ``error`` (correlated to the request by its ``seq``
 header field, so responses may arrive out of order with respect to *other*
 requests — pipelining), and ``match`` — an unsolicited push notification for a
-document that matched one of the connection's subscriptions.
+document that matched one of the connection's subscriptions (``duplicate:
+true`` marks an at-least-once re-delivery after crash recovery).  The ``hello``
+ack carries the session's acked ``cursor`` so a reconnecting client knows where
+it resumes.
 
 The JSON header never contains a raw newline (``json.dumps`` escapes control
 characters inside strings), so the first ``\\n`` of the payload is always the
@@ -58,6 +63,7 @@ UNSUBSCRIBE = "unsubscribe"
 PUBLISH = "publish"
 PUBLISH_STREAM = "publish_stream"
 SNAPSHOT = "snapshot"
+CURSOR = "cursor"
 MATCH = "match"
 ERROR = "error"
 ACK = "ack"

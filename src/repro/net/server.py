@@ -47,6 +47,28 @@ from . import protocol
 from .protocol import MAX_FRAME, ProtocolError, encode_frame, read_frame
 
 
+class SessionBusyError(RuntimeError):
+    """A ``hello`` named a session that already has a live connection.
+
+    The typed rejection of the adopt race: two connections must never share
+    one session (their notifiers would compete for its delivery queue), so the
+    second ``hello`` is refused with this error — the client sees a
+    ``RemoteError`` whose ``error_type`` is ``"SessionBusyError"`` and can
+    back off and retry, rather than silently hijacking the session.
+    """
+
+
+class PublishAbandonedError(RuntimeError):
+    """A queued publish was abandoned because the server stopped.
+
+    Sent as an ``error`` frame for every publish still awaiting its ack when
+    a stop/disconnect drain timed out, so a pipelined client's futures fail
+    promptly instead of hanging until the socket closes.  The document may or
+    may not have been filtered; on a durable service it is in the WAL and
+    will be re-delivered at least once after recovery.
+    """
+
+
 class WireServer:
     """A TCP front end over one pub/sub service.
 
@@ -65,6 +87,13 @@ class WireServer:
         Per-connection bound on publishes submitted but not yet acknowledged —
         the knob that turns a runaway pipelining client into socket
         backpressure instead of server-side memory.
+    retain_sessions:
+        ``False`` (default) closes a connection's session on plain disconnect,
+        ending its subscriptions — the original contract.  ``True`` keeps the
+        session alive and adoptable, so a client that lost its TCP connection
+        can reconnect with the same client id and resume from its acked
+        cursor (the durable-delivery reconnect path; pair it with a durable
+        service so undelivered matches survive a crash too).
     """
 
     def __init__(self, service: Optional[PubSubService] = None, *,
@@ -72,6 +101,7 @@ class WireServer:
                  max_pipeline: int = 256, max_frame: int = MAX_FRAME,
                  drain_timeout: float = 5.0,
                  close_service: Optional[bool] = None,
+                 retain_sessions: bool = False,
                  **service_config) -> None:
         if service is not None and service_config:
             raise ValueError("pass either a service or a service configuration")
@@ -86,10 +116,14 @@ class WireServer:
         #: how long a drain (disconnect or stop) may wait on a client that
         #: stopped reading its acks before the socket is cut anyway
         self._drain_timeout = drain_timeout
+        self._retain_sessions = retain_sessions
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Set["_Connection"] = set()
         self._bound: Set[str] = set()  # client ids with a live connection
         self._stopping = False
+        #: publishes abandoned un-acked by a timed-out drain (each one was
+        #: answered with a PublishAbandonedError ``error`` frame, best effort)
+        self.dropped_on_stop = 0
 
     @classmethod
     def restore(cls, snapshot: dict, **kwargs) -> "WireServer":
@@ -183,6 +217,7 @@ class _Connection:
         self._write_lock = asyncio.Lock()
         self._session: Optional[ClientSession] = None
         self._acks: asyncio.Queue = asyncio.Queue(maxsize=server._max_pipeline)
+        self._inflight: Optional[tuple] = None  # entry the pump is answering
         self._pump_task: Optional[asyncio.Task] = None
         self._notify_task: Optional[asyncio.Task] = None
         self._stream: Optional[dict] = None  # in-progress publish_stream state
@@ -237,7 +272,15 @@ class _Connection:
         resumed = False
         try:
             session = None
-            if requested is not None and requested not in self._server._bound:
+            if requested is not None:
+                if requested in self._server._bound:
+                    # the adopt race: the name is owned by a LIVE connection.
+                    # Reject with a typed error — adopting would give two
+                    # connections one delivery queue, and falling through to
+                    # connect() would mask the situation as a duplicate-name
+                    # ValueError
+                    raise SessionBusyError(
+                        f"session {requested!r} already has a live connection")
                 try:
                     candidate = service.session(requested)
                 except KeyError:
@@ -254,6 +297,7 @@ class _Connection:
         self._server._bound.add(session.client_id)
         await self._send({"type": protocol.ACK, "seq": seq,
                           "client": session.client_id, "resumed": resumed,
+                          "cursor": session.cursor,
                           "subscriptions": session.subscriptions()})
         return True
 
@@ -296,6 +340,13 @@ class _Connection:
                     await self._send_error(seq, exc)
                 else:
                     await self._send({"type": protocol.ACK, "seq": seq})
+            elif kind == protocol.CURSOR:
+                # fire-and-forget ack: no reply frame, malformed ids ignored
+                # (failing the connection over a bad ack would lose more than
+                # the ack ever protected)
+                document_id = header.get("document_id")
+                if isinstance(document_id, int) and not session.closed:
+                    service.ack_cursor(session.client_id, document_id)
             elif kind == protocol.SNAPSHOT:
                 try:
                     snapshot = service.snapshot()
@@ -379,6 +430,10 @@ class _Connection:
         broken = False
         while True:
             entry = await self._acks.get()
+            # published where an abandoning drain can see it: a cancellation
+            # mid-processing leaves this entry neither queued nor answered,
+            # and it too must get its abandonment error frame
+            self._inflight = entry
             try:
                 if broken:
                     await self._retire(entry)
@@ -390,6 +445,7 @@ class _Connection:
                         await self._retire(entry)
             finally:
                 self._acks.task_done()
+            self._inflight = None
 
     async def _process_ack(self, entry: tuple) -> None:
         kind = entry[0]
@@ -414,8 +470,16 @@ class _Connection:
         twice is harmless, so retiring after a half-processed entry is safe)."""
         if entry[0] in ("pub", "stream_doc"):
             handle = entry[2] if entry[0] == "pub" else entry[3]
-            with contextlib.suppress(Exception):
+            try:
                 await handle.wait()
+            except asyncio.CancelledError:
+                # a cancelled pump cancels the future it was awaiting; that
+                # cancellation belongs to the entry, not to whoever retires
+                # it — but a cancel aimed at *this* awaiter must propagate
+                if not handle.done():
+                    raise
+            except Exception:
+                pass
 
     async def _ack_outcome(self, seq, handle: PendingPublish,
                            extra: dict) -> None:
@@ -434,7 +498,8 @@ class _Connection:
             async for note in self._session.notifications():
                 await self._send({"type": protocol.MATCH,
                                   "document_id": note.document_id,
-                                  "matched": list(note.matched)})
+                                  "matched": list(note.matched),
+                                  "duplicate": note.duplicate})
 
     # ------------------------------------------------------------------ plumbing
     async def _send(self, header: dict, body: bytes = b"") -> None:
@@ -452,11 +517,64 @@ class _Connection:
                           **extra})
 
     async def drain_and_close(self) -> None:
-        """Server-stop path: answer everything accepted, then cut the socket."""
-        with contextlib.suppress(Exception, asyncio.TimeoutError):
-            await asyncio.wait_for(self._acks.join(),
-                                   self._server._drain_timeout)
-        self._writer.close()
+        """Server-stop path: answer everything accepted, then cut the socket.
+
+        A drain that times out (the client stopped reading its acks) no longer
+        abandons the queued publishes *silently*: every still-unanswered seq
+        gets a :class:`PublishAbandonedError` ``error`` frame (buffered,
+        best-effort) and is counted in the server's ``dropped_on_stop`` stat,
+        so a pipelined client's futures fail promptly instead of hanging until
+        it notices the socket close.
+        """
+        try:
+            try:
+                await asyncio.wait_for(self._acks.join(),
+                                       self._server._drain_timeout)
+            except (Exception, asyncio.TimeoutError):
+                await self._abandon_unacked()
+        finally:
+            self._writer.close()
+
+    async def _abandon_unacked(self) -> None:
+        """Fail every queued-but-unacked publish with a typed error frame.
+
+        The pump is cancelled first (it may be wedged on the dead socket's
+        drain), then the in-flight entry and everything still queued are
+        answered with buffered writes only — no drain: if the socket is truly
+        wedged the frames are lost with the connection anyway, but a client
+        that merely fell behind gets them on its next read.  Service outcomes
+        are still consumed (retired) so no future's exception goes
+        unretrieved.
+        """
+        pump = self._pump_task
+        if pump is not None and not pump.done():
+            pump.cancel()
+            try:
+                await pump
+            except asyncio.CancelledError:
+                if not pump.cancelled():
+                    raise
+            except Exception:
+                pass
+        entries = []
+        if self._inflight is not None:
+            entries.append(self._inflight)
+            self._inflight = None
+        while not self._acks.empty():
+            entries.append(self._acks.get_nowait())
+            self._acks.task_done()
+        error = PublishAbandonedError(
+            "the server stopped before this publish was acknowledged")
+        for entry in entries:
+            kind, seq = entry[0], entry[1]
+            with contextlib.suppress(Exception):
+                self._writer.write(encode_frame(
+                    {"type": protocol.ERROR, "seq": seq,
+                     "error": type(error).__name__, "message": str(error)},
+                    max_frame=self._server._max_frame))
+            if kind in ("pub", "stream_doc"):
+                self._server.dropped_on_stop += 1
+            await self._retire(entry)
 
     async def _teardown(self) -> None:
         for task in (self._pump_task, self._notify_task):
@@ -479,10 +597,13 @@ class _Connection:
         session = self._session
         if session is not None:
             self._server._bound.discard(session.client_id)
-            if not self._server._stopping and not session.closed:
+            if (not self._server._stopping and not session.closed
+                    and not self._server._retain_sessions):
                 # a plain disconnect ends the subscription contract; restored
                 # sessions awaiting reconnect were never bound here, and a
-                # stopping server leaves teardown to the service's own stop()
+                # stopping server leaves teardown to the service's own stop().
+                # With retain_sessions the session stays adoptable instead, so
+                # a reconnecting client resumes subscriptions and cursor
                 with contextlib.suppress(SessionClosedError):
                     await session.close()
         self._server._connections.discard(self)

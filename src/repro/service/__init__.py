@@ -23,6 +23,7 @@ from .snapshot import (
     dumps_bank,
     load_bank,
     loads_bank,
+    migrate_snapshot,
     restore_bank,
     snapshot_bank,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "dumps_bank",
     "load_bank",
     "loads_bank",
+    "migrate_snapshot",
     "restore_bank",
     "snapshot_bank",
 ]

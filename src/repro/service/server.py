@@ -50,23 +50,44 @@ without clients re-issuing a single ``subscribe``.  :meth:`PubSubService.stop` d
 the ingest queue (every accepted publish is answered), then closes the bank —
 sharded workers shut down cleanly and would be respawned from the parent-side
 registration records on a later start, so drain/shutdown never desynchronizes them.
+
+Durability
+----------
+
+With ``durable_dir`` set, the service writes every accepted publish to an
+append-only WAL (:class:`~repro.durable.PublishLog`) *before* admitting it to
+the ingest queue, and client acknowledgements append per-session cursor
+records.  :meth:`PubSubService.save_snapshot` persists the subscription
+snapshot next to the log; after a crash :meth:`PubSubService.recover` rebuilds
+the service and :meth:`PubSubService.start` replays the log tail above the
+acked cursors, re-delivering matches at-least-once with
+``Notification.duplicate`` set.  See DESIGN.md's "Durability" section for the
+record format and invariants.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.compile import CompiledFilterBank, event_tokens
 from ..core.shard import ShardedFilterBank
+from ..durable import DEFAULT_COMPACT_THRESHOLD, LoggedDocument, PublishLog
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.parse import StreamingParser, document_tokens
+from ..xmlstream.serialize import serialize_document, serialize_tokens
 from ..xpath.parser import parse_query
 from ..xpath.query import Query
 from .session import ClientSession, Notification
-from .snapshot import SNAPSHOT_SCHEMA
+from .snapshot import SNAPSHOT_SCHEMA, migrate_snapshot
+
+#: file names inside a durable directory
+WAL_FILENAME = "publish.wal"
+SNAPSHOT_FILENAME = "snapshot.json"
 
 #: what ``publish`` accepts as one document: XML text, a parsed document, or a
 #: pre-tokenized stream (list of tokens, the zero-copy layer's representation)
@@ -147,12 +168,28 @@ class PubSubService:
     session_queue_size:
         Per-session delivery queue bound (oldest notifications are dropped beyond
         it; see :class:`ClientSession`).
+    durable_dir:
+        ``None`` (default) runs in memory, exactly as before.  A directory path
+        turns on the durable publish WAL: every accepted publish is logged
+        *before* it is admitted to the ingest queue, client acks append cursor
+        records, :meth:`save_snapshot` persists the subscription snapshot next
+        to the log, and :meth:`recover` rebuilds the whole service after a
+        crash, re-delivering un-acked matches at-least-once (flagged
+        :attr:`~repro.service.session.Notification.duplicate`).
+    fsync / fsync_interval / compact_threshold:
+        WAL knobs (only meaningful with ``durable_dir``): the fsync policy
+        (``'always'``/``'interval'``/``'never'``, see
+        :class:`~repro.durable.WriteAheadLog`), its interval, and the log size
+        beyond which an ack triggers compaction below the minimum live cursor.
     """
 
     def __init__(self, *, shards: Optional[int] = None, stats: bool = False,
                  queue_limit: int = 1024, batch_max: int = 32,
                  flush_interval: float = 0.0,
-                 session_queue_size: int = 1024) -> None:
+                 session_queue_size: int = 1024,
+                 durable_dir: Optional[str] = None,
+                 fsync: str = "interval", fsync_interval: float = 0.05,
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be at least 1")
         self._shards = shards
@@ -165,6 +202,15 @@ class PubSubService:
         self._batch_max = batch_max
         self._flush_interval = flush_interval
         self._session_queue_size = session_queue_size
+        self._durable_dir = durable_dir
+        self._publog: Optional[PublishLog] = None
+        if durable_dir is not None:
+            os.makedirs(durable_dir, exist_ok=True)
+            self._publog = PublishLog(
+                os.path.join(durable_dir, WAL_FILENAME), fsync=fsync,
+                fsync_interval=fsync_interval,
+                compact_threshold=compact_threshold)
+        self._replay: List[LoggedDocument] = []  # filled by recover()
 
         self._queue: Optional[asyncio.Queue] = None
         self._worker: Optional[asyncio.Task] = None
@@ -179,17 +225,53 @@ class PubSubService:
         self._counters = {
             "published": 0, "documents_failed": 0, "batches": 0,
             "largest_batch": 0, "notifications": 0, "workers_respawned": 0,
+            "wal_appends": 0, "acks": 0, "compactions": 0,
+            "replayed": 0, "replay_failed": 0,
         }
         self._dropped_closed = 0  # drop counts inherited from closed sessions
         self._compensations: set = set()  # keep compensation tasks referenced
 
     # ------------------------------------------------------------------ lifecycle
     async def start(self) -> None:
-        """Start the ingest worker (idempotent) and prewarm sharded workers."""
+        """Start the ingest worker (idempotent) and prewarm sharded workers.
+
+        On a service built by :meth:`recover` this is also where the WAL tail
+        replays: every logged document above the replay floor is re-filtered
+        and its matches re-delivered (flagged duplicate) before ``start``
+        returns, so new traffic is never interleaved with recovery traffic.
+        """
         self._ensure_worker()
         bank = self._bank
         if isinstance(bank, ShardedFilterBank):
             await asyncio.get_running_loop().run_in_executor(None, bank.start)
+        await self._replay_wal()
+
+    async def _replay_wal(self) -> None:
+        """Re-filter the recovered WAL tail (deferred from :meth:`recover`).
+
+        Replayed documents are *not* re-appended to the log (they are already
+        in it) and their deliveries carry ``duplicate=True`` — per session,
+        documents at or below the session's cursor are skipped entirely, which
+        is exactly the at-least-once contract: exactly-once at or below the
+        acked cursor, at-least-once above it.
+        """
+        replay, self._replay = self._replay, []
+        if not replay:
+            return
+        queue = self._ensure_worker()
+        loop = asyncio.get_running_loop()
+        futures = []
+        for logged in replay:
+            future = loop.create_future()
+            await queue.put((_OP_DOC, logged.text, future,
+                             logged.document_id, True))
+            futures.append(future)
+        outcomes = await asyncio.gather(*futures, return_exceptions=True)
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                self._counters["replay_failed"] += 1
+            else:
+                self._counters["replayed"] += 1
 
     def _ensure_worker(self) -> asyncio.Queue:
         if self._stopped or self._closing:
@@ -250,6 +332,8 @@ class PubSubService:
         bank = self._bank
         if isinstance(bank, ShardedFilterBank):
             await asyncio.get_running_loop().run_in_executor(None, bank.close)
+        if self._publog is not None:
+            self._publog.close()
 
     async def __aenter__(self) -> "PubSubService":
         await self.start()
@@ -276,6 +360,11 @@ class PubSubService:
             raise ValueError(f"a session named {client_id!r} is already connected")
         session = ClientSession(self, client_id,
                                 queue_size=self._session_queue_size)
+        if self._publog is not None:
+            # a returning client resumes at its last logged cursor even when
+            # no snapshot recorded the session (e.g. reconnect after recover()
+            # from the WAL alone)
+            session.cursor = self._publog.cursor(client_id)
         self._sessions[client_id] = session
         return session
 
@@ -360,9 +449,33 @@ class PubSubService:
         """
         queue = self._ensure_worker()
         future = asyncio.get_running_loop().create_future()
-        doc_id = next(self._doc_ids)
-        await queue.put((_OP_DOC, document, future, doc_id))
+        document, doc_id = self._admit(document)
+        await queue.put((_OP_DOC, document, future, doc_id, False))
         return PendingPublish(doc_id, future)
+
+    def _admit(self, document: Publishable) -> Tuple[Publishable, int]:
+        """Assign the document id and (durably) log the publish, atomically.
+
+        Runs on the event loop with no await between the id draw and the WAL
+        append, so the log's document records are in document-id order.  The
+        WAL write happens *before* ingest-queue admission: once a publisher's
+        ``submit`` returns, a crash can no longer lose the document.
+        """
+        if self._publog is None:
+            return document, next(self._doc_ids)
+        if isinstance(document, str):
+            text = document
+        elif isinstance(document, XMLDocument):
+            text = serialize_document(document)
+        else:
+            if not isinstance(document, list):
+                # a one-shot token iterator would be consumed by serialization
+                document = list(document)
+            text = serialize_tokens(document)
+        doc_id = next(self._doc_ids)
+        self._publog.append_document(doc_id, text)
+        self._counters["wal_appends"] += 1
+        return document, doc_id
 
     async def publish(self, document: Publishable) -> PublishResult:
         """Publish one document and await its filtering outcome.
@@ -394,8 +507,8 @@ class PubSubService:
         entries = []
         for document in documents:
             future = loop.create_future()
-            doc_id = next(self._doc_ids)
-            await queue.put((_OP_DOC, document, future, doc_id))
+            document, doc_id = self._admit(document)
+            await queue.put((_OP_DOC, document, future, doc_id, False))
             entries.append((doc_id, future))
         if entries:
             await asyncio.gather(*(future for _id, future in entries),
@@ -600,7 +713,8 @@ class PubSubService:
             return
         payloads = [op[1] for op in docs]
         outcomes = await loop.run_in_executor(None, self._filter_batch, payloads)
-        for (_tag, _payload, future, doc_id), outcome in zip(docs, outcomes):
+        for (_tag, _payload, future, doc_id, duplicate), outcome \
+                in zip(docs, outcomes):
             if isinstance(outcome, BaseException):
                 self._counters["documents_failed"] += 1
                 if not future.cancelled():
@@ -608,7 +722,7 @@ class PubSubService:
                 continue
             self._counters["published"] += 1
             matched: Tuple[str, ...] = tuple(outcome.matched)
-            self._dispatch(doc_id, matched)
+            self._dispatch(doc_id, matched, duplicate=duplicate)
             if not future.cancelled():
                 future.set_result((matched, outcome.per_query_stats))
 
@@ -633,7 +747,8 @@ class PubSubService:
                 outcomes.append(exc)
         return outcomes
 
-    def _dispatch(self, doc_id: int, matched: Tuple[str, ...]) -> None:
+    def _dispatch(self, doc_id: int, matched: Tuple[str, ...], *,
+                  duplicate: bool = False) -> None:
         """Fan a document's matched global names out to the owning sessions."""
         if not matched:
             return
@@ -645,9 +760,109 @@ class PubSubService:
             session, local = route
             per_session.setdefault(session, []).append(local)
         for session, locals_ in per_session.items():
+            if duplicate and doc_id <= session.cursor:
+                # a recovery replay the client already acked: exactly-once at
+                # or below the cursor, so this delivery must not happen
+                continue
             session._deliver(Notification(document_id=doc_id,
-                                          matched=tuple(locals_)))
+                                          matched=tuple(locals_),
+                                          duplicate=duplicate))
             self._counters["notifications"] += 1
+
+    # ------------------------------------------------------------------ durability
+    def ack_cursor(self, client_id: str, document_id: int) -> None:
+        """Record that a client durably consumed every match up to a document.
+
+        Advances the session's in-memory cursor (never backwards), appends a
+        cursor record to the publish WAL on a durable service, and — when the
+        log has outgrown its compaction threshold — compacts it below the
+        minimum cursor of the currently connected sessions.  Unknown client
+        ids are tolerated (the ack may race a disconnect); cursor regressions
+        are ignored rather than rejected, because a reconnecting client may
+        legitimately re-ack below its recorded position after replay.
+        """
+        session = self._sessions.get(client_id)
+        if session is not None and document_id > session.cursor:
+            session.cursor = document_id
+        self._counters["acks"] += 1
+        if self._publog is None:
+            return
+        self._publog.append_cursor(client_id, document_id)
+        if self._publog.maybe_compact(list(self._sessions)) > 0:
+            self._counters["compactions"] += 1
+
+    @property
+    def durable_dir(self) -> Optional[str]:
+        """The durability directory, or ``None`` for an in-memory service."""
+        return self._durable_dir
+
+    def save_snapshot(self, path: Optional[str] = None) -> str:
+        """Persist the service snapshot as JSON, atomically; returns the path.
+
+        ``path`` defaults to ``snapshot.json`` inside the durable directory
+        (required then).  The write goes through a temp file + ``os.replace``
+        and is fsynced, so a crash mid-save leaves the previous snapshot
+        intact.  :meth:`recover` reads this file back; cursor records in the
+        WAL written after the save are merged on top at recovery.
+        """
+        if path is None:
+            if self._durable_dir is None:
+                raise ValueError("save_snapshot() needs a path on a "
+                                 "non-durable service")
+            path = os.path.join(self._durable_dir, SNAPSHOT_FILENAME)
+        data = self.snapshot()
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        return path
+
+    @classmethod
+    def recover(cls, durable_dir: str, **overrides) -> "PubSubService":
+        """Rebuild a crashed durable service from its directory.
+
+        Reads the persisted snapshot (if any) for sessions and subscriptions,
+        opens the publish WAL (truncating any torn tail), merges each
+        session's snapshot cursor with its latest WAL cursor record (max
+        wins), and queues the log's documents above the replay floor — the
+        minimum cursor across the recovered sessions — for re-filtering.  The
+        replay itself runs inside :meth:`start` (filtering needs the running
+        event loop); until then the service is fully constructed but idle.
+        Keyword overrides are passed to the constructor, as in
+        :meth:`restore`.
+        """
+        overrides.setdefault("durable_dir", durable_dir)
+        snapshot_path = os.path.join(durable_dir, SNAPSHOT_FILENAME)
+        if os.path.exists(snapshot_path):
+            with open(snapshot_path, "r", encoding="utf-8") as handle:
+                service = cls.restore(json.load(handle), **overrides)
+        else:
+            service = cls(**overrides)
+        publog = service._publog
+        if publog is None:  # durable_dir overridden to None: nothing to replay
+            return service
+        scan = publog.scan()
+        for client, logged_cursor in scan.cursors.items():
+            session = service._sessions.get(client)
+            if session is not None and logged_cursor > session.cursor:
+                session.cursor = logged_cursor
+        # document ids must keep increasing across the crash: continue above
+        # everything the log has evidence of (cursors included — a compacted
+        # log may hold a cursor beyond its oldest surviving document)
+        highest = max(
+            [logged.document_id for logged in scan.documents]
+            + list(scan.cursors.values())
+            + [session.cursor for session in service._sessions.values()]
+            + [0])
+        service._doc_ids = itertools.count(highest + 1)
+        sessions = service._sessions.values()
+        floor = min((session.cursor for session in sessions), default=0)
+        service._replay = [logged for logged in scan.documents
+                          if logged.document_id > floor]
+        return service
 
     # ------------------------------------------------------------------ insight
     def metrics(self) -> dict:
@@ -660,6 +875,8 @@ class PubSubService:
             "subscriptions": len(self._bank),
             "dropped_notifications": self._dropped_closed + sum(
                 s.dropped for s in self._sessions.values()),
+            "wal_size_bytes": (self._publog.size_bytes
+                               if self._publog is not None else 0),
         }
 
     def health(self) -> dict:
@@ -673,6 +890,7 @@ class PubSubService:
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "bank": type(bank).__name__,
             "stats_mode": self._stats,
+            "durable": self._publog is not None,
             "workers": (bank.worker_status()
                         if isinstance(bank, ShardedFilterBank) else None),
         }
@@ -711,6 +929,7 @@ class PubSubService:
             "sessions": [
                 {
                     "client": session.client_id,
+                    "cursor": session.cursor,
                     "subscriptions": [
                         [local, canonical]
                         for local, canonical
@@ -731,9 +950,11 @@ class PubSubService:
         interaction, no ingest traffic — and sessions come back under their old
         client ids with empty delivery queues.
         """
-        schema = snapshot.get("schema")
-        if schema != SNAPSHOT_SCHEMA:
-            raise ValueError(f"unsupported service snapshot schema: {schema!r}")
+        try:
+            snapshot = migrate_snapshot(snapshot)
+        except ValueError:
+            raise ValueError("unsupported service snapshot schema: "
+                             f"{snapshot.get('schema')!r}") from None
         kind = snapshot.get("kind")
         if kind != "service" or not isinstance(snapshot.get("sessions"), list):
             raise ValueError(
@@ -754,6 +975,7 @@ class PubSubService:
                     f"duplicate client {client_id!r} in service snapshot")
             session = ClientSession(service, client_id,
                                     queue_size=service._session_queue_size)
+            session.cursor = int(record.get("cursor", 0))
             service._sessions[client_id] = session
             for local, canonical in record.get("subscriptions", []):
                 pending[cls._global_name(client_id, local)] = \

@@ -31,6 +31,11 @@ class Notification:
 
     document_id: int  #: the service-wide sequence number of the published document
     matched: Tuple[str, ...]  #: the client's local subscription names that matched
+    #: True when this delivery is a crash-recovery replay the client *may* have
+    #: seen before its last acknowledged cursor was written — at-least-once
+    #: semantics surface re-deliveries instead of hiding them, so an idempotent
+    #: consumer can branch on the flag instead of keeping its own seen-set
+    duplicate: bool = False
 
 
 class SessionClosedError(RuntimeError):
@@ -60,6 +65,9 @@ class ClientSession:
         self._close_queued = False  # the _CLOSE sentinel sits in the queue
         self._closed = False
         self.dropped = 0  #: notifications dropped because the delivery queue was full
+        #: highest document id this client durably acknowledged (0: nothing yet);
+        #: deliveries at or below it are never replayed after a crash
+        self.cursor = 0
 
     # ------------------------------------------------------------------ identity
     @property
@@ -196,6 +204,18 @@ class ClientSession:
             self._wake_consumers()  # re-arm for any other blocked consumer
             raise SessionClosedError(f"session {self._client_id!r} is closed")
         return item
+
+    def ack(self, document_id: int) -> None:
+        """Acknowledge delivery of every match up to ``document_id``.
+
+        Advances the session's cursor (never backwards) and, on a durable
+        service, logs a cursor record to the publish WAL — after a crash,
+        documents at or below the cursor are not re-delivered to this client.
+        A consumer that never acks simply re-receives everything still in the
+        log, flagged :attr:`Notification.duplicate`.
+        """
+        self._check_open()
+        self._service.ack_cursor(self._client_id, document_id)
 
     def pending_notifications(self) -> int:
         """How many notifications are waiting in the delivery queue."""

@@ -20,10 +20,25 @@ subscriptions to the same shards (round-robin is order-determined), and produces
 any document stream — a property test asserts exactly that.  Service-level
 snapshots (:meth:`~repro.service.server.PubSubService.snapshot`) add the session
 layout on top of the same subscription records.
+
+Schema history
+--------------
+
+* **1** — the original layout above.
+* **2** — service-level session records gain a ``"cursor"`` field: the highest
+  document id the client durably acknowledged, the baseline the durable publish
+  log's cursor records are merged onto at recovery (see the durable package).
+  Bank-level snapshots are structurally unchanged.
+
+:func:`migrate_snapshot` lifts any historical schema to the current one, so
+snapshots written before the durability layer restore cleanly (their cursors
+default to ``0`` — replay everything still in the log, which at-least-once
+delivery permits).
 """
 
 from __future__ import annotations
 
+import copy
 import json
 from typing import IO, Union
 
@@ -32,7 +47,28 @@ from ..core.shard import ShardedFilterBank
 from ..xpath.parser import parse_query
 
 #: current snapshot layout version (bank-level and service-level alike)
-SNAPSHOT_SCHEMA = 1
+SNAPSHOT_SCHEMA = 2
+
+
+def migrate_snapshot(snapshot: dict) -> dict:
+    """Lift a snapshot of any supported schema to the current one.
+
+    Returns the input untouched when it is already current; otherwise a
+    migrated *copy* (the caller's dict is never mutated).  Unknown — including
+    future — schemas raise ``ValueError``: downgrades are not guessable.
+    """
+    schema = snapshot.get("schema")
+    if schema == SNAPSHOT_SCHEMA:
+        return snapshot
+    if schema != 1:
+        raise ValueError(f"unsupported snapshot schema: {schema!r}")
+    migrated = copy.deepcopy(snapshot)
+    migrated["schema"] = SNAPSHOT_SCHEMA
+    if migrated.get("kind") == "service":
+        for record in migrated.get("sessions", []):
+            # schema 1 predates delivery cursors: nothing was ever acked
+            record.setdefault("cursor", 0)
+    return migrated
 
 BankLike = Union[CompiledFilterBank, ShardedFilterBank]
 
@@ -63,9 +99,12 @@ def restore_bank(snapshot: dict, **overrides) -> BankLike:
     statistics-accurate engine; the subscription set is restored either way, in
     its original registration order.
     """
-    schema = snapshot.get("schema")
-    if schema != SNAPSHOT_SCHEMA:
-        raise ValueError(f"unsupported bank snapshot schema: {schema!r}")
+    try:
+        snapshot = migrate_snapshot(snapshot)
+    except ValueError:
+        raise ValueError(
+            f"unsupported bank snapshot schema: {snapshot.get('schema')!r}"
+        ) from None
     kind = overrides.get("kind", snapshot.get("kind"))
     if kind == "service":
         raise ValueError("this is a service-level snapshot; restore it with "

@@ -32,6 +32,7 @@ from .queries import (
     value_predicate_query,
 )
 from .service_traffic import (
+    publish_burst,
     service_document,
     service_traffic,
     traffic_summary,
@@ -59,6 +60,7 @@ __all__ = [
     "nested_sections",
     "paper_query",
     "path_query",
+    "publish_burst",
     "random_labelled_document",
     "recursive_branch_document",
     "service_document",

@@ -48,6 +48,36 @@ def service_document(rng: random.Random, *, topics: int, entries: int) -> str:
     return "".join(parts)
 
 
+def publish_burst(
+    documents: int,
+    *,
+    topics: int = 8,
+    entries: int = 3,
+    pinned_topic: int = 0,
+    seed: int = 0,
+) -> List[str]:
+    """``documents`` feed documents for a single-publisher burst replay.
+
+    Every document carries one guaranteed ``<topic{pinned_topic}>`` entry with
+    score 100, so a single ``/feed/topic{pinned_topic}[score{pinned_topic} >
+    0]`` subscription matches the *entire* burst deterministically — the shape
+    the durability fault harness and the WAL benchmark need to reason about
+    delivered-match multisets document by document.  The remaining
+    ``entries - 1`` entries per document vary with ``seed`` so the filtering
+    work stays realistic rather than degenerate.
+    """
+    rng = random.Random(seed)
+    burst: List[str] = []
+    pin = (f"<topic{pinned_topic}><headline{pinned_topic}>pinned"
+           f"</headline{pinned_topic}><score{pinned_topic}>100"
+           f"</score{pinned_topic}></topic{pinned_topic}>")
+    for _ in range(documents):
+        filler = service_document(rng, topics=topics,
+                                  entries=max(entries - 1, 0))
+        burst.append("<feed>" + pin + filler[len("<feed>"):])
+    return burst
+
+
 def service_traffic(
     documents: int,
     *,

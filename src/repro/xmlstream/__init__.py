@@ -40,7 +40,7 @@ from .parse import (
     parse_with_sax,
     tokenize,
 )
-from .serialize import serialize_document, serialize_events
+from .serialize import serialize_document, serialize_events, serialize_tokens
 
 __all__ = [
     "ATTRIBUTE",
@@ -75,6 +75,7 @@ __all__ = [
     "random_document",
     "serialize_document",
     "serialize_events",
+    "serialize_tokens",
     "strip_document",
     "text_element_events",
     "tokenize",

@@ -1,11 +1,11 @@
-"""Serialization of documents and event streams back to XML text."""
+"""Serialization of documents, event streams and token streams back to XML text."""
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .events import EndDocument, EndElement, Event, StartDocument, StartElement, Text
-from .parse import _escape
+from .parse import TOK_END, TOK_START, TOK_TEXT, Token, _escape, token_text
 
 
 def serialize_events(events: Sequence[Event], *, self_close_empty: bool = True) -> str:
@@ -50,3 +50,65 @@ def serialize_events(events: Sequence[Event], *, self_close_empty: bool = True) 
 def serialize_document(document) -> str:
     """Serialize an :class:`~repro.xmlstream.document.XMLDocument` to XML text."""
     return serialize_events(document.events())
+
+
+def serialize_tokens(tokens: Iterable[Token], *,
+                     self_close_empty: bool = True) -> str:
+    """Serialize a zero-copy token stream back to XML text.
+
+    The inverse of :func:`~repro.xmlstream.parse.document_tokens` up to
+    representation: attribute pseudo-elements (``(TOK_START, "@name")`` + text
+    + matching end, emitted nested right after their element's start token) are
+    reconstructed as real attributes, text is re-escaped, and re-tokenizing the
+    result yields a token stream equivalent to the input.  This is what lets
+    the durable publish log store *text* for every publish — including
+    pre-tokenized ones arriving via ``publish_stream`` — and replay it through
+    the ordinary text path after a crash.
+    """
+    parts: List[str] = []
+    # an element start being assembled: its name plus collected (attr, value)s
+    pending: Optional[Tuple[str, List[Tuple[str, str]]]] = None
+
+    def flush_pending(empty: bool) -> None:
+        nonlocal pending
+        if pending is None:
+            return
+        name, attrs = pending
+        attr_text = "".join(
+            f' {attr}="{_escape(value).replace(chr(34), "&quot;")}"'
+            for attr, value in attrs)
+        if empty and self_close_empty:
+            parts.append(f"<{name}{attr_text}/>")
+        else:
+            parts.append(f"<{name}{attr_text}>")
+        pending = None
+
+    stream = iter(tokens)
+    for token in stream:
+        kind = token[0]
+        if kind == TOK_START:
+            name = token[1]
+            if name.startswith("@") and pending is not None:
+                # attribute pseudo-element: fold its text back into the start tag
+                value_parts: List[str] = []
+                for inner in stream:
+                    if inner[0] == TOK_END and inner[1] == name:
+                        break
+                    if inner[0] == TOK_TEXT:
+                        value_parts.append(token_text(inner))
+                pending[1].append((name[1:], "".join(value_parts)))
+            else:
+                flush_pending(empty=False)
+                pending = (name, [])
+        elif kind == TOK_END:
+            if pending is not None and pending[0] == token[1]:
+                flush_pending(empty=True)
+            else:
+                flush_pending(empty=False)
+                parts.append(f"</{token[1]}>")
+        elif kind == TOK_TEXT:
+            flush_pending(empty=False)
+            parts.append(_escape(token_text(token)))
+        # TOK_START_DOC / TOK_END_DOC carry no text
+    flush_pending(empty=False)
+    return "".join(parts)

@@ -1,0 +1,112 @@
+"""Cumulative statistics continuity across shard-worker death and respawn.
+
+Before this PR the per-query statistics a sharded bank reported came only from
+the worker that filtered the current document: killing a worker (and replaying
+its registrations into a fresh process) silently reset its counters, so any
+monitoring built on stats-mode totals saw them jump backwards after a respawn.
+The totals now live in the parent (:meth:`ShardedFilterBank.cumulative_stats`)
+and must be strictly monotonic across worker kills, respawns, and churn.
+"""
+
+import os
+import signal
+import time
+
+from repro.core import ShardedFilterBank
+from repro.workloads import shared_prefix_feed, shared_prefix_subscriptions
+from repro.xpath import parse_query
+
+
+def _register(bank, count=8):
+    for index, text in enumerate(shared_prefix_subscriptions(count, seed=5)):
+        bank.register(f"q{index}", parse_query(text))
+
+
+def _wait_dead(bank, shard, timeout=5.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if bank.worker_status()[shard]["alive"] is False:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"shard {shard} never observed dead")  # pragma: no cover
+
+COUNTERS = ("events", "candidate_matches", "real_match_evaluations")
+PEAKS = ("peak_frontier_records", "peak_buffer_chars", "peak_memory_bits",
+         "max_level")
+
+
+class TestCumulativeStats:
+    def test_totals_accumulate_across_documents(self):
+        document = shared_prefix_feed(6, seed=6)
+        with ShardedFilterBank(2, stats=True) as bank:
+            _register(bank)
+            bank.filter_document(document)
+            once = bank.cumulative_stats()
+            assert bank.documents_filtered == 1
+            assert once and all(s.events > 0 for s in once.values())
+            bank.filter_document(document)
+            twice = bank.cumulative_stats()
+            assert bank.documents_filtered == 2
+            for name, stats in twice.items():
+                # counters sum per document; peaks are identical re-runs
+                for field in COUNTERS:
+                    assert getattr(stats, field) == \
+                        2 * getattr(once[name], field)
+                for field in PEAKS:
+                    assert getattr(stats, field) == \
+                        getattr(once[name], field)
+
+    def test_totals_survive_a_mid_churn_worker_kill(self):
+        """The regression: kill a worker between documents, respawn it, and
+        keep filtering — every cumulative counter must keep growing from its
+        pre-death value, never reset with the replacement process."""
+        document = shared_prefix_feed(6, seed=7)
+        with ShardedFilterBank(2, stats=True) as bank:
+            _register(bank)
+            for _ in range(3):
+                bank.filter_document(document)
+            before = bank.cumulative_stats()
+            assert bank.documents_filtered == 3
+
+            os.kill(bank.worker_status()[0]["pid"], signal.SIGKILL)
+            _wait_dead(bank, 0)
+            assert bank.ensure_healthy() == [0]
+            # churn while the replacement is fresh: totals must still carry
+            bank.register("late", parse_query("/catalog/product/s0"))
+            bank.unregister("q0")
+
+            for _ in range(2):
+                bank.filter_document(document)
+            after = bank.cumulative_stats()
+            assert bank.documents_filtered == 5
+            # the unregistered query's history is retained, frozen
+            assert after["q0"] == before["q0"]
+            for name, stats in before.items():
+                if name == "q0":
+                    continue
+                # every event-count keeps strictly growing; counters that can
+                # legitimately be zero for the workload must never shrink
+                assert after[name].events > stats.events
+                for field in COUNTERS:
+                    assert getattr(after[name], field) >= getattr(stats, field)
+                for field in PEAKS:
+                    assert getattr(after[name], field) >= getattr(stats, field)
+            # the churn-added query joined the totals from its first document
+            assert after["late"].events > 0
+
+    def test_match_only_mode_reports_no_totals(self):
+        document = shared_prefix_feed(4, seed=8)
+        with ShardedFilterBank(2) as bank:
+            _register(bank)
+            bank.filter_document(document)
+            assert bank.cumulative_stats() == {}
+            assert bank.documents_filtered == 0
+
+    def test_returned_stats_are_copies(self):
+        document = shared_prefix_feed(4, seed=9)
+        with ShardedFilterBank(2, stats=True) as bank:
+            _register(bank)
+            bank.filter_document(document)
+            grabbed = bank.cumulative_stats()
+            next(iter(grabbed.values())).events = -1
+            assert all(s.events >= 0 for s in bank.cumulative_stats().values())

@@ -1,0 +1,174 @@
+"""The publish log's replay and compaction invariants.
+
+The service's at-least-once contract reduces to three properties of this layer:
+a scan returns every logged document in publish order with the latest cursor
+per client, cursors never regress, and compaction never discards a document
+above the minimum live cursor (so nothing a client might still need to
+re-receive can be lost to a rewrite).
+"""
+
+import pytest
+
+from repro.durable import DEFAULT_COMPACT_THRESHOLD, PublishLog
+
+
+def _log(tmp_path, **kwargs):
+    return PublishLog(str(tmp_path / "publish.wal"), **kwargs)
+
+
+class TestScan:
+    def test_documents_come_back_in_publish_order(self, tmp_path):
+        with _log(tmp_path) as log:
+            for doc_id in (1, 2, 3):
+                log.append_document(doc_id, f"<d>{doc_id}</d>")
+            scan = log.scan()
+        assert [(d.document_id, d.text) for d in scan.documents] == \
+            [(1, "<d>1</d>"), (2, "<d>2</d>"), (3, "<d>3</d>")]
+        assert scan.cursors == {}
+
+    def test_latest_cursor_per_client_wins(self, tmp_path):
+        with _log(tmp_path) as log:
+            log.append_cursor("a", 3)
+            log.append_cursor("b", 1)
+            log.append_cursor("a", 7)
+            assert log.scan().cursors == {"a": 7, "b": 1}
+            assert log.cursor("a") == 7
+            assert log.cursor("unknown") == 0
+
+    def test_stale_cursor_records_never_regress_the_cursor(self, tmp_path):
+        with _log(tmp_path) as log:
+            log.append_cursor("a", 9)
+            log.append_cursor("a", 4)  # a re-ack after replay: logged, ignored
+            assert log.cursor("a") == 9
+            assert log.scan().cursors == {"a": 9}
+
+    def test_cursors_survive_reopen(self, tmp_path):
+        with _log(tmp_path) as log:
+            log.append_document(1, "<d/>")
+            log.append_cursor("a", 1)
+        with _log(tmp_path) as log:
+            assert log.cursor("a") == 1
+            assert log.cursors() == {"a": 1}
+            scan = log.scan()
+            assert [d.document_id for d in scan.documents] == [1]
+
+    def test_unicode_documents_round_trip(self, tmp_path):
+        text = "<d a=\"q&quot;uote\">café ☃</d>"
+        with _log(tmp_path) as log:
+            log.append_document(1, text)
+            assert log.scan().documents[0].text == text
+
+
+class TestCompaction:
+    def _seed(self, log, docs=6):
+        for doc_id in range(1, docs + 1):
+            log.append_document(doc_id, f"<d>{doc_id}</d>")
+
+    def test_compact_drops_documents_at_or_below_the_minimum_cursor(
+            self, tmp_path):
+        with _log(tmp_path) as log:
+            self._seed(log)
+            log.append_cursor("a", 4)
+            log.append_cursor("b", 2)
+            freed = log.compact(["a", "b"])
+            assert freed > 0
+            scan = log.scan()
+            # the floor is min(4, 2) = 2: documents 1-2 are gone, 3-6 kept
+            assert [d.document_id for d in scan.documents] == [3, 4, 5, 6]
+            assert scan.cursors == {"a": 4, "b": 2}
+
+    def test_compact_keeps_only_the_latest_cursor_record_per_client(
+            self, tmp_path):
+        with _log(tmp_path) as log:
+            for doc_id in (1, 2, 3):
+                log.append_document(doc_id, "<d/>")
+                log.append_cursor("a", doc_id)
+            log.compact(["a"])
+        # reopen and re-scan from disk: one cursor record survived
+        with _log(tmp_path) as log:
+            assert log.cursor("a") == 3
+            assert log.scan().documents == []
+
+    def test_client_without_cursor_pins_everything(self, tmp_path):
+        """A live client that never acked has cursor 0: nothing may be
+        discarded, because it might still need every document."""
+        with _log(tmp_path) as log:
+            self._seed(log)
+            log.append_cursor("a", 6)
+            log.compact(["a", "never-acked"])
+            assert [d.document_id for d in log.scan().documents] == \
+                [1, 2, 3, 4, 5, 6]
+
+    def test_departed_clients_do_not_pin_the_log(self, tmp_path):
+        """Restricting the floor to live clients lets a gone client's low
+        cursor be ignored — its records stay but stop bounding retention."""
+        with _log(tmp_path) as log:
+            self._seed(log)
+            log.append_cursor("gone", 1)
+            log.append_cursor("live", 5)
+            log.compact(["live"])
+            assert [d.document_id for d in log.scan().documents] == [6]
+
+    def test_no_cursor_evidence_keeps_everything(self, tmp_path):
+        with _log(tmp_path) as log:
+            self._seed(log)
+            assert log.compact() == 0
+            assert len(log.scan().documents) == 6
+
+    def test_maybe_compact_is_size_gated(self, tmp_path):
+        with _log(tmp_path, compact_threshold=200) as log:
+            log.append_document(1, "<d/>")
+            log.append_cursor("a", 1)
+            assert log.maybe_compact(["a"]) == 0  # under the threshold
+            self._seed(log)
+            log.append_document(99, "x" * 300)
+            log.append_cursor("a", 99)
+            assert log.maybe_compact(["a"]) > 0
+            assert log.scan().documents == []
+
+    def test_forget_unpins_a_disconnected_client(self, tmp_path):
+        with _log(tmp_path) as log:
+            self._seed(log)
+            log.append_cursor("a", 1)
+            log.append_cursor("b", 6)
+            log.forget("a")
+            log.compact()  # no live list: every *remembered* cursor counts
+            assert [d.document_id for d in log.scan().documents] == []
+
+    def test_default_threshold_is_a_megabyte(self):
+        assert DEFAULT_COMPACT_THRESHOLD == 1 << 20
+
+    def test_replay_still_correct_after_compaction_and_reopen(self, tmp_path):
+        """The end-to-end shape recovery relies on: compaction then crash then
+        reopen yields exactly the documents above the floor."""
+        with _log(tmp_path) as log:
+            self._seed(log, docs=10)
+            log.append_cursor("a", 7)
+            log.compact(["a"])
+            log.append_document(11, "<d>11</d>")
+        with _log(tmp_path) as log:
+            scan = log.scan()
+            assert [d.document_id for d in scan.documents] == [8, 9, 10, 11]
+            assert scan.cursors == {"a": 7}
+
+
+class TestRobustness:
+    def test_foreign_records_in_the_wal_are_skipped(self, tmp_path):
+        """A future record type (or garbage body) must not break the scan of
+        the records this version understands."""
+        path = str(tmp_path / "publish.wal")
+        with PublishLog(path) as log:
+            log.append_document(1, "<d/>")
+        from repro.durable import WriteAheadLog
+        with WriteAheadLog(path) as wal:
+            wal.append(b"Z" + b"\x00" * 8 + b"future record type")
+            wal.append(b"D")  # too short to carry a document id
+        with PublishLog(path) as log:
+            scan = log.scan()
+            assert [d.document_id for d in scan.documents] == [1]
+            log.append_document(2, "<d/>")
+            assert [d.document_id for d in log.scan().documents] == [1, 2]
+
+    def test_bad_fsync_policy_propagates(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync policy"):
+            _log(tmp_path, fsync="bogus")

@@ -1,0 +1,193 @@
+"""The write-ahead log must survive exactly the crashes it promises to survive.
+
+Every durability claim the service layer builds on is pinned here at the record
+level: round trips, strictly monotonic LSNs across reopen and rewrite, and —
+the load-bearing one — torn-tail tolerance: a log truncated or corrupted at any
+byte of its final record yields every record before it and not one byte after.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.durable import WalError, WalRecord, WriteAheadLog, scan_wal
+
+
+def _wal(tmp_path, **kwargs):
+    return WriteAheadLog(str(tmp_path / "test.wal"), **kwargs)
+
+
+class TestRoundTrip:
+    def test_append_and_read_back(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            lsns = [wal.append(f"record {i}".encode()) for i in range(5)]
+            assert lsns == [1, 2, 3, 4, 5]
+            records = wal.records()
+        assert [r.lsn for r in records] == lsns
+        assert [r.body for r in records] == [f"record {i}".encode()
+                                             for i in range(5)]
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        assert list(scan_wal(str(tmp_path / "absent.wal"))) == []
+
+    def test_empty_bodies_and_binary_bodies_round_trip(self, tmp_path):
+        bodies = [b"", bytes(range(256)), b"\x00" * 100]
+        with _wal(tmp_path) as wal:
+            for body in bodies:
+                wal.append(body)
+            assert [r.body for r in wal.records()] == bodies
+
+    def test_lsns_continue_across_reopen(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            wal.append(b"one")
+            wal.append(b"two")
+        with _wal(tmp_path) as wal:
+            assert wal.next_lsn == 3
+            assert wal.append(b"three") == 3
+            assert [r.lsn for r in wal.records()] == [1, 2, 3]
+
+    def test_size_bytes_tracks_the_file(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            assert wal.size_bytes == 0
+            wal.append(b"x" * 10)
+            assert wal.size_bytes == os.path.getsize(wal.path)
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = _wal(tmp_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(WalError, match="closed"):
+            wal.append(b"late")
+
+    def test_bad_fsync_policy_is_rejected(self, tmp_path):
+        with pytest.raises(WalError, match="fsync policy"):
+            _wal(tmp_path, fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "interval", "never"])
+    def test_every_policy_round_trips(self, tmp_path, policy):
+        with _wal(tmp_path, fsync=policy) as wal:
+            wal.append(b"body")
+            wal.sync()
+        assert [r.body for r in scan_wal(str(tmp_path / "test.wal"))] == \
+            [b"body"]
+
+
+class TestTornTail:
+    def _written(self, tmp_path, count=4):
+        path = str(tmp_path / "test.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(count):
+                wal.append(f"record {i}".encode())
+        return path
+
+    @pytest.mark.parametrize("cut", [1, 3, 7, 9, 14])
+    def test_truncation_at_any_offset_of_the_last_record_loses_only_it(
+            self, tmp_path, cut):
+        """Cut the file ``cut`` bytes into the final record: the reader must
+        return exactly the first three records, byte-for-byte intact."""
+        path = self._written(tmp_path)
+        size = os.path.getsize(path)
+        record_bytes = size // 4
+        with open(path, "r+b") as handle:
+            handle.truncate(size - record_bytes + cut)
+        records = list(scan_wal(path))
+        assert [r.body for r in records] == [b"record 0", b"record 1",
+                                             b"record 2"]
+
+    def test_corrupt_crc_stops_the_scan_there(self, tmp_path):
+        path = self._written(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)  # last byte of the last record's body
+            handle.write(b"\xff")
+        assert [r.body for r in scan_wal(path)] == [b"record 0", b"record 1",
+                                                    b"record 2"]
+
+    def test_corruption_mid_log_hides_everything_after_it(self, tmp_path):
+        """No resynchronization: a corrupt record ends the log even when valid
+        records follow it (they are unreachable without trusting garbage)."""
+        path = self._written(tmp_path)
+        record_bytes = os.path.getsize(path) // 4
+        with open(path, "r+b") as handle:
+            handle.seek(record_bytes + 8)  # inside record 1
+            handle.write(b"\xff\xff")
+        assert [r.body for r in scan_wal(path)] == [b"record 0"]
+
+    def test_garbage_length_prefix_stops_the_scan(self, tmp_path):
+        path = self._written(tmp_path, count=1)
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("!II", 2 ** 31, 0))  # absurd length
+        assert [r.body for r in scan_wal(path)] == [b"record 0"]
+
+    def test_reopen_truncates_the_torn_tail_before_appending(self, tmp_path):
+        """New records must never land after garbage — they would be invisible
+        behind the reader's corruption stop."""
+        path = self._written(tmp_path, count=2)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00\x00\x10partial")  # torn record
+        with WriteAheadLog(path) as wal:
+            assert wal.next_lsn == 3
+            wal.append(b"after the tear")
+            assert [r.body for r in wal.records()] == \
+                [b"record 0", b"record 1", b"after the tear"]
+
+    def test_non_monotonic_lsn_is_treated_as_corruption(self, tmp_path):
+        path = str(tmp_path / "test.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(b"one")
+            tail = wal.records()[0]
+        with open(path, "ab") as handle:
+            # duplicate the first record verbatim: valid CRC, repeated LSN
+            payload = struct.pack("!Q", tail.lsn) + tail.body
+            handle.write(struct.pack("!II", len(payload),
+                                     __import__("zlib").crc32(payload)))
+            handle.write(payload)
+        assert [r.body for r in scan_wal(path)] == [b"one"]
+
+
+class TestRewrite:
+    def test_rewrite_keeps_a_subsequence_and_lsns_never_regress(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            for i in range(6):
+                wal.append(f"r{i}".encode())
+            keep = [r for r in wal.records() if r.lsn in (3, 5)]
+            wal.rewrite(keep)
+            assert [(r.lsn, r.body) for r in wal.records()] == \
+                [(3, b"r2"), (5, b"r4")]
+            # the next append continues above the pre-rewrite maximum even
+            # though the rewrite dropped record 6
+            assert wal.append(b"new") == 7
+
+    def test_rewrite_to_empty(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            wal.append(b"gone")
+            wal.rewrite([])
+            assert wal.records() == []
+            assert wal.size_bytes == 0
+            assert wal.append(b"fresh") == 2
+
+    def test_rewrite_rejects_unsorted_records(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            wal.append(b"a")
+            wal.append(b"b")
+            records = wal.records()
+            with pytest.raises(WalError, match="strictly increasing"):
+                wal.rewrite(reversed(records))
+
+    def test_rewrite_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "test.wal")
+        with WriteAheadLog(path) as wal:
+            for i in range(4):
+                wal.append(f"r{i}".encode())
+            wal.rewrite([r for r in wal.records() if r.lsn > 2])
+        with WriteAheadLog(path) as wal:
+            assert [r.lsn for r in wal.records()] == [3, 4]
+            assert wal.next_lsn == 5
+
+    def test_rewritten_records_stay_scannable_without_the_writer(self, tmp_path):
+        with _wal(tmp_path) as wal:
+            lsn = wal.append(b"kept")
+            wal.rewrite([WalRecord(lsn, b"kept")])
+        assert [r.body for r in scan_wal(str(tmp_path / "test.wal"))] == \
+            [b"kept"]

@@ -1,0 +1,117 @@
+"""A TCP chaos proxy for the fault-injection harness.
+
+The proxy sits between a :class:`~repro.net.WireClient` and a
+:class:`~repro.net.WireServer` and forwards bytes in both directions while
+misbehaving on purpose:
+
+- **split**: forwarded data is re-chunked into tiny slices (``chunk`` bytes),
+  so every frame crosses the wire fragmented across many TCP segments —
+  length-prefix framing must reassemble it regardless.
+- **delay**: an ``asyncio.sleep(delay)`` between slices stretches each frame
+  over time, interleaving the two directions.
+- **sever**: :meth:`sever_all` aborts every live link mid-flight (no FIN
+  handshake, like a yanked cable), while the listener keeps accepting new
+  connections — exactly the shape a client reconnect must survive.
+
+The proxy never inspects frames; it is chaos at the transport layer only.
+"""
+
+import asyncio
+from typing import List, Tuple
+
+
+class ChaosProxy:
+    """Forward TCP to ``(target_host, target_port)`` with injected chaos."""
+
+    def __init__(self, target_host: str, target_port: int, *,
+                 chunk: int = 7, delay: float = 0.0) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be at least 1 byte")
+        self._target = (target_host, target_port)
+        self._chunk = chunk
+        self._delay = delay
+        self._server = None
+        self._links: List[Tuple[asyncio.StreamWriter,
+                                asyncio.StreamWriter]] = []
+        self._tasks: List[asyncio.Task] = []
+        #: how many client connections the proxy has accepted over its life
+        self.accepted = 0
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0)
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def _handle(self, client_reader: asyncio.StreamReader,
+                      client_writer: asyncio.StreamWriter) -> None:
+        self.accepted += 1
+        try:
+            upstream_reader, upstream_writer = await asyncio.open_connection(
+                *self._target)
+        except OSError:
+            client_writer.close()
+            return
+        self._links.append((client_writer, upstream_writer))
+        loop = asyncio.get_running_loop()
+        self._tasks.append(loop.create_task(
+            self._pump(client_reader, upstream_writer)))
+        self._tasks.append(loop.create_task(
+            self._pump(upstream_reader, client_writer)))
+
+    async def _pump(self, reader: asyncio.StreamReader,
+                    writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                # the chaos: re-chunk into tiny slices, pause between them
+                for start in range(0, len(data), self._chunk):
+                    writer.write(data[start:start + self._chunk])
+                    await writer.drain()
+                    if self._delay:
+                        await asyncio.sleep(self._delay)
+        except (ConnectionError, OSError):
+            pass  # a severed or vanished peer ends the pump, not the proxy
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def sever_all(self) -> int:
+        """Abort every live link (both sockets, no FIN); returns the count.
+
+        The listener stays up: a reconnecting client dials the same proxy
+        address and gets a fresh link to the target.
+        """
+        severed = 0
+        for client_writer, upstream_writer in self._links:
+            for writer in (client_writer, upstream_writer):
+                transport = writer.transport
+                if transport is not None and not transport.is_closing():
+                    transport.abort()
+                    severed += 1
+        self._links.clear()
+        return severed
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.sever_all()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "ChaosProxy":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()

@@ -1,0 +1,60 @@
+"""Subprocess entrypoint: a durable WireServer the harness can kill -9.
+
+Usage (spawned by the fault-injection tests, never run by pytest itself)::
+
+    python server_proc.py DURABLE_DIR [--recover] [--port N]
+
+Starts a :class:`~repro.net.WireServer` over a durable
+:class:`~repro.service.PubSubService` (fsync policy ``interval`` — the mode
+whose crash window the harness is probing), prints ``PORT <port>`` on stdout
+once the listener is accepting, then serves until the process is killed.  A
+background task snapshots the service every 50 ms so sessions and
+subscriptions survive a SIGKILL the same way the WAL-logged publishes do.
+
+With ``--recover`` the service is rebuilt via
+:meth:`~repro.service.PubSubService.recover`, replaying the WAL tail above
+the durable cursor floor before the port line is printed — by the time the
+harness reconnects, re-deliveries are already queued.
+"""
+
+import asyncio
+import sys
+
+
+async def _snapshot_loop(service) -> None:
+    while True:
+        await asyncio.sleep(0.05)
+        try:
+            service.save_snapshot()
+        except Exception:
+            return  # service stopped (or stopping): the loop's job is done
+
+
+async def _main(durable_dir: str, port: int, recover: bool) -> None:
+    from repro.net import WireServer
+    from repro.service import PubSubService
+
+    if recover:
+        service = PubSubService.recover(durable_dir, fsync="interval")
+    else:
+        service = PubSubService(durable_dir=durable_dir, fsync="interval")
+    server = WireServer(service, port=port, retain_sessions=True)
+    await server.start()
+    snapshotter = asyncio.get_running_loop().create_task(
+        _snapshot_loop(service))
+    print(f"PORT {server.address[1]}", flush=True)
+    try:
+        await asyncio.Event().wait()  # serve until killed
+    finally:  # pragma: no cover - only on polite interruption
+        snapshotter.cancel()
+        await server.stop()
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    listen_port = 0
+    if "--port" in args:
+        at = args.index("--port")
+        listen_port = int(args[at + 1])
+        del args[at:at + 2]
+    asyncio.run(_main(args[0], listen_port, "--recover" in args))

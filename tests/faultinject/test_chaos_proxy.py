@@ -1,0 +1,152 @@
+"""Transport chaos: frames split into slivers, delayed, and severed cold.
+
+The :class:`ChaosProxy` sits between a real client and a real server and
+misbehaves at the TCP layer only — the wire protocol's length-prefix framing
+and the client's reconnect loop are what is under test.  The kill -9 +
+recovery composition lives in ``test_kill9_recovery.py``; here the server
+stays alive the whole time, so these runs double as the lossless baseline the
+crash harness's superset invariant refers to.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import ConnectionClosedError, WireClient, WireError, WireServer
+from repro.net.protocol import ProtocolError
+from repro.workloads import publish_burst
+
+from .chaosproxy import ChaosProxy
+
+QUERY = "/feed/topic0[score0 > 0]"  # matches every burst document
+PHASE_TIMEOUT = 60.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, PHASE_TIMEOUT))
+
+
+class TestSplitAndDelay:
+    def test_sliced_frames_reassemble_losslessly(self):
+        """Three-byte TCP segments: every frame boundary lands mid-slice,
+        yet the burst round-trips exactly as over a clean socket."""
+        docs = publish_burst(80, seed=1)
+
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                async with ChaosProxy(host, port, chunk=3) as proxy:
+                    client = await WireClient.connect(*proxy.address,
+                                                      client_id="c")
+                    await client.subscribe("all", QUERY)
+                    results = await client.publish_many(docs)
+                    assert [r.document_id for r in results] == \
+                        list(range(1, len(docs) + 1))
+                    assert all(r.matched == ("c:all",) for r in results)
+                    delivered = []
+                    for _ in docs:
+                        delivered.append(await client.next_match(timeout=5))
+                    assert [n.document_id for n in delivered] == \
+                        list(range(1, len(docs) + 1))
+                    assert not any(n.duplicate for n in delivered)
+                    await client.close()
+        run(scenario())
+
+    def test_delayed_slices_stretch_frames_across_time(self):
+        """Each frame arrives as a drip-feed over many event-loop beats; the
+        server must never act on a half-received frame."""
+        docs = publish_burst(5, seed=2)
+
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                async with ChaosProxy(host, port, chunk=16,
+                                      delay=0.002) as proxy:
+                    client = await WireClient.connect(*proxy.address,
+                                                      client_id="c")
+                    await client.subscribe("all", QUERY)
+                    results = await client.publish_many(docs)
+                    assert all(r.matched == ("c:all",) for r in results)
+                    await client.close()
+        run(scenario())
+
+
+class TestSever:
+    def test_sever_mid_burst_then_reconnect_resumes_the_session(self):
+        """A yanked cable mid-pipeline: in-flight publishes fail loudly, the
+        retained session survives server-side, and one reconnect through the
+        same proxy address resumes it — subscriptions, cursor, and all."""
+        docs = publish_burst(200, seed=3)
+
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                async with ChaosProxy(host, port, chunk=64) as proxy:
+                    client = await WireClient.connect(*proxy.address,
+                                                      client_id="c")
+                    await client.subscribe("all", QUERY)
+                    futures, consumed = [], []
+                    try:
+                        for index, text in enumerate(docs):
+                            futures.append(client.submit(text))
+                            if index == 49:
+                                while sum(f.done() for f in futures) < 25:
+                                    await asyncio.sleep(0.005)
+                                proxy.sever_all()
+                        await client.drain()
+                    except (ConnectionError, OSError, WireError):
+                        pass
+                    # drain the match backlog received before the cut
+                    while True:
+                        try:
+                            consumed.append(
+                                await client.next_match(timeout=0.5))
+                        except (asyncio.TimeoutError, ConnectionClosedError):
+                            break
+                    await asyncio.gather(*futures, return_exceptions=True)
+                    acked = [f for f in futures if not f.cancelled()
+                             and f.exception() is None]
+                    failed = len(futures) - len(acked)
+                    assert failed > 0, "the sever landed after the burst"
+                    assert len(acked) >= 25
+
+                    await client.reconnect(retries=10, backoff_base=0.05)
+                    assert client.resumed
+                    assert client.server_subscriptions == ["all"]
+                    # at least one fresh dial (more if the first reconnect
+                    # attempt raced the server's reaping of the dead binding)
+                    assert proxy.accepted >= 2
+                    # the cursor survived with the session: already-consumed
+                    # matches stay consumed, and fresh traffic flows
+                    assert server.service.session("c").cursor >= 0
+                    result = await client.publish(docs[0])
+                    assert result.matched == ("c:all",)
+                    note = await client.next_match(timeout=5)
+                    assert note.document_id == result.document_id
+                    assert not note.duplicate
+                    await client.close()
+                # every ack the client ever saw names a publish the service
+                # really performed — severing cannot fabricate or lose acks
+                assert server.service.metrics()["published"] >= len(acked)
+        run(scenario())
+
+    def test_sever_during_handshake_is_a_clean_connection_error(self):
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                proxy = ChaosProxy(host, port, chunk=1, delay=0.05)
+                await proxy.start()
+                try:
+                    async def cut():
+                        await asyncio.sleep(0.02)  # mid-hello, mid-slice
+                        proxy.sever_all()
+                    task = asyncio.get_running_loop().create_task(cut())
+                    with pytest.raises((ConnectionError, OSError,
+                                        ConnectionClosedError,
+                                        ProtocolError)):
+                        await WireClient.connect(*proxy.address,
+                                                 client_id="c")
+                    await task
+                finally:
+                    await proxy.stop()
+        run(scenario())

@@ -1,0 +1,221 @@
+"""The tentpole acceptance harness: SIGKILL a durable server mid-burst.
+
+A real ``WireServer`` process (``server_proc.py``) is killed with ``kill -9``
+while a client is pipelining a 1000-document burst into it, then a second
+process recovers the same durable directory and the client reconnects —
+through a splitting/delaying :class:`ChaosProxy`, so the recovery stream also
+crosses a hostile transport.  The at-least-once contract is then checked
+against the WAL itself (scanned offline, after both processes are dead):
+
+- phase-1 deliveries are a dense, ordered, duplicate-free prefix;
+- nothing at or below the recovered cursor is re-delivered (exactly-once);
+- everything the WAL holds **above** the cursor is re-delivered, flagged
+  ``duplicate`` (at-least-once);
+- every acked publish made it into the WAL, and the union of both phases'
+  deliveries covers the whole log — the delivered-match multiset is a
+  superset of what a lossless run over the same accepted publishes yields.
+
+No pytest-timeout dependency: every async phase is wrapped in its own
+``asyncio.wait_for`` so a hang fails the test instead of wedging the run.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.durable import PublishLog
+from repro.net import ConnectionClosedError, WireClient, WireError
+from repro.service.server import WAL_FILENAME
+from repro.workloads import publish_burst
+
+from .chaosproxy import ChaosProxy
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+SERVER_PROC = Path(__file__).resolve().parent / "server_proc.py"
+
+BURST = 1000
+DOCS = publish_burst(BURST, seed=42)
+QUERY = "/feed/topic0[score0 > 0]"  # matches every burst document
+PHASE_TIMEOUT = 60.0
+
+
+def _spawn_server(durable_dir, *extra):
+    """Start a server process; block until it announces its port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, str(SERVER_PROC), str(durable_dir), *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env,
+        text=True)
+    line = proc.stdout.readline()
+    if not line.startswith("PORT "):
+        proc.kill()
+        raise AssertionError(f"server process failed to start: {line!r}")
+    return proc, int(line.split()[1])
+
+
+def _reap(proc):
+    if proc.poll() is None:
+        proc.kill()
+    proc.wait(timeout=10)
+    proc.stdout.close()
+
+
+async def _burst_until_killed(port, pid):
+    """Pipeline the burst, SIGKILL the server mid-flight, report the wreck."""
+    client = await WireClient.connect("127.0.0.1", port, client_id="c",
+                                      max_pending_matches=2048)
+    await client.subscribe("all", QUERY)
+    await asyncio.sleep(0.15)  # let a snapshot capture the subscription
+    delivered = []
+
+    async def consume():
+        while True:
+            try:
+                delivered.append(await client.next_match(timeout=5))
+            except (asyncio.TimeoutError, ConnectionClosedError):
+                return
+
+    consumer = asyncio.get_running_loop().create_task(consume())
+    futures = []
+    killed = False
+    try:
+        for index, text in enumerate(DOCS):
+            futures.append(client.submit(text))
+            if index % 25 == 24:
+                await client.drain()
+            if not killed and index == BURST // 2:
+                # half the burst is in flight; wait until a decent prefix is
+                # durably acked, then pull the plug with no warning at all
+                while sum(f.done() for f in futures) < BURST // 4:
+                    await asyncio.sleep(0.005)
+                os.kill(pid, signal.SIGKILL)
+                killed = True
+    except (ConnectionError, OSError, WireError):
+        pass  # the dead transport surfaces wherever the next write lands
+    assert killed, "the whole burst was acked before the kill could land"
+    await consumer
+    acked = []
+    for future in futures:
+        if future.done() and not future.cancelled() \
+                and future.exception() is None:
+            acked.append(future.result().document_id)
+    try:
+        await client.close()
+    except (ConnectionError, OSError, WireError):
+        pass
+    return delivered, sorted(acked)
+
+
+async def _drain_recovery(port):
+    """Reconnect through chaos and drain every re-delivered match."""
+    async with ChaosProxy("127.0.0.1", port, chunk=5) as proxy:
+        proxy_host, proxy_port = proxy.address
+        client = await WireClient.connect(proxy_host, proxy_port,
+                                          client_id="c", retries=10,
+                                          backoff_base=0.05,
+                                          max_pending_matches=2048)
+        assert client.resumed
+        assert client.server_subscriptions == ["all"]
+        cursor = client.cursor  # the hello ack announces the durable cursor
+        redelivered = []
+        while True:
+            try:
+                redelivered.append(await client.next_match(timeout=1.0))
+            except asyncio.TimeoutError:
+                break
+        await client.close()
+    return cursor, redelivered
+
+
+def test_kill9_mid_burst_is_at_least_once(tmp_path):
+    durable_dir = tmp_path / "durable"
+    proc, port = _spawn_server(durable_dir)
+    try:
+        delivered, acked = asyncio.run(asyncio.wait_for(
+            _burst_until_killed(port, proc.pid), PHASE_TIMEOUT))
+        assert proc.wait(timeout=10) != 0  # SIGKILL, not a clean exit
+    finally:
+        _reap(proc)
+
+    recovered, rport = _spawn_server(durable_dir, "--recover")
+    try:
+        cursor, redelivered = asyncio.run(asyncio.wait_for(
+            _drain_recovery(rport), PHASE_TIMEOUT))
+    finally:
+        _reap(recovered)
+
+    # ground truth: scan the WAL offline, with both processes dead
+    scan = PublishLog(str(durable_dir / WAL_FILENAME)).scan()
+    wal_ids = sorted(doc.document_id for doc in scan.documents)
+    assert wal_ids, "the burst never reached the WAL"
+    assert len(wal_ids) < BURST, "the kill landed after the whole burst"
+
+    # phase 1: a dense, ordered, duplicate-free prefix of the burst
+    first_ids = [note.document_id for note in delivered]
+    assert first_ids == list(range(1, len(first_ids) + 1))
+    assert not any(note.duplicate for note in delivered)
+
+    # every acked publish is durable: the ack only ever follows the append
+    assert set(acked) <= set(wal_ids)
+
+    # exactly-once at or below the durable cursor ...
+    assert 0 <= cursor <= len(first_ids)
+    redelivered_ids = [note.document_id for note in redelivered]
+    assert all(document_id > cursor for document_id in redelivered_ids)
+    # ... and at-least-once above it: the replay covers the WAL tail past the
+    # cursor, in order, every re-delivery flagged as a possible duplicate
+    expected_tail = [i for i in wal_ids if i > cursor]
+    assert redelivered_ids == expected_tail
+    assert all(note.duplicate for note in redelivered)
+    assert redelivered, "the kill left nothing above the cursor to replay"
+
+    # the two phases together cover everything a lossless run would have
+    # delivered for the same accepted publishes: a multiset superset with no
+    # gaps below the acked cursor
+    assert set(wal_ids) <= set(first_ids) | set(redelivered_ids)
+
+
+def test_recovered_server_accepts_new_publishes(tmp_path):
+    """After recovery the service is live, not a read-only replayer: new
+    publishes get fresh document ids above everything the WAL has seen."""
+    durable_dir = tmp_path / "durable"
+    proc, port = _spawn_server(durable_dir)
+
+    async def seed_phase():
+        client = await WireClient.connect("127.0.0.1", port, client_id="c")
+        await client.subscribe("all", QUERY)
+        await asyncio.sleep(0.15)
+        results = await client.publish_many(DOCS[:5])
+        for _ in range(5):
+            await client.next_match(timeout=5)
+        return [r.document_id for r in results]
+
+    try:
+        seeded = asyncio.run(asyncio.wait_for(seed_phase(), PHASE_TIMEOUT))
+        os.kill(proc.pid, signal.SIGKILL)
+    finally:
+        _reap(proc)
+    assert seeded == [1, 2, 3, 4, 5]
+
+    recovered, rport = _spawn_server(durable_dir, "--recover")
+
+    async def resume_phase():
+        client = await WireClient.connect("127.0.0.1", rport, client_id="c",
+                                          retries=10, backoff_base=0.05)
+        assert client.resumed
+        result = await client.publish(DOCS[5])
+        assert result.document_id > max(seeded)
+        note = await client.next_match(timeout=5)
+        while note.duplicate:  # skip any replayed tail first
+            note = await client.next_match(timeout=5)
+        assert note.document_id == result.document_id
+        await client.close()
+
+    try:
+        asyncio.run(asyncio.wait_for(resume_phase(), PHASE_TIMEOUT))
+    finally:
+        _reap(recovered)

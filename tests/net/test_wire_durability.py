@@ -1,0 +1,343 @@
+"""Durable delivery over the wire: acks, reconnect, duplicates, abandonment.
+
+Covers the client-side cursor protocol (auto-ack and manual), the in-place
+``reconnect`` that adopts the same session with backlog preserved, the typed
+``SessionBusyError`` rejection of the adopt race, at-least-once re-delivery
+flagged ``duplicate`` after a server crash + ``recover()``, the
+``PublishAbandonedError`` frames a timed-out stop drain now emits instead of
+silently dropping queued publishes, and the snapshot hygiene of a session that
+disconnected mid ``publish_stream`` (no partial framer state may leak).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import (
+    RemoteError,
+    WireClient,
+    WireServer,
+)
+from repro.net.protocol import decode_payload, encode_frame, read_frame
+from repro.service import PubSubService
+
+CATALOG = "<catalog><book><price>12</price></book></catalog>"
+PRICEY = "<catalog><book><price>90</price></book></catalog>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCursorProtocol:
+    def test_auto_ack_advances_the_server_cursor(self, tmp_path):
+        async def scenario():
+            async with WireServer(durable_dir=str(tmp_path)) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                await client.publish(CATALOG)
+                note = await client.next_match(timeout=2)
+                assert note.document_id == 1
+                assert not note.duplicate
+                assert client.cursor == 1
+                # the fire-and-forget cursor frame reaches the service
+                session = server.service.session("a")
+                for _ in range(100):
+                    if session.cursor == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert session.cursor == 1
+                assert server.service.metrics()["acks"] == 1
+                await client.close()
+        run(scenario())
+
+    def test_manual_ack_moves_the_boundary_explicitly(self, tmp_path):
+        async def scenario():
+            async with WireServer(durable_dir=str(tmp_path)) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a",
+                                                  auto_ack=False)
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                await client.publish(CATALOG)
+                await client.next_match(timeout=2)
+                assert client.cursor == 0  # nothing acked yet
+                client.ack(1)
+                assert client.cursor == 1
+                session = server.service.session("a")
+                for _ in range(100):
+                    if session.cursor == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert session.cursor == 1
+                await client.close()
+        run(scenario())
+
+
+class TestReconnect:
+    def test_reconnect_adopts_the_session_and_preserves_backlog(self):
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                publisher = await WireClient.connect(host, port)
+                await publisher.publish(CATALOG)
+                # receive but do not consume: the match sits in the backlog
+                for _ in range(100):
+                    if client.pending_matches() == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert client.pending_matches() == 1
+                # the transport dies abruptly (no goodbye)
+                client._writer.transport.abort()
+                await client.reconnect(retries=4)
+                assert client.resumed
+                assert client.server_subscriptions == ["cheap"]
+                # the un-consumed match survived the swap
+                note = await client.next_match(timeout=2)
+                assert (note.document_id, note.matched) == (1, ("cheap",))
+                # and the revived connection is fully live
+                result = await publisher.publish(CATALOG)
+                assert result.matched == ("a:cheap",)
+                assert (await client.next_match(timeout=2)).document_id == 2
+                await client.close()
+                await publisher.close()
+        run(scenario())
+
+    def test_reconnect_retries_with_backoff_until_the_server_returns(self):
+        async def scenario():
+            service = PubSubService()
+            server = WireServer(service, close_service=False,
+                                retain_sessions=True)
+            await server.start()
+            host, port = server.address
+            client = await WireClient.connect(host, port, client_id="a")
+            await client.subscribe("cheap", "/catalog/book[price < 20]")
+            # the server goes away entirely; the service survives
+            await server.stop()
+            revived = WireServer(service, close_service=False, host=host,
+                                 port=port, retain_sessions=True)
+
+            async def bring_back():
+                await asyncio.sleep(0.2)
+                await revived.start()
+
+            task = asyncio.get_running_loop().create_task(bring_back())
+            try:
+                # the first dials hit a dead port: only the retry loop's
+                # backoff survives until bring_back rebinds it
+                await client.reconnect(retries=10, backoff_base=0.05,
+                                       jitter=0.0)
+            finally:
+                await task
+            assert client.resumed
+            assert client.server_subscriptions == ["cheap"]
+            await client.close()
+            await revived.stop()
+            await service.stop()
+        run(scenario())
+
+    def test_reconnect_gives_up_after_capped_retries(self):
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+            # the server (and its listener) are gone for good
+            with pytest.raises((ConnectionError, OSError)):
+                await client.reconnect(retries=2, backoff_base=0.01,
+                                       jitter=0.0)
+        run(scenario())
+
+
+class TestAdoptRace:
+    def test_second_hello_for_a_live_session_is_typed_busy(self):
+        """Satellite: racing a live connection must yield SessionBusyError,
+        never a silent adopt (two connections sharing one delivery queue)."""
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                first = await WireClient.connect(host, port, client_id="s")
+                with pytest.raises(RemoteError) as excinfo:
+                    await WireClient.connect(host, port, client_id="s")
+                assert excinfo.value.error_type == "SessionBusyError"
+                assert "live connection" in excinfo.value.message
+                # the rejection is not retried by the backoff loop: a second
+                # attempt with retries on fails just as fast
+                with pytest.raises(RemoteError):
+                    await WireClient.connect(host, port, client_id="s",
+                                             retries=5, backoff_base=5.0)
+                # once the first connection leaves, the name adopts cleanly
+                await first.close()
+                for _ in range(100):
+                    if server.connection_count() == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                second = await WireClient.connect(host, port, client_id="s")
+                assert second.resumed  # retained session, not a fresh one
+                await second.close()
+        run(scenario())
+
+
+class TestDuplicateRedelivery:
+    def test_unacked_matches_redeliver_flagged_after_crash_recovery(
+            self, tmp_path):
+        async def before_crash():
+            service = PubSubService(durable_dir=str(tmp_path))
+            async with WireServer(service) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a",
+                                                  auto_ack=False)
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                service.save_snapshot()
+                await client.publish(CATALOG)
+                note = await client.next_match(timeout=2)
+                client.ack(note.document_id)  # document 1 durably consumed
+                await client.publish(PRICEY)   # no match: nothing to ack
+                await client.publish(CATALOG)  # match received, never acked
+                await client.next_match(timeout=2)
+                for _ in range(100):
+                    if service.session("a").cursor == 1:
+                        break
+                    await asyncio.sleep(0.01)
+                await client.close()
+            # the WireServer stop() was graceful, but the WAL is what the
+            # recovery reads — the fault-injection suite covers kill -9
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with WireServer(service) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                assert client.resumed
+                assert client.cursor == 1  # the hello ack announced it
+                note = await client.next_match(timeout=2)
+                assert note.document_id == 3
+                assert note.duplicate
+                # document 1 was acked: exactly-once below the cursor
+                with pytest.raises(asyncio.TimeoutError):
+                    await client.next_match(timeout=0.2)
+                await client.close()
+
+        run(before_crash())
+        run(after_crash())
+
+
+class TestAbandonedPublishes:
+    def test_timed_out_drain_fails_queued_publishes_with_typed_errors(self):
+        """Satellite: a stop drain that times out must answer every queued
+        publish with a PublishAbandonedError frame and count it, instead of
+        abandoning the seqs silently."""
+        async def scenario():
+            # flush_interval holds the ingest batch open, so outcomes are
+            # still pending when the (tiny) drain window expires
+            server = WireServer(batch_max=64, flush_interval=0.5,
+                                drain_timeout=0.05)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(encode_frame(
+                    {"type": "hello", "seq": 0, "client": "raw"}))
+                await writer.drain()
+                hello = await read_frame(reader)
+                assert hello[0]["type"] == "ack"
+                for seq in (1, 2, 3):
+                    writer.write(encode_frame(
+                        {"type": "publish", "seq": seq},
+                        CATALOG.encode("utf-8")))
+                await writer.drain()
+                # give the reader loop a beat to submit all three
+                await asyncio.sleep(0.1)
+                await server.stop()
+                assert server.dropped_on_stop == 3
+                frames = []
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        break
+                    frames.append(frame[0])
+                errors = [f for f in frames if f["type"] == "error"]
+                assert sorted(e["seq"] for e in errors) == [1, 2, 3]
+                assert all(e["error"] == "PublishAbandonedError"
+                           for e in errors)
+            finally:
+                writer.close()
+        run(scenario())
+
+    def test_graceful_drain_still_answers_everything(self):
+        """The abandonment path must not fire when the drain succeeds."""
+        async def scenario():
+            async with WireServer() as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port)
+                results = await client.publish_many([CATALOG] * 5)
+                assert len(results) == 5
+                await client.close()
+            assert server.dropped_on_stop == 0
+        run(scenario())
+
+
+class TestMidStreamDisconnect:
+    def test_snapshot_of_a_session_that_died_mid_stream_is_clean(self):
+        """Satellite: a connection severed inside ``publish_stream`` leaves a
+        half-fed framer on the *connection*; the session snapshot must carry
+        only subscriptions — restoring it yields a service with no trace of
+        the partial document."""
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                # open a stream and abandon it mid-document
+                client._writer.write(encode_frame(
+                    {"type": "publish_stream", "seq": 99},
+                    b"<catalog><book><price>1"))
+                await client.drain()
+                await asyncio.sleep(0.1)  # let the server feed its framer
+                client._writer.transport.abort()
+                for _ in range(100):
+                    if server.connection_count() == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                snapshot = server.service.snapshot()
+                published_before = server.service.metrics()["published"]
+
+            restored = PubSubService.restore(snapshot)
+            async with restored:
+                session = restored.session("a")
+                assert session.subscription_queries() == {
+                    "cheap": "/catalog/book[price < 20]"}
+                # no partial framer state leaked: nothing was ever published,
+                # and fresh traffic behaves as on a clean service
+                assert restored.metrics()["published"] == 0
+                result = await restored.publish(CATALOG)
+                assert result.matched == ("a:cheap",)
+            assert published_before == 0
+        run(scenario())
+
+    def test_reconnect_after_mid_stream_death_starts_a_fresh_stream(self):
+        async def scenario():
+            async with WireServer(retain_sessions=True) as server:
+                host, port = server.address
+                client = await WireClient.connect(host, port, client_id="a")
+                await client.subscribe("cheap", "/catalog/book[price < 20]")
+                client._writer.write(encode_frame(
+                    {"type": "publish_stream", "seq": 99},
+                    b"<catalog><book><price>1"))
+                await client.drain()
+                await asyncio.sleep(0.1)
+                client._writer.transport.abort()
+                await client.reconnect(retries=4)
+                assert client.resumed
+                # the new connection's framer is pristine: a whole stream
+                # round-trips, unpolluted by the abandoned half document
+                results = await client.publish_stream([CATALOG, PRICEY])
+                assert [r.matched for r in results] == [("a:cheap",), ()]
+                await client.close()
+        run(scenario())
+
+
+def test_decode_payload_is_importable():  # keeps the explicit import honest
+    header, body = decode_payload(encode_frame({"type": "x"}, b"b")[4:])
+    assert header["type"] == "x" and body == b"b"

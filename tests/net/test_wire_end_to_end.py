@@ -69,8 +69,13 @@ class TestBasics:
             async with WireServer() as server:
                 host, port = server.address
                 first = await WireClient.connect(host, port, client_id="c")
-                with pytest.raises(RemoteError, match="already connected"):
+                with pytest.raises(RemoteError,
+                                   match="already has a live connection") \
+                        as excinfo:
                     await WireClient.connect(host, port, client_id="c")
+                # the typed rejection of the adopt race, not a generic
+                # duplicate-name ValueError
+                assert excinfo.value.error_type == "SessionBusyError"
                 await first.close()
         run(scenario())
 

@@ -1,0 +1,311 @@
+"""Crash-recovery semantics of the durable pub/sub service.
+
+The contract under test: once ``submit``/``publish`` returns, the document is
+in the WAL (a crash can no longer lose it); ``recover()`` + ``start()`` replays
+the log tail above the acked cursors, re-delivering matches flagged
+``duplicate``; deliveries at or below a session's acked cursor happen exactly
+once (the replay skips them); and acking drives cursor persistence plus
+size-gated compaction.  "Crash" here means dropping the service object without
+``stop()`` — the WAL's append-time flush makes that equivalent to ``kill -9``
+for file contents (the fault-injection suite kills real processes).
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.service import PubSubService
+from repro.service.server import SNAPSHOT_FILENAME, WAL_FILENAME
+from repro.durable import PublishLog
+from repro.xmlstream import parse_document
+from repro.xmlstream.parse import document_tokens
+
+CATALOG = "<catalog><book><price>12</price></book></catalog>"
+NO_MATCH = "<catalog><cd/></catalog>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _wal_path(tmp_path):
+    return os.path.join(str(tmp_path), WAL_FILENAME)
+
+
+class TestWalWrites:
+    def test_publish_is_logged_before_its_outcome_returns(self, tmp_path):
+        async def scenario():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                await service.publish(CATALOG)
+                assert service.metrics()["wal_appends"] == 1
+                assert service.metrics()["wal_size_bytes"] > 0
+            with PublishLog(_wal_path(tmp_path)) as log:
+                scan = log.scan()
+            assert [(d.document_id, d.text) for d in scan.documents] == \
+                [(1, CATALOG)]
+        run(scenario())
+
+    def test_non_text_publishes_are_logged_as_equivalent_text(self, tmp_path):
+        """XMLDocument and pre-tokenized publishes serialize into the WAL so
+        replay (which re-tokenizes text) reproduces the same matches."""
+        async def scenario():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await session.subscribe("cheap", "/catalog/book[price < 20]")
+                document = parse_document(CATALOG)
+                first = await service.publish(document)
+                second = await service.publish(
+                    document_tokens(CATALOG))  # a one-shot iterator
+                assert first.matched == second.matched == ("a:cheap",)
+            with PublishLog(_wal_path(tmp_path)) as log:
+                texts = [d.text for d in log.scan().documents]
+            assert len(texts) == 2
+            for text in texts:
+                assert list(document_tokens(text)) == \
+                    list(document_tokens(CATALOG))
+        run(scenario())
+
+    def test_non_durable_service_is_unchanged(self, tmp_path):
+        async def scenario():
+            async with PubSubService() as service:
+                await service.publish(CATALOG)
+                assert service.metrics()["wal_appends"] == 0
+                assert service.metrics()["wal_size_bytes"] == 0
+                assert service.health()["durable"] is False
+                with pytest.raises(ValueError, match="needs a path"):
+                    service.save_snapshot()
+        run(scenario())
+
+
+class TestRecovery:
+    def test_unacked_publishes_replay_with_duplicate_flag(self, tmp_path):
+        async def before_crash():
+            service = PubSubService(durable_dir=str(tmp_path))
+            async with service:
+                session = await service.connect("a")
+                await session.subscribe("cheap", "/catalog/book[price < 20]")
+                service.save_snapshot()
+                await service.publish(CATALOG)
+                await service.publish(NO_MATCH)
+                await service.publish(CATALOG)
+                # crash before any ack: drop the service without stop() —
+                # the WAL already holds all three documents
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                assert service.metrics()["replayed"] == 3
+                session = service.session("a")
+                seen = []
+                while True:
+                    try:
+                        seen.append(await session.next_notification(
+                            timeout=0.2))
+                    except asyncio.TimeoutError:
+                        break
+                assert [n.document_id for n in seen] == [1, 3]
+                assert all(n.duplicate for n in seen)
+                assert all(n.matched == ("cheap",) for n in seen)
+
+        run(before_crash())
+        run(after_crash())
+
+    def test_acked_documents_are_not_redelivered(self, tmp_path):
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await session.subscribe("cheap", "/catalog/book[price < 20]")
+                service.save_snapshot()
+                for _ in range(3):
+                    await service.publish(CATALOG)
+                session.ack(2)  # documents 1-2 durably consumed
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                session = service.session("a")
+                assert session.cursor == 2
+                note = await session.next_notification(timeout=1)
+                assert note.document_id == 3
+                assert note.duplicate
+                with pytest.raises(asyncio.TimeoutError):
+                    await session.next_notification(timeout=0.2)
+
+        run(before_crash())
+        run(after_crash())
+
+    def test_document_ids_continue_above_the_recovered_log(self, tmp_path):
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                for _ in range(4):
+                    await service.publish(NO_MATCH)
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                result = await service.publish(NO_MATCH)
+                assert result.document_id == 5
+
+        run(before_crash())
+        run(after_crash())
+
+    def test_recover_without_snapshot_resumes_cursors_from_the_wal(
+            self, tmp_path):
+        """No snapshot on disk: sessions are gone, but a reconnecting client
+        still resumes at its last logged cursor."""
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await service.publish(CATALOG)
+                session.ack(1)
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                assert service.sessions() == []
+                session = await service.connect("a")
+                assert session.cursor == 1
+
+        run(before_crash())
+        run(after_crash())
+
+    def test_recovery_survives_a_torn_wal_tail(self, tmp_path):
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                await service.connect("a")
+                service.save_snapshot()
+                await service.publish(CATALOG)
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                assert service.metrics()["replayed"] == 1
+                result = await service.publish(NO_MATCH)
+                assert result.document_id == 2
+
+        run(before_crash())
+        with open(_wal_path(tmp_path), "ab") as handle:
+            handle.write(b"\x00\x00\x00\x20torn")  # crash mid-append
+        run(after_crash())
+
+    def test_recover_from_an_empty_directory(self, tmp_path):
+        async def scenario():
+            service = PubSubService.recover(str(tmp_path / "fresh"))
+            async with service:
+                result = await service.publish(NO_MATCH)
+                assert result.document_id == 1
+        run(scenario())
+
+    def test_replay_of_an_unparsable_logged_document_is_counted_not_fatal(
+            self, tmp_path):
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                await service.publish(NO_MATCH)
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                metrics = service.metrics()
+                assert metrics["replayed"] == 1
+                assert metrics["replay_failed"] == 1
+                # the service is healthy for new traffic despite the bad record
+                assert (await service.publish(NO_MATCH)).matched == ()
+
+        run(before_crash())
+        with PublishLog(_wal_path(tmp_path)) as log:
+            log.append_document(2, "<unclosed>")
+        run(after_crash())
+
+
+class TestAcksAndCompaction:
+    def test_acks_persist_cursors_and_trigger_compaction(self, tmp_path):
+        async def scenario():
+            async with PubSubService(durable_dir=str(tmp_path),
+                                     compact_threshold=400) as service:
+                session = await service.connect("a")
+                big = NO_MATCH.replace("<cd/>", "<cd>" + "x" * 200 + "</cd>")
+                for _ in range(4):
+                    await service.publish(big)
+                assert service.metrics()["wal_size_bytes"] > 400
+                session.ack(4)
+                metrics = service.metrics()
+                assert metrics["acks"] == 1
+                assert metrics["compactions"] == 1
+            with PublishLog(_wal_path(tmp_path)) as log:
+                scan = log.scan()
+            assert scan.documents == []  # everything acked was discarded
+            assert scan.cursors == {"a": 4}
+        run(scenario())
+
+    def test_cursor_never_regresses(self, tmp_path):
+        async def scenario():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                session.ack(5)
+                session.ack(3)  # a stale re-ack after replay
+                assert session.cursor == 5
+        run(scenario())
+
+    def test_ack_on_a_non_durable_service_is_in_memory_only(self):
+        async def scenario():
+            async with PubSubService() as service:
+                session = await service.connect("a")
+                session.ack(7)
+                assert session.cursor == 7
+                assert service.metrics()["acks"] == 1
+        run(scenario())
+
+
+class TestSnapshotPersistence:
+    def test_save_snapshot_is_atomic_and_readable(self, tmp_path):
+        async def scenario():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await session.subscribe("books", "/catalog/book")
+                path = service.save_snapshot()
+                assert path == os.path.join(str(tmp_path), SNAPSHOT_FILENAME)
+                assert not os.path.exists(path + ".tmp")
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+                assert data["schema"] == 2
+                assert data["sessions"][0]["client"] == "a"
+        run(scenario())
+
+    def test_subscriptions_survive_the_crash_via_the_snapshot(self, tmp_path):
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await session.subscribe("cheap", "/catalog/book[price < 20]")
+                service.save_snapshot()
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                result = await service.publish(CATALOG)
+                assert result.matched == ("a:cheap",)
+
+        run(before_crash())
+        run(after_crash())
+
+    def test_wal_cursor_newer_than_snapshot_wins(self, tmp_path):
+        """Acks land in the WAL continuously but snapshots are periodic: a
+        cursor acked after the last save must still be honored at recovery."""
+        async def before_crash():
+            async with PubSubService(durable_dir=str(tmp_path)) as service:
+                session = await service.connect("a")
+                await session.subscribe("cheap", "/catalog/book[price < 20]")
+                service.save_snapshot()  # snapshot records cursor 0
+                await service.publish(CATALOG)
+                session.ack(1)  # after the save: only the WAL knows
+
+        async def after_crash():
+            service = PubSubService.recover(str(tmp_path))
+            async with service:
+                assert service.session("a").cursor == 1
+                with pytest.raises(asyncio.TimeoutError):
+                    await service.session("a").next_notification(timeout=0.2)
+
+        run(before_crash())
+        run(after_crash())

@@ -96,10 +96,27 @@ def _memory_run(*, smoke=False, ratio=3.5, timestamp="2026-01-01T00:04:00Z"):
     }
 
 
+def _wal_run(*, smoke=False, ratio=0.9, timestamp="2026-01-01T00:05:00Z"):
+    return {
+        "benchmark": "wal_throughput",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"mode": "memory", "documents": 1000},
+            {"mode": "wal_interval", "documents": 300,
+             "throughput_vs_memory": 0.3},  # sub-floor at smaller size is fine
+            {"mode": "wal_interval", "documents": 1000,
+             "throughput_vs_memory": ratio},
+            {"mode": "wal_always", "documents": 1000,
+             "throughput_vs_memory": 0.1},  # unasserted: hardware truth
+        ],
+    }
+
+
 def _healthy():
     return {"schema": 2,
             "runs": [_throughput_run(), _churn_run(), _service_run(),
-                     _wire_run(), _memory_run()]}
+                     _wire_run(), _memory_run(), _wal_run()]}
 
 
 def _write(tmp_path, data) -> str:
@@ -112,7 +129,7 @@ class TestGateVerdicts:
     def test_healthy_trajectory_passes(self, tmp_path, capsys):
         assert gate.main([_write(tmp_path, _healthy())]) == 0
         out = capsys.readouterr().out
-        assert "6/6 floors checked, none violated" in out
+        assert "7/7 floors checked, none violated" in out
 
     @pytest.mark.parametrize("doctor, floor", [
         (lambda runs: runs.__setitem__(0, _throughput_run(compiled_speedup=2.9)),
@@ -127,6 +144,8 @@ class TestGateVerdicts:
          "pipelined_vs_request_response"),
         (lambda runs: runs.__setitem__(4, _memory_run(ratio=0.97)),
          "bound_over_measured"),
+        (lambda runs: runs.__setitem__(5, _wal_run(ratio=0.4)),
+         "wal_overhead"),
     ])
     def test_each_floor_violation_fails(self, tmp_path, capsys, doctor, floor):
         data = _healthy()
@@ -161,7 +180,7 @@ class TestGateVerdicts:
         smoke_only = {"schema": 2, "runs": [
             _throughput_run(smoke=True), _churn_run(smoke=True),
             _service_run(smoke=True), _wire_run(smoke=True),
-            _memory_run(smoke=True)]}
+            _memory_run(smoke=True), _wal_run(smoke=True)]}
         assert gate.main([_write(tmp_path, smoke_only), "--allow-smoke"]) == 1
 
     def test_missing_benchmark_fails_by_default_and_warns_when_allowed(
@@ -202,7 +221,7 @@ class TestSmokeHygiene:
         assert gate.main([path, "--prune-smoke"]) == 0
         assert "pruned 2 smoke run(s)" in capsys.readouterr().out
         rewritten = json.loads(open(path).read())
-        assert len(rewritten["runs"]) == 5
+        assert len(rewritten["runs"]) == 6
         assert not any(run.get("smoke") for run in rewritten["runs"])
         assert rewritten["schema"] == 2
         assert gate.main([path]) == 0  # hygiene restored, floors intact
@@ -250,11 +269,12 @@ class TestStructuralValidation:
 class TestMarkdownSummary:
     def test_summary_lists_recent_runs_with_ratios(self, tmp_path):
         summary = gate.format_markdown_summary(_healthy(), last=3)
-        assert "| service_throughput |" in summary
         assert "| wire_throughput |" in summary
         assert "| memory_model |" in summary
+        assert "| wal_throughput |" in summary
         assert "pipelined_vs_request_response 2.4x" in summary
         assert "bound_over_measured 3.5x" in summary
+        assert "wal_overhead 0.9x" in summary
         assert "filterbank_throughput" not in summary  # trimmed by last=3
 
     def test_summary_only_never_gates(self, tmp_path):
