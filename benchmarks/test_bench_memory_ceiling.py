@@ -1,0 +1,169 @@
+"""Capacity planning vs. the governor's live sample (the ceiling cross-check).
+
+PR 8's resource governor enforces a configured memory ceiling against the
+bank's live ``memory_report().modeled_bits`` — standing plan state plus the
+folded runtime high-water marks.  That only keeps a service *correct* at its
+ceiling if an operator can size the ceiling from static facts: measured
+standing bits at registration time plus the cost model's Theorem 8.8 runtime
+quote per subscription (``analyze_query(...).predicted_memory_bits``,
+instantiated at the document depth and text-size assumptions).
+
+This benchmark closes that loop.  For each subscription count it registers
+the shared-prefix workload (descendant axes + a recursive document — the
+loosest, most load-bearing regime), computes the planner's ceiling::
+
+    ceiling_bits = standing_bits(after registration)
+                 + sum(predicted_memory_bits over subscriptions)
+
+streams the document, and asserts the governor-visible sample never exceeds
+it.  The appended ``memory_ceiling`` trajectory entry records
+``ceiling_over_modeled`` — ceiling divided by the measured peak
+``modeled_bits`` — and ``scripts/check_bench_trajectory.py`` gates it at
+>= 1.0: a PR whose engine outgrows the statically-planned ceiling (or whose
+analyzer under-quotes the marginal subscription) cannot merge.  Like the
+memory-model benchmark these assertions are correctness, not performance, so
+they run in smoke mode too (smaller sizes only).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.costmodel import analyze_query
+from repro.core import CompiledFilterBank
+from repro.workloads import shared_prefix_feed, shared_prefix_subscriptions
+from repro.xpath import parse_query
+
+from .conftest import append_bench_run, print_table
+
+SMOKE = os.environ.get("FILTERBANK_BENCH_SMOKE") == "1"
+
+SUBSCRIPTION_COUNTS = [25] if SMOKE else [100, 1000]
+ENTRIES = 10 if SMOKE else 60
+
+#: workload shape, matched to the memory-model benchmark so the two entries
+#: describe the same regime from the per-subscription and whole-bank sides
+BRANCHING = 4
+SUFFIX_DEPTH = 3
+DESCENDANT_FRACTION = 0.15
+RECURSION = 2
+MAX_TEXT_CHARS = 16
+
+#: (subscriptions,) -> measurement dict
+_measurements = {}
+
+
+def _measure(subscriptions: int) -> dict:
+    key = (subscriptions,)
+    if key in _measurements:
+        return _measurements[key]
+
+    bank = CompiledFilterBank(stats=True)
+    queries = {}
+    for index, text in enumerate(shared_prefix_subscriptions(
+            subscriptions, branching=BRANCHING, suffix_depth=SUFFIX_DEPTH,
+            descendant_fraction=DESCENDANT_FRACTION, seed=7)):
+        name = f"sub{index}"
+        queries[name] = parse_query(text)
+        bank.register(name, queries[name])
+    standing_bits = bank.memory_report().standing_bits
+
+    document = shared_prefix_feed(
+        ENTRIES, branching=BRANCHING, suffix_depth=SUFFIX_DEPTH,
+        recursion=RECURSION, seed=13)
+    depth = document.depth()
+    quoted_bits = sum(
+        analyze_query(query, max_depth=depth,
+                      max_text_chars=MAX_TEXT_CHARS).predicted_memory_bits
+        for query in queries.values())
+    ceiling_bits = standing_bits + quoted_bits
+
+    events = document.events()
+    start = time.perf_counter()
+    result = bank.filter_events(iter(events))
+    seconds = time.perf_counter() - start
+
+    report = bank.memory_report()
+    _measurements[key] = {
+        "subscriptions": subscriptions,
+        "depth": depth,
+        "events": len(events),
+        "seconds": seconds,
+        "matched": len(result.matched),
+        "standing_bits": standing_bits,
+        "quoted_bits": quoted_bits,
+        "ceiling_bits": ceiling_bits,
+        "modeled_bits": report.modeled_bits,
+        "peak_document_bits": report.peak_document_bits,
+    }
+    return _measurements[key]
+
+
+@pytest.mark.parametrize("subscriptions", SUBSCRIPTION_COUNTS)
+def test_planned_ceiling_dominates_live_sample(subscriptions):
+    """The governor sample never exceeds the statically planned ceiling."""
+    m = _measure(subscriptions)
+    assert m["peak_document_bits"] > 0, "the stream never exercised the bank"
+    assert m["modeled_bits"] <= m["ceiling_bits"], (
+        f"live modeled bits {m['modeled_bits']} exceed the planned ceiling "
+        f"{m['ceiling_bits']} (standing {m['standing_bits']} + quoted "
+        f"{m['quoted_bits']}) — a governor configured from the cost model "
+        f"would run at HARD in steady state")
+
+
+def _run_entry() -> dict:
+    results = []
+    for (subscriptions,), m in sorted(_measurements.items()):
+        results.append({
+            "subscriptions": subscriptions,
+            "events": m["events"],
+            "document_depth": m["depth"],
+            "max_text_chars": MAX_TEXT_CHARS,
+            "seconds": round(m["seconds"], 6),
+            "matched": m["matched"],
+            "standing_bits": m["standing_bits"],
+            "quoted_bits": m["quoted_bits"],
+            "ceiling_bits": m["ceiling_bits"],
+            "modeled_bits": m["modeled_bits"],
+            "peak_document_bits": m["peak_document_bits"],
+            "quoted_bytes_per_subscription":
+                m["quoted_bits"] // 8 // subscriptions,
+            "modeled_bytes_per_subscription":
+                m["modeled_bits"] // 8 // subscriptions,
+            "ceiling_over_modeled": round(
+                m["ceiling_bits"] / m["modeled_bits"], 2),
+        })
+    return {
+        "benchmark": "memory_ceiling",
+        "smoke": SMOKE,
+        "required_min_ratio": 1.0,
+        "workload": {
+            "entries": ENTRIES, "branching": BRANCHING,
+            "suffix_depth": SUFFIX_DEPTH, "recursion": RECURSION,
+            "descendant_fraction": DESCENDANT_FRACTION,
+        },
+        "subscription_counts": SUBSCRIPTION_COUNTS,
+        "results": results,
+    }
+
+
+def teardown_module(module):  # noqa: D103
+    if not _measurements:
+        return
+    append_bench_run(_run_entry())
+    rows = []
+    for (subscriptions,), m in sorted(_measurements.items()):
+        rows.append((
+            subscriptions, m["depth"], m["standing_bits"], m["quoted_bits"],
+            m["modeled_bits"],
+            f"{m['ceiling_bits'] / m['modeled_bits']:.2f}",
+        ))
+    print_table(
+        "planned memory ceiling vs governor-visible sample",
+        ("subs", "doc depth", "standing bits", "quoted bits",
+         "live modeled bits", "ceiling/modeled"),
+        rows,
+    )

@@ -23,7 +23,12 @@ established:
   bound stays sound on the shared-prefix workload);
 * ``wal_throughput``        — the durability tax: publish throughput with the
   write-ahead log on (``fsync="interval"``) >= 0.5x the in-memory throughput
-  (at the largest document count).
+  (at the largest document count);
+* ``memory_ceiling``        — a memory ceiling planned from static facts
+  (standing bits at registration + the summed Theorem 8.8 per-subscription
+  quote) >= the live ``modeled_bits`` sample the resource governor reads
+  (ratio >= 1.0 at the largest subscription count, i.e. a statically sized
+  governor budget is not busted in steady state).
 
 Smoke runs (``"smoke": true``) are informational: their sizes are deliberately too
 small for the ratios to be meaningful, so they are reported but never gated on —
@@ -71,12 +76,13 @@ FLOORS = {
     ("wire_throughput", "pipelined_vs_request_response"): 2.0,
     ("memory_model", "bound_over_measured"): 1.0,
     ("wal_throughput", "wal_overhead"): 0.5,
+    ("memory_ceiling", "ceiling_over_modeled"): 1.0,
 }
 
 #: benchmarks the gate expects to find a full-size run for
 GATED_BENCHMARKS = ("filterbank_throughput", "filterbank_churn",
                     "service_throughput", "wire_throughput", "memory_model",
-                    "wal_throughput")
+                    "wal_throughput", "memory_ceiling")
 
 
 class TrajectoryError(ValueError):
@@ -185,6 +191,20 @@ def _wal_ratios(run: dict) -> dict:
     return {"wal_overhead": top["throughput_vs_memory"]}
 
 
+def _memory_ceiling_ratios(run: dict) -> dict:
+    """The capacity-planning soundness ratio of one memory_ceiling run: the
+    statically planned ceiling (standing bits + summed per-subscription
+    quote) divided by the live ``modeled_bits`` the governor samples, at the
+    largest subscription count — below 1.0 a budget sized from the cost
+    model would sit at HARD in steady state."""
+    entries = [entry for entry in run.get("results", [])
+               if "ceiling_over_modeled" in entry]
+    if not entries:
+        return {}
+    top = max(entries, key=lambda entry: entry.get("subscriptions", 0))
+    return {"ceiling_over_modeled": top["ceiling_over_modeled"]}
+
+
 _RATIO_EXTRACTORS = {
     "filterbank_throughput": _throughput_ratios,
     "filterbank_churn": _churn_ratios,
@@ -192,6 +212,7 @@ _RATIO_EXTRACTORS = {
     "wire_throughput": _wire_ratios,
     "memory_model": _memory_model_ratios,
     "wal_throughput": _wal_ratios,
+    "memory_ceiling": _memory_ceiling_ratios,
 }
 
 

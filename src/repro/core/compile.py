@@ -72,6 +72,7 @@ and stays byte-identical to the interpreted engines.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..instrument.memory import bits_for
@@ -125,6 +126,50 @@ def _bits(count: int) -> int:
         if len(_BITS_CACHE) < _BITS_CACHE_LIMIT:
             _BITS_CACHE[count] = cached
     return cached
+
+
+@dataclass
+class BankMemoryReport:
+    """One bank's modeled-bits memory report (the resource governor's input).
+
+    ``standing_bits`` is the structural cost of the registered state itself —
+    the interned name table, the shared trie (one axis-class + node-test pair
+    per node) and each distinct plan's slot-addressed arrays — which exists
+    whether or not documents flow.  ``peak_document_bits`` is the largest
+    Theorem 8.8 per-subscription high-water mark any plan has observed over the
+    bank's lifetime (stats mode), or the modeled cost of the largest value
+    buffer ever held (match-only mode, where frontier records are deliberately
+    not counted — see :meth:`CompiledFilterBank.memory_report`).
+    ``modeled_bits`` is the governor's number: standing state plus the sum of
+    per-plan lifetime peaks, an upper bound on the modeled bits live at any
+    instant so far.  ``worker_rss_bytes`` is filled by the sharded bank only.
+    """
+
+    subscriptions: int
+    distinct_plans: int
+    trie_nodes: int
+    standing_bits: int
+    peak_document_bits: int
+    peak_frontier_records: int
+    peak_buffer_chars: int
+    modeled_bits: int
+    stats_mode: bool
+    worker_rss_bytes: Tuple[int, ...] = field(default=())
+
+    @property
+    def modeled_bytes(self) -> int:
+        """``modeled_bits`` rounded up to whole bytes."""
+        return (self.modeled_bits + 7) // 8
+
+
+def _plan_standing_bits(slot_count: int, qnode_bits: int, name_bits: int) -> int:
+    """Structural bits of one compiled plan's slot-addressed arrays.
+
+    Per slot: a 2-bit axis code, an interned node-test id, a parent slot
+    reference and the leaf flag — the compiled counterpart of the query tree
+    the paper's algorithm keeps resident.
+    """
+    return slot_count * (2 + name_bits + qnode_bits + 1)
 
 
 # --------------------------------------------------------------------------- plans
@@ -276,7 +321,7 @@ class _Runtime:
     __slots__ = ("name", "plan", "stats", "recs", "frontier_size", "buf_parts",
                  "buf_size", "ref_count", "recs_by_level", "leaf_opens", "last_ts",
                  "root_rec", "next_seq", "names", "keyform", "trie_nodes", "doc_gen",
-                 "decided", "outcome")
+                 "decided", "outcome", "lifetime_peak_bits", "lifetime_peak_records")
 
     def __init__(self, name: str, plan: CompiledQuery, keyform: str = "") -> None:
         self.name = name
@@ -290,6 +335,11 @@ class _Runtime:
         self.doc_gen = 0
         self.decided = False
         self.outcome = False
+        # lifetime (cross-document) high-water marks for the resource governor:
+        # ``stats`` is replaced at each startDocument, so per-document peaks are
+        # folded into these at endDocument (stats-accurate path only)
+        self.lifetime_peak_bits = 0
+        self.lifetime_peak_records = 0
         self.reset()
 
     def reset(self) -> None:
@@ -423,6 +473,7 @@ class CompiledFilterBank:
         self._names: Dict[str, int] = {}  # interned node-test name ids (plan-wide)
         self._trie_root: Optional[_TrieNode] = None
         self._generation = 0  # fast-path document generation counter
+        self._peak_value_chars = 0  # lifetime high-water of any value buffer
 
     # ------------------------------------------------------------------ registration
     def register(self, name: str, query: Query) -> None:
@@ -625,6 +676,61 @@ class CompiledFilterBank:
                 count += len(step_map)
                 stack.extend(step_map.values())
         return count
+
+    def memory_report(self) -> BankMemoryReport:
+        """Live modeled-bits accounting for the whole bank.
+
+        Standing bits cover the interned name table (8 bits per character plus
+        an id per entry), the shared trie (axis class + node-test id per node)
+        and every distinct plan's slot arrays; see
+        :class:`BankMemoryReport` for what the peak fields mean per mode.  In
+        match-only mode frontier records are *not* modeled — the fast path
+        keeps no per-record accounting by design, and its per-document record
+        count is bounded by the same structure the stats engine measures — so
+        ``peak_document_bits`` covers only the value buffers there, and the
+        process-RSS watermark is the backstop for the rest.
+        """
+        name_bits = _bits(len(self._names) + 2)
+        trie_nodes = self.trie_size()
+        standing = sum(len(name) * 8 + name_bits for name in self._names)
+        standing += trie_nodes * (2 + name_bits)
+        peak_doc = 0
+        peak_records = 0
+        peak_sum = 0
+        for runtime in self._runtimes.values():
+            plan = runtime.plan
+            standing += _plan_standing_bits(plan.slot_count, plan.qnode_bits,
+                                            name_bits)
+            peak_sum += runtime.lifetime_peak_bits
+            if runtime.lifetime_peak_bits > peak_doc:
+                peak_doc = runtime.lifetime_peak_bits
+            if runtime.lifetime_peak_records > peak_records:
+                peak_records = runtime.lifetime_peak_records
+        buffer_bits = self._peak_value_chars * 8
+        if not self._stats:
+            peak_doc = max(peak_doc, buffer_bits)
+            peak_sum = max(peak_sum, buffer_bits)
+        return BankMemoryReport(
+            subscriptions=len(self._subs),
+            distinct_plans=len(self._runtimes),
+            trie_nodes=trie_nodes,
+            standing_bits=standing,
+            peak_document_bits=peak_doc,
+            peak_frontier_records=peak_records,
+            peak_buffer_chars=self._peak_value_chars,
+            modeled_bits=standing + peak_sum,
+            stats_mode=self._stats,
+        )
+
+    def per_subscription_peak_bits(self) -> Dict[str, int]:
+        """name -> lifetime Theorem 8.8 peak bits of its plan (stats mode only).
+
+        The soak harness compares these against the static cost-model bound of
+        :func:`repro.analysis.costmodel.analyze_query`.  In match-only mode the
+        engine keeps no per-plan bit accounting and every peak reads 0.
+        """
+        return {name: runtime.lifetime_peak_bits
+                for name, runtime in self._subs.items()}
 
     def analyze(self, *, max_depth: int = 32, max_text_chars: int = 256,
                 subsumption: bool = True,
@@ -1093,6 +1199,15 @@ class CompiledFilterBank:
             # per-runtime counters only saw fire points; the shared counters saw all
             runtime.stats.events = events_seen
             runtime.stats.max_level = max_level
+            # fold the per-document peaks into the lifetime high-water marks the
+            # resource governor reads (``stats`` is replaced at each startDocument)
+            rt_stats = runtime.stats
+            if rt_stats.peak_memory_bits > runtime.lifetime_peak_bits:
+                runtime.lifetime_peak_bits = rt_stats.peak_memory_bits
+            if rt_stats.peak_frontier_records > runtime.lifetime_peak_records:
+                runtime.lifetime_peak_records = rt_stats.peak_frontier_records
+            if rt_stats.peak_buffer_chars > self._peak_value_chars:
+                self._peak_value_chars = rt_stats.peak_buffer_chars
         # fan one outcome/statistics object per interned plan out to every name
         # registered under it, in subscription registration order
         matched: List[str] = []
@@ -1300,6 +1415,8 @@ class CompiledFilterBank:
                     runtime.ref_count -= 1
                     if runtime.ref_count <= 0:
                         runtime.ref_count = 0
+                        if runtime.buf_size > self._peak_value_chars:
+                            self._peak_value_chars = runtime.buf_size
                         runtime.buf_parts = []
                         runtime.buf_size = 0
                         text_open.discard(runtime)
@@ -1324,6 +1441,8 @@ class CompiledFilterBank:
             # the buffers eagerly, everything else is reclaimed at the next lazy init
             runtime.decided = True
             runtime.outcome = True
+            if runtime.buf_size > self._peak_value_chars:
+                self._peak_value_chars = runtime.buf_size
             runtime.buf_parts = []
             runtime.buf_size = 0
             runtime.ref_count = 0
@@ -1421,6 +1540,10 @@ class CompiledFilterBank:
                                     runtime.outcome = True
                         val_open -= len(contexts)
                         if val_open == 0 and val_parts:
+                            # buffer-release point: the only place the shared value
+                            # buffer shrinks, so its size here is a running maximum
+                            if val_size > self._peak_value_chars:
+                                self._peak_value_chars = val_size
                             val_parts = []
                             val_size = 0
                     waiting = resolvers.pop(post_level, None)

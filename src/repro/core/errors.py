@@ -7,6 +7,16 @@ class UnsupportedQueryError(ValueError):
     """Raised when a query lies outside the fragment an algorithm supports."""
 
 
+class ConfigError(ValueError):
+    """Raised when a component is constructed with invalid configuration.
+
+    Construction-time validation turns latent misbehavior (a zero-sized queue
+    that deadlocks, watermarks that can never trigger) into an immediate, typed
+    failure.  Subclasses ``ValueError`` so call sites that predate the typed
+    error keep working.
+    """
+
+
 class CanonicalDocumentError(ValueError):
     """Raised when a canonical document cannot be constructed for a query.
 

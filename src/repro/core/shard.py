@@ -46,13 +46,20 @@ import queue as queue_module
 import threading
 from typing import Dict, Iterable, Iterator, List, Optional
 
+from ..instrument.memory import bits_for, current_rss_bytes
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.events import Event
 from ..xmlstream.parse import TOK_TEXT, Chunk, StreamingParser, Token, document_tokens
 from ..xpath.query import Query
 from dataclasses import replace
 
-from .compile import CompiledFilterBank, DocumentLike, event_tokens
+from .compile import (
+    BankMemoryReport,
+    CompiledFilterBank,
+    DocumentLike,
+    _plan_standing_bits,
+    event_tokens,
+)
 from .filter import FilterStatistics, StreamingFilter
 from .filterbank import BankResult
 
@@ -159,6 +166,9 @@ class ShardedFilterBank:
         self._chunk_tokens = chunk_tokens
         self._subs: Dict[str, int] = {}  # name -> shard index, registration order
         self._queries: Dict[str, str] = {}  # name -> canonical query text
+        # canonical text -> [query size, refcount]: sizes feed the parent-side
+        # standing-bits model of memory_report() without re-parsing query text
+        self._plan_sizes: Dict[str, List[int]] = {}
         self._next_shard = 0
         self._workers: Optional[List[tuple]] = None  # (process, inbox, outbox)
         # per-query cumulative statistics, accumulated parent-side after each
@@ -197,13 +207,22 @@ class ShardedFilterBank:
             self._next_shard = (shard + 1) % self._shard_count
             self._subs[name] = shard
             self._queries[name] = text
+            entry = self._plan_sizes.get(text)
+            if entry is None:
+                self._plan_sizes[text] = [query.size(), 1]
+            else:
+                entry[1] += 1
             self._send(shard, ("register", name, text))
 
     def unregister(self, name: str) -> None:
         """Remove a subscription; unknown names raise ``KeyError``."""
         with self._lifecycle_lock:
             shard = self._subs.pop(name)
-            del self._queries[name]
+            text = self._queries.pop(name)
+            entry = self._plan_sizes[text]
+            entry[1] -= 1
+            if not entry[1]:
+                del self._plan_sizes[text]
             self._send(shard, ("unregister", name))
 
     def subscriptions(self) -> List[str]:
@@ -510,6 +529,87 @@ class ShardedFilterBank:
         """How many stats-mode documents contributed to the cumulative totals."""
         with self._cumulative_lock:
             return self._cumulative_documents
+
+    # ------------------------------------------------------------------ memory
+    def memory_report(self) -> BankMemoryReport:
+        """Parent-side modeled-bits accounting across all shards.
+
+        Standing bits use the *unshared* upper bound — the parent knows each
+        plan's query size (recorded at registration) but not the worker-side
+        trie sharing, so every distinct ``(shard, canonical text)`` plan is
+        charged its full chain.  Peak fields come from the parent-side
+        cumulative statistics, which are maxed across worker respawns (and
+        retained across unregistration), so a killed worker never resets the
+        governor's high-water view.  ``worker_rss_bytes`` samples each live
+        worker's current RSS via ``/proc`` — best-effort, absent entries for
+        workers that raced an exit.  Like :meth:`worker_status`, never blocks
+        on the lifecycle lock.
+        """
+        acquired = self._lifecycle_lock.acquire(blocking=False)
+        try:
+            # each copy is one GIL-atomic C-level operation (see worker_status)
+            subs = dict(self._subs)
+            queries = dict(self._queries)
+            sizes = dict(self._plan_sizes)
+            workers = self._workers
+        finally:
+            if acquired:
+                self._lifecycle_lock.release()
+        name_bits = bits_for(len(subs) + 2)
+        distinct = {(subs[name], text)
+                    for name, text in queries.items() if name in subs}
+        standing = 0
+        trie_nodes = 0
+        for _shard, text in distinct:
+            entry = sizes.get(text)
+            slot_count = max(entry[0] if entry else 1, 1)
+            trie_nodes += slot_count - 1
+            standing += _plan_standing_bits(
+                slot_count, bits_for(slot_count + 1), name_bits)
+            standing += (slot_count - 1) * (2 + name_bits) + len(text) * 8
+        peak_doc = 0
+        peak_records = 0
+        peak_chars = 0
+        peak_sum = 0
+        with self._cumulative_lock:
+            for stats in self._cumulative.values():
+                peak_sum += stats.peak_memory_bits
+                if stats.peak_memory_bits > peak_doc:
+                    peak_doc = stats.peak_memory_bits
+                if stats.peak_frontier_records > peak_records:
+                    peak_records = stats.peak_frontier_records
+                if stats.peak_buffer_chars > peak_chars:
+                    peak_chars = stats.peak_buffer_chars
+        rss: List[int] = []
+        if workers is not None:
+            for process, _inbox, _outbox in workers:
+                if process.pid is not None and process.is_alive():
+                    sampled = current_rss_bytes(process.pid)
+                    if sampled is not None:
+                        rss.append(sampled)
+        return BankMemoryReport(
+            subscriptions=len(subs),
+            distinct_plans=len(distinct),
+            trie_nodes=trie_nodes,
+            standing_bits=standing,
+            peak_document_bits=peak_doc,
+            peak_frontier_records=peak_records,
+            peak_buffer_chars=peak_chars,
+            modeled_bits=standing + peak_sum,
+            stats_mode=self._stats,
+            worker_rss_bytes=tuple(rss),
+        )
+
+    def per_subscription_peak_bits(self) -> Dict[str, int]:
+        """name -> lifetime Theorem 8.8 peak bits (stats mode; else all zero).
+
+        Drawn from the parent-side cumulative totals, so the peaks survive
+        worker death and respawn-replay exactly like :meth:`cumulative_stats`.
+        """
+        with self._cumulative_lock:
+            peaks = {name: stats.peak_memory_bits
+                     for name, stats in self._cumulative.items()}
+        return {name: peaks.get(name, 0) for name in self._subs}
 
     def _reply(self, process, outbox) -> tuple:
         """One worker reply, polling so a crashed worker raises instead of hanging."""

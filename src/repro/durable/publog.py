@@ -149,13 +149,19 @@ class PublishLog:
         """A copy of every client's latest logged cursor."""
         return dict(self._cursors)
 
-    def forget(self, client: str) -> None:
+    def forget(self, client: str) -> int:
         """Drop a disconnected client's cursor from the compaction floor.
 
-        Only affects which documents future compactions may discard; records
-        already on disk are untouched.
+        Removing a departed laggard's cursor can *raise* the retention floor,
+        so this immediately re-checks the size-gated compaction instead of
+        waiting for the next publish burst's ack to notice — a departed client
+        must not pin the log in the meantime.  Returns the bytes freed by that
+        opportunistic compaction (0 when the client had no cursor or the log
+        is still under the threshold).
         """
-        self._cursors.pop(client, None)
+        if self._cursors.pop(client, None) is None:
+            return 0
+        return self.maybe_compact()
 
     @property
     def size_bytes(self) -> int:

@@ -1,10 +1,19 @@
 """Instrumentation: bit-level memory accounting models for all algorithms."""
 
-from .memory import AutomatonMemoryModel, DOMMemoryModel, FrontierMemoryModel, bits_for
+from .memory import (
+    AutomatonMemoryModel,
+    DOMMemoryModel,
+    FrontierMemoryModel,
+    bits_for,
+    current_rss_bytes,
+    peak_rss_bytes,
+)
 
 __all__ = [
     "AutomatonMemoryModel",
     "DOMMemoryModel",
     "FrontierMemoryModel",
     "bits_for",
+    "current_rss_bytes",
+    "peak_rss_bytes",
 ]

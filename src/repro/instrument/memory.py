@@ -11,12 +11,58 @@ model of how many bits each data structure costs.  Two models are provided:
 * :class:`AutomatonMemoryModel` — the accounting used for the automata baselines: the
   transition table costs ``states * alphabet * log(states)`` bits, plus the runtime
   stack of state identifiers.
+
+The module also hosts the process-level counterpart to the modeled bits:
+:func:`current_rss_bytes` / :func:`peak_rss_bytes` sample real resident memory
+without any third-party dependency, so the resource governor can enforce both a
+modeled-bits budget and an RSS safety net.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import resource
+import sys
 from dataclasses import dataclass
+
+
+def current_rss_bytes(pid: "int | None" = None) -> "int | None":
+    """Current resident set size of ``pid`` (default: this process) in bytes.
+
+    Reads ``/proc/<pid>/statm`` (resident pages x page size), which is the only
+    dependency-free way to sample *current* (not peak) RSS on Linux.  Returns
+    ``None`` when the value cannot be sampled — foreign platforms, or a pid
+    that has already exited — so callers can treat RSS enforcement as
+    best-effort and fall back to the modeled-bits budget alone.
+    """
+    target = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{target}/statm", "rb") as fh:
+            fields = fh.read().split()
+        resident_pages = int(fields[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        if pid is None or pid == os.getpid():
+            return peak_rss_bytes()
+        return None
+
+
+def peak_rss_bytes() -> "int | None":
+    """Lifetime peak resident set size of *this* process in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are covered.
+    Peak RSS never decreases, so this is the right number for "did the run stay
+    under the ceiling" assertions and the wrong one for live governor samples
+    (use :func:`current_rss_bytes` there).
+    """
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (OSError, ValueError):  # pragma: no cover - platform-specific
+        return None
+    if peak <= 0:  # pragma: no cover - platform-specific
+        return None
+    return peak if sys.platform == "darwin" else peak * 1024
 
 
 def bits_for(count: int) -> int:

@@ -10,6 +10,7 @@ from a snapshot) and ``DESIGN.md`` for the frame format and drain semantics.
 
 from .client import (
     ConnectionClosedError,
+    OverloadedError,
     RemoteError,
     WireClient,
     WireError,
@@ -23,6 +24,7 @@ __all__ = [
     "ConnectionClosedError",
     "FrameDecoder",
     "MAX_FRAME",
+    "OverloadedError",
     "ProtocolError",
     "PublishAbandonedError",
     "RemoteError",

@@ -84,6 +84,23 @@ class RemoteError(WireError):
         self.header = header
 
 
+class OverloadedError(WireError):
+    """An ``overloaded`` frame: the server's governor rejected the request.
+
+    Retryable by contract — the rejected publish (or hello) had no effect on
+    the server, and ``retry_after`` is its hint in seconds for when to try
+    again.  :meth:`WireClient.connect` and :meth:`WireClient.reconnect` honor
+    the hint automatically in their backoff loops; a rejected publish is
+    raised at its awaiting caller, which retries (or sheds) at its own pace.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0,
+                 header: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.header = header or {}
+
+
 @dataclass(frozen=True)
 class WireMatch:
     """One pushed match notification."""
@@ -137,6 +154,10 @@ class WireClient:
         self._resumed = False
         self._server_subscriptions: List[str] = []
         self._closed = False
+        #: True once the server pushed an eviction notice: the governor shed
+        #: this session for staying pinned past its stall grace.  The socket
+        #: closes right after; reconnect() resumes from the durable cursor
+        self.evicted = False
 
     # ------------------------------------------------------------------ lifecycle
     @classmethod
@@ -171,6 +192,15 @@ class WireClient:
                 reader, writer, header = await cls._hello(
                     host, port, client_id, max_frame)
                 break
+            except OverloadedError as exc:
+                # retryable by contract, and the server said when: wait at
+                # least its retry_after hint (backoff still applies on top
+                # so repeated rejections keep de-synchronizing the fleet)
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(max(exc.retry_after, _backoff_delay(
+                    attempt, backoff_base, backoff_max, jitter)))
+                attempt += 1
             except (ConnectionError, OSError, ConnectionClosedError):
                 if attempt >= retries:
                     raise
@@ -208,6 +238,9 @@ class WireClient:
             writer.close()
             raise RemoteError(header.get("error", "?"),
                               header.get("message", ""), header)
+        if header["type"] == protocol.OVERLOADED:
+            writer.close()
+            raise _overloaded_error(header)
         return reader, writer, header
 
     def _apply_hello(self, header: dict) -> None:
@@ -296,6 +329,15 @@ class WireClient:
                 await asyncio.sleep(_backoff_delay(
                     attempt, backoff_base, backoff_max, jitter))
                 attempt += 1
+            except OverloadedError as exc:
+                # an overloaded rejection is transient too; honor the server's
+                # retry_after hint (adoption of an existing session is never
+                # rejected, so this only fires when the session is truly gone)
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(max(exc.retry_after, _backoff_delay(
+                    attempt, backoff_base, backoff_max, jitter)))
+                attempt += 1
             except (ConnectionError, OSError, ConnectionClosedError):
                 if attempt >= retries:
                     raise
@@ -314,6 +356,7 @@ class WireClient:
             self._matches.put_nowait(item)
         self._apply_hello(header)
         self._closed = False
+        self.evicted = False  # the resumed session is live again
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop(), name="wire-client-reader")
 
@@ -514,6 +557,14 @@ class WireClient:
                         document_id=header["document_id"],
                         matched=tuple(header["matched"]),
                         duplicate=bool(header.get("duplicate"))))
+                elif kind == protocol.OVERLOADED:
+                    if header.get("evicted"):
+                        # unsolicited push: the governor evicted our session
+                        # and will cut the socket next — remember why, so the
+                        # consumer can branch on .evicted when the close lands
+                        self.evicted = True
+                    else:
+                        self._dispatch(header, body)
                 elif kind in (protocol.ACK, protocol.ERROR):
                     self._dispatch(header, body)
                 # unknown pushes are ignored: forward compatibility
@@ -534,6 +585,11 @@ class WireClient:
         if record is None:
             return  # response to a request nobody awaits anymore
         kind, future = record[0], record[1]
+        if header["type"] == protocol.OVERLOADED:
+            self._pending.pop(header["seq"], None)
+            if not future.done():
+                future.set_exception(_overloaded_error(header))
+            return
         if header["type"] == protocol.ERROR:
             self._pending.pop(header["seq"], None)
             if not future.done():
@@ -561,6 +617,14 @@ class WireClient:
             self._pending.pop(header["seq"], None)
             if not future.done():
                 future.set_result((header, body))
+
+
+def _overloaded_error(header: dict) -> OverloadedError:
+    retry_after = header.get("retry_after")
+    if not isinstance(retry_after, (int, float)) or retry_after <= 0:
+        retry_after = 1.0
+    return OverloadedError(header.get("message", "the server is overloaded"),
+                           retry_after=float(retry_after), header=header)
 
 
 def _chunk_bytes(chunk: Union[str, bytes, bytearray, memoryview]) -> bytes:

@@ -26,11 +26,14 @@ every match up to ``document_id`` (the durable service logs it; no reply).
 
 Server to client: ``ack`` / ``error`` (correlated to the request by its ``seq``
 header field, so responses may arrive out of order with respect to *other*
-requests — pipelining), and ``match`` — an unsolicited push notification for a
+requests — pipelining), ``match`` — an unsolicited push notification for a
 document that matched one of the connection's subscriptions (``duplicate:
-true`` marks an at-least-once re-delivery after crash recovery).  The ``hello``
-ack carries the session's acked ``cursor`` so a reconnecting client knows where
-it resumes.
+true`` marks an at-least-once re-delivery after crash recovery) — and
+``overloaded``, the resource governor's typed rejection: the request it
+correlates to (by ``seq``; a ``hello`` rejection uses the hello's seq) had no
+effect and may be retried after the ``retry_after`` hint (seconds).  The
+``hello`` ack carries the session's acked ``cursor`` so a reconnecting client
+knows where it resumes.
 
 The JSON header never contains a raw newline (``json.dumps`` escapes control
 characters inside strings), so the first ``\\n`` of the payload is always the
@@ -67,6 +70,7 @@ CURSOR = "cursor"
 MATCH = "match"
 ERROR = "error"
 ACK = "ack"
+OVERLOADED = "overloaded"
 
 #: one decoded frame: (header dict, raw body bytes)
 Frame = Tuple[dict, bytes]

@@ -40,7 +40,8 @@ import contextlib
 import json
 from typing import Optional, Set, Tuple
 
-from ..service import PendingPublish, PubSubService
+from ..core.errors import ConfigError
+from ..service import OverloadedError, PendingPublish, PubSubService
 from ..service.session import ClientSession, SessionClosedError
 from ..xmlstream.parse import DocumentFramer, XMLParseError
 from . import protocol
@@ -105,6 +106,17 @@ class WireServer:
                  **service_config) -> None:
         if service is not None and service_config:
             raise ValueError("pass either a service or a service configuration")
+        if max_pipeline < 1:
+            raise ConfigError(
+                f"max_pipeline must be at least 1, got {max_pipeline!r}")
+        if max_frame < 64:
+            # a frame needs room for its JSON header; anything smaller can
+            # never carry even an empty ack
+            raise ConfigError(
+                f"max_frame must be at least 64 bytes, got {max_frame!r}")
+        if drain_timeout < 0:
+            raise ConfigError(
+                f"drain_timeout must be >= 0, got {drain_timeout!r}")
         self._service = service if service is not None \
             else PubSubService(**service_config)
         self._close_service = close_service if close_service is not None \
@@ -289,7 +301,18 @@ class _Connection:
                     session = candidate  # adopt (snapshot-restore reconnect)
                     resumed = True
             if session is None:
+                if service.overloaded:
+                    # a NEW session would add load the governor is shedding;
+                    # adoption (above) stays allowed — an evicted or
+                    # disconnected client resuming its durable cursor is how
+                    # the backlog drains
+                    raise OverloadedError(
+                        "the service is overloaded; not accepting new sessions",
+                        retry_after=service.overload_retry_after)
                 session = await service.connect(requested)
+        except OverloadedError as exc:
+            await self._send_overloaded(seq, exc)
+            return False
         except Exception as exc:
             await self._send_error(seq, exc)
             return False
@@ -320,7 +343,13 @@ class _Connection:
                     continue
                 # both awaits are backpressure points: ingest-queue admission
                 # and the pending-ack bound — a full one pauses reading
-                handle = await service.submit(text)
+                try:
+                    handle = await service.submit(text)
+                except OverloadedError as exc:
+                    # typed, retryable rejection: the document had no effect
+                    # (no id, no WAL record) and the frame carries retry_after
+                    await self._send_overloaded(seq, exc)
+                    continue
                 await self._acks.put(("pub", seq, handle))
             elif kind == protocol.PUBLISH_STREAM:
                 await self._stream_chunk(seq, header, body)
@@ -413,7 +442,16 @@ class _Connection:
     async def _submit_stream_docs(self, service: PubSubService, stream: dict,
                                   documents) -> None:
         for tokens in documents:  # pre-tokenized: straight to the bank
-            handle = await service.submit(tokens)
+            try:
+                handle = await service.submit(tokens)
+            except OverloadedError as exc:
+                # per-document rejection, mirroring per-document acks: the
+                # framed document had no effect and the indexed overloaded
+                # frame tells the client exactly which one to retry
+                stream["count"] += 1
+                await self._acks.put(
+                    ("stream_overload", stream["seq"], stream["count"], exc))
+                continue
             stream["count"] += 1
             await self._acks.put(
                 ("stream_doc", stream["seq"], stream["count"], handle))
@@ -460,6 +498,9 @@ class _Connection:
             _kind, seq, count = entry
             await self._send({"type": protocol.ACK, "seq": seq,
                               "end": True, "documents": count})
+        elif kind == "stream_overload":
+            _kind, seq, index, exc = entry
+            await self._send_overloaded(seq, exc, index=index, partial=True)
         else:  # stream_error
             _kind, seq, exc, count = entry
             await self._send_error(seq, exc, end=True, documents=count)
@@ -500,6 +541,19 @@ class _Connection:
                                   "document_id": note.document_id,
                                   "matched": list(note.matched),
                                   "duplicate": note.duplicate})
+        if self._session is not None and self._session.evicted:
+            # the governor evicted this session for staying pinned past its
+            # stall grace: tell the client why (best effort), then cut the
+            # socket so its reader unblocks and it reconnects — the durable
+            # cursor makes the resume at-least-once
+            service = self._server._service
+            with contextlib.suppress(Exception):
+                await self._send({"type": protocol.OVERLOADED, "seq": None,
+                                  "evicted": True,
+                                  "message": "session evicted: delivery queue "
+                                             "pinned past the stall grace",
+                                  "retry_after": service.overload_retry_after})
+            self._writer.close()
 
     # ------------------------------------------------------------------ plumbing
     async def _send(self, header: dict, body: bytes = b"") -> None:
@@ -515,6 +569,12 @@ class _Connection:
         await self._send({"type": protocol.ERROR, "seq": seq,
                           "error": type(exc).__name__, "message": str(exc),
                           **extra})
+
+    async def _send_overloaded(self, seq, exc: OverloadedError,
+                               **extra) -> None:
+        await self._send({"type": protocol.OVERLOADED, "seq": seq,
+                          "message": str(exc),
+                          "retry_after": exc.retry_after, **extra})
 
     async def drain_and_close(self) -> None:
         """Server-stop path: answer everything accepted, then cut the socket.

@@ -9,6 +9,16 @@ automatic respawn (sharded banks), and graceful drain/shutdown.  See
 lifecycle, backpressure and snapshot-format notes.
 """
 
+from .governor import (
+    HARD,
+    NORMAL,
+    SOFT,
+    GovernorSample,
+    MemoryBudget,
+    OverloadedError,
+    ResourceGovernor,
+    Transition,
+)
 from .server import (
     PendingPublish,
     Publishable,
@@ -30,14 +40,22 @@ from .snapshot import (
 
 __all__ = [
     "ClientSession",
+    "GovernorSample",
+    "HARD",
+    "MemoryBudget",
+    "NORMAL",
     "Notification",
+    "OverloadedError",
     "PendingPublish",
     "Publishable",
     "PublishResult",
     "PubSubService",
+    "ResourceGovernor",
     "SNAPSHOT_SCHEMA",
+    "SOFT",
     "ServiceClosedError",
     "SessionClosedError",
+    "Transition",
     "dump_bank",
     "dumps_bank",
     "load_bank",

@@ -1,0 +1,319 @@
+"""The resource governor: memory-bounded operation at the service's ceiling.
+
+The paper is about the *memory requirements* of streaming XPath evaluation, and
+the engines carry an exact Theorem 8.8 bit accounting of their live state — but
+an accounting nobody enforces is a dashboard, not a guarantee.  This module
+turns the modeled bits (plus a process-RSS safety net) into an enforced budget
+with a graduated degradation ladder:
+
+``NORMAL``
+    Everything admitted, full batch coalescing.
+
+``SOFT`` (any usage >= its soft watermark)
+    The service shrinks ingest batch coalescing to ``soft_batch_max`` (large
+    batches of buffered documents are the biggest transient allocation) and
+    compacts the publish log on entry, reclaiming space below retired cursors.
+
+``HARD`` (any usage >= its hard watermark)
+    New ``publish`` admissions are rejected *before* the document is assigned
+    an id or WAL-logged, with a typed, retryable :class:`OverloadedError`
+    carrying a ``retry_after`` hint (the wire layer ships it as a dedicated
+    frame and clients honor it in their reconnect backoff).  Delivery queues
+    keep their lossy-oldest drop policy — saturated consumers shed their own
+    backlog — and a client whose queue stays pinned full past ``stall_grace``
+    seconds is evicted.  Eviction is safe precisely because of the durable
+    layer: the client's acked cursor survives in the publish log, so it resumes
+    with at-least-once delivery on reconnect (DESIGN.md "Resource governance").
+
+Downward transitions apply hysteresis: a state is left only once every usage
+has fallen below ``hysteresis`` times that state's entry watermark, so the
+service re-admits cleanly instead of flapping at the boundary.
+
+The governor itself is deliberately pure: :meth:`ResourceGovernor.observe`
+maps a :class:`GovernorSample` and a monotonic timestamp to a ladder state and
+records transitions.  All enforcement (rejecting, shrinking, compacting,
+evicting) lives in :class:`~repro.service.server.PubSubService`, which is the
+only component with the authority to act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigError
+
+#: ladder states, ordered: comparisons like ``state >= HARD`` are meaningful
+NORMAL = 0
+SOFT = 1
+HARD = 2
+
+STATE_NAMES = {NORMAL: "normal", SOFT: "soft", HARD: "hard"}
+
+
+class OverloadedError(RuntimeError):
+    """A publish (or connect) was rejected because the service is overloaded.
+
+    Retryable by contract: the rejected operation had no effect (the document
+    was never assigned an id, never WAL-logged, never enqueued), and
+    ``retry_after`` is the server's hint in seconds for when to try again.
+    """
+
+    def __init__(self, message: str = "service is overloaded",
+                 *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Watermarks over the two usage axes the governor tracks.
+
+    ``*_bits`` watermarks bound the *modeled* usage — the bank's
+    :class:`~repro.core.compile.BankMemoryReport` bits plus a nominal per
+    queued-notification charge — which moves deterministically with load.
+    ``*_rss_bytes`` watermarks bound sampled process RSS, the safety net for
+    everything the model does not see.  Each axis is optional, but at least
+    one soft/hard pair must be set, and within a pair soft < hard.
+    """
+
+    soft_bits: Optional[int] = None
+    hard_bits: Optional[int] = None
+    soft_rss_bytes: Optional[int] = None
+    hard_rss_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for label, soft, hard in (
+            ("bits", self.soft_bits, self.hard_bits),
+            ("rss_bytes", self.soft_rss_bytes, self.hard_rss_bytes),
+        ):
+            if (soft is None) != (hard is None):
+                raise ConfigError(
+                    f"memory budget {label} watermarks must be set as a "
+                    f"soft/hard pair (got soft={soft!r}, hard={hard!r})")
+            if soft is not None and hard is not None:
+                if soft < 1 or hard < 1:
+                    raise ConfigError(
+                        f"memory budget {label} watermarks must be >= 1 "
+                        f"(got soft={soft!r}, hard={hard!r})")
+                if soft >= hard:
+                    raise ConfigError(
+                        f"memory budget soft {label} watermark must be below "
+                        f"the hard one (got soft={soft!r} >= hard={hard!r})")
+        if self.hard_bits is None and self.hard_rss_bytes is None:
+            raise ConfigError(
+                "a memory budget needs at least one watermark pair "
+                "(bits and/or rss_bytes)")
+
+
+@dataclass(frozen=True)
+class GovernorSample:
+    """One usage observation, taken by the service between ingest batches."""
+
+    modeled_bits: int = 0
+    rss_bytes: Optional[int] = None
+    backlog_notifications: int = 0
+    queue_depth: int = 0
+
+
+@dataclass
+class Transition:
+    """One recorded ladder transition (the soak harness's artifact rows)."""
+
+    at: float
+    from_state: str
+    to_state: str
+    reason: str
+    modeled_bits: int
+    rss_bytes: Optional[int]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "at": self.at,
+            "from": self.from_state,
+            "to": self.to_state,
+            "reason": self.reason,
+            "modeled_bits": self.modeled_bits,
+            "rss_bytes": self.rss_bytes,
+        }
+
+
+class ResourceGovernor:
+    """The graduated degradation ladder over a :class:`MemoryBudget`.
+
+    Pure state machine: feed it samples via :meth:`observe`, read the ladder
+    state back, and let the owning service enforce what the state implies.
+    Construction validates every knob with :class:`~repro.core.errors.ConfigError`
+    (see the satellite-1 contract): ``0 < hysteresis <= 1``,
+    ``stall_grace >= 0``, ``retry_after > 0``, ``soft_batch_max >= 1`` and
+    ``sample_interval >= 0``.
+    """
+
+    def __init__(self, budget: MemoryBudget, *,
+                 hysteresis: float = 0.85,
+                 stall_grace: float = 2.0,
+                 retry_after: float = 1.0,
+                 soft_batch_max: int = 1,
+                 sample_interval: float = 0.25,
+                 notification_bits: int = 512,
+                 max_transitions: int = 10000) -> None:
+        if not isinstance(budget, MemoryBudget):
+            raise ConfigError(
+                f"budget must be a MemoryBudget, got {type(budget).__name__}")
+        if not 0.0 < hysteresis <= 1.0:
+            raise ConfigError(
+                f"hysteresis must be in (0, 1], got {hysteresis!r}")
+        if stall_grace < 0:
+            raise ConfigError(f"stall_grace must be >= 0, got {stall_grace!r}")
+        if retry_after <= 0:
+            raise ConfigError(f"retry_after must be > 0, got {retry_after!r}")
+        if soft_batch_max < 1:
+            raise ConfigError(
+                f"soft_batch_max must be >= 1, got {soft_batch_max!r}")
+        if sample_interval < 0:
+            raise ConfigError(
+                f"sample_interval must be >= 0, got {sample_interval!r}")
+        if notification_bits < 1:
+            raise ConfigError(
+                f"notification_bits must be >= 1, got {notification_bits!r}")
+        if max_transitions < 1:
+            raise ConfigError(
+                f"max_transitions must be >= 1, got {max_transitions!r}")
+        self.budget = budget
+        self.hysteresis = hysteresis
+        self.stall_grace = stall_grace
+        self.retry_after = retry_after
+        self.soft_batch_max = soft_batch_max
+        self.sample_interval = sample_interval
+        self.notification_bits = notification_bits
+        self._max_transitions = max_transitions
+        self._state = NORMAL
+        self._last_sample: Optional[GovernorSample] = None
+        self._transitions: List[Transition] = []
+        self._transitions_dropped = 0
+        self.publishes_rejected = 0
+        self.clients_evicted = 0
+        self.compactions = 0
+
+    # ------------------------------------------------------------------ ladder
+    @property
+    def state(self) -> int:
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return STATE_NAMES[self._state]
+
+    @property
+    def admitting(self) -> bool:
+        """Whether new publishes are admitted (everything below HARD)."""
+        return self._state < HARD
+
+    @property
+    def last_sample(self) -> Optional[GovernorSample]:
+        return self._last_sample
+
+    def _watermarks(self, level: int) -> Tuple[Optional[int], Optional[int]]:
+        """(bits, rss) entry watermarks of the given ladder level."""
+        if level >= HARD:
+            return self.budget.hard_bits, self.budget.hard_rss_bytes
+        return self.budget.soft_bits, self.budget.soft_rss_bytes
+
+    def _exceeds(self, sample: GovernorSample, level: int,
+                 scale: float) -> Optional[str]:
+        """Which axis (if any) sits at/above ``scale`` x the level's watermark."""
+        bits_mark, rss_mark = self._watermarks(level)
+        if bits_mark is not None and sample.modeled_bits >= bits_mark * scale:
+            return "modeled_bits"
+        if (rss_mark is not None and sample.rss_bytes is not None
+                and sample.rss_bytes >= rss_mark * scale):
+            return "rss_bytes"
+        return None
+
+    def observe(self, sample: GovernorSample, now: float) -> int:
+        """Fold one usage sample into the ladder, recording transitions.
+
+        Upward transitions fire as soon as a watermark is reached; downward
+        ones require every usage to sit below ``hysteresis`` times the current
+        state's entry watermark, and step down one level per sample so
+        recovery is observable in the transition log.
+        """
+        state = self._state
+        reason: Optional[str] = None
+        while state < HARD:
+            axis = self._exceeds(sample, state + 1, 1.0)
+            if axis is None:
+                break
+            state += 1
+            reason = f"{axis} >= {STATE_NAMES[state]} watermark"
+        if state == self._state and state > NORMAL:
+            if self._exceeds(sample, state, self.hysteresis) is None:
+                state -= 1
+                reason = (f"usage below {self.hysteresis:g}x the "
+                          f"{STATE_NAMES[state + 1]} watermark")
+        if state != self._state:
+            self._record(Transition(
+                at=now,
+                from_state=STATE_NAMES[self._state],
+                to_state=STATE_NAMES[state],
+                reason=reason or "",
+                modeled_bits=sample.modeled_bits,
+                rss_bytes=sample.rss_bytes,
+            ))
+            self._state = state
+        self._last_sample = sample
+        return self._state
+
+    def _record(self, transition: Transition) -> None:
+        if len(self._transitions) >= self._max_transitions:
+            # bounded by construction: a governor must not itself leak memory
+            del self._transitions[0]
+            self._transitions_dropped += 1
+        self._transitions.append(transition)
+
+    # ------------------------------------------------------------------ reporting
+    def transitions(self) -> List[Transition]:
+        """The recorded ladder transitions (oldest first, bounded)."""
+        return list(self._transitions)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Metrics/health view: current state, counters, last sample."""
+        sample = self._last_sample
+        return {
+            "state": self.state_name,
+            "publishes_rejected": self.publishes_rejected,
+            "clients_evicted": self.clients_evicted,
+            "compactions": self.compactions,
+            "transitions": len(self._transitions) + self._transitions_dropped,
+            "modeled_bits": sample.modeled_bits if sample else 0,
+            "rss_bytes": sample.rss_bytes if sample else None,
+            "backlog_notifications":
+                sample.backlog_notifications if sample else 0,
+        }
+
+
+@dataclass
+class _StallTracker:
+    """First-seen timestamps of sessions whose delivery queue is pinned full.
+
+    Owned by the service (it knows queue sizes and sessions); kept here so the
+    grace-period arithmetic is unit-testable without an event loop.
+    """
+
+    grace: float
+    pinned_since: Dict[object, float] = field(default_factory=dict)
+
+    def update(self, pinned: Dict[object, bool], now: float) -> List[object]:
+        """Fold one round of pinned flags; return sessions past the grace."""
+        expired: List[object] = []
+        for session, is_pinned in pinned.items():
+            if not is_pinned:
+                self.pinned_since.pop(session, None)
+                continue
+            since = self.pinned_since.setdefault(session, now)
+            if now - since >= self.grace:
+                expired.append(session)
+        for session in list(self.pinned_since):
+            if session not in pinned:
+                del self.pinned_since[session]
+        return expired

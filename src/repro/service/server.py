@@ -75,13 +75,24 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.compile import CompiledFilterBank, event_tokens
+from ..core.errors import ConfigError
 from ..core.shard import ShardedFilterBank
 from ..durable import DEFAULT_COMPACT_THRESHOLD, LoggedDocument, PublishLog
+from ..durable.wal import FSYNC_POLICIES
+from ..instrument.memory import current_rss_bytes
 from ..xmlstream.document import XMLDocument
 from ..xmlstream.parse import StreamingParser, document_tokens
 from ..xmlstream.serialize import serialize_document, serialize_tokens
 from ..xpath.parser import parse_query
 from ..xpath.query import Query
+from .governor import (
+    HARD,
+    SOFT,
+    GovernorSample,
+    OverloadedError,
+    ResourceGovernor,
+    _StallTracker,
+)
 from .session import ClientSession, Notification
 from .snapshot import SNAPSHOT_SCHEMA, migrate_snapshot
 
@@ -181,6 +192,20 @@ class PubSubService:
         (``'always'``/``'interval'``/``'never'``, see
         :class:`~repro.durable.WriteAheadLog`), its interval, and the log size
         beyond which an ack triggers compaction below the minimum live cursor.
+    governor:
+        ``None`` (default) runs unbounded, exactly as before.  A
+        :class:`~repro.service.governor.ResourceGovernor` turns on the memory
+        budget: between ingest batches the service samples modeled bits plus
+        process RSS, walks the governor's ladder, and enforces its state —
+        batch coalescing shrinks at the soft watermark, publishes are rejected
+        with :class:`~repro.service.governor.OverloadedError` (before any WAL
+        append) at the hard one, and sessions pinned full past the stall grace
+        are evicted (safely: their durable cursor survives, see DESIGN.md's
+        "Resource governance").
+
+    All configuration is validated here, raising
+    :class:`~repro.core.errors.ConfigError` on the first invalid knob — a
+    misconfigured bound must fail construction, not misbehave at peak load.
     """
 
     def __init__(self, *, shards: Optional[int] = None, stats: bool = False,
@@ -189,9 +214,34 @@ class PubSubService:
                  session_queue_size: int = 1024,
                  durable_dir: Optional[str] = None,
                  fsync: str = "interval", fsync_interval: float = 0.05,
-                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD) -> None:
+                 compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+                 governor: Optional[ResourceGovernor] = None) -> None:
+        if shards is not None and shards < 1:
+            raise ConfigError(f"shards must be >= 1 or None, got {shards!r}")
+        if queue_limit < 1:
+            raise ConfigError(f"queue_limit must be >= 1, got {queue_limit!r}")
         if batch_max < 1:
-            raise ValueError("batch_max must be at least 1")
+            raise ConfigError("batch_max must be at least 1")
+        if flush_interval < 0:
+            raise ConfigError(
+                f"flush_interval must be >= 0, got {flush_interval!r}")
+        if session_queue_size < 1:
+            raise ConfigError(
+                f"session_queue_size must be >= 1, got {session_queue_size!r}")
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigError(
+                f"unknown fsync policy {fsync!r}; expected one of "
+                f"{sorted(FSYNC_POLICIES)}")
+        if fsync_interval <= 0:
+            raise ConfigError(
+                f"fsync_interval must be > 0, got {fsync_interval!r}")
+        if compact_threshold < 0:
+            raise ConfigError(
+                f"compact_threshold must be >= 0, got {compact_threshold!r}")
+        if governor is not None and not isinstance(governor, ResourceGovernor):
+            raise ConfigError(
+                f"governor must be a ResourceGovernor or None, "
+                f"got {type(governor).__name__}")
         self._shards = shards
         self._stats = stats
         if shards is None:
@@ -211,6 +261,10 @@ class PubSubService:
                 fsync_interval=fsync_interval,
                 compact_threshold=compact_threshold)
         self._replay: List[LoggedDocument] = []  # filled by recover()
+        self._governor = governor
+        self._stall = (_StallTracker(grace=governor.stall_grace)
+                       if governor is not None else None)
+        self._governor_next_sample = 0.0  # loop.time() of the next due sample
 
         self._queue: Optional[asyncio.Queue] = None
         self._worker: Optional[asyncio.Task] = None
@@ -227,6 +281,8 @@ class PubSubService:
             "largest_batch": 0, "notifications": 0, "workers_respawned": 0,
             "wal_appends": 0, "acks": 0, "compactions": 0,
             "replayed": 0, "replay_failed": 0,
+            "publishes_rejected": 0, "clients_evicted": 0,
+            "notifications_shed": 0,
         }
         self._dropped_closed = 0  # drop counts inherited from closed sessions
         self._compensations: set = set()  # keep compensation tasks referenced
@@ -460,7 +516,17 @@ class PubSubService:
         append, so the log's document records are in document-id order.  The
         WAL write happens *before* ingest-queue admission: once a publisher's
         ``submit`` returns, a crash can no longer lose the document.
+
+        The governor's hard-watermark rejection happens *first*: a rejected
+        document is never assigned an id and never reaches the WAL, so
+        ``OverloadedError`` guarantees "no effect" — the invariant the
+        overload fault-injection round asserts.
         """
+        governor = self._governor
+        if governor is not None and not governor.admitting:
+            governor.publishes_rejected += 1
+            self._counters["publishes_rejected"] += 1
+            raise OverloadedError(retry_after=governor.retry_after)
         if self._publog is None:
             return document, next(self._doc_ids)
         if isinstance(document, str):
@@ -505,14 +571,24 @@ class PubSubService:
         queue = self._ensure_worker()
         loop = asyncio.get_running_loop()
         entries = []
+        overload: Optional[OverloadedError] = None
         for document in documents:
             future = loop.create_future()
-            document, doc_id = self._admit(document)
+            try:
+                document, doc_id = self._admit(document)
+            except OverloadedError as exc:
+                # the burst hit the hard watermark mid-way: everything already
+                # admitted is processed (and settled below, so a failed parse
+                # in it is still retrieved), the rest is rejected as a unit
+                overload = exc
+                break
             await queue.put((_OP_DOC, document, future, doc_id, False))
             entries.append((doc_id, future))
         if entries:
             await asyncio.gather(*(future for _id, future in entries),
                                  return_exceptions=True)
+        if overload is not None:
+            raise overload
         results = []
         for doc_id, future in entries:
             matched, stats = future.result()  # re-raises a failed document's error
@@ -588,9 +664,12 @@ class PubSubService:
                                     batch: List[tuple]) -> None:
         loop = asyncio.get_running_loop()
         flush = self._flush_interval
-        batch_max = self._batch_max
         stopping = False
         while True:
+            # re-read per batch: the governor shrinks coalescing at the soft
+            # watermark (large batches of buffered documents are the biggest
+            # transient allocation) and restores it on recovery
+            batch_max = self._effective_batch_max()
             if stopping:
                 # the STOP marker can overtake publishers blocked on a full
                 # queue (their put was accepted before stop() was called, so
@@ -603,7 +682,20 @@ class PubSubService:
                     break
                 batch.append(queue.get_nowait())
             else:
-                batch.append(await queue.get())
+                governor = self._governor
+                if governor is not None and governor.sample_interval > 0:
+                    # a governed worker must keep sampling while idle: at the
+                    # hard watermark every publish is rejected before it can
+                    # form a batch, so recovery (and stalled-session eviction)
+                    # cannot depend on an admitted op arriving to trigger it
+                    try:
+                        batch.append(await asyncio.wait_for(
+                            queue.get(), governor.sample_interval))
+                    except asyncio.TimeoutError:
+                        await self._reassess_governor(loop)
+                        continue
+                else:
+                    batch.append(await queue.get())
             if batch[0][0] != _OP_STOP and batch_max > 1:
                 # one yield lets every already-runnable publisher enqueue, then the
                 # batch takes whatever accumulated: coalescing adapts to load and
@@ -631,6 +723,7 @@ class PubSubService:
             if len(batch) > self._counters["largest_batch"]:
                 self._counters["largest_batch"] = len(batch)
             await self._probe_bank_health(loop)
+            await self._reassess_governor(loop)
             docs: List[tuple] = []
             for op in batch:
                 if op[0] == _OP_DOC:
@@ -706,6 +799,118 @@ class PubSubService:
             respawned = await loop.run_in_executor(None, bank.ensure_healthy)
             if respawned:
                 self._counters["workers_respawned"] += len(respawned)
+
+    # ------------------------------------------------------------------ governing
+    def _effective_batch_max(self) -> int:
+        """The batch coalescing bound, shrunk while the governor is degraded."""
+        governor = self._governor
+        if governor is None or governor.state < SOFT:
+            return self._batch_max
+        return min(self._batch_max, governor.soft_batch_max)
+
+    async def _reassess_governor(self, loop) -> None:
+        """Between-batches governor round: sample, walk the ladder, enforce.
+
+        Runs at most once per ``sample_interval`` (a zero interval samples
+        every batch — the deterministic-test configuration).  Enforcement on
+        the sampled state:
+
+        * entering SOFT or HARD from below compacts the publish log (space
+          below retired cursors is the cheapest memory to give back);
+        * at HARD, sessions whose delivery queue has stayed pinned full past
+          the stall grace are evicted — queue shed, subscriptions
+          unregistered, session closed — which is safe because their durable
+          cursor survives in the log (at-least-once resume on reconnect).
+
+        Admission rejection itself needs no action here: ``_admit`` reads
+        ``governor.admitting`` synchronously on every publish.
+        """
+        governor = self._governor
+        if governor is None:
+            return
+        now = loop.time()
+        if now < self._governor_next_sample:
+            return
+        self._governor_next_sample = now + governor.sample_interval
+        report = self._bank.memory_report()
+        backlog = sum(session.pending_notifications()
+                      for session in self._sessions.values())
+        rss = current_rss_bytes()
+        if rss is not None:
+            rss += sum(report.worker_rss_bytes)
+        queue = self._queue
+        sample = GovernorSample(
+            modeled_bits=(report.modeled_bits
+                          + backlog * governor.notification_bits),
+            rss_bytes=rss,
+            backlog_notifications=backlog,
+            queue_depth=queue.qsize() if queue is not None else 0,
+        )
+        previous = governor.state
+        state = governor.observe(sample, now)
+        if state > previous and self._publog is not None:
+            # degradation entry: give back the log space below retired cursors
+            if self._publog.compact(list(self._sessions)) > 0:
+                governor.compactions += 1
+                self._counters["compactions"] += 1
+        tracker = self._stall
+        if tracker is None:
+            return
+        if state >= HARD:
+            limit = self._session_queue_size
+            pinned = {
+                session: session.pending_notifications() >= limit
+                for session in self._sessions.values()
+            }
+            for session in tracker.update(pinned, now):
+                await self._evict_session(loop, session)
+        else:
+            tracker.pinned_since.clear()
+
+    async def _evict_session(self, loop, session: ClientSession) -> None:
+        """Governor eviction of one pinned session (between batches only).
+
+        Sheds the queued backlog, unregisters the session's subscriptions
+        directly (we *are* the ingest worker — going through the ingest queue
+        here could deadlock against a full queue), and closes the session.
+        The durable cursor is deliberately NOT forgotten: it is what makes the
+        eviction safe, and the publish log keeps every document above it for
+        the client's at-least-once resume.
+        """
+        governor = self._governor
+        session.evicted = True
+        self._counters["notifications_shed"] += session._shed_pending()
+        for local in list(session.subscription_queries()):
+            global_name = self._global_name(session.client_id, local)
+            self._routes.pop(global_name, None)
+            try:
+                await loop.run_in_executor(
+                    None, self._bank.unregister, global_name)
+            except Exception:  # pragma: no cover - defensive
+                pass
+        session._subs.clear()
+        session._mark_closed()
+        self._detach(session)
+        if governor is not None:
+            governor.clients_evicted += 1
+        self._counters["clients_evicted"] += 1
+
+    @property
+    def governor(self) -> Optional[ResourceGovernor]:
+        """The attached resource governor (``None`` when ungoverned)."""
+        return self._governor
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether the governor is at its hard watermark (admissions rejected)."""
+        governor = self._governor
+        return governor is not None and not governor.admitting
+
+    @property
+    def overload_retry_after(self) -> float:
+        """The retry hint (seconds) shipped with overload rejections."""
+        governor = self._governor
+        return governor.retry_after if governor is not None else 1.0
 
     async def _run_docs(self, loop, docs: List[tuple]) -> None:
         """Filter one batch-run of documents in a single executor call."""
@@ -877,6 +1082,8 @@ class PubSubService:
                 s.dropped for s in self._sessions.values()),
             "wal_size_bytes": (self._publog.size_bytes
                                if self._publog is not None else 0),
+            "governor": (self._governor.snapshot()
+                         if self._governor is not None else None),
         }
 
     def health(self) -> dict:
@@ -893,6 +1100,8 @@ class PubSubService:
             "durable": self._publog is not None,
             "workers": (bank.worker_status()
                         if isinstance(bank, ShardedFilterBank) else None),
+            "governor_state": (self._governor.state_name
+                               if self._governor is not None else None),
         }
 
     @property

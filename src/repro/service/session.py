@@ -68,6 +68,10 @@ class ClientSession:
         #: highest document id this client durably acknowledged (0: nothing yet);
         #: deliveries at or below it are never replayed after a crash
         self.cursor = 0
+        #: True when the resource governor closed this session for staying
+        #: pinned past its stall grace — the wire layer cuts the connection so
+        #: the client reconnects and resumes from its durable cursor
+        self.evicted = False
 
     # ------------------------------------------------------------------ identity
     @property
@@ -254,6 +258,28 @@ class ClientSession:
             self._subs.clear()
             self._service._detach(self)
             self._wake_consumers()
+
+    def _shed_pending(self) -> int:
+        """Drop every queued notification (governor load shedding).
+
+        Counted into :attr:`dropped` like any lossy-oldest overflow; the
+        at-least-once contract is preserved by the durable cursor — everything
+        shed here is above the client's acked cursor and replays on reconnect.
+        """
+        if self._queue is None:
+            return 0
+        shed = 0
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _CLOSE:
+                self._close_queued = False
+            else:
+                shed += 1
+        self.dropped += shed
+        return shed
 
     def _mark_closed(self) -> None:
         """Service-side teardown: flips the flag without touching the bank."""

@@ -172,3 +172,39 @@ class TestRobustness:
     def test_bad_fsync_policy_propagates(self, tmp_path):
         with pytest.raises(ValueError, match="fsync policy"):
             _log(tmp_path, fsync="bogus")
+
+
+class TestForgetCompaction:
+    """``forget()`` re-checks compaction itself (PR 8 satellite): a departed
+    laggard whose low cursor pinned the log must release that space at the
+    moment it is forgotten, not whenever the next ack happens by."""
+
+    def test_forget_compacts_opportunistically(self, tmp_path):
+        with PublishLog(str(tmp_path / "publish.wal"),
+                        compact_threshold=64) as log:
+            for doc_id in range(1, 6):
+                log.append_document(doc_id, "<d>" + "x" * 50 + "</d>")
+            log.append_cursor("laggard", 1)   # pins docs 2..5
+            log.append_cursor("ahead", 5)
+            before = log.size_bytes
+            freed = log.forget("laggard")
+            assert freed > 0
+            assert log.size_bytes == before - freed
+            # the floor rose to "ahead"'s cursor: nothing left to replay
+            assert log.scan().documents == []
+            assert log.cursors() == {"ahead": 5}
+
+    def test_forget_is_still_size_gated(self, tmp_path):
+        with PublishLog(str(tmp_path / "publish.wal"),
+                        compact_threshold=1 << 20) as log:
+            log.append_document(1, "<d/>")
+            log.append_cursor("laggard", 1)
+            assert log.forget("laggard") == 0  # under the threshold: no rewrite
+            assert len(log.scan().documents) == 1
+
+    def test_forget_of_unknown_client_is_a_noop(self, tmp_path):
+        with PublishLog(str(tmp_path / "publish.wal"),
+                        compact_threshold=0) as log:
+            log.append_document(1, "<d/>")
+            assert log.forget("nobody") == 0
+            assert len(log.scan().documents) == 1

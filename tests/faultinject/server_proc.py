@@ -2,7 +2,7 @@
 
 Usage (spawned by the fault-injection tests, never run by pytest itself)::
 
-    python server_proc.py DURABLE_DIR [--recover] [--port N]
+    python server_proc.py DURABLE_DIR [--recover] [--port N] [--governed]
 
 Starts a :class:`~repro.net.WireServer` over a durable
 :class:`~repro.service.PubSubService` (fsync policy ``interval`` — the mode
@@ -15,6 +15,15 @@ With ``--recover`` the service is rebuilt via
 :meth:`~repro.service.PubSubService.recover`, replaying the WAL tail above
 the durable cursor floor before the port line is printed — by the time the
 harness reconnects, re-deliveries are already queued.
+
+With ``--governed`` the service runs under a backlog-driven
+:class:`~repro.service.ResourceGovernor` budget: each undelivered
+notification is charged one unit and the hard watermark sits at 80 of them,
+so a subscriber that never consumes drags the service to HARD after a
+deterministic prefix of admitted documents.  A small ingest queue keeps the
+publisher from outrunning the sampler.  The overload chaos round kills the
+process while it is actively shedding load, then audits the WAL for the
+admitted/rejected split.
 """
 
 import asyncio
@@ -30,16 +39,33 @@ async def _snapshot_loop(service) -> None:
             return  # service stopped (or stopping): the loop's job is done
 
 
-async def _main(durable_dir: str, port: int, recover: bool) -> None:
+async def _main(durable_dir: str, port: int, recover: bool,
+                governed: bool) -> None:
     from repro.net import WireServer
-    from repro.service import PubSubService
+    from repro.service import MemoryBudget, PubSubService, ResourceGovernor
 
+    kwargs = {"fsync": "interval"}
+    if governed:
+        unit = 1 << 20
+        kwargs["governor"] = ResourceGovernor(
+            MemoryBudget(soft_bits=40 * unit, hard_bits=80 * unit),
+            sample_interval=0.01, retry_after=0.05, stall_grace=30.0,
+            notification_bits=unit)
+        kwargs["session_queue_size"] = 128
+        kwargs["queue_limit"] = 16
     if recover:
-        service = PubSubService.recover(durable_dir, fsync="interval")
+        service = PubSubService.recover(durable_dir, **kwargs)
     else:
-        service = PubSubService(durable_dir=durable_dir, fsync="interval")
+        service = PubSubService(durable_dir=durable_dir, **kwargs)
     server = WireServer(service, port=port, retain_sessions=True)
     await server.start()
+    if governed:
+        # an in-process subscriber that never consumes: its delivery queue is
+        # the backlog that drags the governor to HARD (a wire client cannot
+        # play this role — the notify pump drains server-side queues into the
+        # socket as fast as documents match)
+        stall = await service.connect("stall")
+        await stall.subscribe("pin", "/feed/topic0[score0 > 0]")
     snapshotter = asyncio.get_running_loop().create_task(
         _snapshot_loop(service))
     print(f"PORT {server.address[1]}", flush=True)
@@ -57,4 +83,5 @@ if __name__ == "__main__":
         at = args.index("--port")
         listen_port = int(args[at + 1])
         del args[at:at + 2]
-    asyncio.run(_main(args[0], listen_port, "--recover" in args))
+    asyncio.run(_main(args[0], listen_port, "--recover" in args,
+                      "--governed" in args))

@@ -1,0 +1,127 @@
+"""The overload chaos round: kill -9 a server while it is shedding load.
+
+A ``--governed`` server process (see ``server_proc.py``) runs a
+backlog-driven governor: the harness's client subscribes to the pinned-topic
+query but never consumes, so admitted documents pile up as undelivered
+notifications until the hard watermark trips and the tail of the burst is
+rejected with ``overloaded`` frames.  The server is then killed with
+``kill -9`` mid-shed, and the WAL is audited offline:
+
+- every **admitted** publish (its future resolved with a result) is in the
+  WAL — the append strictly precedes the ack;
+- every **rejected** publish (its future raised
+  :class:`~repro.net.OverloadedError`) is absent — the rejection happens
+  before the document draws an id or touches the log, so the WAL's id
+  sequence stays dense;
+- after an (ungoverned) recovery of the same directory, every WAL document
+  is re-delivered above the never-advanced cursor, flagged ``duplicate`` —
+  load shedding costs availability, never acked data.
+"""
+
+import asyncio
+import os
+import signal
+
+from repro.durable import PublishLog
+from repro.net import OverloadedError, WireClient, WireError
+from repro.service.server import WAL_FILENAME
+from repro.workloads import publish_burst
+
+from .test_kill9_recovery import _reap, _spawn_server
+
+BURST = 400
+DOCS = publish_burst(BURST, seed=77)
+QUERY = "/feed/topic0[score0 > 0]"  # matches every burst document
+PHASE_TIMEOUT = 60.0
+
+
+async def _shed_until_killed(port, pid):
+    """Pipeline the burst into a shedding server, then SIGKILL it."""
+    client = await WireClient.connect("127.0.0.1", port, client_id="c",
+                                      max_pending_matches=2048)
+    await client.subscribe("all", QUERY)
+    await asyncio.sleep(0.15)  # let a snapshot capture the subscription
+    # no consumer: the backlog is what drags the governor to HARD
+    futures = []
+    try:
+        for index, text in enumerate(DOCS):
+            futures.append(client.submit(text))
+            if index % 25 == 24:
+                await client.drain()
+        settled = await asyncio.gather(*futures, return_exceptions=True)
+    except (ConnectionError, OSError, WireError) as exc:
+        raise AssertionError(f"the burst died before the kill: {exc!r}")
+    # the kill lands while the governor is still latched at HARD: the
+    # stalled subscriber pins its queue, so nothing can have recovered
+    os.kill(pid, signal.SIGKILL)
+    admitted, rejected = [], []
+    for outcome in settled:
+        if isinstance(outcome, OverloadedError):
+            rejected.append(outcome)
+        elif isinstance(outcome, Exception):
+            raise AssertionError(f"unexpected failure: {outcome!r}")
+        else:
+            admitted.append(outcome.document_id)
+    try:
+        await client.close()
+    except (ConnectionError, OSError, WireError):
+        pass
+    return sorted(admitted), rejected
+
+
+async def _drain_recovery(port, expected):
+    """Reconnect to the recovered server and drain the full replay."""
+    client = await WireClient.connect("127.0.0.1", port, client_id="c",
+                                      retries=10, backoff_base=0.05,
+                                      max_pending_matches=2048)
+    assert client.resumed
+    assert client.server_subscriptions == ["all"]
+    # the shedding phase never consumed, so the durable cursor never moved
+    assert client.cursor == 0
+    redelivered = []
+    while len(redelivered) < expected:
+        redelivered.append(await client.next_match(timeout=5.0))
+    # a recovered server is live, not a read-only replayer
+    fresh = await client.publish(DOCS[0])
+    await client.close()
+    return redelivered, fresh
+
+
+def test_kill9_while_shedding_is_exact_about_the_split(tmp_path):
+    durable_dir = tmp_path / "durable"
+    proc, port = _spawn_server(durable_dir, "--governed")
+    try:
+        admitted, rejected = asyncio.run(asyncio.wait_for(
+            _shed_until_killed(port, proc.pid), PHASE_TIMEOUT))
+        assert proc.wait(timeout=10) != 0  # SIGKILL, not a clean exit
+    finally:
+        _reap(proc)
+
+    # the burst split both ways: a real prefix was admitted before the hard
+    # watermark, a real tail was shed after it
+    assert admitted and rejected
+    assert len(admitted) + len(rejected) == BURST
+    assert all(exc.retry_after > 0 for exc in rejected)
+
+    # ground truth: scan the WAL offline, with the process dead
+    scan = PublishLog(str(durable_dir / WAL_FILENAME)).scan()
+    wal_ids = sorted(doc.document_id for doc in scan.documents)
+    # every admitted document is durable, every rejected one absent, and
+    # rejected documents never drew an id — the WAL sequence has no gaps
+    assert wal_ids == admitted
+    assert wal_ids == list(range(1, len(admitted) + 1))
+
+    recovered, rport = _spawn_server(durable_dir, "--recover")
+    try:
+        redelivered, fresh = asyncio.run(asyncio.wait_for(
+            _drain_recovery(rport, len(wal_ids)), PHASE_TIMEOUT))
+    finally:
+        _reap(recovered)
+
+    # at-least-once: with the cursor still at zero, recovery replays the
+    # entire WAL — shedding rejected *new* work but lost nothing accepted
+    redelivered_ids = [note.document_id for note in redelivered]
+    assert redelivered_ids == wal_ids
+    assert all(note.duplicate for note in redelivered)
+    # and new publishes resume the id sequence above everything replayed
+    assert fresh.document_id == wal_ids[-1] + 1

@@ -1,0 +1,383 @@
+"""The resource governor: budget validation, the ladder, and enforcement.
+
+Unit tests drive :class:`ResourceGovernor` as the pure state machine it is
+(samples in, states and transitions out); the integration tests attach one to
+a :class:`PubSubService` with tiny watermarks and a zero sample interval so
+every ladder behavior — soft batch shrink, hard-watermark rejection before any
+WAL append, stalled-session eviction with the durable cursor surviving —
+is deterministic, no timing games.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.durable import PublishLog
+from repro.service import (
+    HARD,
+    NORMAL,
+    SOFT,
+    GovernorSample,
+    MemoryBudget,
+    OverloadedError,
+    PubSubService,
+    ResourceGovernor,
+)
+from repro.service.governor import _StallTracker
+
+CATALOG = "<catalog><book><price>12</price></book></catalog>"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def bits_budget(soft=1000, hard=2000):
+    return MemoryBudget(soft_bits=soft, hard_bits=hard)
+
+
+# ---------------------------------------------------------------- validation
+class TestBudgetValidation:
+    def test_at_least_one_pair_required(self):
+        with pytest.raises(ConfigError):
+            MemoryBudget()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"soft_bits": 10},                        # soft without hard
+        {"hard_bits": 10},                        # hard without soft
+        {"soft_rss_bytes": 10},
+        {"hard_rss_bytes": 10},
+        {"soft_bits": 10, "hard_rss_bytes": 20},  # mixed-axis half pairs
+    ])
+    def test_watermarks_come_in_pairs(self, kwargs):
+        with pytest.raises(ConfigError):
+            MemoryBudget(**kwargs)
+
+    @pytest.mark.parametrize("soft,hard", [(0, 10), (10, 0), (-1, 10)])
+    def test_watermarks_must_be_positive(self, soft, hard):
+        with pytest.raises(ConfigError):
+            MemoryBudget(soft_bits=soft, hard_bits=hard)
+
+    @pytest.mark.parametrize("soft,hard", [(10, 10), (20, 10)])
+    def test_cross_field_soft_below_hard(self, soft, hard):
+        with pytest.raises(ConfigError):
+            MemoryBudget(soft_bits=soft, hard_bits=hard)
+        with pytest.raises(ConfigError):
+            MemoryBudget(soft_rss_bytes=soft, hard_rss_bytes=hard)
+
+    def test_valid_budgets_construct(self):
+        MemoryBudget(soft_bits=1, hard_bits=2)
+        MemoryBudget(soft_rss_bytes=1, hard_rss_bytes=2)
+        MemoryBudget(soft_bits=1, hard_bits=2,
+                     soft_rss_bytes=3, hard_rss_bytes=4)
+
+
+class TestGovernorValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"hysteresis": 0.0},
+        {"hysteresis": 1.5},
+        {"stall_grace": -0.1},
+        {"retry_after": 0.0},
+        {"soft_batch_max": 0},
+        {"sample_interval": -1.0},
+        {"notification_bits": 0},
+        {"max_transitions": 0},
+    ])
+    def test_each_knob_is_validated(self, kwargs):
+        with pytest.raises(ConfigError):
+            ResourceGovernor(bits_budget(), **kwargs)
+
+    def test_budget_type_is_validated(self):
+        with pytest.raises(ConfigError):
+            ResourceGovernor({"soft_bits": 1, "hard_bits": 2})
+
+
+class TestServiceValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"shards": 0},
+        {"queue_limit": 0},
+        {"batch_max": 0},
+        {"flush_interval": -0.5},
+        {"session_queue_size": 0},
+        {"fsync": "sometimes"},
+        {"fsync_interval": 0.0},
+        {"compact_threshold": -1},
+        {"governor": "please"},
+    ])
+    def test_bad_configuration_fails_construction(self, kwargs):
+        with pytest.raises(ConfigError):
+            PubSubService(**kwargs)
+
+    def test_config_error_is_a_value_error(self):
+        # callers that caught ValueError for batch_max keep working
+        with pytest.raises(ValueError):
+            PubSubService(batch_max=0)
+
+
+# ---------------------------------------------------------------- the ladder
+class TestLadder:
+    def test_starts_normal_and_admitting(self):
+        governor = ResourceGovernor(bits_budget())
+        assert governor.state == NORMAL
+        assert governor.state_name == "normal"
+        assert governor.admitting
+
+    def test_climbs_soft_then_hard_on_modeled_bits(self):
+        governor = ResourceGovernor(bits_budget(1000, 2000))
+        assert governor.observe(GovernorSample(modeled_bits=1000), 1.0) == SOFT
+        assert governor.admitting
+        assert governor.observe(GovernorSample(modeled_bits=2000), 2.0) == HARD
+        assert not governor.admitting
+
+    def test_jumps_straight_to_hard_when_warranted(self):
+        governor = ResourceGovernor(bits_budget(1000, 2000))
+        assert governor.observe(GovernorSample(modeled_bits=9000), 1.0) == HARD
+        # one sample, but both rungs are recorded as a single transition
+        (transition,) = governor.transitions()
+        assert transition.from_state == "normal"
+        assert transition.to_state == "hard"
+
+    def test_rss_axis_triggers_independently(self):
+        governor = ResourceGovernor(MemoryBudget(
+            soft_bits=10**9, hard_bits=2 * 10**9,
+            soft_rss_bytes=1000, hard_rss_bytes=2000))
+        sample = GovernorSample(modeled_bits=5, rss_bytes=1500)
+        assert governor.observe(sample, 1.0) == SOFT
+        (transition,) = governor.transitions()
+        assert "rss_bytes" in transition.reason
+
+    def test_missing_rss_sample_never_triggers_rss_watermark(self):
+        governor = ResourceGovernor(
+            MemoryBudget(soft_rss_bytes=1, hard_rss_bytes=2))
+        assert governor.observe(GovernorSample(modeled_bits=10**9), 1.0) \
+            == NORMAL
+
+    def test_hysteresis_holds_state_at_the_boundary(self):
+        governor = ResourceGovernor(bits_budget(1000, 2000), hysteresis=0.5)
+        governor.observe(GovernorSample(modeled_bits=1000), 1.0)
+        # below the watermark but above hysteresis x watermark: no flapping
+        assert governor.observe(GovernorSample(modeled_bits=700), 2.0) == SOFT
+        # below hysteresis x watermark: released
+        assert governor.observe(GovernorSample(modeled_bits=400), 3.0) == NORMAL
+
+    def test_recovery_steps_down_one_level_per_sample(self):
+        governor = ResourceGovernor(bits_budget(1000, 2000))
+        governor.observe(GovernorSample(modeled_bits=5000), 1.0)
+        assert governor.state == HARD
+        assert governor.observe(GovernorSample(modeled_bits=0), 2.0) == SOFT
+        assert governor.observe(GovernorSample(modeled_bits=0), 3.0) == NORMAL
+        states = [(t.from_state, t.to_state) for t in governor.transitions()]
+        assert states == [("normal", "hard"), ("hard", "soft"),
+                          ("soft", "normal")]
+
+    def test_transition_log_is_bounded(self):
+        governor = ResourceGovernor(bits_budget(1000, 2000), max_transitions=4)
+        for i in range(10):  # flap on purpose
+            governor.observe(GovernorSample(modeled_bits=1000), float(2 * i))
+            governor.observe(GovernorSample(modeled_bits=0), float(2 * i + 1))
+        assert len(governor.transitions()) == 4
+        assert governor.snapshot()["transitions"] == 20
+
+    def test_snapshot_reflects_last_sample(self):
+        governor = ResourceGovernor(bits_budget())
+        governor.observe(
+            GovernorSample(modeled_bits=42, rss_bytes=7,
+                           backlog_notifications=3), 1.0)
+        snapshot = governor.snapshot()
+        assert snapshot["state"] == "normal"
+        assert snapshot["modeled_bits"] == 42
+        assert snapshot["rss_bytes"] == 7
+        assert snapshot["backlog_notifications"] == 3
+
+
+class TestStallTracker:
+    def test_grace_expiry_and_reset(self):
+        tracker = _StallTracker(grace=2.0)
+        assert tracker.update({"a": True, "b": False}, 10.0) == []
+        assert tracker.update({"a": True, "b": True}, 11.0) == []
+        # a has been pinned 2s: expired; b only 1s
+        assert tracker.update({"a": True, "b": True}, 12.0) == ["a"]
+        # unpinning resets the clock
+        assert tracker.update({"a": False, "b": True}, 12.5) == []
+        assert tracker.update({"a": True, "b": True}, 13.0) == ["b"]
+        assert tracker.update({"a": True}, 14.9) == []
+        assert tracker.update({"a": True}, 15.0) == ["a"]
+
+    def test_departed_sessions_are_purged(self):
+        tracker = _StallTracker(grace=5.0)
+        tracker.update({"a": True}, 1.0)
+        tracker.update({}, 2.0)  # "a" disconnected
+        assert "a" not in tracker.pinned_since
+
+    def test_zero_grace_expires_immediately(self):
+        tracker = _StallTracker(grace=0.0)
+        assert tracker.update({"a": True}, 1.0) == ["a"]
+
+
+# ---------------------------------------------------------------- enforcement
+def tiny_governor(**kwargs):
+    """A governor that trips HARD on the first subscribed sample."""
+    kwargs.setdefault("sample_interval", 0.0)
+    kwargs.setdefault("retry_after", 0.25)
+    return ResourceGovernor(MemoryBudget(soft_bits=1, hard_bits=2), **kwargs)
+
+
+def soft_governor(**kwargs):
+    """A governor whose soft watermark any subscription trips, hard never."""
+    kwargs.setdefault("sample_interval", 0.0)
+    return ResourceGovernor(MemoryBudget(soft_bits=1, hard_bits=10**12),
+                            **kwargs)
+
+
+class TestServiceEnforcement:
+    def test_hard_watermark_rejects_publishes(self):
+        async def scenario():
+            governor = tiny_governor()
+            async with PubSubService(governor=governor) as service:
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                # the first publish is admitted (the governor has not sampled
+                # yet) and its batch triggers the sample that trips HARD
+                result = await service.publish(CATALOG)
+                assert result.matched == ("c:q",)
+                assert service.overloaded
+                with pytest.raises(OverloadedError) as info:
+                    await service.publish(CATALOG)
+                assert info.value.retry_after == 0.25
+                metrics = service.metrics()
+                assert metrics["publishes_rejected"] == 1
+                assert metrics["governor"]["state"] == "hard"
+                assert governor.publishes_rejected == 1
+        run(scenario())
+
+    def test_publish_many_rejects_the_tail_as_a_unit(self):
+        async def scenario():
+            governor = tiny_governor()
+            async with PubSubService(governor=governor, batch_max=1,
+                                     queue_limit=1) as service:
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                # queue_limit=1 + batch_max=1: the burst overlaps the worker,
+                # so a mid-burst sample trips HARD and the tail is rejected
+                with pytest.raises(OverloadedError):
+                    await service.publish_many([CATALOG] * 8)
+                assert service.metrics()["published"] >= 1
+        run(scenario())
+
+    def test_soft_state_shrinks_batch_coalescing(self):
+        async def scenario():
+            governor = soft_governor(soft_batch_max=1)
+            async with PubSubService(governor=governor,
+                                     batch_max=32) as service:
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                assert service._effective_batch_max() == 32
+                await service.publish(CATALOG)  # sample -> SOFT
+                assert governor.state == SOFT
+                assert service._effective_batch_max() == 1
+                # still admitting: soft degrades, it does not reject
+                assert (await service.publish(CATALOG)).matched == ("c:q",)
+        run(scenario())
+
+    def test_recovery_descends_after_load_drops(self):
+        async def scenario():
+            # SOFT is entered by notification backlog (one queued match
+            # charges 10**9 modeled bits) and left once the consumer drains it
+            governor = ResourceGovernor(
+                MemoryBudget(soft_bits=10**6, hard_bits=10**12),
+                sample_interval=0.0, notification_bits=10**9)
+            async with PubSubService(governor=governor) as service:
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                await service.publish(CATALOG)  # sample ran pre-delivery
+                await service.publish(CATALOG)  # samples the 1-match backlog
+                assert governor.state == SOFT
+                while session.pending_notifications():
+                    await session.next_notification(timeout=1)
+                await service.publish(CATALOG)  # backlog drained: steps down
+                assert governor.state == NORMAL
+                names = [(t.from_state, t.to_state)
+                         for t in governor.transitions()]
+                assert names == [("normal", "soft"), ("soft", "normal")]
+        run(scenario())
+
+    def test_rejected_publish_never_reaches_the_wal(self, tmp_path):
+        async def scenario():
+            governor = tiny_governor()
+            durable = str(tmp_path / "durable")
+            async with PubSubService(governor=governor,
+                                     durable_dir=durable) as service:
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                admitted = await service.publish(CATALOG)
+                with pytest.raises(OverloadedError):
+                    await service.publish("<rejected/>")
+                return admitted.document_id, durable
+
+        admitted_id, durable = run(scenario())
+        with PublishLog(str(tmp_path / "durable" / "publish.wal")) as log:
+            scan = log.scan()
+        logged = [doc.document_id for doc in scan.documents]
+        assert logged == [admitted_id]
+        assert not any("rejected" in doc.text for doc in scan.documents)
+
+    def test_stalled_session_is_evicted_and_cursor_survives(self, tmp_path):
+        async def scenario():
+            # trips HARD only once a notification backlog exists: standing
+            # subscription bits stay far under hard_bits, while a single
+            # queued notification charges 10**9 modeled bits
+            governor = ResourceGovernor(
+                MemoryBudget(soft_bits=1, hard_bits=10**6),
+                sample_interval=0.0, stall_grace=0.0,
+                notification_bits=10**9)
+            async with PubSubService(governor=governor,
+                                     durable_dir=str(tmp_path / "durable"),
+                                     session_queue_size=1) as service:
+                laggard = await service.connect("laggard")
+                await laggard.subscribe("q", "/catalog/book")
+                first = await service.publish(CATALOG)
+                # the laggard consumed and durably acked the first match
+                note = await laggard.next_notification(timeout=1)
+                laggard.ack(note.document_id)
+                # the second match pins the 1-slot queue; the third batch's
+                # governor round (which samples before filtering) sees that
+                # backlog, trips HARD, and the zero stall grace evicts the
+                # pinned session before the third document is even filtered
+                await service.publish(CATALOG)
+                third = await service.publish(CATALOG)
+                assert third.matched == ()  # the eviction already unregistered
+                assert laggard.evicted
+                assert laggard.closed
+                metrics = service.metrics()
+                assert metrics["clients_evicted"] == 1
+                assert metrics["notifications_shed"] == 1
+                assert metrics["subscriptions"] == 0  # bank load released
+                # the durable cursor survived eviction: a reconnect resumes
+                # at-least-once from the acked position
+                resumed = await service.connect("laggard")
+                assert resumed.cursor == first.document_id
+        run(scenario())
+
+    def test_ungoverned_service_is_unchanged(self):
+        async def scenario():
+            async with PubSubService() as service:
+                assert service.governor is None
+                assert not service.overloaded
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                for _ in range(5):
+                    await service.publish(CATALOG)
+                assert service.metrics()["governor"] is None
+        run(scenario())
+
+    def test_health_reports_governor_state(self):
+        async def scenario():
+            governor = soft_governor()
+            async with PubSubService(governor=governor) as service:
+                assert service.health()["governor_state"] == "normal"
+                session = await service.connect("c")
+                await session.subscribe("q", "/catalog/book")
+                await service.publish(CATALOG)
+                assert service.health()["governor_state"] == "soft"
+        run(scenario())

@@ -1,0 +1,221 @@
+"""The no-growth soak: a governed service run at its memory ceiling.
+
+One long scenario drives a durable, statistics-accurate, governed
+:class:`~repro.service.PubSubService` through sustained publish traffic,
+subscription churn, and a deliberate overload episode (a stalled consumer
+pins its delivery queue until the governor climbs to the hard watermark,
+rejects publishes, and evicts it), then back to steady state.  At the end it
+asserts the properties PR 8 exists for:
+
+* **Bounded RSS growth** — process RSS after the full run stays within a
+  fixed envelope of the post-warmup baseline (no per-document leak).
+* **Ladder transitions both ways** — the governor demonstrably reached HARD
+  under load and walked back down to NORMAL after the eviction.
+* **Zero lost acked matches** — every admitted document was delivered to the
+  keeping-up consumer exactly-once-or-better (set equality of document ids).
+* **Measured bits within the static bound** — the bank's per-subscription
+  peak memory stays at or below the cost model's prediction for the query.
+
+The soak is opt-in: plain ``pytest`` skips it so tier-1 stays fast.
+
+* ``SOAK_SMOKE=1``  — ~2k documents (seconds; runs in the CI fault job)
+* ``SOAK_DOCS=N``   — explicit size: 200000 for the tier-2 soak, 1000000
+  for the nightly job
+* ``SOAK_REPORT=path.json`` — also dump the governor transition log and the
+  run summary as JSON (uploaded as the nightly artifact)
+"""
+
+import asyncio
+import json
+import os
+import random
+
+import pytest
+
+from repro.analysis import analyze_query
+from repro.instrument import current_rss_bytes
+from repro.service import (
+    MemoryBudget,
+    OverloadedError,
+    PubSubService,
+    ResourceGovernor,
+)
+from repro.workloads import publish_burst
+from repro.xpath.parser import parse_query
+
+if os.environ.get("SOAK_DOCS"):
+    TOTAL_DOCS = int(os.environ["SOAK_DOCS"])
+elif os.environ.get("SOAK_SMOKE") == "1":
+    TOTAL_DOCS = 2_000
+else:
+    pytest.skip("soak: set SOAK_SMOKE=1 or SOAK_DOCS=<n> to run",
+                allow_module_level=True)
+
+PIN_QUERY = "/feed/topic0[score0 > 0]"  # matches every workload document
+BURST = 32               # documents per publish round (== default batch_max)
+QUEUE_SIZE = 64          # per-session delivery queue (the pinning bound)
+UNIT = 1 << 20           # modeled bits charged per undelivered notification
+# In notification units: steady-state backlog peaks at one in-flight burst
+# (32 < 40, stays NORMAL); a pinned queue alone crosses HARD (64 >= 56), so
+# the overload episode does not depend on scheduler timing.
+BUDGET = MemoryBudget(soft_bits=40 * UNIT, hard_bits=56 * UNIT)
+RSS_SLACK_BYTES = 48 * (1 << 20)  # absolute allowance over the baseline
+RSS_SLACK_RATIO = 0.20            # relative allowance over the baseline
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _drain(session, received, *, churn=None, last_doc_id=0):
+    """Drain and ack everything pending for the keeping-up consumer."""
+    while session.pending_notifications() > 0:
+        note = await session.next_notification(timeout=5)
+        received.append(note.document_id)
+    if received:
+        session.ack(received[-1])
+    if churn is not None and last_doc_id:
+        # the churn session matches nothing but must still advance its
+        # cursor, or it would pin the publish log's compaction floor
+        churn.ack(last_doc_id)
+
+
+async def _publish_round(service, docs):
+    """Submit one burst; returns (admitted ids, rejections, retry hint)."""
+    pending = []
+    rejections = 0
+    retry_after = 0.0
+    for text in docs:
+        try:
+            pending.append(await service.submit(text))
+        except OverloadedError as exc:
+            # the governor is shedding: abandon the burst, honor the hint
+            rejections += 1
+            retry_after = exc.retry_after
+            break
+    await asyncio.gather(*(p.wait() for p in pending))
+    return [p.document_id for p in pending], rejections, retry_after
+
+
+async def _soak(tmp_path):
+    rng = random.Random(20260808)
+    governor = ResourceGovernor(
+        BUDGET, sample_interval=0.02, retry_after=0.02, stall_grace=0.1,
+        notification_bits=UNIT)
+    service = PubSubService(stats=True, durable_dir=str(tmp_path / "durable"),
+                            session_queue_size=QUEUE_SIZE, governor=governor)
+    await service.start()
+    try:
+        keeper = await service.connect("keeper")
+        await keeper.subscribe("pin", PIN_QUERY)
+        churn = await service.connect("churn")
+
+        received = []           # every document id delivered to the keeper
+        admitted = []           # every document id the service accepted
+        rejections = 0
+        churn_cycle = 0
+
+        def next_burst():
+            # every document carries the pinned topic, so the keeper's one
+            # subscription matches the entire run — delivered-vs-admitted
+            # becomes an exact set comparison
+            return publish_burst(BURST, topics=4, entries=3,
+                                 seed=rng.getrandbits(32))
+
+        async def steady_round():
+            nonlocal churn_cycle
+            ids, _, _ = await _publish_round(service, next_burst())
+            admitted.extend(ids)
+            await _drain(keeper, received, churn=churn,
+                         last_doc_id=ids[-1] if ids else 0)
+            # subscription churn: register/unregister a non-matching query
+            # every round so the bank's plan table sees sustained turnover
+            name = f"c{churn_cycle % 8}"
+            if churn_cycle >= 8:
+                await churn.unsubscribe(name)
+            await churn.subscribe(name, f"/feed/topic{churn_cycle % 4}/nosuch")
+            churn_cycle += 1
+
+        # ---- phase A: steady state until the warmup baseline -------------
+        warmup_docs = max(BURST, TOTAL_DOCS // 4)
+        while len(admitted) < warmup_docs:
+            await steady_round()
+        assert governor.state_name == "normal"
+        baseline_rss = current_rss_bytes()
+        assert baseline_rss is not None
+
+        # ---- phase B: overload — a stalled consumer pins its queue -------
+        stalled = await service.connect("stalled")
+        await stalled.subscribe("pin", PIN_QUERY)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 60
+        while not (service.metrics()["clients_evicted"] >= 1
+                   and rejections > 0
+                   and governor.state_name == "normal"):
+            assert loop.time() < deadline, (
+                f"overload episode did not recover: state="
+                f"{governor.state_name} metrics={service.metrics()}")
+            ids, round_rejections, retry_after = await _publish_round(
+                service, next_burst())
+            admitted.extend(ids)
+            rejections += round_rejections
+            await _drain(keeper, received, churn=churn,
+                         last_doc_id=ids[-1] if ids else 0)
+            if round_rejections:
+                await asyncio.sleep(retry_after)
+        assert stalled.closed  # the laggard, not the keeper, was evicted
+        assert not keeper.closed
+
+        # ---- phase C: steady state again up to the full document budget --
+        while len(admitted) < TOTAL_DOCS:
+            await steady_round()
+        await _drain(keeper, received, churn=churn, last_doc_id=admitted[-1])
+
+        # ---- the four soak properties ------------------------------------
+        # 1. ladder transitions in both directions
+        rank = {"normal": 0, "soft": 1, "hard": 2}
+        moves = [(rank[t.from_state], rank[t.to_state])
+                 for t in governor.transitions()]
+        assert any(before < after for before, after in moves), moves
+        assert any(before > after for before, after in moves), moves
+        assert governor.state_name == "normal"
+        assert rejections > 0
+        metrics = service.metrics()
+        assert metrics["clients_evicted"] >= 1
+        assert metrics["publishes_rejected"] == rejections
+
+        # 2. zero lost acked matches: every admitted document matches the
+        # keeper's pinned-topic query, and every one of them arrived
+        assert set(received) == set(admitted)
+
+        # 3. measured per-subscription bits within the static cost model
+        peaks = service._bank.per_subscription_peak_bits()
+        predicted = analyze_query(parse_query(PIN_QUERY)).predicted_memory_bits
+        assert 0 < peaks["keeper:pin"] <= predicted
+
+        # 4. bounded RSS growth over the post-warmup baseline
+        end_rss = current_rss_bytes()
+        allowance = baseline_rss * RSS_SLACK_RATIO + RSS_SLACK_BYTES
+        assert end_rss <= baseline_rss + allowance, (
+            f"RSS grew {end_rss - baseline_rss} bytes over the "
+            f"{baseline_rss}-byte baseline (allowance {allowance:.0f})")
+
+        report_path = os.environ.get("SOAK_REPORT")
+        if report_path:
+            with open(report_path, "w", encoding="utf-8") as handle:
+                json.dump({
+                    "documents": len(admitted),
+                    "rejections": rejections,
+                    "baseline_rss_bytes": baseline_rss,
+                    "end_rss_bytes": end_rss,
+                    "metrics": metrics,
+                    "governor": governor.snapshot(),
+                    "transitions": [t.as_dict()
+                                    for t in governor.transitions()],
+                }, handle, indent=2)
+    finally:
+        await service.stop()
+
+
+def test_soak_no_growth(tmp_path):
+    run(_soak(tmp_path))

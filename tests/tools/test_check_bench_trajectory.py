@@ -113,10 +113,22 @@ def _wal_run(*, smoke=False, ratio=0.9, timestamp="2026-01-01T00:05:00Z"):
     }
 
 
+def _ceiling_run(*, smoke=False, ratio=2.0, timestamp="2026-01-01T00:06:00Z"):
+    return {
+        "benchmark": "memory_ceiling",
+        "smoke": smoke,
+        "timestamp": timestamp,
+        "results": [
+            {"subscriptions": 100, "ceiling_over_modeled": 0.9},  # smaller size
+            {"subscriptions": 1000, "ceiling_over_modeled": ratio},
+        ],
+    }
+
+
 def _healthy():
     return {"schema": 2,
             "runs": [_throughput_run(), _churn_run(), _service_run(),
-                     _wire_run(), _memory_run(), _wal_run()]}
+                     _wire_run(), _memory_run(), _wal_run(), _ceiling_run()]}
 
 
 def _write(tmp_path, data) -> str:
@@ -129,7 +141,7 @@ class TestGateVerdicts:
     def test_healthy_trajectory_passes(self, tmp_path, capsys):
         assert gate.main([_write(tmp_path, _healthy())]) == 0
         out = capsys.readouterr().out
-        assert "7/7 floors checked, none violated" in out
+        assert "8/8 floors checked, none violated" in out
 
     @pytest.mark.parametrize("doctor, floor", [
         (lambda runs: runs.__setitem__(0, _throughput_run(compiled_speedup=2.9)),
@@ -146,6 +158,8 @@ class TestGateVerdicts:
          "bound_over_measured"),
         (lambda runs: runs.__setitem__(5, _wal_run(ratio=0.4)),
          "wal_overhead"),
+        (lambda runs: runs.__setitem__(6, _ceiling_run(ratio=0.95)),
+         "ceiling_over_modeled"),
     ])
     def test_each_floor_violation_fails(self, tmp_path, capsys, doctor, floor):
         data = _healthy()
@@ -180,7 +194,8 @@ class TestGateVerdicts:
         smoke_only = {"schema": 2, "runs": [
             _throughput_run(smoke=True), _churn_run(smoke=True),
             _service_run(smoke=True), _wire_run(smoke=True),
-            _memory_run(smoke=True), _wal_run(smoke=True)]}
+            _memory_run(smoke=True), _wal_run(smoke=True),
+            _ceiling_run(smoke=True)]}
         assert gate.main([_write(tmp_path, smoke_only), "--allow-smoke"]) == 1
 
     def test_missing_benchmark_fails_by_default_and_warns_when_allowed(
@@ -221,7 +236,7 @@ class TestSmokeHygiene:
         assert gate.main([path, "--prune-smoke"]) == 0
         assert "pruned 2 smoke run(s)" in capsys.readouterr().out
         rewritten = json.loads(open(path).read())
-        assert len(rewritten["runs"]) == 6
+        assert len(rewritten["runs"]) == 7
         assert not any(run.get("smoke") for run in rewritten["runs"])
         assert rewritten["schema"] == 2
         assert gate.main([path]) == 0  # hygiene restored, floors intact
@@ -269,12 +284,12 @@ class TestStructuralValidation:
 class TestMarkdownSummary:
     def test_summary_lists_recent_runs_with_ratios(self, tmp_path):
         summary = gate.format_markdown_summary(_healthy(), last=3)
-        assert "| wire_throughput |" in summary
         assert "| memory_model |" in summary
         assert "| wal_throughput |" in summary
-        assert "pipelined_vs_request_response 2.4x" in summary
+        assert "| memory_ceiling |" in summary
         assert "bound_over_measured 3.5x" in summary
         assert "wal_overhead 0.9x" in summary
+        assert "ceiling_over_modeled 2.0x" in summary
         assert "filterbank_throughput" not in summary  # trimmed by last=3
 
     def test_summary_only_never_gates(self, tmp_path):
